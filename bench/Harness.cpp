@@ -1,0 +1,184 @@
+//===- bench/Harness.cpp - Shared benchmark driver code -------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+using namespace mba;
+using namespace mba::bench;
+
+HarnessOptions mba::bench::parseHarnessArgs(int Argc, char **Argv) {
+  HarnessOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return std::strncmp(Arg, Prefix, Len) == 0 ? Arg + Len : nullptr;
+    };
+    if (const char *V = Value("--per-category="))
+      Opts.PerCategory = (unsigned)std::strtoul(V, nullptr, 10);
+    else if (const char *V = Value("--timeout="))
+      Opts.TimeoutSeconds = std::strtod(V, nullptr);
+    else if (const char *V = Value("--width="))
+      Opts.Width = (unsigned)std::strtoul(V, nullptr, 10);
+    else if (const char *V = Value("--seed="))
+      Opts.Seed = std::strtoull(V, nullptr, 10);
+    else
+      std::fprintf(stderr,
+                   "warning: unknown argument '%s' "
+                   "(supported: --per-category= --timeout= --width= --seed=)\n",
+                   Arg);
+  }
+  return Opts;
+}
+
+std::vector<QueryRecord> mba::bench::runSolvingStudy(
+    Context &Ctx, const std::vector<CorpusEntry> &Corpus,
+    std::vector<std::unique_ptr<EquivalenceChecker>> &Checkers,
+    double TimeoutSeconds, MBASolver *Simplifier) {
+  // Preprocess once (shared across solvers, like the paper's pipeline).
+  std::vector<const Expr *> Lhs(Corpus.size()), Rhs(Corpus.size());
+  for (size_t I = 0; I != Corpus.size(); ++I) {
+    if (Simplifier) {
+      Lhs[I] = Simplifier->simplify(Corpus[I].Obfuscated);
+      Rhs[I] = Simplifier->simplify(Corpus[I].Ground);
+    } else {
+      Lhs[I] = Corpus[I].Obfuscated;
+      Rhs[I] = Corpus[I].Ground;
+    }
+  }
+
+  std::vector<QueryRecord> Records;
+  Records.reserve(Corpus.size() * Checkers.size());
+  for (auto &Checker : Checkers) {
+    for (size_t I = 0; I != Corpus.size(); ++I) {
+      CheckResult R = Checker->check(Ctx, Lhs[I], Rhs[I], TimeoutSeconds);
+      Records.push_back(
+          {Checker->name(), Corpus[I].Category, R.Outcome, R.Seconds, I});
+    }
+  }
+  return Records;
+}
+
+std::string mba::bench::formatSeconds(double S) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", S);
+  return Buf;
+}
+
+void mba::bench::printSolverCategoryTable(
+    const std::vector<QueryRecord> &Records, size_t CorpusSizePerCategory,
+    const std::string &Title) {
+  std::printf("=== %s ===\n", Title.c_str());
+  std::printf("(N = solved; times in seconds over solved queries)\n");
+
+  struct Agg {
+    unsigned Solved = 0;
+    unsigned Total = 0;
+    double TMin = 1e100, TMax = 0, TSum = 0;
+  };
+  // Preserve solver order of first appearance.
+  std::vector<std::string> Solvers;
+  std::map<std::pair<std::string, MBAKind>, Agg> Cells;
+  for (const QueryRecord &R : Records) {
+    if (std::find(Solvers.begin(), Solvers.end(), R.Solver) == Solvers.end())
+      Solvers.push_back(R.Solver);
+    Agg &Cell = Cells[{R.Solver, R.Category}];
+    ++Cell.Total;
+    if (R.Outcome == Verdict::Equivalent) {
+      ++Cell.Solved;
+      Cell.TMin = std::min(Cell.TMin, R.Seconds);
+      Cell.TMax = std::max(Cell.TMax, R.Seconds);
+      Cell.TSum += R.Seconds;
+    }
+  }
+
+  const MBAKind Kinds[] = {MBAKind::Linear, MBAKind::Polynomial,
+                           MBAKind::NonPolynomial};
+  for (const std::string &Solver : Solvers) {
+    std::printf("%-12s %-10s %6s %10s %10s %10s\n", Solver.c_str(), "type",
+                "N", "Tmin", "Tmax", "Tavg");
+    unsigned TotalSolved = 0, Total = 0;
+    for (MBAKind K : Kinds) {
+      auto It = Cells.find({Solver, K});
+      if (It == Cells.end())
+        continue;
+      const Agg &Cell = It->second;
+      TotalSolved += Cell.Solved;
+      Total += Cell.Total;
+      if (Cell.Solved)
+        std::printf("%-12s %-10s %6u %10s %10s %10s\n", "", mbaKindName(K),
+                    Cell.Solved, formatSeconds(Cell.TMin).c_str(),
+                    formatSeconds(Cell.TMax).c_str(),
+                    formatSeconds(Cell.TSum / Cell.Solved).c_str());
+      else
+        std::printf("%-12s %-10s %6u %10s %10s %10s\n", "", mbaKindName(K), 0u,
+                    "-", "-", "-");
+    }
+    double Pct = Total ? 100.0 * TotalSolved / Total : 0;
+    std::printf("%-12s total solved: %u / %u (%.1f%%)\n\n", "", TotalSolved,
+                Total, Pct);
+  }
+  (void)CorpusSizePerCategory;
+}
+
+void mba::bench::printTimeDistribution(const std::vector<QueryRecord> &Records,
+                                       double TimeoutSeconds,
+                                       const std::string &Title) {
+  std::printf("=== %s ===\n", Title.c_str());
+  std::vector<std::string> Solvers;
+  for (const QueryRecord &R : Records)
+    if (std::find(Solvers.begin(), Solvers.end(), R.Solver) == Solvers.end())
+      Solvers.push_back(R.Solver);
+
+  for (const std::string &Solver : Solvers) {
+    std::vector<double> Times;
+    unsigned Timeouts = 0, Total = 0;
+    for (const QueryRecord &R : Records) {
+      if (R.Solver != Solver)
+        continue;
+      ++Total;
+      if (R.Outcome == Verdict::Equivalent)
+        Times.push_back(R.Seconds);
+      else
+        ++Timeouts;
+    }
+    std::sort(Times.begin(), Times.end());
+    std::printf("%s: %zu solved, %u timeout/other (timeout=%.2fs)\n",
+                Solver.c_str(), Times.size(), Timeouts, TimeoutSeconds);
+    if (!Times.empty()) {
+      auto Pct = [&](double P) {
+        size_t Index = (size_t)(P * (double)(Times.size() - 1));
+        return Times[Index];
+      };
+      std::printf("  p10=%s p50=%s p90=%s max=%s\n",
+                  formatSeconds(Pct(0.10)).c_str(),
+                  formatSeconds(Pct(0.50)).c_str(),
+                  formatSeconds(Pct(0.90)).c_str(),
+                  formatSeconds(Times.back()).c_str());
+    }
+    // Cumulative solved-vs-time ASCII curve (the figures' visual).
+    const int Columns = 50;
+    std::printf("  solved-by-time curve [0 .. %.2fs]:\n  |", TimeoutSeconds);
+    for (int C = 0; C != Columns; ++C) {
+      double T = TimeoutSeconds * (double)(C + 1) / Columns;
+      size_t SolvedByT =
+          std::upper_bound(Times.begin(), Times.end(), T) - Times.begin();
+      double Frac = Total ? (double)SolvedByT / Total : 0;
+      const char *Glyphs = " .:-=+*#%@";
+      int G = std::min(9, (int)(Frac * 10));
+      std::printf("%c", Glyphs[G]);
+      (void)T;
+    }
+    std::printf("| %.0f%% solved at timeout\n", Total ? 100.0 * Times.size() / Total : 0.0);
+  }
+  std::printf("\n");
+}

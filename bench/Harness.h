@@ -1,0 +1,82 @@
+//===- bench/Harness.h - Shared benchmark driver code -----------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the table/figure reproduction binaries: corpus
+/// setup, the solver-study loop (raw and simplified variants), per-category
+/// aggregation in the paper's [N, Tmin/Tmax, Tavg] format, and text
+/// rendering of tables and distribution "figures".
+///
+/// Scaling: the paper runs 3000 queries per solver with a one-hour timeout
+/// on a Xeon server; the defaults here run a deterministic sub-corpus with
+/// a seconds-scale timeout so the whole suite finishes in minutes. Every
+/// binary accepts --per-category=N, --timeout=SECONDS, --width=BITS and
+/// --seed=N to re-run at larger scale. EXPERIMENTS.md records the scaling
+/// next to each reproduced number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_BENCH_HARNESS_H
+#define MBA_BENCH_HARNESS_H
+
+#include "ast/Context.h"
+#include "gen/Corpus.h"
+#include "mba/Simplifier.h"
+#include "solvers/EquivalenceChecker.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mba::bench {
+
+/// Command-line-tunable experiment scale.
+struct HarnessOptions {
+  unsigned PerCategory = 40;   ///< corpus entries per category (paper: 1000)
+  double TimeoutSeconds = 1.0; ///< per-query budget (paper: 3600)
+  unsigned Width = 64;         ///< word width (paper: 64)
+  uint64_t Seed = 20210620;
+};
+
+/// Parses --per-category / --timeout / --width / --seed overrides.
+HarnessOptions parseHarnessArgs(int Argc, char **Argv);
+
+/// One solver query outcome.
+struct QueryRecord {
+  std::string Solver;
+  MBAKind Category;
+  Verdict Outcome = Verdict::Timeout;
+  double Seconds = 0;
+  size_t EntryIndex = 0;
+};
+
+/// Runs every (checker, corpus entry) pair on the identity query. When
+/// \p Simplifier is non-null, both sides are preprocessed through it first
+/// (the paper's MBA-Solver-assisted configuration of Table 6); solver time
+/// excludes preprocessing, which the paper reports separately (Table 8).
+std::vector<QueryRecord>
+runSolvingStudy(Context &Ctx, const std::vector<CorpusEntry> &Corpus,
+                std::vector<std::unique_ptr<EquivalenceChecker>> &Checkers,
+                double TimeoutSeconds, MBASolver *Simplifier);
+
+/// Prints the Table 2 / Table 6 layout: one block per solver with per-
+/// category N, [Tmin, Tmax], Tavg and the total solved count.
+void printSolverCategoryTable(const std::vector<QueryRecord> &Records,
+                              size_t CorpusSizePerCategory,
+                              const std::string &Title);
+
+/// Prints a solving-time distribution "figure": per solver, the sorted
+/// solved-query times as percentiles plus an ASCII cumulative curve
+/// (Figures 4 and 6 are exactly these curves).
+void printTimeDistribution(const std::vector<QueryRecord> &Records,
+                           double TimeoutSeconds, const std::string &Title);
+
+/// Convenience: formats seconds with three decimals.
+std::string formatSeconds(double S);
+
+} // namespace mba::bench
+
+#endif // MBA_BENCH_HARNESS_H

@@ -1,0 +1,93 @@
+//===- bench/ablation_basis.cpp - Section 7 basis-selection ablation ------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's Section 7 discussion: the normalized basis is a design
+/// choice — Table 4 uses {x, y, x&y, -1}, Table 9 suggests {x, y, x|y, -1},
+/// and the optimal pick may depend on the input. This ablation simplifies
+/// the same corpus under both bases (and with the final-step optimization
+/// on/off) and compares result complexity and solver throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "mba/Metrics.h"
+
+#include <cstdio>
+
+using namespace mba;
+using namespace mba::bench;
+
+namespace {
+
+struct AblationRow {
+  const char *Name;
+  BasisKind Basis;
+  bool FinalOpt;
+  bool AutoBasis = false;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+
+  Context Ctx(Opts.Width);
+  CorpusOptions CorpusOpts;
+  CorpusOpts.LinearCount = CorpusOpts.PolyCount = CorpusOpts.NonPolyCount =
+      Opts.PerCategory;
+  CorpusOpts.Seed = Opts.Seed;
+  auto Corpus = generateCorpus(Ctx, CorpusOpts);
+
+  const AblationRow Rows[] = {
+      {"conj (Table 4)", BasisKind::Conjunction, true},
+      {"disj (Table 9)", BasisKind::Disjunction, true},
+      {"auto (per-input)", BasisKind::Conjunction, true, /*AutoBasis=*/true},
+      {"conj, no final-opt", BasisKind::Conjunction, false},
+      {"disj, no final-opt", BasisKind::Disjunction, false},
+  };
+
+  std::printf("=== Ablation: normalized-basis selection (Section 7), "
+              "%u/category ===\n",
+              Opts.PerCategory);
+  std::printf("%-22s %12s %12s %12s %12s\n", "configuration", "avg alt",
+              "avg length", "simpl. time", "solved %");
+
+  auto Checkers = makeAllCheckers();
+  EquivalenceChecker *Checker = Checkers.front().get();
+  for (const AblationRow &Row : Rows) {
+    SimplifyOptions SOpts;
+    SOpts.Basis = Row.Basis;
+    SOpts.EnableFinalOpt = Row.FinalOpt;
+    SOpts.AutoBasis = Row.AutoBasis;
+    MBASolver Solver(Ctx, SOpts);
+
+    double AltSum = 0, LenSum = 0;
+    unsigned Solved = 0;
+    for (const CorpusEntry &E : Corpus) {
+      const Expr *L = Solver.simplify(E.Obfuscated);
+      const Expr *R = Solver.simplify(E.Ground);
+      ComplexityMetrics M = measureComplexity(Ctx, L);
+      AltSum += (double)M.Alternation;
+      LenSum += (double)M.Length;
+      if (Checker->check(Ctx, L, R, Opts.TimeoutSeconds).Outcome ==
+          Verdict::Equivalent)
+        ++Solved;
+    }
+    double N = (double)Corpus.size();
+    std::printf("%-22s %12.2f %12.1f %11.3fs %11.1f%%\n", Row.Name,
+                AltSum / N, LenSum / N, Solver.stats().Seconds,
+                100.0 * Solved / N);
+  }
+
+  std::printf("\nPaper reference (Section 7): the conjunction basis wins for "
+              "the majority of\n");
+  std::printf("inputs; some expressions simplify better under the "
+              "disjunction basis, and the\n");
+  std::printf("final-step optimization recovers single-bitwise-operator "
+              "forms either way.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+//===- bench/fig6_simplified_distribution.cpp - Figure 6 reproduction -----===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces **Figure 6**: Z3's solving-time distribution with MBA-Solver
+/// preprocessing. Expected shape (paper): nearly every query completes, in
+/// hundredths of a second, with a thin tail from the hard non-poly
+/// residue.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace mba;
+using namespace mba::bench;
+
+int main(int Argc, char **Argv) {
+  HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+
+  Context Ctx(Opts.Width);
+  CorpusOptions CorpusOpts;
+  CorpusOpts.LinearCount = CorpusOpts.PolyCount = CorpusOpts.NonPolyCount =
+      Opts.PerCategory;
+  CorpusOpts.Seed = Opts.Seed;
+  auto Corpus = generateCorpus(Ctx, CorpusOpts);
+
+  MBASolver Simplifier(Ctx);
+  auto Checkers = makeAllCheckers();
+  auto Records =
+      runSolvingStudy(Ctx, Corpus, Checkers, Opts.TimeoutSeconds, &Simplifier);
+  printTimeDistribution(
+      Records, Opts.TimeoutSeconds,
+      "Figure 6: solving-time distribution with MBA-Solver simplification");
+
+  std::printf("Paper reference (Figure 6): with simplification, Z3 solves "
+              "96.5%% of the corpus,\n");
+  std::printf("almost all of it in under 0.1 s.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+//===- bench/micro_core.cpp - google-benchmark micro-benchmarks -----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Micro-benchmarks of the core primitives: parsing, signature computation,
+/// basis solving, full simplification per category, and obfuscation. These
+/// are throughput tests for the library itself (the paper-facing numbers
+/// live in the table*/fig* binaries).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+#include "gen/Corpus.h"
+#include "gen/Obfuscator.h"
+#include "mba/Basis.h"
+#include "mba/Signature.h"
+#include "mba/Simplifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mba;
+
+namespace {
+
+const char *SampleLinear = "2*(x|y) - (~x&y) - (x&~y) + 4*(x^y) - 3*(x&y)";
+const char *SamplePoly = "(x&~y)*(~x&y) + (x&y)*(x|y)";
+const char *SampleNonPoly = "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)";
+
+void BM_Parse(benchmark::State &State) {
+  for (auto _ : State) {
+    Context Ctx(64);
+    benchmark::DoNotOptimize(parseOrDie(Ctx, SampleLinear));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Print(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(printExpr(Ctx, E));
+}
+BENCHMARK(BM_Print);
+
+void BM_Signature(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeSignature(Ctx, E));
+}
+BENCHMARK(BM_Signature);
+
+void BM_BasisSolve(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y"), Ctx.getVar("z")};
+  std::vector<uint64_t> Sig = {0, 1, 1, 2, 3, 4, 5, 6};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        solveBasis(Ctx, BasisKind::Conjunction, Sig, Vars));
+}
+BENCHMARK(BM_BasisSolve);
+
+void BM_SimplifyLinear(benchmark::State &State) {
+  Context Ctx(64);
+  MBASolver Solver(Ctx);
+  const Expr *E = parseOrDie(Ctx, SampleLinear);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Solver.simplify(E));
+}
+BENCHMARK(BM_SimplifyLinear);
+
+void BM_SimplifyPoly(benchmark::State &State) {
+  Context Ctx(64);
+  MBASolver Solver(Ctx);
+  const Expr *E = parseOrDie(Ctx, SamplePoly);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Solver.simplify(E));
+}
+BENCHMARK(BM_SimplifyPoly);
+
+void BM_SimplifyNonPoly(benchmark::State &State) {
+  Context Ctx(64);
+  MBASolver Solver(Ctx);
+  const Expr *E = parseOrDie(Ctx, SampleNonPoly);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Solver.simplify(E));
+}
+BENCHMARK(BM_SimplifyNonPoly);
+
+void BM_SimplifyColdCache(benchmark::State &State) {
+  // Fresh solver per iteration: measures the no-lookup-table path.
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear);
+  for (auto _ : State) {
+    SimplifyOptions Opts;
+    Opts.EnableCache = false;
+    MBASolver Solver(Ctx, Opts);
+    benchmark::DoNotOptimize(Solver.simplify(E));
+  }
+}
+BENCHMARK(BM_SimplifyColdCache);
+
+void BM_ObfuscateLinear(benchmark::State &State) {
+  Context Ctx(64);
+  Obfuscator Obf(Ctx, 1);
+  const Expr *Target = parseOrDie(Ctx, "x + y");
+  ObfuscationOptions Opts;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Obf.obfuscateLinear(Target, Opts));
+}
+BENCHMARK(BM_ObfuscateLinear);
+
+void BM_CorpusGeneration(benchmark::State &State) {
+  for (auto _ : State) {
+    Context Ctx(64);
+    CorpusOptions Opts;
+    Opts.LinearCount = 10;
+    Opts.PolyCount = 10;
+    Opts.NonPolyCount = 10;
+    benchmark::DoNotOptimize(generateCorpus(Ctx, Opts));
+  }
+}
+BENCHMARK(BM_CorpusGeneration);
+
+} // namespace

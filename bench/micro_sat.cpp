@@ -1,0 +1,96 @@
+//===- bench/micro_sat.cpp - SAT/bit-blasting micro-benchmarks ------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "ast/Parser.h"
+#include "bitblast/BitBlaster.h"
+#include "bitblast/ExprBlaster.h"
+#include "sat/Solver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mba;
+using namespace mba::sat;
+
+namespace {
+
+void BM_BlastAdder(benchmark::State &State) {
+  unsigned Width = (unsigned)State.range(0);
+  for (auto _ : State) {
+    SatSolver S;
+    BitBlaster B(S, Width, true);
+    benchmark::DoNotOptimize(B.bvAdd(B.freshWord(), B.freshWord()));
+  }
+}
+BENCHMARK(BM_BlastAdder)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_BlastMultiplier(benchmark::State &State) {
+  unsigned Width = (unsigned)State.range(0);
+  for (auto _ : State) {
+    SatSolver S;
+    BitBlaster B(S, Width, true);
+    benchmark::DoNotOptimize(B.bvMul(B.freshWord(), B.freshWord()));
+  }
+}
+BENCHMARK(BM_BlastMultiplier)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AdderEquivalenceUnsat(benchmark::State &State) {
+  // x + y == y + x as a miter, per width.
+  unsigned Width = (unsigned)State.range(0);
+  Context Ctx(Width);
+  const Expr *L = parseOrDie(Ctx, "x + y");
+  const Expr *R = parseOrDie(Ctx, "y + x");
+  for (auto _ : State) {
+    SatSolver S;
+    BitBlaster B(S, Width, true);
+    ExprBlaster EB(B);
+    B.assertLit(B.disequal(EB.blast(L), EB.blast(R)));
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_AdderEquivalenceUnsat)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_LinearMBAEquivalenceUnsat(benchmark::State &State) {
+  unsigned Width = (unsigned)State.range(0);
+  Context Ctx(Width);
+  const Expr *L = parseOrDie(Ctx, "(x&~y) + y");
+  const Expr *R = parseOrDie(Ctx, "x|y");
+  for (auto _ : State) {
+    SatSolver S;
+    BitBlaster B(S, Width, true);
+    ExprBlaster EB(B);
+    B.assertLit(B.disequal(EB.blast(L), EB.blast(R)));
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_LinearMBAEquivalenceUnsat)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RandomSat(benchmark::State &State) {
+  // Under-constrained random 3-SAT throughput.
+  for (auto _ : State) {
+    State.PauseTiming();
+    SatSolver S;
+    uint64_t Seed = 42;
+    auto Next = [&] {
+      Seed = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      return Seed >> 33;
+    };
+    const unsigned NumVars = 200;
+    for (unsigned I = 0; I != NumVars; ++I)
+      S.newVar();
+    for (unsigned C = 0; C != 2 * NumVars; ++C) {
+      Lit Clause[3];
+      for (int K = 0; K != 3; ++K)
+        Clause[K] = Lit((Var)(Next() % NumVars), Next() & 1);
+      S.addClause(std::span<const Lit>(Clause, 3));
+    }
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_RandomSat);
+
+} // namespace

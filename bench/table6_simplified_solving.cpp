@@ -1,0 +1,49 @@
+//===- bench/table6_simplified_solving.cpp - Table 6 reproduction ---------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces **Table 6**: solver performance after MBA-Solver
+/// preprocessing. Expected shape (paper): every solver jumps from <17% to
+/// 96.5% solved, linear and poly categories complete in ~0.01-0.04 s each,
+/// and the differences between solvers vanish.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace mba;
+using namespace mba::bench;
+
+int main(int Argc, char **Argv) {
+  HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+
+  Context Ctx(Opts.Width);
+  CorpusOptions CorpusOpts;
+  CorpusOpts.LinearCount = CorpusOpts.PolyCount = CorpusOpts.NonPolyCount =
+      Opts.PerCategory;
+  CorpusOpts.Seed = Opts.Seed;
+  auto Corpus = generateCorpus(Ctx, CorpusOpts);
+
+  MBASolver Simplifier(Ctx);
+  auto Checkers = makeAllCheckers();
+  auto Records =
+      runSolvingStudy(Ctx, Corpus, Checkers, Opts.TimeoutSeconds, &Simplifier);
+  printSolverCategoryTable(
+      Records, Opts.PerCategory,
+      "Table 6: solving after MBA-Solver simplification (timeout " +
+          formatSeconds(Opts.TimeoutSeconds) + "s, width " +
+          std::to_string(Opts.Width) + ")");
+
+  std::printf("Simplification preprocessing cost (Table 8 reports details): "
+              "%.3f s total for %zu expressions\n",
+              Simplifier.stats().Seconds, Corpus.size() * 2);
+  std::printf("\nPaper reference (Table 6): all solvers 2894/3000 (96.5%%) "
+              "solved;\n");
+  std::printf("  linear/poly averages 0.01-0.02 s; non-poly 894/1000 with "
+              "~0.2 s averages.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- bench/table8_overhead.cpp - Table 8 reproduction -------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces **Table 8**: MBA-Solver's own cost (time and memory) as a
+/// function of input complexity, bucketed by MBA alternation at the
+/// paper's sample points 10 / 20 / 30 / 40. Memory is the expression-arena
+/// growth during simplification (the paper reports the prototype's process
+/// memory delta). Expected shape: sub-second times and single-digit-MB
+/// memory, growing mildly with alternation — the preprocessing overhead is
+/// negligible compared to solver time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "ast/Parser.h"
+#include "gen/Obfuscator.h"
+#include "mba/Metrics.h"
+#include "mba/Simplifier.h"
+#include "support/Stopwatch.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+using namespace mba;
+
+int main(int Argc, char **Argv) {
+  unsigned SamplesPerBucket = 20;
+  for (int I = 1; I < Argc; ++I)
+    if (std::sscanf(Argv[I], "--samples=%u", &SamplesPerBucket) == 1)
+      continue;
+
+  // The paper samples alternation 10..40; the two extra rows extend the
+  // sweep to show the asymptotic growth the C++ engine makes visible.
+  const unsigned Targets[] = {10, 20, 30, 40, 80, 160};
+  std::printf("=== Table 8: MBA-Solver overhead vs MBA alternation ===\n");
+  std::printf("%-14s %12s %12s %10s\n", "Alternation", "Time (s)",
+              "Memory (MB)", "samples");
+  std::printf("(memory = expression arena growth + transient working set)\n");
+
+  for (unsigned Target : Targets) {
+    double TimeSum = 0, MemSum = 0;
+    unsigned Collected = 0;
+    uint64_t Seed = 5000 + Target;
+    // Draw obfuscations until enough land near the alternation target.
+    while (Collected < SamplesPerBucket) {
+      Context Ctx(64);
+      Obfuscator Obf(Ctx, Seed++);
+      ObfuscationOptions OOpts;
+      OOpts.ZeroIdentities = std::max(1u, Target / 3);
+      OOpts.TermsPerIdentity = 6;
+      OOpts.BitwiseDepth = 2;
+      const Expr *E =
+          Obf.obfuscateLinear(parseOrDie(Ctx, "x + y - z"), OOpts);
+      uint64_t Alt = mbaAlternation(E);
+      // Accept within +-25% of the bucket target.
+      if (Alt * 4 < Target * 3 || Alt * 4 > Target * 5)
+        continue;
+      // Fresh context per sample so the memory delta is attributable.
+      MBASolver Solver(Ctx);
+      size_t Before = Ctx.bytesUsed();
+      Stopwatch Timer;
+      const Expr *R = Solver.simplify(E);
+      TimeSum += Timer.seconds();
+      MemSum += (double)(Ctx.bytesUsed() - Before +
+                         Solver.stats().TransientBytes) /
+                (1024.0 * 1024.0);
+      ++Collected;
+      (void)R;
+    }
+    std::printf("%-14u %12.4f %12.4f %10u\n", Target,
+                TimeSum / SamplesPerBucket, MemSum / SamplesPerBucket,
+                SamplesPerBucket);
+  }
+
+  std::printf("\nPaper reference (Table 8):\n");
+  std::printf("  alt 10: 0.05 s / 0.2 MB;  alt 20: 0.68 s / 1.5 MB;\n");
+  std::printf("  alt 30: 0.79 s / 3.6 MB;  alt 40: 0.93 s / 6.7 MB\n");
+  std::printf("(The C++ engine is orders of magnitude below the Python "
+              "prototype's cost;\n the shape — mild growth with alternation "
+              "— is what transfers.)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- examples/make_table.cpp - Pre-computed simplification tables -------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the paper's pre-computed mapping tables (Section 4.4): for
+/// every 0/1 signature vector over t variables, the normalized MBA it
+/// simplifies to, in the conjunction (Table 4/5) or disjunction (Table 9)
+/// basis, optionally with the minimal single-bitwise form alongside.
+///
+///   ./build/examples/make_table            # Table 5 (2 variables)
+///   ./build/examples/make_table --vars=3   # the 256-row 3-variable table
+///   ./build/examples/make_table --basis=disj
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "ast/Printer.h"
+#include "mba/Basis.h"
+#include "mba/BooleanMin.h"
+#include "poly/PolyExpr.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+using namespace mba;
+
+int main(int Argc, char **Argv) {
+  unsigned NumVars = 2;
+  BasisKind Basis = BasisKind::Conjunction;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::sscanf(Argv[I], "--vars=%u", &NumVars) == 1)
+      continue;
+    if (std::strcmp(Argv[I], "--basis=disj") == 0)
+      Basis = BasisKind::Disjunction;
+    else if (std::strcmp(Argv[I], "--basis=conj") == 0)
+      Basis = BasisKind::Conjunction;
+  }
+  if (NumVars < 1 || NumVars > 4) {
+    std::fprintf(stderr, "--vars must be 1..4\n");
+    return 2;
+  }
+
+  Context Ctx(64);
+  static const char *Names[] = {"x", "y", "z", "w"};
+  std::vector<const Expr *> Vars;
+  for (unsigned I = 0; I != NumVars; ++I)
+    Vars.push_back(Ctx.getVar(Names[I]));
+  unsigned Rows = 1u << NumVars;
+
+  std::printf("# Pre-computed simplification table, %u variable(s), %s "
+              "basis (paper Table 5 for 2 vars)\n",
+              NumVars,
+              Basis == BasisKind::Conjunction ? "conjunction" : "disjunction");
+  std::printf("# signature vector -> normalized MBA%s\n",
+              NumVars <= MaxBooleanMinVars ? " -> minimal bitwise form" : "");
+
+  for (uint32_t F = 0; F != (1u << Rows); ++F) {
+    std::vector<uint64_t> Sig(Rows);
+    for (unsigned K = 0; K != Rows; ++K)
+      Sig[K] = (F >> K) & 1;
+    LinearCombo Combo = solveBasis(Ctx, Basis, Sig, Vars);
+    const Expr *Normalized =
+        buildLinearCombination(Ctx, Combo.Terms, Combo.Constant);
+
+    std::printf("(");
+    for (unsigned K = 0; K != Rows; ++K)
+      std::printf("%s%llu", K ? "," : "", (unsigned long long)Sig[K]);
+    std::printf(")\t%s", printExpr(Ctx, Normalized).c_str());
+    if (NumVars <= MaxBooleanMinVars) {
+      const Expr *Minimal = synthesizeBitwise(Ctx, Vars, F);
+      std::printf("\t%s", printExpr(Ctx, Minimal).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

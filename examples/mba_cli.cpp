@@ -1,0 +1,134 @@
+//===- examples/mba_cli.cpp - Swiss-army MBA command line -----------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// General-purpose CLI over the library:
+///
+///   mba_cli simplify '<expr>'            simplify one expression
+///   mba_cli classify '<expr>'            category + metrics
+///   mba_cli check '<a>' '<b>'            equivalence via all backends
+///   mba_cli sig '<expr>'                 signature vector (linear MBA)
+///
+/// Options: --width=N (default 64), --timeout=SECONDS (check; default 5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "ast/ExprUtils.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+#include "mba/Classify.h"
+#include "mba/Metrics.h"
+#include "mba/Signature.h"
+#include "mba/Simplifier.h"
+#include "solvers/EquivalenceChecker.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace mba;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--width=N] [--timeout=S] "
+               "simplify|classify|check|sig <expr> [<expr2>]\n",
+               Prog);
+  return 2;
+}
+
+const Expr *parseArg(Context &Ctx, const char *Text) {
+  ParseResult R = parseExpr(Ctx, Text);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error at offset %zu: %s\n", R.ErrorPos,
+                 R.Error.c_str());
+    std::exit(1);
+  }
+  return R.E;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Width = 64;
+  double Timeout = 5.0;
+  std::vector<const char *> Positional;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::sscanf(Argv[I], "--width=%u", &Width) == 1)
+      continue;
+    if (std::sscanf(Argv[I], "--timeout=%lf", &Timeout) == 1)
+      continue;
+    Positional.push_back(Argv[I]);
+  }
+  if (Positional.size() < 2)
+    return usage(Argv[0]);
+  const std::string Command = Positional[0];
+  if (Width < 1 || Width > 64) {
+    std::fprintf(stderr, "width must be in [1, 64]\n");
+    return 2;
+  }
+
+  Context Ctx(Width);
+
+  if (Command == "simplify") {
+    const Expr *E = parseArg(Ctx, Positional[1]);
+    MBASolver Solver(Ctx);
+    const Expr *R = Solver.simplify(E);
+    std::printf("%s\n", printExpr(Ctx, R).c_str());
+    return 0;
+  }
+
+  if (Command == "classify") {
+    const Expr *E = parseArg(Ctx, Positional[1]);
+    ComplexityMetrics M = measureComplexity(Ctx, E);
+    std::printf("category:    %s\n", mbaKindName(M.Kind));
+    std::printf("variables:   %u\n", M.NumVariables);
+    std::printf("alternation: %llu\n", (unsigned long long)M.Alternation);
+    std::printf("length:      %zu\n", M.Length);
+    std::printf("terms:       %llu\n", (unsigned long long)M.NumTerms);
+    std::printf("max |coeff|: %llu\n", (unsigned long long)M.MaxCoefficient);
+    return 0;
+  }
+
+  if (Command == "check") {
+    if (Positional.size() < 3)
+      return usage(Argv[0]);
+    const Expr *A = parseArg(Ctx, Positional[1]);
+    const Expr *B = parseArg(Ctx, Positional[2]);
+    int Exit = 0;
+    for (auto &C : makeAllCheckers()) {
+      CheckResult R = C->check(Ctx, A, B, Timeout);
+      std::printf("%-12s %-15s %.3f s\n", C->name().c_str(),
+                  verdictName(R.Outcome), R.Seconds);
+      if (R.Outcome == Verdict::NotEquivalent)
+        Exit = 1;
+    }
+    return Exit;
+  }
+
+  if (Command == "sig") {
+    const Expr *E = parseArg(Ctx, Positional[1]);
+    if (classifyMBA(Ctx, E) != MBAKind::Linear) {
+      std::fprintf(stderr,
+                   "signature vectors are defined for linear MBA only\n");
+      return 1;
+    }
+    std::vector<const Expr *> Vars;
+    auto Sig = computeSignature(Ctx, E, &Vars);
+    std::printf("variables:");
+    for (const Expr *V : Vars)
+      std::printf(" %s", V->varName());
+    std::printf("\nsignature: (");
+    for (size_t I = 0; I != Sig.size(); ++I)
+      std::printf("%s%lld", I ? ", " : "", (long long)Ctx.toSigned(Sig[I]));
+    std::printf(")\n");
+    return 0;
+  }
+
+  return usage(Argv[0]);
+}

@@ -1,0 +1,108 @@
+//===- ast/CompiledEval.cpp - Bytecode-compiled evaluation ----------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/CompiledEval.h"
+
+#include "ast/ExprUtils.h"
+
+#include <unordered_map>
+
+using namespace mba;
+
+CompiledExpr::CompiledExpr(const Context &Ctx, const Expr *E)
+    : Mask(Ctx.mask()) {
+  std::unordered_map<const Expr *, uint32_t> RegOf;
+  forEachNodePostOrder(E, [&](const Expr *N) {
+    Inst I;
+    switch (N->kind()) {
+    case ExprKind::Var:
+      I.Opcode = Op::LoadVar;
+      I.A = N->varIndex();
+      break;
+    case ExprKind::Const:
+      I.Opcode = Op::LoadConst;
+      I.Imm = N->constValue();
+      break;
+    case ExprKind::Not:
+      I.Opcode = Op::Not;
+      I.A = RegOf.at(N->operand());
+      break;
+    case ExprKind::Neg:
+      I.Opcode = Op::Neg;
+      I.A = RegOf.at(N->operand());
+      break;
+    default:
+      switch (N->kind()) {
+      case ExprKind::Add:
+        I.Opcode = Op::Add;
+        break;
+      case ExprKind::Sub:
+        I.Opcode = Op::Sub;
+        break;
+      case ExprKind::Mul:
+        I.Opcode = Op::Mul;
+        break;
+      case ExprKind::And:
+        I.Opcode = Op::And;
+        break;
+      case ExprKind::Or:
+        I.Opcode = Op::Or;
+        break;
+      default:
+        I.Opcode = Op::Xor;
+        break;
+      }
+      I.A = RegOf.at(N->lhs());
+      I.B = RegOf.at(N->rhs());
+      break;
+    }
+    RegOf.emplace(N, (uint32_t)Program.size());
+    Program.push_back(I);
+  });
+  Registers.resize(Program.size());
+}
+
+uint64_t CompiledExpr::evaluate(std::span<const uint64_t> VarValues) const {
+  uint64_t *R = Registers.data();
+  for (size_t I = 0, N = Program.size(); I != N; ++I) {
+    const Inst &Ins = Program[I];
+    uint64_t V = 0;
+    switch (Ins.Opcode) {
+    case Op::LoadVar:
+      V = Ins.A < VarValues.size() ? VarValues[Ins.A] & Mask : 0;
+      break;
+    case Op::LoadConst:
+      V = Ins.Imm;
+      break;
+    case Op::Not:
+      V = ~R[Ins.A] & Mask;
+      break;
+    case Op::Neg:
+      V = (0 - R[Ins.A]) & Mask;
+      break;
+    case Op::Add:
+      V = (R[Ins.A] + R[Ins.B]) & Mask;
+      break;
+    case Op::Sub:
+      V = (R[Ins.A] - R[Ins.B]) & Mask;
+      break;
+    case Op::Mul:
+      V = (R[Ins.A] * R[Ins.B]) & Mask;
+      break;
+    case Op::And:
+      V = R[Ins.A] & R[Ins.B];
+      break;
+    case Op::Or:
+      V = R[Ins.A] | R[Ins.B];
+      break;
+    case Op::Xor:
+      V = R[Ins.A] ^ R[Ins.B];
+      break;
+    }
+    R[I] = V;
+  }
+  return Program.empty() ? 0 : R[Program.size() - 1];
+}

@@ -1,0 +1,76 @@
+//===- ast/CompiledEval.h - Bytecode-compiled evaluation --------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny register bytecode for batch evaluation of one expression on many
+/// inputs. The interpreter in Evaluator.h re-hashes the memo map per call;
+/// signature computation (2^t evaluations per expression), the Syntia-style
+/// I/O oracle, and randomized equivalence testing all evaluate the same DAG
+/// thousands of times, so compiling once and replaying a flat instruction
+/// stream is markedly faster.
+///
+/// Compilation is a post-order walk assigning one virtual register per
+/// distinct DAG node (shared subtrees are computed once, like the memoized
+/// interpreter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_AST_COMPILEDEVAL_H
+#define MBA_AST_COMPILEDEVAL_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mba {
+
+/// A compiled evaluator for one expression.
+class CompiledExpr {
+public:
+  /// Compiles \p E. The program remains valid as long as the context
+  /// lives.
+  CompiledExpr(const Context &Ctx, const Expr *E);
+
+  /// Evaluates with variable i (dense context index) bound to
+  /// VarValues[i]; missing indices read as 0. Equivalent to
+  /// mba::evaluate(Ctx, E, VarValues).
+  uint64_t evaluate(std::span<const uint64_t> VarValues) const;
+
+  /// Number of bytecode instructions (= distinct DAG nodes).
+  size_t size() const { return Program.size(); }
+
+private:
+  enum class Op : uint8_t {
+    LoadVar,
+    LoadConst,
+    Not,
+    Neg,
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor
+  };
+
+  struct Inst {
+    Op Opcode;
+    uint32_t A = 0; // source register / variable index
+    uint32_t B = 0; // second source register
+    uint64_t Imm = 0; // constant payload
+  };
+
+  uint64_t Mask;
+  std::vector<Inst> Program; // instruction i writes register i
+  mutable std::vector<uint64_t> Registers;
+};
+
+} // namespace mba
+
+#endif // MBA_AST_COMPILEDEVAL_H

@@ -1,0 +1,84 @@
+//===- ast/Context.cpp - Expression interning context ----------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+
+using namespace mba;
+
+Context::Context(unsigned Width) : Width(Width) {
+  assert(Width >= 1 && Width <= 64 && "width must be in [1, 64]");
+  Mask = Width == 64 ? ~0ULL : ((1ULL << Width) - 1);
+}
+
+const Expr *Context::getVar(std::string_view Name) {
+  assert(!Name.empty() && "variable name must be non-empty");
+  auto It = VarsByName.find(std::string(Name));
+  if (It != VarsByName.end())
+    return It->second;
+
+  const char *Interned = Alloc.copyString(Name.data(), Name.size());
+  unsigned Index = (unsigned)Vars.size();
+  const Expr *E = Alloc.create<Expr>(Expr(ExprKind::Var, Interned, Index, 0));
+  ++NumNodes;
+  Vars.push_back(E);
+  VarsByName.emplace(std::string(Name), E);
+  return E;
+}
+
+const Expr *Context::getConst(uint64_t Value) {
+  Value &= Mask;
+  NodeKey Key{ExprKind::Const, nullptr, nullptr, Value};
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second;
+  const Expr *E =
+      Alloc.create<Expr>(Expr(ExprKind::Const, nullptr, 0, Value));
+  ++NumNodes;
+  Interned.emplace(Key, E);
+  return E;
+}
+
+const Expr *Context::getUnary(ExprKind K, const Expr *A) {
+  assert(isUnaryKind(K) && "not a unary kind");
+  assert(A && "null operand");
+  NodeKey Key{K, A, nullptr, 0};
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second;
+  const Expr *E = Alloc.create<Expr>(Expr(K, A, nullptr));
+  ++NumNodes;
+  Interned.emplace(Key, E);
+  return E;
+}
+
+const Expr *Context::getBinary(ExprKind K, const Expr *A, const Expr *B) {
+  assert(isBinaryKind(K) && "not a binary kind");
+  assert(A && B && "null operand");
+  NodeKey Key{K, A, B, 0};
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second;
+  const Expr *E = Alloc.create<Expr>(Expr(K, A, B));
+  ++NumNodes;
+  Interned.emplace(Key, E);
+  return E;
+}
+
+const Expr *Context::rebuild(const Expr *E, const Expr *NewLHS,
+                             const Expr *NewRHS) {
+  if (E->isLeaf())
+    return E;
+  if (E->isUnary()) {
+    assert(NewLHS && "unary rebuild needs an operand");
+    if (NewLHS == E->operand())
+      return E;
+    return getUnary(E->kind(), NewLHS);
+  }
+  assert(NewLHS && NewRHS && "binary rebuild needs both operands");
+  if (NewLHS == E->lhs() && NewRHS == E->rhs())
+    return E;
+  return getBinary(E->kind(), NewLHS, NewRHS);
+}

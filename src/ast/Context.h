@@ -1,0 +1,161 @@
+//===- ast/Context.h - Expression interning context -------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Context owns all expression nodes of a given bit width and interns
+/// them so that structurally identical subtrees share one node. All MBA
+/// arithmetic in this library is performed modulo 2^w, matching the paper's
+/// setting of n-bit two's-complement integers (the ring Z/2^n).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_AST_CONTEXT_H
+#define MBA_AST_CONTEXT_H
+
+#include "ast/Expr.h"
+#include "support/Arena.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mba {
+
+/// Owns and interns Expr nodes for one bit width.
+///
+/// Typical use:
+/// \code
+///   Context Ctx(64);
+///   const Expr *X = Ctx.getVar("x"), *Y = Ctx.getVar("y");
+///   const Expr *E = Ctx.getAdd(X, Ctx.getAnd(X, Y));
+/// \endcode
+class Context {
+public:
+  /// Creates a context for \p Width-bit words. Width must be in [1, 64].
+  explicit Context(unsigned Width = 64);
+
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  /// The word width in bits.
+  unsigned width() const { return Width; }
+
+  /// Bit mask selecting the low `width()` bits of a uint64_t.
+  uint64_t mask() const { return Mask; }
+
+  /// Truncates \p V to the context width.
+  uint64_t truncate(uint64_t V) const { return V & Mask; }
+
+  /// Sign-extends the masked \p V to a signed 64-bit value. Used when
+  /// printing constants and measuring coefficient magnitude.
+  int64_t toSigned(uint64_t V) const {
+    V &= Mask;
+    uint64_t SignBit = 1ULL << (Width - 1);
+    if (V & SignBit)
+      return (int64_t)(V | ~Mask);
+    return (int64_t)V;
+  }
+
+  /// Returns (creating on first use) the variable named \p Name. Variables
+  /// are numbered densely in creation order; see Expr::varIndex().
+  const Expr *getVar(std::string_view Name);
+
+  /// Returns the variable with dense index \p Index, which must exist.
+  const Expr *getVarByIndex(unsigned Index) const {
+    assert(Index < Vars.size() && "variable index out of range");
+    return Vars[Index];
+  }
+
+  /// Number of distinct variables created in this context.
+  unsigned numVars() const { return (unsigned)Vars.size(); }
+
+  /// Returns true if a variable named \p Name already exists.
+  bool hasVar(std::string_view Name) const {
+    return VarsByName.find(std::string(Name)) != VarsByName.end();
+  }
+
+  /// Returns the interned constant \p Value (truncated to the width).
+  const Expr *getConst(uint64_t Value);
+
+  /// Constant -1 (all ones), the paper's encoding of the all-"1" truth-table
+  /// column on two's-complement integers.
+  const Expr *getAllOnes() { return getConst(Mask); }
+  const Expr *getZero() { return getConst(0); }
+  const Expr *getOne() { return getConst(1); }
+
+  const Expr *getNot(const Expr *A) { return getUnary(ExprKind::Not, A); }
+  const Expr *getNeg(const Expr *A) { return getUnary(ExprKind::Neg, A); }
+  const Expr *getAdd(const Expr *A, const Expr *B) {
+    return getBinary(ExprKind::Add, A, B);
+  }
+  const Expr *getSub(const Expr *A, const Expr *B) {
+    return getBinary(ExprKind::Sub, A, B);
+  }
+  const Expr *getMul(const Expr *A, const Expr *B) {
+    return getBinary(ExprKind::Mul, A, B);
+  }
+  const Expr *getAnd(const Expr *A, const Expr *B) {
+    return getBinary(ExprKind::And, A, B);
+  }
+  const Expr *getOr(const Expr *A, const Expr *B) {
+    return getBinary(ExprKind::Or, A, B);
+  }
+  const Expr *getXor(const Expr *A, const Expr *B) {
+    return getBinary(ExprKind::Xor, A, B);
+  }
+
+  /// Builds a unary node of kind \p K (Not or Neg).
+  const Expr *getUnary(ExprKind K, const Expr *A);
+
+  /// Builds a binary node of kind \p K.
+  const Expr *getBinary(ExprKind K, const Expr *A, const Expr *B);
+
+  /// Rebuilds \p E with new operands. Leaves are returned unchanged.
+  const Expr *rebuild(const Expr *E, const Expr *NewLHS, const Expr *NewRHS);
+
+  /// Total number of distinct nodes interned so far.
+  size_t numNodes() const { return NumNodes; }
+
+  /// Bytes of node/name storage handed out by the arena. This is the memory
+  /// metric reported in the Table 8 reproduction.
+  size_t bytesUsed() const { return Alloc.bytesUsed(); }
+
+private:
+  struct NodeKey {
+    ExprKind Kind;
+    const Expr *L;
+    const Expr *R;
+    uint64_t Aux; // const value, or var index
+
+    bool operator==(const NodeKey &O) const {
+      return Kind == O.Kind && L == O.L && R == O.R && Aux == O.Aux;
+    }
+  };
+
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey &K) const {
+      uint64_t H = (uint64_t)K.Kind * 0x9e3779b97f4a7c15ULL;
+      H ^= (uintptr_t)K.L + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      H ^= (uintptr_t)K.R + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      H ^= K.Aux + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      return (size_t)H;
+    }
+  };
+
+  unsigned Width;
+  uint64_t Mask;
+  Arena Alloc;
+  size_t NumNodes = 0;
+  std::unordered_map<NodeKey, const Expr *, NodeKeyHash> Interned;
+  std::unordered_map<std::string, const Expr *> VarsByName;
+  std::vector<const Expr *> Vars;
+};
+
+} // namespace mba
+
+#endif // MBA_AST_CONTEXT_H

@@ -1,0 +1,69 @@
+//===- ast/DotPrinter.cpp - Graphviz export of expression DAGs ------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/DotPrinter.h"
+
+#include "ast/ExprUtils.h"
+
+#include <unordered_map>
+
+using namespace mba;
+
+namespace {
+
+const char *opLabel(ExprKind K) {
+  switch (K) {
+  case ExprKind::Not:
+    return "~";
+  case ExprKind::Neg:
+    return "neg";
+  case ExprKind::Add:
+    return "+";
+  case ExprKind::Sub:
+    return "-";
+  case ExprKind::Mul:
+    return "*";
+  case ExprKind::And:
+    return "&";
+  case ExprKind::Or:
+    return "|";
+  case ExprKind::Xor:
+    return "^";
+  default:
+    return "?";
+  }
+}
+
+} // namespace
+
+std::string mba::toDot(const Context &Ctx, const Expr *E,
+                       const std::string &GraphName) {
+  std::string Out = "digraph " + GraphName + " {\n";
+  Out += "  rankdir=TB;\n";
+  std::unordered_map<const Expr *, unsigned> Ids;
+  forEachNodePostOrder(E, [&](const Expr *N) {
+    unsigned Id = (unsigned)Ids.size();
+    Ids.emplace(N, Id);
+    std::string Node = "  n" + std::to_string(Id);
+    switch (N->kind()) {
+    case ExprKind::Var:
+      Out += Node + " [shape=box,label=\"" + N->varName() + "\"];\n";
+      break;
+    case ExprKind::Const:
+      Out += Node + " [shape=diamond,label=\"" +
+             std::to_string(Ctx.toSigned(N->constValue())) + "\"];\n";
+      break;
+    default:
+      Out += Node + " [label=\"" + opLabel(N->kind()) + "\"];\n";
+      break;
+    }
+    for (unsigned I = 0; I != N->numOperands(); ++I)
+      Out += Node + " -> n" + std::to_string(Ids.at(N->getOperand(I))) +
+             ";\n";
+  });
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- ast/DotPrinter.h - Graphviz export of expression DAGs ----*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (DOT) rendering of expression DAGs, for debugging and for the
+/// documentation's architecture figures. Shared subtrees render as shared
+/// nodes, making the DAG structure (and the effect of hash-consing)
+/// visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_AST_DOTPRINTER_H
+#define MBA_AST_DOTPRINTER_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <string>
+
+namespace mba {
+
+/// Renders \p E as a DOT digraph named \p GraphName. Operator nodes are
+/// ellipses labeled with the operator, variables are boxes, constants are
+/// diamonds (printed signed).
+std::string toDot(const Context &Ctx, const Expr *E,
+                  const std::string &GraphName = "expr");
+
+} // namespace mba
+
+#endif // MBA_AST_DOTPRINTER_H

@@ -1,0 +1,80 @@
+//===- ast/Evaluator.cpp - Concrete evaluation ------------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Evaluator.h"
+
+#include <functional>
+
+using namespace mba;
+
+namespace {
+
+/// Shared evaluation core; \p Lookup maps a Var node to its value.
+uint64_t evalImpl(const Context &Ctx, const Expr *E,
+                  const std::function<uint64_t(const Expr *)> &Lookup) {
+  std::unordered_map<const Expr *, uint64_t> Memo;
+  uint64_t Mask = Ctx.mask();
+  std::function<uint64_t(const Expr *)> Go = [&](const Expr *N) -> uint64_t {
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    uint64_t R = 0;
+    switch (N->kind()) {
+    case ExprKind::Var:
+      R = Lookup(N) & Mask;
+      break;
+    case ExprKind::Const:
+      R = N->constValue();
+      break;
+    case ExprKind::Not:
+      R = ~Go(N->operand()) & Mask;
+      break;
+    case ExprKind::Neg:
+      R = (0 - Go(N->operand())) & Mask;
+      break;
+    case ExprKind::Add:
+      R = (Go(N->lhs()) + Go(N->rhs())) & Mask;
+      break;
+    case ExprKind::Sub:
+      R = (Go(N->lhs()) - Go(N->rhs())) & Mask;
+      break;
+    case ExprKind::Mul:
+      R = (Go(N->lhs()) * Go(N->rhs())) & Mask;
+      break;
+    case ExprKind::And:
+      R = Go(N->lhs()) & Go(N->rhs());
+      break;
+    case ExprKind::Or:
+      R = Go(N->lhs()) | Go(N->rhs());
+      break;
+    case ExprKind::Xor:
+      R = Go(N->lhs()) ^ Go(N->rhs());
+      break;
+    }
+    Memo.emplace(N, R);
+    return R;
+  };
+  return Go(E);
+}
+
+} // namespace
+
+uint64_t mba::evaluate(const Context &Ctx, const Expr *E,
+                       std::span<const uint64_t> VarValues) {
+  return evalImpl(Ctx, E, [&](const Expr *V) -> uint64_t {
+    unsigned I = V->varIndex();
+    return I < VarValues.size() ? VarValues[I] : 0;
+  });
+}
+
+uint64_t mba::evaluate(
+    const Context &Ctx, const Expr *E,
+    const std::unordered_map<const Expr *, uint64_t> &VarValues) {
+  return evalImpl(Ctx, E, [&](const Expr *V) -> uint64_t {
+    auto It = VarValues.find(V);
+    return It == VarValues.end() ? 0 : It->second;
+  });
+}

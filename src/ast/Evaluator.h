@@ -1,0 +1,43 @@
+//===- ast/Evaluator.h - Concrete evaluation of MBA expressions -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete evaluation of an expression under a variable assignment, modulo
+/// 2^w. This is the semantic ground truth for the whole library: signature
+/// vectors, the Syntia-style I/O oracle, randomized equivalence testing, and
+/// the property tests all reduce to this function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_AST_EVALUATOR_H
+#define MBA_AST_EVALUATOR_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+namespace mba {
+
+/// Evaluates \p E with variable \c i (dense context index) bound to
+/// \p VarValues[i]. Values are truncated to the context width. Indices not
+/// covered by \p VarValues evaluate as 0.
+///
+/// Shared subtrees are evaluated once (memoized on node identity), so
+/// evaluation is linear in the DAG size.
+uint64_t evaluate(const Context &Ctx, const Expr *E,
+                  std::span<const uint64_t> VarValues);
+
+/// As above but with an explicit map from variable node to value; variables
+/// absent from the map evaluate as 0.
+uint64_t evaluate(const Context &Ctx, const Expr *E,
+                  const std::unordered_map<const Expr *, uint64_t> &VarValues);
+
+} // namespace mba
+
+#endif // MBA_AST_EVALUATOR_H

@@ -1,0 +1,62 @@
+//===- ast/ExprUtils.h - Traversal and rewriting helpers --------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DAG-aware traversal, variable collection, substitution and structural
+/// statistics over MBA expressions. All walks memoize on node pointers so
+/// shared subtrees are visited once (expressions are hash-consed DAGs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_AST_EXPRUTILS_H
+#define MBA_AST_EXPRUTILS_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mba {
+
+/// Returns the distinct variables of \p E sorted by name (the canonical
+/// variable order used for truth tables and signature vectors).
+std::vector<const Expr *> collectVariables(const Expr *E);
+
+/// Returns true if \p Sub occurs as a subexpression of \p E (pointer
+/// identity; nodes are interned, so this is structural containment).
+bool containsSubExpr(const Expr *E, const Expr *Sub);
+
+/// Number of distinct DAG nodes reachable from \p E.
+size_t countDagNodes(const Expr *E);
+
+/// Number of tree nodes of \p E (shared subtrees counted once per use).
+/// Capped at SIZE_MAX/2 to avoid overflow on adversarially shared DAGs.
+size_t countTreeNodes(const Expr *E);
+
+/// Replaces every occurrence of the keys of \p Map in \p E by the mapped
+/// values, rebuilding the spine bottom-up. Replacement is non-recursive: the
+/// substituted values are not themselves rewritten again.
+const Expr *substitute(Context &Ctx, const Expr *E,
+                       const std::unordered_map<const Expr *, const Expr *> &Map);
+
+/// Applies \p Fn to every distinct node of \p E in post-order (operands
+/// before operators).
+void forEachNodePostOrder(const Expr *E,
+                          const std::function<void(const Expr *)> &Fn);
+
+/// Rewrites \p E bottom-up: children are rewritten first, the node is rebuilt
+/// with the new children, and then \p Fn may replace the rebuilt node. \p Fn
+/// returns the (possibly unchanged) replacement.
+const Expr *
+rewriteBottomUp(Context &Ctx, const Expr *E,
+                const std::function<const Expr *(const Expr *)> &Fn);
+
+} // namespace mba
+
+#endif // MBA_AST_EXPRUTILS_H

@@ -1,0 +1,125 @@
+//===- ast/Printer.cpp - Expression pretty printer --------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+
+#include <functional>
+
+using namespace mba;
+
+namespace {
+
+// Precedence levels, higher binds tighter (Python/C ordering for this
+// operator subset).
+enum Precedence {
+  PrecOr = 1,
+  PrecXor = 2,
+  PrecAnd = 3,
+  PrecSum = 4,
+  PrecMul = 5,
+  PrecUnary = 6,
+  PrecAtom = 7
+};
+
+int precedenceOf(ExprKind K) {
+  switch (K) {
+  case ExprKind::Or:
+    return PrecOr;
+  case ExprKind::Xor:
+    return PrecXor;
+  case ExprKind::And:
+    return PrecAnd;
+  case ExprKind::Add:
+  case ExprKind::Sub:
+    return PrecSum;
+  case ExprKind::Mul:
+    return PrecMul;
+  case ExprKind::Not:
+  case ExprKind::Neg:
+    return PrecUnary;
+  case ExprKind::Var:
+  case ExprKind::Const:
+    return PrecAtom;
+  }
+  return PrecAtom;
+}
+
+const char *binaryOpText(ExprKind K) {
+  switch (K) {
+  case ExprKind::Add:
+    return "+";
+  case ExprKind::Sub:
+    return "-";
+  case ExprKind::Mul:
+    return "*";
+  case ExprKind::And:
+    return "&";
+  case ExprKind::Or:
+    return "|";
+  case ExprKind::Xor:
+    return "^";
+  default:
+    assert(false && "not a binary operator");
+    return "?";
+  }
+}
+
+} // namespace
+
+std::string mba::printExpr(const Context &Ctx, const Expr *E) {
+  std::string Out;
+  // Child is printed parenthesized when its precedence is lower than the
+  // parent's, or equal on the right of the non-commutative '-' (and of '-'
+  // only: all bitwise operators and +,* are associative so equal precedence
+  // on either side needs no parens except the Sub/Add mix on the right).
+  std::function<void(const Expr *, int, bool)> Print =
+      [&](const Expr *N, int ParentPrec, bool RightOfNonAssoc) {
+        int Prec = precedenceOf(N->kind());
+        bool NeedParens =
+            Prec < ParentPrec || (Prec == ParentPrec && RightOfNonAssoc);
+        if (NeedParens)
+          Out += '(';
+        switch (N->kind()) {
+        case ExprKind::Var:
+          Out += N->varName();
+          break;
+        case ExprKind::Const: {
+          int64_t S = Ctx.toSigned(N->constValue());
+          Out += std::to_string(S);
+          break;
+        }
+        case ExprKind::Not:
+          Out += '~';
+          Print(N->operand(), PrecUnary, false);
+          break;
+        case ExprKind::Neg:
+          Out += '-';
+          Print(N->operand(), PrecUnary, false);
+          break;
+        default: {
+          const char *Op = binaryOpText(N->kind());
+          Print(N->lhs(), Prec, false);
+          Out += Op;
+          // '+' and '-' share a precedence level and '-' is left-
+          // associative; the right child of '-' must parenthesize equal-
+          // precedence children. '-' or '+' under the *right* of '-'
+          // both change meaning without parens.
+          bool RightNonAssoc = N->kind() == ExprKind::Sub;
+          Print(N->rhs(), Prec, RightNonAssoc);
+          break;
+        }
+        }
+        if (NeedParens)
+          Out += ')';
+      };
+  // A negative constant printed as right operand of '-' or '*'/'~' etc. is
+  // handled by NeedParens only for precedence; "a - -1" would print as
+  // "a--1" which re-parses as a - (-1) correctly (two '-' tokens), but is
+  // ugly; precedence of Const is PrecAtom so no parens are added. The
+  // parser handles consecutive '-' signs, so round-tripping is safe.
+  Print(E, 0, false);
+  return Out;
+}

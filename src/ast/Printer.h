@@ -1,0 +1,33 @@
+//===- ast/Printer.h - Expression pretty printer ----------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints expressions back to the surface syntax accepted by the parser,
+/// with minimal parentheses under Python/C operator precedence. Constants
+/// are printed as signed w-bit values, so the all-ones word prints as "-1",
+/// matching the paper's presentation of truth-table columns.
+///
+/// The printed length of an expression is the paper's "MBA Length" metric
+/// (Table 1), so printing must be deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_AST_PRINTER_H
+#define MBA_AST_PRINTER_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <string>
+
+namespace mba {
+
+/// Renders \p E as a string parseable by parseExpr.
+std::string printExpr(const Context &Ctx, const Expr *E);
+
+} // namespace mba
+
+#endif // MBA_AST_PRINTER_H

@@ -1,0 +1,212 @@
+//===- bitblast/BitBlaster.cpp - Word-level circuits to CNF ---------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bitblast/BitBlaster.h"
+
+using namespace mba;
+using namespace mba::sat;
+
+BitBlaster::BitBlaster(SatSolver &Solver, unsigned Width,
+                       bool EnableRewriting)
+    : Solver(Solver), Width(Width), Rewriting(EnableRewriting) {
+  assert(Width >= 1 && Width <= 64 && "width must be in [1, 64]");
+  True = Lit(Solver.newVar(), false);
+  Solver.addClause({True});
+}
+
+BitBlaster::Word BitBlaster::freshWord() {
+  Word W(Width);
+  for (auto &L : W)
+    L = Lit(Solver.newVar(), false);
+  return W;
+}
+
+BitBlaster::Word BitBlaster::constWord(uint64_t Value) {
+  Word W(Width);
+  for (unsigned I = 0; I != Width; ++I)
+    W[I] = (Value >> I & 1) ? True : ~True;
+  return W;
+}
+
+int BitBlaster::knownValue(Lit L) const {
+  if (L == True)
+    return 1;
+  if (L == ~True)
+    return 0;
+  return -1;
+}
+
+Lit BitBlaster::mkAnd(Lit A, Lit B) {
+  if (Rewriting) {
+    int KA = knownValue(A), KB = knownValue(B);
+    if (KA == 0 || KB == 0)
+      return falseLit();
+    if (KA == 1)
+      return B;
+    if (KB == 1)
+      return A;
+    if (A == B)
+      return A;
+    if (A == ~B)
+      return falseLit();
+    if (A.code() > B.code())
+      std::swap(A, B); // commutative normalization for the cache
+    auto Key = std::make_tuple(GateKind::And, A.code(), B.code());
+    auto It = GateCache.find(Key);
+    if (It != GateCache.end())
+      return It->second;
+    Lit C(Solver.newVar(), false);
+    Solver.addClause({~C, A});
+    Solver.addClause({~C, B});
+    Solver.addClause({C, ~A, ~B});
+    ++NumGates;
+    GateCache.emplace(Key, C);
+    return C;
+  }
+  Lit C(Solver.newVar(), false);
+  Solver.addClause({~C, A});
+  Solver.addClause({~C, B});
+  Solver.addClause({C, ~A, ~B});
+  ++NumGates;
+  return C;
+}
+
+Lit BitBlaster::mkOr(Lit A, Lit B) { return ~mkAnd(~A, ~B); }
+
+Lit BitBlaster::mkXor(Lit A, Lit B) {
+  if (Rewriting) {
+    int KA = knownValue(A), KB = knownValue(B);
+    if (KA == 0)
+      return B;
+    if (KB == 0)
+      return A;
+    if (KA == 1)
+      return ~B;
+    if (KB == 1)
+      return ~A;
+    if (A == B)
+      return falseLit();
+    if (A == ~B)
+      return trueLit();
+    // Push negations out: xor(~a, b) = ~xor(a, b). Canonicalize to
+    // positive inputs and track output parity.
+    bool Flip = false;
+    if (A.negated()) {
+      A = ~A;
+      Flip = !Flip;
+    }
+    if (B.negated()) {
+      B = ~B;
+      Flip = !Flip;
+    }
+    if (A.code() > B.code())
+      std::swap(A, B);
+    auto Key = std::make_tuple(GateKind::Xor, A.code(), B.code());
+    auto It = GateCache.find(Key);
+    if (It != GateCache.end())
+      return Flip ? ~It->second : It->second;
+    Lit C(Solver.newVar(), false);
+    Solver.addClause({~C, A, B});
+    Solver.addClause({~C, ~A, ~B});
+    Solver.addClause({C, ~A, B});
+    Solver.addClause({C, A, ~B});
+    ++NumGates;
+    GateCache.emplace(Key, C);
+    return Flip ? ~C : C;
+  }
+  Lit C(Solver.newVar(), false);
+  Solver.addClause({~C, A, B});
+  Solver.addClause({~C, ~A, ~B});
+  Solver.addClause({C, ~A, B});
+  Solver.addClause({C, A, ~B});
+  ++NumGates;
+  return C;
+}
+
+BitBlaster::Word BitBlaster::bvNot(const Word &A) {
+  Word R(Width);
+  for (unsigned I = 0; I != Width; ++I)
+    R[I] = ~A[I];
+  return R;
+}
+
+BitBlaster::Word BitBlaster::bvAnd(const Word &A, const Word &B) {
+  Word R(Width);
+  for (unsigned I = 0; I != Width; ++I)
+    R[I] = mkAnd(A[I], B[I]);
+  return R;
+}
+
+BitBlaster::Word BitBlaster::bvOr(const Word &A, const Word &B) {
+  Word R(Width);
+  for (unsigned I = 0; I != Width; ++I)
+    R[I] = mkOr(A[I], B[I]);
+  return R;
+}
+
+BitBlaster::Word BitBlaster::bvXor(const Word &A, const Word &B) {
+  Word R(Width);
+  for (unsigned I = 0; I != Width; ++I)
+    R[I] = mkXor(A[I], B[I]);
+  return R;
+}
+
+std::pair<Lit, Lit> BitBlaster::fullAdder(Lit A, Lit B, Lit Cin) {
+  Lit AxB = mkXor(A, B);
+  Lit Sum = mkXor(AxB, Cin);
+  // Carry-out = (A & B) | (Cin & (A ^ B)).
+  Lit Carry = mkOr(mkAnd(A, B), mkAnd(Cin, AxB));
+  return {Sum, Carry};
+}
+
+BitBlaster::Word BitBlaster::bvAdd(const Word &A, const Word &B) {
+  Word R(Width);
+  Lit Carry = falseLit();
+  for (unsigned I = 0; I != Width; ++I) {
+    auto [Sum, Cout] = fullAdder(A[I], B[I], Carry);
+    R[I] = Sum;
+    Carry = Cout; // the final carry out falls off the word (mod 2^w)
+  }
+  return R;
+}
+
+BitBlaster::Word BitBlaster::bvSub(const Word &A, const Word &B) {
+  // A - B = A + ~B + 1 (ripple with carry-in 1).
+  Word R(Width);
+  Lit Carry = trueLit();
+  for (unsigned I = 0; I != Width; ++I) {
+    auto [Sum, Cout] = fullAdder(A[I], ~B[I], Carry);
+    R[I] = Sum;
+    Carry = Cout;
+  }
+  return R;
+}
+
+BitBlaster::Word BitBlaster::bvNeg(const Word &A) {
+  return bvSub(constWord(0), A);
+}
+
+BitBlaster::Word BitBlaster::bvMul(const Word &A, const Word &B) {
+  // Shift-and-add: sum over i of (A << i) masked by B[i]. Only the low
+  // Width bits of each partial product matter.
+  Word Acc = constWord(0);
+  for (unsigned I = 0; I != Width; ++I) {
+    Word Partial(Width);
+    for (unsigned J = 0; J != Width; ++J)
+      Partial[J] = J < I ? falseLit() : mkAnd(A[J - I], B[I]);
+    Acc = bvAdd(Acc, Partial);
+  }
+  return Acc;
+}
+
+Lit BitBlaster::disequal(const Word &A, const Word &B) {
+  Lit Any = falseLit();
+  for (unsigned I = 0; I != Width; ++I)
+    Any = mkOr(Any, mkXor(A[I], B[I]));
+  return Any;
+}
+
+void BitBlaster::assertLit(Lit L) { Solver.addClause({L}); }

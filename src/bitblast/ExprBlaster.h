@@ -1,0 +1,45 @@
+//===- bitblast/ExprBlaster.h - MBA expressions to circuits ----*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates MBA expressions into bit-vector circuits: each variable gets
+/// one fresh input word (shared across expressions blasted through the same
+/// ExprBlaster, so an equivalence query sees identical inputs on both
+/// sides), and operators map to the corresponding BitBlaster primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_BITBLAST_EXPRBLASTER_H
+#define MBA_BITBLAST_EXPRBLASTER_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+#include "bitblast/BitBlaster.h"
+
+#include <unordered_map>
+
+namespace mba {
+
+/// Expression-to-circuit translator with DAG sharing.
+class ExprBlaster {
+public:
+  ExprBlaster(BitBlaster &Blaster) : Blaster(Blaster) {}
+
+  /// Returns the word computing \p E. Shared sub-DAGs are blasted once.
+  BitBlaster::Word blast(const Expr *E);
+
+  /// The input word assigned to variable \p V (created on first use).
+  const BitBlaster::Word &inputWord(const Expr *V);
+
+private:
+  BitBlaster &Blaster;
+  std::unordered_map<const Expr *, BitBlaster::Word> Memo;
+  std::unordered_map<const Expr *, BitBlaster::Word> Inputs;
+};
+
+} // namespace mba
+
+#endif // MBA_BITBLAST_EXPRBLASTER_H

@@ -1,0 +1,218 @@
+//===- gen/Corpus.cpp - The 3000-expression MBA corpus --------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Corpus.h"
+
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Printer.h"
+#include "gen/Obfuscator.h"
+#include "gen/SeedIdentities.h"
+#include "poly/PolyExpr.h"
+#include "support/RNG.h"
+
+#include <algorithm>
+
+using namespace mba;
+
+namespace {
+
+/// Draws the working variable list for an entry: the first T of x, y, z, w.
+std::vector<const Expr *> pickVars(Context &Ctx, unsigned T) {
+  static const char *Names[] = {"x", "y", "z", "w"};
+  assert(T >= 1 && T <= 4 && "corpus entries use 1-4 variables");
+  std::vector<const Expr *> Vars;
+  for (unsigned I = 0; I != T; ++I)
+    Vars.push_back(Ctx.getVar(Names[I]));
+  return Vars;
+}
+
+/// A random simple linear ground truth: a few small-coefficient terms over
+/// variables and depth-1 bitwise expressions, plus a small constant.
+const Expr *randomLinearGround(Context &Ctx, Obfuscator &Obf,
+                               std::span<const Expr *const> Vars) {
+  RNG &Rng = Obf.rng();
+  std::vector<LinearTerm> Terms;
+  // Every drawn variable participates so the entry's variable count
+  // matches the category's draw (Table 1 averages ~2.5 variables).
+  for (const Expr *V : Vars) {
+    uint64_t Coeff = (uint64_t)Rng.range(-3, 3) & Ctx.mask();
+    if (!Coeff)
+      Coeff = 1;
+    Terms.push_back({Coeff, V});
+  }
+  unsigned Extra = (unsigned)Rng.below(2);
+  for (unsigned I = 0; I != Extra; ++I)
+    Terms.push_back({1 + Rng.below(3), Obf.randomBitwise(Vars, 1)});
+  uint64_t Constant = (uint64_t)Rng.range(-5, 5) & Ctx.mask();
+  return buildLinearCombination(Ctx, Terms, Constant);
+}
+
+CorpusEntry makeLinearEntry(Context &Ctx, Obfuscator &Obf, unsigned T) {
+  std::vector<const Expr *> Vars = pickVars(Ctx, T);
+  const Expr *Ground = randomLinearGround(Ctx, Obf, Vars);
+  RNG &Rng = Obf.rng();
+  ObfuscationOptions Opts;
+  Opts.ZeroIdentities = 2 + (unsigned)Rng.below(2);
+  Opts.TermsPerIdentity = 5 + (unsigned)Rng.below(3);
+  Opts.BitwiseDepth = 2 + (unsigned)Rng.below(2);
+  Opts.MaxCoefficient = 60;
+  CorpusEntry E;
+  E.Obfuscated = Obf.obfuscateLinear(Ground, Opts);
+  E.Ground = Ground;
+  E.Category = MBAKind::Linear;
+  E.NumVars = (unsigned)collectVariables(E.Obfuscated).size();
+  return E;
+}
+
+CorpusEntry makePolyEntry(Context &Ctx, Obfuscator &Obf, unsigned T) {
+  std::vector<const Expr *> Vars = pickVars(Ctx, T);
+  RNG &Rng = Obf.rng();
+  // Ground: 1-3 product terms of 2 factors each (degree 2 keeps expansion
+  // during simplification tractable, like the paper's samples), plus a
+  // linear tail so term counts land in Table 1's poly range.
+  unsigned NumProducts = 1 + (unsigned)Rng.below(3);
+  std::vector<Obfuscator::ProductTerm> Products;
+  std::vector<LinearTerm> GroundTerms;
+  for (unsigned P = 0; P != NumProducts; ++P) {
+    Obfuscator::ProductTerm Term;
+    Term.Coeff = 1 + Rng.below(6);
+    const Expr *GroundProd = nullptr;
+    // Ground factors are plain variables (the paper's poly ground truths
+    // are e.g. x*y); the bitwise mess comes from obfuscating each factor.
+    for (unsigned F = 0; F != 2; ++F) {
+      const Expr *Factor = Vars[Rng.below(Vars.size())];
+      Term.Factors.push_back(Factor);
+      GroundProd = GroundProd ? Ctx.getMul(GroundProd, Factor) : Factor;
+    }
+    Products.push_back(Term);
+    GroundTerms.push_back({Term.Coeff, GroundProd});
+  }
+  ObfuscationOptions Opts;
+  Opts.ZeroIdentities = 4; // halved per factor inside obfuscatePoly
+  Opts.TermsPerIdentity = 4;
+  Opts.BitwiseDepth = 2;
+  Opts.MaxCoefficient = 60;
+  CorpusEntry E;
+  const Expr *ProductPart = Obf.obfuscatePoly(Products, Opts);
+  // Linear tail: an obfuscated linear MBA added to the products.
+  const Expr *LinearGround = randomLinearGround(Ctx, Obf, Vars);
+  ObfuscationOptions TailOpts;
+  TailOpts.ZeroIdentities = 1;
+  TailOpts.TermsPerIdentity = 4;
+  E.Obfuscated =
+      Ctx.getAdd(ProductPart, Obf.obfuscateLinear(LinearGround, TailOpts));
+  E.Ground =
+      Ctx.getAdd(buildLinearCombination(Ctx, GroundTerms, 0), LinearGround);
+  E.Category = MBAKind::Polynomial;
+  E.NumVars = (unsigned)collectVariables(E.Obfuscated).size();
+  return E;
+}
+
+CorpusEntry makeNonPolyEntry(Context &Ctx, Obfuscator &Obf, unsigned T) {
+  std::vector<const Expr *> Vars = pickVars(Ctx, T);
+  const Expr *Ground = randomLinearGround(Ctx, Obf, Vars);
+  RNG &Rng = Obf.rng();
+  ObfuscationOptions Opts;
+  Opts.ZeroIdentities = 1 + (unsigned)Rng.below(2);
+  Opts.TermsPerIdentity = 5;
+  Opts.BitwiseDepth = 1 + (unsigned)Rng.below(2);
+  Opts.MaxCoefficient = 60;
+  const Expr *Seed = Obf.obfuscateLinear(Ground, Opts);
+  CorpusEntry E;
+  E.Obfuscated = Obf.obfuscateNonPoly(Seed, Vars, 2 + (unsigned)Rng.below(3));
+  E.Ground = Ground;
+  E.Category = MBAKind::NonPolynomial;
+  E.NumVars = (unsigned)collectVariables(E.Obfuscated).size();
+  return E;
+}
+
+} // namespace
+
+std::vector<CorpusEntry> mba::generateCorpus(Context &Ctx,
+                                             const CorpusOptions &Options) {
+  assert(Options.MinVars >= 1 && Options.MaxVars <= 4 &&
+         Options.MinVars <= Options.MaxVars && "variable range must be 1-4");
+  Obfuscator Obf(Ctx, Options.Seed);
+  RNG &Rng = Obf.rng();
+
+  std::vector<CorpusEntry> Corpus;
+  Corpus.reserve(Options.LinearCount + Options.PolyCount +
+                 Options.NonPolyCount);
+
+  unsigned SeedLinear = 0, SeedPoly = 0, SeedNonPoly = 0;
+  if (Options.IncludeSeedIdentities) {
+    for (const SeedIdentity &S : seedIdentities()) {
+      ParsedIdentity P = parseSeedIdentity(Ctx, S);
+      CorpusEntry E;
+      E.Obfuscated = P.Obfuscated;
+      E.Ground = P.Ground;
+      E.Category = S.Category;
+      E.NumVars = (unsigned)collectVariables(E.Obfuscated).size();
+      unsigned &Count = S.Category == MBAKind::Linear ? SeedLinear
+                        : S.Category == MBAKind::Polynomial ? SeedPoly
+                                                            : SeedNonPoly;
+      auto Limit = S.Category == MBAKind::Linear    ? Options.LinearCount
+                   : S.Category == MBAKind::Polynomial ? Options.PolyCount
+                                                       : Options.NonPolyCount;
+      if (Count < Limit) {
+        Corpus.push_back(E);
+        ++Count;
+      }
+    }
+  }
+
+  auto DrawVarCount = [&]() {
+    return Options.MinVars +
+           (unsigned)Rng.below(Options.MaxVars - Options.MinVars + 1);
+  };
+
+  for (unsigned I = SeedLinear; I < Options.LinearCount; ++I)
+    Corpus.push_back(makeLinearEntry(Ctx, Obf, DrawVarCount()));
+  for (unsigned I = SeedPoly; I < Options.PolyCount; ++I)
+    // Polynomial products over a single variable degenerate (x*x is already
+    // poly, but diversity wants >= 2 vars most of the time).
+    Corpus.push_back(makePolyEntry(Ctx, Obf, std::max(2u, DrawVarCount())));
+  for (unsigned I = SeedNonPoly; I < Options.NonPolyCount; ++I)
+    Corpus.push_back(makeNonPolyEntry(Ctx, Obf, DrawVarCount()));
+  return Corpus;
+}
+
+bool mba::verifyEntrySampled(const Context &Ctx, const CorpusEntry &Entry,
+                             unsigned Samples, uint64_t Seed) {
+  RNG Rng(Seed);
+  std::vector<const Expr *> Vars = collectVariables(Entry.Obfuscated);
+  for (const Expr *V : collectVariables(Entry.Ground)) {
+    if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+      Vars.push_back(V);
+  }
+  unsigned MaxIndex = 0;
+  for (const Expr *V : Vars)
+    MaxIndex = std::max(MaxIndex, V->varIndex());
+  std::vector<uint64_t> Vals(MaxIndex + 1, 0);
+  for (unsigned I = 0; I != Samples; ++I) {
+    for (const Expr *V : Vars)
+      Vals[V->varIndex()] = Rng.next();
+    if (evaluate(Ctx, Entry.Obfuscated, Vals) !=
+        evaluate(Ctx, Entry.Ground, Vals))
+      return false;
+  }
+  return true;
+}
+
+std::string mba::corpusToText(const Context &Ctx,
+                              const std::vector<CorpusEntry> &Entries) {
+  std::string Out;
+  for (const CorpusEntry &E : Entries) {
+    Out += mbaKindName(E.Category);
+    Out += '\t';
+    Out += printExpr(Ctx, E.Ground);
+    Out += '\t';
+    Out += printExpr(Ctx, E.Obfuscated);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,145 @@
+//===- gen/EncodeArithmetic.cpp - Tigress-style operator encoding ---------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/EncodeArithmetic.h"
+
+#include "ast/ExprUtils.h"
+#include "support/RNG.h"
+
+using namespace mba;
+
+namespace {
+
+/// The rewrite catalogue. Each entry builds an equivalent of op(A, B) (B
+/// unused for the unary operators).
+struct Encoder {
+  Context &Ctx;
+  RNG Rng;
+  bool EncodeMul;
+
+  const Expr *C(uint64_t V) { return Ctx.getConst(V); }
+
+  const Expr *encodeAdd(const Expr *A, const Expr *B) {
+    switch (Rng.below(4)) {
+    case 0: // (a|b) + (a&b)
+      return Ctx.getAdd(Ctx.getOr(A, B), Ctx.getAnd(A, B));
+    case 1: // (a^b) + 2*(a&b)
+      return Ctx.getAdd(Ctx.getXor(A, B),
+                        Ctx.getMul(C(2), Ctx.getAnd(A, B)));
+    case 2: // a - ~b - 1
+      return Ctx.getSub(Ctx.getSub(A, Ctx.getNot(B)), C(1));
+    default: // 2*(a|b) - (a^b)
+      return Ctx.getSub(Ctx.getMul(C(2), Ctx.getOr(A, B)), Ctx.getXor(A, B));
+    }
+  }
+
+  const Expr *encodeSub(const Expr *A, const Expr *B) {
+    switch (Rng.below(4)) {
+    case 0: // a + ~b + 1
+      return Ctx.getAdd(Ctx.getAdd(A, Ctx.getNot(B)), C(1));
+    case 1: // (a^b) - 2*(~a&b)
+      return Ctx.getSub(Ctx.getXor(A, B),
+                        Ctx.getMul(C(2), Ctx.getAnd(Ctx.getNot(A), B)));
+    case 2: // (a&~b) - (~a&b)
+      return Ctx.getSub(Ctx.getAnd(A, Ctx.getNot(B)),
+                        Ctx.getAnd(Ctx.getNot(A), B));
+    default: // 2*(a&~b) - (a^b)
+      return Ctx.getSub(Ctx.getMul(C(2), Ctx.getAnd(A, Ctx.getNot(B))),
+                        Ctx.getXor(A, B));
+    }
+  }
+
+  const Expr *encodeXor(const Expr *A, const Expr *B) {
+    switch (Rng.below(2)) {
+    case 0: // (a|b) - (a&b)
+      return Ctx.getSub(Ctx.getOr(A, B), Ctx.getAnd(A, B));
+    default: // a + b - 2*(a&b)
+      return Ctx.getSub(Ctx.getAdd(A, B),
+                        Ctx.getMul(C(2), Ctx.getAnd(A, B)));
+    }
+  }
+
+  const Expr *encodeOr(const Expr *A, const Expr *B) {
+    switch (Rng.below(2)) {
+    case 0: // a + b - (a&b)
+      return Ctx.getSub(Ctx.getAdd(A, B), Ctx.getAnd(A, B));
+    default: // (a&~b) + b
+      return Ctx.getAdd(Ctx.getAnd(A, Ctx.getNot(B)), B);
+    }
+  }
+
+  const Expr *encodeAnd(const Expr *A, const Expr *B) {
+    switch (Rng.below(2)) {
+    case 0: // a + b - (a|b)
+      return Ctx.getSub(Ctx.getAdd(A, B), Ctx.getOr(A, B));
+    default: // (~a|b) - ~a
+      return Ctx.getSub(Ctx.getOr(Ctx.getNot(A), B), Ctx.getNot(A));
+    }
+  }
+
+  const Expr *encodeNot(const Expr *A) {
+    // ~a == -a - 1
+    return Ctx.getSub(Ctx.getNeg(A), C(1));
+  }
+
+  const Expr *encodeNeg(const Expr *A) {
+    // -a == ~a + 1
+    return Ctx.getAdd(Ctx.getNot(A), C(1));
+  }
+
+  const Expr *encodeMul(const Expr *A, const Expr *B) {
+    // a*b == (a&b)*(a|b) + (a&~b)*(~a&b)  (the Figure 1 identity)
+    return Ctx.getAdd(
+        Ctx.getMul(Ctx.getAnd(A, B), Ctx.getOr(A, B)),
+        Ctx.getMul(Ctx.getAnd(A, Ctx.getNot(B)),
+                   Ctx.getAnd(Ctx.getNot(A), B)));
+  }
+
+  const Expr *encodeNode(const Expr *N) {
+    switch (N->kind()) {
+    case ExprKind::Add:
+      return encodeAdd(N->lhs(), N->rhs());
+    case ExprKind::Sub:
+      return encodeSub(N->lhs(), N->rhs());
+    case ExprKind::Xor:
+      return encodeXor(N->lhs(), N->rhs());
+    case ExprKind::Or:
+      return encodeOr(N->lhs(), N->rhs());
+    case ExprKind::And:
+      return encodeAnd(N->lhs(), N->rhs());
+    case ExprKind::Not:
+      return encodeNot(N->operand());
+    case ExprKind::Neg:
+      return encodeNeg(N->operand());
+    case ExprKind::Mul:
+      // Constant multiplications stay (coefficients are not operators the
+      // transform encodes); variable products optionally rewrite.
+      if (!EncodeMul || N->lhs()->isConst() || N->rhs()->isConst())
+        return N;
+      return encodeMul(N->lhs(), N->rhs());
+    default:
+      return N;
+    }
+  }
+};
+
+} // namespace
+
+const Expr *mba::encodeArithmetic(Context &Ctx, const Expr *E,
+                                  const EncodeOptions &Opts) {
+  Encoder Enc{Ctx, RNG(Opts.Seed), Opts.EncodeMul};
+  const Expr *Result = E;
+  for (unsigned Round = 0; Round != Opts.Rounds; ++Round) {
+    Result = rewriteBottomUp(Ctx, Result, [&](const Expr *N) -> const Expr * {
+      if (N->isLeaf())
+        return N;
+      if (!Enc.Rng.chance(Opts.Percent, 100))
+        return N;
+      return Enc.encodeNode(N);
+    });
+  }
+  return Result;
+}

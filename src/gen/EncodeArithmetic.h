@@ -1,0 +1,49 @@
+//===- gen/EncodeArithmetic.h - Tigress-style operator encoding -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tigress-style "EncodeArithmetic" obfuscation: each arithmetic or
+/// bitwise operator is rewritten into a fixed MBA identity chosen from the
+/// classic catalogue (Hacker's Delight chapter 2 — the same rules Tigress's
+/// EncodeArithmetic transform applies; Tigress-produced samples are one of
+/// the paper's corpus sources). Applied over multiple rounds, the rewrites
+/// compound: `x + y` becomes `(x|y)+(x&y)`, whose `|` then becomes
+/// `(x&~y)+y`, and so on — exactly the layered growth seen in protected
+/// binaries.
+///
+/// In contrast to the null-space Obfuscator (random identities), this
+/// transformation is template-driven, which makes it the natural adversary
+/// for pattern-matching simplifiers: SSPAM's library inverts single rules
+/// but not their compositions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_GEN_ENCODEARITHMETIC_H
+#define MBA_GEN_ENCODEARITHMETIC_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <cstdint>
+
+namespace mba {
+
+/// Knobs for the encoder.
+struct EncodeOptions {
+  unsigned Rounds = 2;       ///< rewrite passes (complexity compounds)
+  unsigned Percent = 85;     ///< probability of rewriting an eligible node
+  uint64_t Seed = 1;         ///< template/application randomness
+  bool EncodeMul = true;     ///< also rewrite x*y (Figure 1 style)
+};
+
+/// Applies the operator-encoding transformation to \p E. The result is an
+/// identity of \p E on every input word.
+const Expr *encodeArithmetic(Context &Ctx, const Expr *E,
+                             const EncodeOptions &Opts);
+
+} // namespace mba
+
+#endif // MBA_GEN_ENCODEARITHMETIC_H

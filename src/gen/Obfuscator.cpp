@@ -1,0 +1,276 @@
+//===- gen/Obfuscator.cpp - MBA identity / obfuscation generator ---------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Obfuscator.h"
+
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "linalg/IntKernel.h"
+#include "linalg/TruthTable.h"
+#include "mba/Classify.h"
+#include "poly/PolyExpr.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace mba;
+
+std::vector<LinearTerm> mba::decomposeLinearTerms(const Context &Ctx,
+                                                  const Expr *E) {
+  assert(classifyMBA(Ctx, E) == MBAKind::Linear && "input must be linear");
+  uint64_t Mask = Ctx.mask();
+  std::vector<LinearTerm> Terms;
+  uint64_t Constant = 0;
+  std::function<void(const Expr *, uint64_t)> Go = [&](const Expr *N,
+                                                       uint64_t Scale) {
+    switch (N->kind()) {
+    case ExprKind::Const:
+      Constant = (Constant + Scale * N->constValue()) & Mask;
+      return;
+    case ExprKind::Add:
+      Go(N->lhs(), Scale);
+      Go(N->rhs(), Scale);
+      return;
+    case ExprKind::Sub:
+      Go(N->lhs(), Scale);
+      Go(N->rhs(), (0 - Scale) & Mask);
+      return;
+    case ExprKind::Neg:
+      // -a is arithmetic negation: recurse with flipped scale — unless the
+      // operand is pure bitwise, in which case -e is a coefficient of -1 on
+      // the bitwise term e.
+      Go(N->operand(), (0 - Scale) & Mask);
+      return;
+    case ExprKind::Mul: {
+      // One side must be constant-valued (possibly a variable-free subtree
+      // rather than a literal Const node — the classifier folds those).
+      auto ConstantValue = [&](const Expr *Side) -> std::optional<uint64_t> {
+        if (Side->isConst())
+          return Side->constValue();
+        if (collectVariables(Side).empty())
+          return evaluate(Ctx, Side, std::span<const uint64_t>());
+        return std::nullopt;
+      };
+      if (auto L = ConstantValue(N->lhs())) {
+        Go(N->rhs(), (Scale * *L) & Mask);
+        return;
+      }
+      auto R = ConstantValue(N->rhs());
+      assert(R && "linear Mul must have a constant-valued side");
+      Go(N->lhs(), (Scale * *R) & Mask);
+      return;
+    }
+    default:
+      // A pure bitwise term (variable or bitwise operator node).
+      Terms.push_back({Scale, N});
+      return;
+    }
+  };
+  Go(E, 1);
+  if (Constant)
+    Terms.push_back({Constant, nullptr});
+  return Terms;
+}
+
+Obfuscator::Obfuscator(Context &Ctx, uint64_t Seed) : Ctx(Ctx), Rng(Seed) {}
+
+const Expr *Obfuscator::randomBitwise(std::span<const Expr *const> Vars,
+                                      unsigned Depth) {
+  assert(!Vars.empty() && "need at least one variable");
+  if (Depth == 0 || Rng.chance(1, 8)) {
+    const Expr *V = Vars[Rng.below(Vars.size())];
+    return Rng.chance(1, 3) ? Ctx.getNot(V) : V;
+  }
+  switch (Rng.below(4)) {
+  case 0:
+    return Ctx.getNot(randomBitwise(Vars, Depth - 1));
+  case 1:
+    return Ctx.getAnd(randomBitwise(Vars, Depth - 1),
+                      randomBitwise(Vars, Depth - 1));
+  case 2:
+    return Ctx.getOr(randomBitwise(Vars, Depth - 1),
+                     randomBitwise(Vars, Depth - 1));
+  default:
+    return Ctx.getXor(randomBitwise(Vars, Depth - 1),
+                      randomBitwise(Vars, Depth - 1));
+  }
+}
+
+const Expr *Obfuscator::zeroIdentity(std::span<const Expr *const> Vars,
+                                     unsigned NumTerms,
+                                     unsigned BitwiseDepth) {
+  unsigned T = (unsigned)Vars.size();
+  unsigned Rows = 1u << T;
+  // With more columns (expressions + the all-ones column) than rows the
+  // kernel is guaranteed nontrivial.
+  NumTerms = std::max(NumTerms, Rows);
+
+  std::vector<const Expr *> Exprs;
+  Exprs.reserve(NumTerms);
+  for (unsigned I = 0; I != NumTerms; ++I)
+    Exprs.push_back(randomBitwise(Vars, BitwiseDepth));
+
+  std::vector<uint8_t> Truth = truthTableMatrix(Ctx, Exprs, Vars);
+  IntMatrix M;
+  M.Rows = Rows;
+  M.Cols = NumTerms + 1;
+  M.Data.resize((size_t)M.Rows * M.Cols);
+  for (unsigned R = 0; R != Rows; ++R) {
+    for (unsigned C = 0; C != NumTerms; ++C)
+      M.at(R, C) = Truth[R * NumTerms + C];
+    M.at(R, NumTerms) = 1; // the all-ones column, encoded as -1 below
+  }
+
+  // Combine two kernel vectors (when the kernel has dimension > 1) with
+  // small random weights: the combination is still in the kernel and is
+  // denser, giving identities with realistically many terms.
+  auto C1 = integerKernelVector(M, (unsigned)Rng.below(8));
+  auto C2 = integerKernelVector(M, (unsigned)Rng.below(8));
+  assert(C1 && C2 && "kernel must be nontrivial with cols > rows");
+  int64_t A = Rng.range(1, 3), B = C1 == C2 ? 0 : Rng.range(1, 3);
+  std::vector<int64_t> C(C1->size());
+  for (size_t I = 0; I != C.size(); ++I)
+    C[I] = A * (*C1)[I] + B * (*C2)[I];
+
+  uint64_t Mask = Ctx.mask();
+  std::vector<LinearTerm> Terms;
+  for (unsigned I = 0; I != NumTerms; ++I)
+    if (C[I])
+      Terms.push_back({(uint64_t)C[I] & Mask, Exprs[I]});
+  // The all-ones column stands for the constant -1, so its coefficient k
+  // contributes the constant -k.
+  uint64_t Constant = (0 - (uint64_t)C[NumTerms]) & Mask;
+  return buildLinearCombination(Ctx, Terms, Constant);
+}
+
+const Expr *Obfuscator::obfuscateLinear(const Expr *Target,
+                                        const ObfuscationOptions &Opts) {
+  assert(classifyMBA(Ctx, Target) == MBAKind::Linear &&
+         "target must be linear");
+  std::vector<const Expr *> Vars = collectVariables(Target);
+  if (Vars.empty())
+    return Target; // constant target: nothing to mix identities over
+
+  uint64_t Mask = Ctx.mask();
+  std::vector<LinearTerm> Terms = decomposeLinearTerms(Ctx, Target);
+  uint64_t Constant = 0;
+  // Split out the constant entry so shuffling only permutes real terms.
+  Terms.erase(std::remove_if(Terms.begin(), Terms.end(),
+                             [&](const LinearTerm &T) {
+                               if (T.second)
+                                 return false;
+                               Constant = (Constant + T.first) & Mask;
+                               return true;
+                             }),
+              Terms.end());
+
+  for (unsigned R = 0; R != Opts.ZeroIdentities; ++R) {
+    // Identities are drawn over a small variable subset: the kernel
+    // construction needs more expressions than truth-table rows (2^t), so
+    // restricting to <= 3 variables keeps identity sizes realistic even
+    // for 4-variable targets (the paper's corpus tops out at 14 terms).
+    std::vector<const Expr *> IdentityVars = Vars;
+    unsigned SubsetSize =
+        std::min<unsigned>((unsigned)Vars.size(), 2 + (unsigned)Rng.below(2));
+    for (size_t I = IdentityVars.size(); I > 1; --I)
+      std::swap(IdentityVars[I - 1], IdentityVars[Rng.below(I)]);
+    IdentityVars.resize(SubsetSize);
+    const Expr *Zero =
+        zeroIdentity(IdentityVars, Opts.TermsPerIdentity, Opts.BitwiseDepth);
+    uint64_t Scale = 1 + Rng.below(std::max(1u, Opts.MaxCoefficient));
+    for (LinearTerm T : decomposeLinearTerms(Ctx, Zero)) {
+      uint64_t Coeff = (T.first * Scale) & Mask;
+      if (T.second)
+        Terms.push_back({Coeff, T.second});
+      else
+        Constant = (Constant + Coeff) & Mask;
+    }
+  }
+
+  // Fisher-Yates shuffle for a scrambled term order.
+  for (size_t I = Terms.size(); I > 1; --I)
+    std::swap(Terms[I - 1], Terms[Rng.below(I)]);
+  return buildLinearCombination(Ctx, Terms, Constant);
+}
+
+const Expr *Obfuscator::obfuscatePoly(std::span<const ProductTerm> Products,
+                                      const ObfuscationOptions &Opts) {
+  assert(!Products.empty() && "need at least one product term");
+  // Per-factor obfuscation uses a lighter setting so products stay a
+  // realistic size.
+  ObfuscationOptions FactorOpts = Opts;
+  FactorOpts.ZeroIdentities = std::max(1u, Opts.ZeroIdentities / 2);
+
+  std::vector<LinearTerm> OutTerms;
+  for (const ProductTerm &P : Products) {
+    assert(!P.Factors.empty() && "empty factor list");
+    const Expr *Prod = nullptr;
+    for (const Expr *F : P.Factors) {
+      assert(classifyMBA(Ctx, F) == MBAKind::Linear && "factor must be linear");
+      const Expr *FObf = obfuscateLinear(F, FactorOpts);
+      Prod = Prod ? Ctx.getMul(Prod, FObf) : FObf;
+    }
+    OutTerms.push_back({P.Coeff, Prod});
+  }
+  return buildLinearCombination(Ctx, OutTerms, 0);
+}
+
+const Expr *
+Obfuscator::applyNonPolyRewrite(const Expr *E,
+                                std::span<const Expr *const> Vars) {
+  // Candidate rewrite points: arithmetic operator nodes, and the root.
+  std::vector<const Expr *> Candidates;
+  forEachNodePostOrder(E, [&](const Expr *N) {
+    if (isArithmeticKind(N->kind()))
+      Candidates.push_back(N);
+  });
+  if (Candidates.empty() || Rng.chance(1, 4))
+    Candidates.push_back(E);
+  const Expr *A = Candidates[Rng.below(Candidates.size())];
+
+  const Expr *B = randomBitwise(Vars, 1);
+  const Expr *Form;
+  switch (Rng.below(4)) {
+  case 0:
+    // a == (a|b) + (a&b) - b       (from a + b == (a|b) + (a&b))
+    Form = Ctx.getSub(Ctx.getAdd(Ctx.getOr(A, B), Ctx.getAnd(A, B)), B);
+    break;
+  case 1:
+    // a == (a^b) + 2*(a&b) - b     (from a + b == (a^b) + 2*(a&b))
+    Form = Ctx.getSub(Ctx.getAdd(Ctx.getXor(A, B),
+                                 Ctx.getMul(Ctx.getConst(2),
+                                            Ctx.getAnd(A, B))),
+                      B);
+    break;
+  case 2:
+    // a == -(~a) - 1               (two's complement)
+    Form = Ctx.getSub(Ctx.getNeg(Ctx.getNot(A)), Ctx.getOne());
+    break;
+  default:
+    // a == ~(~a)
+    Form = Ctx.getNot(Ctx.getNot(A));
+    break;
+  }
+  if (A == E)
+    return Form;
+  return substitute(Ctx, E, {{A, Form}});
+}
+
+const Expr *Obfuscator::obfuscateNonPoly(const Expr *Seed,
+                                         std::span<const Expr *const> Vars,
+                                         unsigned Rewrites) {
+  assert(!Vars.empty() && "need variables to draw rewrite partners from");
+  const Expr *E = Seed;
+  for (unsigned I = 0; I != Rewrites; ++I)
+    E = applyNonPolyRewrite(E, Vars);
+  // Rewrites over pure-bitwise nodes can come out linear; force the
+  // category with additional rounds (bounded).
+  for (unsigned Attempt = 0;
+       Attempt != 8 && classifyMBA(Ctx, E) != MBAKind::NonPolynomial;
+       ++Attempt)
+    E = applyNonPolyRewrite(E, Vars);
+  return E;
+}

@@ -1,0 +1,117 @@
+//===- gen/Obfuscator.h - MBA identity / obfuscation generator -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generation of MBA identities, reproducing the constructions behind the
+/// paper's 3000-expression corpus (Section 3.1):
+///
+///  * **Linear** — Zhou et al.'s null-space method (the paper's Example 1):
+///    the truth-table matrix M of randomly drawn bitwise expressions plus
+///    the all-ones (-1) column has a nontrivial integer kernel once it has
+///    more columns than rows; any kernel vector C makes sum_i C_i * e_i an
+///    identical zero on every w-bit input. Adding such zeros to a target
+///    expression and flattening/shuffling terms yields arbitrarily complex
+///    linear MBA equal to the target — the construction Tigress and
+///    Eyrolles's generator use.
+///  * **Polynomial** — every bitwise factor of a product template is
+///    replaced by an equivalent complex linear MBA (Figure 1's
+///    (x&~y)*(~x&y) + (x&y)*(x|y) == x*y is of this shape).
+///  * **Non-polynomial** — identity rewrites that push bitwise operators
+///    over arithmetic sub-expressions, e.g. a == (a|b) + (a&b) - b for any
+///    b (from a + b == (a|b) + (a&b)).
+///
+/// All constructions are identities by design; the generator additionally
+/// asserts equivalence on sampled inputs in debug builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_GEN_OBFUSCATOR_H
+#define MBA_GEN_OBFUSCATOR_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mba {
+
+/// Knobs for the linear null-space construction.
+struct ObfuscationOptions {
+  unsigned ZeroIdentities = 3;    ///< zero-identities mixed into the target
+  unsigned TermsPerIdentity = 5;  ///< bitwise expressions per identity
+  unsigned BitwiseDepth = 2;      ///< depth of random bitwise expressions
+  unsigned MaxCoefficient = 9;    ///< scale factor bound for each identity
+};
+
+/// One (coefficient, bitwise-expression) addend of a linear MBA; a null
+/// expression denotes the constant term (coefficient only).
+using LinearTerm = std::pair<uint64_t, const Expr *>;
+
+/// Decomposes a *linear* MBA expression into its terms (Definition 1).
+/// Bitwise expressions are kept as written; the constant term accumulates
+/// into a null-expression entry. Asserts on non-linear input.
+std::vector<LinearTerm> decomposeLinearTerms(const Context &Ctx,
+                                             const Expr *E);
+
+/// Deterministic generator of MBA identities.
+class Obfuscator {
+public:
+  Obfuscator(Context &Ctx, uint64_t Seed);
+
+  /// A random pure-bitwise expression over \p Vars with operator depth at
+  /// most \p Depth (depth 0 yields a variable or its complement).
+  const Expr *randomBitwise(std::span<const Expr *const> Vars, unsigned Depth);
+
+  /// A linear MBA expression that is identically zero, built by the
+  /// null-space method over \p Vars. \p NumTerms random bitwise expressions
+  /// are drawn (at least 2^|Vars| are used so the kernel is nontrivial).
+  const Expr *zeroIdentity(std::span<const Expr *const> Vars,
+                           unsigned NumTerms, unsigned BitwiseDepth = 2);
+
+  /// An equivalent, more complex linear MBA for the linear \p Target:
+  /// target terms plus scaled zero identities, shuffled.
+  const Expr *obfuscateLinear(const Expr *Target,
+                              const ObfuscationOptions &Opts);
+
+  /// An equivalent polynomial MBA for a product-of-factors template:
+  /// each factor (a variable or bitwise expression) is replaced by an
+  /// equivalent linear MBA. \p Products is a list of (coefficient,
+  /// factor-list) terms; the result equals
+  /// sum_i Coeff_i * prod_j Factor_ij.
+  struct ProductTerm {
+    uint64_t Coeff;
+    std::vector<const Expr *> Factors;
+  };
+  const Expr *obfuscatePoly(std::span<const ProductTerm> Products,
+                            const ObfuscationOptions &Opts);
+
+  /// Applies \p Rewrites bitwise-over-arithmetic identity rewrites to
+  /// \p Seed, producing a non-polynomial equivalent. Partners for the
+  /// rewrites are drawn over \p Vars.
+  const Expr *obfuscateNonPoly(const Expr *Seed,
+                               std::span<const Expr *const> Vars,
+                               unsigned Rewrites);
+
+  RNG &rng() { return Rng; }
+
+private:
+  /// Rewrites one arithmetic node a of \p E to an equivalent form that
+  /// introduces a bitwise operator over it (e.g. (a|b) + (a&b) - b).
+  const Expr *applyNonPolyRewrite(const Expr *E,
+                                  std::span<const Expr *const> Vars);
+
+  Context &Ctx;
+  RNG Rng;
+};
+
+} // namespace mba
+
+#endif // MBA_GEN_OBFUSCATOR_H

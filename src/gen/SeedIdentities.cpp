@@ -1,0 +1,60 @@
+//===- gen/SeedIdentities.cpp - Classic MBA identities --------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/SeedIdentities.h"
+
+#include "ast/Parser.h"
+
+using namespace mba;
+
+namespace {
+
+const SeedIdentity Identities[] = {
+    // Background Section 2.1 (HAKMEM / Hacker's Delight).
+    {"(x&~y) + y", "x|y", MBAKind::Linear, "paper eq. (2) / HAKMEM"},
+    {"(x|y) - (x&y)", "x^y", MBAKind::Linear, "paper eq. (3) / HAKMEM"},
+    // Section 2.2: the x+y obfuscation family.
+    {"(x|y) + (~x|y) - ~x", "x+y", MBAKind::Linear, "paper sec. 2.2"},
+    {"(x|y) + y - (~x&y)", "x+y", MBAKind::Linear, "paper sec. 2.2"},
+    {"(x^y) + 2*y - 2*(~x&y)", "x+y", MBAKind::Linear, "paper sec. 2.2"},
+    {"y + (x&~y) + (x&y)", "x+y", MBAKind::Linear, "paper sec. 2.2"},
+    // Example 1's constructed identity.
+    {"(x^y) + 2*(x|~y) + 2", "x-y", MBAKind::Linear, "paper example 1"},
+    // Section 4.3 headline example.
+    {"2*(x|y) - (~x&y) - (x&~y)", "x+y", MBAKind::Linear, "paper sec. 4.3"},
+    // Hacker's Delight addition/subtraction/negation identities.
+    {"(x^y) + 2*(x&y)", "x+y", MBAKind::Linear, "Hacker's Delight 2-16"},
+    {"(x|y) + (x&y)", "x+y", MBAKind::Linear, "Hacker's Delight 2-16"},
+    {"2*(x|y) - (x^y)", "x+y", MBAKind::Linear, "Hacker's Delight 2-16"},
+    {"(x^y) - 2*(~x&y)", "x-y", MBAKind::Linear, "Hacker's Delight 2-17"},
+    {"(x&~y) - (~x&y)", "x-y", MBAKind::Linear, "Hacker's Delight 2-17"},
+    {"2*(x&~y) - (x^y)", "x-y", MBAKind::Linear, "Hacker's Delight 2-17"},
+    {"~x + 1", "-x", MBAKind::Linear, "two's complement"},
+    {"~(x-1)", "-x", MBAKind::NonPolynomial, "paper sec. 6.1 exception"},
+    {"x + y - (x|y)", "x&y", MBAKind::Linear, "Hacker's Delight"},
+    {"x + y - (x&y)", "x|y", MBAKind::Linear, "Hacker's Delight"},
+    {"x + y - 2*(x&y)", "x^y", MBAKind::Linear, "Hacker's Delight"},
+    {"(x|y) - y + (x&y) - x", "0", MBAKind::Linear, "zero identity"},
+    // Figure 1: the motivating poly identity that stalls Z3 for an hour.
+    {"(x&~y)*(~x&y) + (x&y)*(x|y)", "x*y", MBAKind::Polynomial,
+     "paper fig. 1"},
+    // Section 4.5 common-sub-expression showcase.
+    {"((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)", "x-y+z",
+     MBAKind::NonPolynomial, "paper sec. 4.5"},
+    // Non-poly forms of a + b == (a|b) + (a&b) with arithmetic operands.
+    {"((x+y)|z) + ((x+y)&z) - z", "x+y", MBAKind::NonPolynomial,
+     "a+b=(a|b)+(a&b)"},
+    {"((x-y)^z) + 2*((x-y)&z) - z", "x-y", MBAKind::NonPolynomial,
+     "a+b=(a^b)+2(a&b)"},
+};
+
+} // namespace
+
+std::span<const SeedIdentity> mba::seedIdentities() { return Identities; }
+
+ParsedIdentity mba::parseSeedIdentity(Context &Ctx, const SeedIdentity &Seed) {
+  return {parseOrDie(Ctx, Seed.Obfuscated), parseOrDie(Ctx, Seed.Ground)};
+}

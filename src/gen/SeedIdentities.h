@@ -1,0 +1,46 @@
+//===- gen/SeedIdentities.h - Classic MBA identities -----------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic MBA identities quoted in the paper's Background section —
+/// HAKMEM memo, Hacker's Delight, the x+y obfuscation family of Section
+/// 2.2, Example 1, and the Figure 1 motivating equation. These seed the
+/// corpus (the non-synthesized slice) and the quickstart example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_GEN_SEEDIDENTITIES_H
+#define MBA_GEN_SEEDIDENTITIES_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+#include "mba/Classify.h"
+
+#include <span>
+
+namespace mba {
+
+/// One known identity: Obfuscated == Ground for all inputs.
+struct SeedIdentity {
+  const char *Obfuscated; ///< complex MBA side, parseable text
+  const char *Ground;     ///< simple equivalent
+  MBAKind Category;       ///< category of the obfuscated side
+  const char *Source;     ///< provenance note (paper section / book)
+};
+
+/// The built-in identity list.
+std::span<const SeedIdentity> seedIdentities();
+
+/// Parses entry \p Seed.Obfuscated / Ground into \p Ctx.
+struct ParsedIdentity {
+  const Expr *Obfuscated;
+  const Expr *Ground;
+};
+ParsedIdentity parseSeedIdentity(Context &Ctx, const SeedIdentity &Seed);
+
+} // namespace mba
+
+#endif // MBA_GEN_SEEDIDENTITIES_H

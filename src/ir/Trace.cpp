@@ -1,0 +1,161 @@
+//===- ir/Trace.cpp - Straight-line MBA code traces ------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Trace.h"
+
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <unordered_set>
+
+using namespace mba;
+
+std::optional<Trace> Trace::parse(Context &Ctx, std::string_view Text,
+                                  std::string *Error) {
+  Trace T;
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return std::nullopt;
+  };
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+
+    // Strip comments and whitespace.
+    size_t Hash = Line.find('#');
+    if (Hash != std::string_view::npos)
+      Line = Line.substr(0, Hash);
+    while (!Line.empty() && std::isspace((unsigned char)Line.front()))
+      Line.remove_prefix(1);
+    while (!Line.empty() && std::isspace((unsigned char)Line.back()))
+      Line.remove_suffix(1);
+    if (Line.empty())
+      continue;
+
+    // name = expr  — find the '=' that is an assignment, not part of an
+    // operator (the expression grammar has no '=', so the first one wins).
+    size_t Eq = Line.find('=');
+    if (Eq == std::string_view::npos)
+      return Fail("expected 'name = expr'");
+    std::string_view Name = Line.substr(0, Eq);
+    while (!Name.empty() && std::isspace((unsigned char)Name.back()))
+      Name.remove_suffix(1);
+    if (Name.empty())
+      return Fail("empty destination name");
+    for (char C : Name)
+      if (!std::isalnum((unsigned char)C) && C != '_')
+        return Fail("invalid destination name '" + std::string(Name) + "'");
+    if (std::isdigit((unsigned char)Name.front()))
+      return Fail("destination cannot start with a digit");
+
+    const Expr *Dest = Ctx.getVar(Name);
+    if (T.Defs.count(Dest))
+      return Fail("re-assignment of '" + std::string(Name) +
+                  "' (traces are single-assignment)");
+
+    ParseResult R = parseExpr(Ctx, Line.substr(Eq + 1));
+    if (!R.ok())
+      return Fail("bad expression: " + R.Error);
+    if (containsSubExpr(R.E, Dest))
+      return Fail("'" + std::string(Name) + "' used in its own definition");
+    T.append(Dest, R.E);
+  }
+  return T;
+}
+
+void Trace::append(const Expr *Dest, const Expr *Rhs) {
+  assert(Dest->isVar() && "destination must be a variable");
+  assert(!Defs.count(Dest) && "single-assignment violated");
+  Insts.push_back({Dest, Rhs});
+  Defs.emplace(Dest, Rhs);
+}
+
+std::vector<const Expr *> Trace::inputs() const {
+  std::vector<const Expr *> Result;
+  std::unordered_set<const Expr *> Seen;
+  for (const TraceInst &I : Insts) {
+    for (const Expr *V : collectVariables(I.Rhs))
+      if (!Defs.count(V) && Seen.insert(V).second)
+        Result.push_back(V);
+  }
+  std::sort(Result.begin(), Result.end(), [](const Expr *A, const Expr *B) {
+    return std::strcmp(A->varName(), B->varName()) < 0;
+  });
+  return Result;
+}
+
+std::unordered_map<const Expr *, uint64_t>
+Trace::run(const Context &Ctx,
+           const std::unordered_map<const Expr *, uint64_t> &InputValues)
+    const {
+  std::unordered_map<const Expr *, uint64_t> Env = InputValues;
+  std::unordered_map<const Expr *, uint64_t> Out;
+  for (const TraceInst &I : Insts) {
+    uint64_t V = evaluate(Ctx, I.Rhs, Env);
+    Env[I.Dest] = V;
+    Out[I.Dest] = V;
+  }
+  return Out;
+}
+
+const Expr *Trace::flatten(Context &Ctx, const Expr *Var) const {
+  // Build flattened forms in instruction order; every RHS only references
+  // inputs and earlier destinations, so one forward pass suffices.
+  std::unordered_map<const Expr *, const Expr *> Flat;
+  for (const TraceInst &I : Insts)
+    Flat[I.Dest] = substitute(Ctx, I.Rhs, Flat);
+  auto It = Flat.find(Var);
+  return It == Flat.end() ? Var : It->second;
+}
+
+Trace Trace::deobfuscate(Context &Ctx, MBASolver &Solver,
+                         std::span<const Expr *const> Roots) const {
+  Trace Result;
+  for (const Expr *Root : Roots) {
+    const Expr *Pure = flatten(Ctx, Root);
+    Result.append(Root, Solver.simplify(Pure));
+  }
+  return Result;
+}
+
+Trace Trace::eliminateDeadCode(std::span<const Expr *const> Roots) const {
+  // Mark backwards from the roots.
+  std::unordered_set<const Expr *> Live(Roots.begin(), Roots.end());
+  for (size_t I = Insts.size(); I-- > 0;) {
+    if (!Live.count(Insts[I].Dest))
+      continue;
+    for (const Expr *V : collectVariables(Insts[I].Rhs))
+      Live.insert(V);
+  }
+  Trace Result;
+  for (const TraceInst &I : Insts)
+    if (Live.count(I.Dest))
+      Result.append(I.Dest, I.Rhs);
+  return Result;
+}
+
+std::string Trace::print(const Context &Ctx) const {
+  std::string Out;
+  for (const TraceInst &I : Insts) {
+    Out += I.Dest->varName();
+    Out += " = ";
+    Out += printExpr(Ctx, I.Rhs);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,103 @@
+//===- ir/Trace.h - Straight-line MBA code traces ---------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straight-line three-address-style code over MBA operations — the
+/// representation binary-analysis frontends lift obfuscated basic blocks
+/// into (Syntia consumes exactly such traces; the paper's preprocessing
+/// pass sits behind a lifter in a deobfuscation pipeline). A trace is a
+/// sequence of single-assignment instructions
+///
+///   t1 = x + y
+///   t2 = t1 & z
+///   out = 2*t2 - (t1 | z)
+///
+/// where names assigned earlier may be referenced later and names never
+/// assigned are the trace's *inputs*. The module provides parsing,
+/// printing, evaluation, flattening a destination into a pure expression
+/// over the inputs, dead-code elimination, and whole-trace deobfuscation
+/// through MBASolver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_IR_TRACE_H
+#define MBA_IR_TRACE_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+#include "mba/Simplifier.h"
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mba {
+
+/// One assignment: Dest (a context variable) takes the value of Rhs, which
+/// may reference inputs and earlier destinations.
+struct TraceInst {
+  const Expr *Dest = nullptr; ///< always a Var node
+  const Expr *Rhs = nullptr;
+};
+
+/// A single-assignment straight-line trace.
+class Trace {
+public:
+  /// Parses "name = expr" lines (blank lines and '#' comments allowed).
+  /// Fails on re-assignment of a name or on a malformed expression;
+  /// \p Error receives a diagnostic with a line number.
+  static std::optional<Trace> parse(Context &Ctx, std::string_view Text,
+                                    std::string *Error = nullptr);
+
+  const std::vector<TraceInst> &instructions() const { return Insts; }
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  /// Appends an instruction. \p Dest must be a variable not yet defined in
+  /// this trace.
+  void append(const Expr *Dest, const Expr *Rhs);
+
+  /// True if \p Name is assigned by some instruction.
+  bool defines(const Expr *Var) const { return Defs.count(Var) != 0; }
+
+  /// The trace's inputs: variables referenced but never assigned, in
+  /// name-sorted order.
+  std::vector<const Expr *> inputs() const;
+
+  /// Executes the trace under \p InputValues (indexed by variable; missing
+  /// entries are 0) and returns the value of every defined name.
+  std::unordered_map<const Expr *, uint64_t>
+  run(const Context &Ctx,
+      const std::unordered_map<const Expr *, uint64_t> &InputValues) const;
+
+  /// The pure expression computing \p Var over the trace inputs (forward
+  /// substitution of all definitions). \p Var may be an input (returned
+  /// unchanged) or a defined name.
+  const Expr *flatten(Context &Ctx, const Expr *Var) const;
+
+  /// Deobfuscates the trace: flattens every root, simplifies it with
+  /// \p Solver, and returns a minimal trace computing exactly the roots
+  /// (one instruction per root — everything else is dead code).
+  Trace deobfuscate(Context &Ctx, MBASolver &Solver,
+                    std::span<const Expr *const> Roots) const;
+
+  /// Removes instructions whose destinations cannot reach any of \p Roots.
+  Trace eliminateDeadCode(std::span<const Expr *const> Roots) const;
+
+  /// Renders the trace back to parseable text.
+  std::string print(const Context &Ctx) const;
+
+private:
+  std::vector<TraceInst> Insts;
+  std::unordered_map<const Expr *, const Expr *> Defs; // dest -> rhs
+};
+
+} // namespace mba
+
+#endif // MBA_IR_TRACE_H

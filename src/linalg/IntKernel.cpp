@@ -1,0 +1,151 @@
+//===- linalg/IntKernel.cpp - Integer kernel of small matrices -----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/IntKernel.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+using namespace mba;
+
+namespace {
+
+/// Minimal exact rational (int64 components). Inputs in this library are
+/// tiny truth-table matrices, so no overflow protection beyond asserts is
+/// needed.
+struct Rat {
+  int64_t Num = 0;
+  int64_t Den = 1;
+
+  Rat() = default;
+  Rat(int64_t N) : Num(N), Den(1) {}
+  Rat(int64_t N, int64_t D) : Num(N), Den(D) { normalize(); }
+
+  void normalize() {
+    assert(Den != 0 && "zero denominator");
+    if (Den < 0) {
+      Num = -Num;
+      Den = -Den;
+    }
+    int64_t G = std::gcd(std::abs(Num), Den);
+    if (G > 1) {
+      Num /= G;
+      Den /= G;
+    }
+    if (Num == 0)
+      Den = 1;
+  }
+
+  bool isZero() const { return Num == 0; }
+
+  Rat operator+(const Rat &O) const {
+    return Rat(Num * O.Den + O.Num * Den, Den * O.Den);
+  }
+  Rat operator-(const Rat &O) const {
+    return Rat(Num * O.Den - O.Num * Den, Den * O.Den);
+  }
+  Rat operator*(const Rat &O) const { return Rat(Num * O.Num, Den * O.Den); }
+  Rat operator/(const Rat &O) const {
+    assert(!O.isZero() && "division by zero");
+    return Rat(Num * O.Den, Den * O.Num);
+  }
+};
+
+/// Row-echelon form over Q with pivot bookkeeping.
+struct Echelon {
+  std::vector<std::vector<Rat>> RowsData;
+  std::vector<unsigned> PivotCols; // pivot column of each echelon row
+  unsigned Cols;
+
+  explicit Echelon(const IntMatrix &M) : Cols(M.Cols) {
+    RowsData.reserve(M.Rows);
+    for (unsigned R = 0; R != M.Rows; ++R) {
+      std::vector<Rat> Row(M.Cols);
+      for (unsigned C = 0; C != M.Cols; ++C)
+        Row[C] = Rat(M.at(R, C));
+      RowsData.push_back(std::move(Row));
+    }
+    reduce();
+  }
+
+  void reduce() {
+    unsigned PivotRow = 0;
+    for (unsigned Col = 0; Col != Cols && PivotRow != RowsData.size(); ++Col) {
+      unsigned Found = (unsigned)RowsData.size();
+      for (unsigned R = PivotRow; R != RowsData.size(); ++R) {
+        if (!RowsData[R][Col].isZero()) {
+          Found = R;
+          break;
+        }
+      }
+      if (Found == RowsData.size())
+        continue;
+      std::swap(RowsData[PivotRow], RowsData[Found]);
+      // Scale the pivot row to a leading 1, then eliminate the column
+      // everywhere else (reduced echelon form simplifies back-substitution).
+      Rat Inv = Rat(1) / RowsData[PivotRow][Col];
+      for (unsigned C = Col; C != Cols; ++C)
+        RowsData[PivotRow][C] = RowsData[PivotRow][C] * Inv;
+      for (unsigned R = 0; R != RowsData.size(); ++R) {
+        if (R == PivotRow || RowsData[R][Col].isZero())
+          continue;
+        Rat Factor = RowsData[R][Col];
+        for (unsigned C = Col; C != Cols; ++C)
+          RowsData[R][C] = RowsData[R][C] - Factor * RowsData[PivotRow][C];
+      }
+      PivotCols.push_back(Col);
+      ++PivotRow;
+    }
+  }
+};
+
+} // namespace
+
+std::optional<std::vector<int64_t>>
+mba::integerKernelVector(const IntMatrix &M, unsigned FreeChoice) {
+  Echelon E(M);
+  unsigned Rank = (unsigned)E.PivotCols.size();
+  if (Rank == M.Cols)
+    return std::nullopt; // full column rank: trivial kernel
+
+  // Enumerate free (non-pivot) columns and pick one.
+  std::vector<unsigned> FreeCols;
+  for (unsigned C = 0, P = 0; C != M.Cols; ++C) {
+    if (P < Rank && E.PivotCols[P] == C)
+      ++P;
+    else
+      FreeCols.push_back(C);
+  }
+  unsigned Free = FreeCols[FreeChoice % FreeCols.size()];
+
+  // Kernel vector: free column = 1, other free columns = 0, pivot columns
+  // from the reduced echelon rows: x_pivot = -row[Free].
+  std::vector<Rat> X(M.Cols, Rat(0));
+  X[Free] = Rat(1);
+  for (unsigned P = 0; P != Rank; ++P)
+    X[E.PivotCols[P]] = Rat(0) - E.RowsData[P][Free];
+
+  // Clear denominators and divide by content.
+  int64_t Lcm = 1;
+  for (const Rat &V : X)
+    Lcm = std::lcm(Lcm, V.Den);
+  std::vector<int64_t> Result(M.Cols);
+  for (unsigned C = 0; C != M.Cols; ++C)
+    Result[C] = X[C].Num * (Lcm / X[C].Den);
+  int64_t Content = 0;
+  for (int64_t V : Result)
+    Content = std::gcd(Content, std::abs(V));
+  assert(Content != 0 && "kernel vector must be nonzero");
+  if (Content > 1)
+    for (int64_t &V : Result)
+      V /= Content;
+  return Result;
+}
+
+unsigned mba::rationalRank(const IntMatrix &M) {
+  return (unsigned)Echelon(M).PivotCols.size();
+}

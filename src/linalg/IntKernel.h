@@ -1,0 +1,55 @@
+//===- linalg/IntKernel.h - Integer kernel of small matrices ----*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact integer null-space vectors of small integer matrices. This is the
+/// engine behind Zhou et al.'s construction of linear MBA identities
+/// (Example 1 of the paper): take the truth-table matrix M of a set of
+/// bitwise expressions, find a nonzero integer vector C with M C = 0, and
+/// the linear combination of the expressions with coefficients C is
+/// identically zero on all w-bit inputs.
+///
+/// Elimination is exact over the rationals (int64 numerator/denominator with
+/// gcd reduction); matrix entries in this library are 0/1 truth values and
+/// dimensions are at most 2^t x m with t <= 4, so magnitudes stay tiny.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_LINALG_INTKERNEL_H
+#define MBA_LINALG_INTKERNEL_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mba {
+
+/// A dense Rows x Cols integer matrix, row-major.
+struct IntMatrix {
+  unsigned Rows = 0;
+  unsigned Cols = 0;
+  std::vector<int64_t> Data;
+
+  int64_t &at(unsigned Row, unsigned Col) { return Data[Row * Cols + Col]; }
+  int64_t at(unsigned Row, unsigned Col) const {
+    return Data[Row * Cols + Col];
+  }
+};
+
+/// Returns a nonzero integer vector C with M C = 0, or std::nullopt when the
+/// kernel is trivial (matrix has full column rank). The returned vector has
+/// coprime entries (content 1). When several kernel dimensions exist,
+/// \p FreeChoice selects which free column is set to 1 (modulo the number of
+/// free columns), allowing callers to sample different kernel vectors.
+std::optional<std::vector<int64_t>> integerKernelVector(const IntMatrix &M,
+                                                        unsigned FreeChoice = 0);
+
+/// Rank of \p M over the rationals.
+unsigned rationalRank(const IntMatrix &M);
+
+} // namespace mba
+
+#endif // MBA_LINALG_INTKERNEL_H

@@ -1,0 +1,93 @@
+//===- linalg/ModSolver.cpp - Linear systems over Z/2^w ---------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/ModSolver.h"
+
+#include <cassert>
+
+using namespace mba;
+
+uint64_t mba::inverseMod2N(uint64_t A, uint64_t Mask) {
+  assert((A & 1) && "only odd elements are invertible mod 2^w");
+  // Newton-Raphson doubling: X_{k+1} = X_k * (2 - A * X_k); five iterations
+  // reach 64 bits of precision starting from the 3-bit-correct seed A.
+  uint64_t X = A; // correct mod 2^3 for odd A
+  for (int I = 0; I < 5; ++I)
+    X = X * (2 - A * X);
+  return X & Mask;
+}
+
+std::optional<std::vector<uint64_t>>
+mba::solveInvertibleMod2N(SquareMatrix A, std::span<const uint64_t> B,
+                          uint64_t Mask) {
+  unsigned N = A.N;
+  assert(B.size() == N && "dimension mismatch");
+  std::vector<uint64_t> Rhs(B.begin(), B.end());
+  for (auto &V : Rhs)
+    V &= Mask;
+  for (auto &V : A.Data)
+    V &= Mask;
+
+  // Forward elimination with odd-pivot selection.
+  for (unsigned Col = 0; Col != N; ++Col) {
+    unsigned Pivot = N;
+    for (unsigned Row = Col; Row != N; ++Row) {
+      if (A.at(Row, Col) & 1) {
+        Pivot = Row;
+        break;
+      }
+    }
+    if (Pivot == N)
+      return std::nullopt; // no odd pivot: singular over Z/2^w
+    if (Pivot != Col) {
+      for (unsigned K = 0; K != N; ++K)
+        std::swap(A.at(Pivot, K), A.at(Col, K));
+      std::swap(Rhs[Pivot], Rhs[Col]);
+    }
+    uint64_t Inv = inverseMod2N(A.at(Col, Col), Mask);
+    for (unsigned K = Col; K != N; ++K)
+      A.at(Col, K) = (A.at(Col, K) * Inv) & Mask;
+    Rhs[Col] = (Rhs[Col] * Inv) & Mask;
+    for (unsigned Row = 0; Row != N; ++Row) {
+      if (Row == Col)
+        continue;
+      uint64_t Factor = A.at(Row, Col);
+      if (!Factor)
+        continue;
+      for (unsigned K = Col; K != N; ++K)
+        A.at(Row, K) = (A.at(Row, K) - Factor * A.at(Col, K)) & Mask;
+      Rhs[Row] = (Rhs[Row] - Factor * Rhs[Col]) & Mask;
+    }
+  }
+  return Rhs;
+}
+
+bool mba::isInvertibleMod2(const SquareMatrix &A) {
+  // Row-reduce a bit-packed copy over GF(2).
+  unsigned N = A.N;
+  assert(N <= 64 && "GF(2) check supports up to 64 columns");
+  std::vector<uint64_t> Rows(N, 0);
+  for (unsigned R = 0; R != N; ++R)
+    for (unsigned C = 0; C != N; ++C)
+      if (A.at(R, C) & 1)
+        Rows[R] |= 1ULL << C;
+  for (unsigned Col = 0; Col != N; ++Col) {
+    unsigned Pivot = N;
+    for (unsigned Row = Col; Row != N; ++Row) {
+      if (Rows[Row] >> Col & 1) {
+        Pivot = Row;
+        break;
+      }
+    }
+    if (Pivot == N)
+      return false;
+    std::swap(Rows[Pivot], Rows[Col]);
+    for (unsigned Row = 0; Row != N; ++Row)
+      if (Row != Col && (Rows[Row] >> Col & 1))
+        Rows[Row] ^= Rows[Col];
+  }
+  return true;
+}

@@ -1,0 +1,53 @@
+//===- linalg/ModSolver.h - Linear systems over Z/2^w -----------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact linear-system solving over the ring Z/2^w. An element of Z/2^w is
+/// invertible iff it is odd, so Gaussian elimination succeeds whenever an
+/// odd pivot can be found in every column — which is guaranteed when the
+/// matrix is invertible over the ring (odd determinant). This covers every
+/// basis matrix the simplifier uses (the conjunction basis of Table 4 and
+/// the alternative bases of Table 9 are unimodular).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_LINALG_MODSOLVER_H
+#define MBA_LINALG_MODSOLVER_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mba {
+
+/// Multiplicative inverse of the odd \p A modulo 2^w (selected by \p Mask).
+/// Asserts that \p A is odd.
+uint64_t inverseMod2N(uint64_t A, uint64_t Mask);
+
+/// A dense N x N matrix over Z/2^w, row-major.
+struct SquareMatrix {
+  unsigned N = 0;
+  std::vector<uint64_t> Data; // N * N entries, masked
+
+  uint64_t &at(unsigned Row, unsigned Col) { return Data[Row * N + Col]; }
+  uint64_t at(unsigned Row, unsigned Col) const { return Data[Row * N + Col]; }
+};
+
+/// Solves A x = b over Z/2^w. Returns std::nullopt when elimination cannot
+/// find an odd pivot (the matrix is singular over the ring). \p Mask selects
+/// the word width; all arithmetic wraps accordingly.
+std::optional<std::vector<uint64_t>>
+solveInvertibleMod2N(SquareMatrix A, std::span<const uint64_t> B,
+                     uint64_t Mask);
+
+/// Returns true if \p A has odd determinant, i.e. is invertible over Z/2^w
+/// for every w. (Determinant parity equals invertibility over GF(2).)
+bool isInvertibleMod2(const SquareMatrix &A);
+
+} // namespace mba
+
+#endif // MBA_LINALG_MODSOLVER_H

@@ -1,0 +1,31 @@
+//===- linalg/Subset.cpp - Subset-lattice zeta/Moebius transforms --------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Subset.h"
+
+using namespace mba;
+
+[[maybe_unused]] static bool isPowerOfTwo(size_t N) {
+  return N != 0 && (N & (N - 1)) == 0;
+}
+
+void mba::subsetZeta(std::span<uint64_t> Data, uint64_t Mask) {
+  assert(isPowerOfTwo(Data.size()) && "size must be a power of two");
+  size_t N = Data.size();
+  for (size_t Bit = 1; Bit < N; Bit <<= 1)
+    for (size_t S = 0; S < N; ++S)
+      if (S & Bit)
+        Data[S] = (Data[S] + Data[S ^ Bit]) & Mask;
+}
+
+void mba::subsetMoebius(std::span<uint64_t> Data, uint64_t Mask) {
+  assert(isPowerOfTwo(Data.size()) && "size must be a power of two");
+  size_t N = Data.size();
+  for (size_t Bit = 1; Bit < N; Bit <<= 1)
+    for (size_t S = 0; S < N; ++S)
+      if (S & Bit)
+        Data[S] = (Data[S] - Data[S ^ Bit]) & Mask;
+}

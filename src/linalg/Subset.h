@@ -1,0 +1,43 @@
+//===- linalg/Subset.h - Subset-lattice zeta/Moebius transforms -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fast zeta and Moebius transforms over the subset lattice of t variables,
+/// with coefficients in Z/2^w. These are the exact solver for the paper's
+/// normalized-basis coefficient system (Section 4.3): the truth-table matrix
+/// of the conjunction basis {AND of each nonempty variable subset} + {-1} is
+/// the subset zeta matrix, which is unitriangular, so the coefficient solve
+/// is Moebius inversion — exact over the ring, no floating point (the
+/// paper's NumPy-based prototype solves the same system numerically).
+///
+/// Convention: index k of the array is the truth-table row; the subset it
+/// denotes is the set of variables assigned 1 in that row (variable i of t
+/// occupies bit (t-1-i), see TruthTable.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_LINALG_SUBSET_H
+#define MBA_LINALG_SUBSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mba {
+
+/// In-place subset zeta transform modulo 2^w:
+///   Out[S] = sum over T subset of S of In[T]  (mod 2^w).
+/// \p Data.size() must be a power of two; \p Mask selects the word width.
+void subsetZeta(std::span<uint64_t> Data, uint64_t Mask);
+
+/// In-place Moebius inversion (the inverse of subsetZeta) modulo 2^w:
+///   Out[S] = sum over T subset of S of (-1)^{|S|-|T|} In[T]  (mod 2^w).
+void subsetMoebius(std::span<uint64_t> Data, uint64_t Mask);
+
+} // namespace mba
+
+#endif // MBA_LINALG_SUBSET_H

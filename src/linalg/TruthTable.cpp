@@ -1,0 +1,53 @@
+//===- linalg/TruthTable.cpp - Truth tables of bitwise expressions -------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/TruthTable.h"
+
+#include "ast/Evaluator.h"
+
+using namespace mba;
+
+std::vector<uint64_t> mba::cornerAssignment(const Context &Ctx, unsigned Row,
+                                            std::span<const Expr *const> Vars) {
+  std::vector<uint64_t> Values(Vars.size(), 0);
+  for (unsigned I = 0, T = (unsigned)Vars.size(); I != T; ++I)
+    if (truthBit(Row, I, T))
+      Values[I] = Ctx.mask();
+  return Values;
+}
+
+std::vector<uint8_t> mba::truthColumn(const Context &Ctx, const Expr *E,
+                                      std::span<const Expr *const> Vars) {
+  unsigned T = (unsigned)Vars.size();
+  assert(T <= 20 && "truth table would be too large");
+  std::vector<uint8_t> Column(1u << T);
+  std::unordered_map<const Expr *, uint64_t> Assignment;
+  for (unsigned Row = 0; Row != (1u << T); ++Row) {
+    Assignment.clear();
+    for (unsigned I = 0; I != T; ++I)
+      Assignment[Vars[I]] = truthBit(Row, I, T) ? Ctx.mask() : 0;
+    uint64_t V = evaluate(Ctx, E, Assignment);
+    assert((V == 0 || V == Ctx.mask()) &&
+           "expression is not pure bitwise over the given variables");
+    Column[Row] = V != 0;
+  }
+  return Column;
+}
+
+std::vector<uint8_t>
+mba::truthTableMatrix(const Context &Ctx, std::span<const Expr *const> Exprs,
+                      std::span<const Expr *const> Vars) {
+  unsigned T = (unsigned)Vars.size();
+  unsigned Rows = 1u << T;
+  unsigned Cols = (unsigned)Exprs.size();
+  std::vector<uint8_t> Matrix(Rows * Cols);
+  for (unsigned Col = 0; Col != Cols; ++Col) {
+    std::vector<uint8_t> Column = truthColumn(Ctx, Exprs[Col], Vars);
+    for (unsigned Row = 0; Row != Rows; ++Row)
+      Matrix[Row * Cols + Col] = Column[Row];
+  }
+  return Matrix;
+}

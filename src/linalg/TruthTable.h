@@ -1,0 +1,63 @@
+//===- linalg/TruthTable.h - Truth tables of bitwise expressions -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Truth tables of bitwise expressions, in the row convention of the paper's
+/// Section 2.1: for variables (x1, ..., xt) listed in order, row k of the
+/// table assigns variable xi the truth value in bit (t-1-i) of k, i.e. rows
+/// enumerate (0,...,0,0), (0,...,0,1), ..., (1,...,1,1) with the *first*
+/// variable as the most significant bit — exactly how the paper's matrices
+/// list (x, y) pairs.
+///
+/// Because MBA identities live on w-bit words, a truth value of 1 at a word
+/// level corresponds to the all-ones word (the paper encodes that column as
+/// -1 on two's-complement integers). The "corner assignment" of row k is the
+/// word-level input that realizes the row: each variable is 0 or ~0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_LINALG_TRUTHTABLE_H
+#define MBA_LINALG_TRUTHTABLE_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mba {
+
+/// Truth value (0/1) of variable number \p VarPos (position within the
+/// ordered variable list of size \p NumVars) in truth-table row \p Row.
+inline unsigned truthBit(unsigned Row, unsigned VarPos, unsigned NumVars) {
+  assert(VarPos < NumVars && "variable position out of range");
+  return (Row >> (NumVars - 1 - VarPos)) & 1;
+}
+
+/// Word-level corner assignment of truth-table row \p Row: each variable in
+/// \p Vars maps to 0 or the all-ones word. Result is indexed by position in
+/// \p Vars.
+std::vector<uint64_t> cornerAssignment(const Context &Ctx, unsigned Row,
+                                       std::span<const Expr *const> Vars);
+
+/// The truth-table column of the pure-bitwise expression \p E over the
+/// ordered variables \p Vars: 2^|Vars| entries, each 0 or 1.
+///
+/// \p E must be pure bitwise over a subset of \p Vars (asserted in debug
+/// builds: a bitwise expression evaluates to 0 or ~0 on corner inputs).
+std::vector<uint8_t> truthColumn(const Context &Ctx, const Expr *E,
+                                 std::span<const Expr *const> Vars);
+
+/// The full truth-table matrix of \p Exprs (one column per expression),
+/// stored row-major: Matrix[Row * Exprs.size() + Col].
+std::vector<uint8_t> truthTableMatrix(const Context &Ctx,
+                                      std::span<const Expr *const> Exprs,
+                                      std::span<const Expr *const> Vars);
+
+} // namespace mba
+
+#endif // MBA_LINALG_TRUTHTABLE_H

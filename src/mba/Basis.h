@@ -1,0 +1,72 @@
+//===- mba/Basis.h - Normalized base-vector sets ----------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The normalized base-vector sets of Sections 4.3 and 7. A basis is a set
+/// of 2^t expressions whose truth-table columns span Z^(2^t); expressing a
+/// signature vector in the basis yields an equivalent linear MBA with
+/// minimal mixing of bitwise and arithmetic operators.
+///
+///  * **Conjunction basis** (Table 4, generalized to t variables): the AND
+///    of every nonempty variable subset, plus the constant -1. For t = 2
+///    this is exactly {x, y, x&y, -1}. Its truth-table matrix is the subset
+///    zeta matrix (unitriangular), so coefficients are recovered by exact
+///    Moebius inversion.
+///  * **Disjunction basis** (Table 9, the paper's Section 7 alternative):
+///    the OR of every variable subset of size >= 2, the single variables,
+///    and -1. Solved with ring Gaussian elimination; the paper suggests
+///    input-dependent basis selection as future work, and the ablation
+///    bench compares the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_MBA_BASIS_H
+#define MBA_MBA_BASIS_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mba {
+
+/// Which normalized basis the simplifier expresses signatures in.
+enum class BasisKind : uint8_t {
+  Conjunction, ///< Table 4: subset ANDs + (-1); solved by Moebius inversion
+  Disjunction  ///< Table 9: subset ORs + (-1); solved by ring elimination
+};
+
+/// A linear combination sum_i Coeff_i * Term_i + Constant. The canonical
+/// result form of linear MBA simplification.
+struct LinearCombo {
+  std::vector<std::pair<uint64_t, const Expr *>> Terms;
+  uint64_t Constant = 0;
+
+  /// Number of terms with a (necessarily nonzero) expression factor.
+  size_t numExprTerms() const { return Terms.size(); }
+};
+
+/// The basis expression of variable-subset index \p Subset (truth-table
+/// indexing; see TruthTable.h) over \p Vars: the AND (conjunction basis) or
+/// OR (disjunction basis) of the subset's variables. |Subset| = 1 yields the
+/// variable itself. \p Subset must be nonzero (index 0 denotes the constant
+/// -1, which has no expression factor).
+const Expr *basisExpr(Context &Ctx, BasisKind Kind, unsigned Subset,
+                      std::span<const Expr *const> Vars);
+
+/// Expresses the signature vector \p Sig (2^|Vars| entries) in the chosen
+/// basis: the returned combination is the normalized linear MBA with
+/// signature \p Sig. Exact over Z/2^w.
+LinearCombo solveBasis(Context &Ctx, BasisKind Kind,
+                       std::span<const uint64_t> Sig,
+                       std::span<const Expr *const> Vars);
+
+} // namespace mba
+
+#endif // MBA_MBA_BASIS_H

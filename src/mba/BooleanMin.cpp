@@ -1,0 +1,160 @@
+//===- mba/BooleanMin.cpp - Minimal bitwise expression synthesis ---------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mba/BooleanMin.h"
+
+#include "ast/Printer.h"
+#include "linalg/TruthTable.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+using namespace mba;
+
+namespace {
+
+/// How a function is built from smaller ones; indexes into the table.
+struct Recipe {
+  enum KindTy : uint8_t { Unset, Leaf0, Leaf1, LeafVar, NotOp, AndOp, OrOp, XorOp };
+  KindTy Kind = Unset;
+  uint8_t VarPos = 0;   // LeafVar
+  uint16_t A = 0, B = 0; // operand truth tables for operators
+  unsigned Cost = ~0u;  // operator count
+};
+
+/// Closure table for one variable count: Recipes[f] describes the cheapest
+/// construction of truth function f.
+struct SynthTable {
+  unsigned NumVars;
+  std::vector<Recipe> Recipes;
+
+  explicit SynthTable(unsigned T) : NumVars(T) {
+    unsigned Rows = 1u << T;
+    uint32_t FullMask = (Rows == 32) ? ~0u : ((1u << Rows) - 1);
+    size_t NumFuncs = (size_t)1 << Rows;
+    Recipes.resize(NumFuncs);
+
+    auto Relax = [&](uint32_t F, Recipe R) {
+      if (R.Cost < Recipes[F].Cost)
+        Recipes[F] = R;
+    };
+
+    // Leaves: constants cost 0 operators, variables cost 0 operators.
+    Relax(0, {Recipe::Leaf0, 0, 0, 0, 0});
+    Relax(FullMask, {Recipe::Leaf1, 0, 0, 0, 0});
+    for (unsigned V = 0; V != T; ++V) {
+      uint32_t Column = 0;
+      for (unsigned Row = 0; Row != Rows; ++Row)
+        if (truthBit(Row, V, T))
+          Column |= 1u << Row;
+      Relax(Column, {Recipe::LeafVar, (uint8_t)V, 0, 0, 0});
+    }
+
+    // Fixpoint closure: combine all known functions until costs stabilize.
+    // The function space is tiny (<= 256 entries for t = 3).
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (uint32_t A = 0; A != NumFuncs; ++A) {
+        if (Recipes[A].Kind == Recipe::Unset)
+          continue;
+        unsigned CostA = Recipes[A].Cost;
+        // Unary complement.
+        {
+          uint32_t F = ~A & FullMask;
+          if (CostA + 1 < Recipes[F].Cost) {
+            Recipes[F] = {Recipe::NotOp, 0, (uint16_t)A, 0, CostA + 1};
+            Changed = true;
+          }
+        }
+        for (uint32_t B = A; B != NumFuncs; ++B) {
+          if (Recipes[B].Kind == Recipe::Unset)
+            continue;
+          unsigned PairCost = CostA + Recipes[B].Cost + 1;
+          struct {
+            Recipe::KindTy K;
+            uint32_t F;
+          } Ops[] = {{Recipe::AndOp, A & B},
+                     {Recipe::OrOp, A | B},
+                     {Recipe::XorOp, A ^ B}};
+          for (auto [K, F] : Ops) {
+            if (PairCost < Recipes[F].Cost) {
+              Recipes[F] = {K, 0, (uint16_t)A, (uint16_t)B, PairCost};
+              Changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const Expr *build(Context &Ctx, uint32_t F,
+                    std::span<const Expr *const> Vars) const {
+    const Recipe &R = Recipes[F];
+    assert(R.Kind != Recipe::Unset && "function space closure incomplete");
+    switch (R.Kind) {
+    case Recipe::Leaf0:
+      return Ctx.getZero();
+    case Recipe::Leaf1:
+      return Ctx.getAllOnes();
+    case Recipe::LeafVar:
+      return Vars[R.VarPos];
+    case Recipe::NotOp:
+      return Ctx.getNot(build(Ctx, R.A, Vars));
+    case Recipe::AndOp:
+    case Recipe::OrOp:
+    case Recipe::XorOp: {
+      const Expr *L = build(Ctx, R.A, Vars);
+      const Expr *Rhs = build(Ctx, R.B, Vars);
+      // Operand function ids carry no notion of variable order; print in
+      // (length, lexicographic) order so x&y never renders as y&x.
+      std::string LS = printExpr(Ctx, L), RS = printExpr(Ctx, Rhs);
+      if (std::make_pair(LS.size(), LS) > std::make_pair(RS.size(), RS))
+        std::swap(L, Rhs);
+      ExprKind K = R.Kind == Recipe::AndOp  ? ExprKind::And
+                   : R.Kind == Recipe::OrOp ? ExprKind::Or
+                                            : ExprKind::Xor;
+      return Ctx.getBinary(K, L, Rhs);
+    }
+    case Recipe::Unset:
+      break;
+    }
+    return nullptr;
+  }
+};
+
+const SynthTable &tableFor(unsigned T) {
+  assert(T >= 1 && T <= MaxBooleanMinVars && "unsupported variable count");
+  // Lazily constructed per variable count; thread-safe per C++11 statics.
+  static const SynthTable Table1(1);
+  static const SynthTable Table2(2);
+  static const SynthTable Table3(3);
+  switch (T) {
+  case 1:
+    return Table1;
+  case 2:
+    return Table2;
+  default:
+    return Table3;
+  }
+}
+
+} // namespace
+
+const Expr *mba::synthesizeBitwise(Context &Ctx,
+                                   std::span<const Expr *const> Vars,
+                                   uint32_t Truth, unsigned *CostOut) {
+  unsigned T = (unsigned)Vars.size();
+  const SynthTable &Table = tableFor(T);
+  unsigned Rows = 1u << T;
+  uint32_t FullMask = (Rows == 32) ? ~0u : ((1u << Rows) - 1);
+  assert((Truth & ~FullMask) == 0 && "truth bits beyond table rows");
+  (void)FullMask;
+  if (CostOut)
+    *CostOut = Table.Recipes[Truth].Cost;
+  return Table.build(Ctx, Truth, Vars);
+}

@@ -1,0 +1,48 @@
+//===- mba/BooleanMin.h - Minimal bitwise expression synthesis -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Smallest bitwise expression realizing a given truth function of up to
+/// three variables. This powers the paper's final-step optimization
+/// (Section 4.5): the simplifier's normalized output only uses conjunction
+/// terms, but e.g. x + y - 2*(x&y) is really x ^ y — a pure bitwise form
+/// with zero MBA alternation. At the final step MBA-Solver checks whether
+/// the whole signature matches a*f + b for some bitwise function f, and
+/// needs the cheapest expression of f; these tables provide it.
+///
+/// The search is an exhaustive breadth-first closure over the function
+/// space (4 / 16 / 256 functions for 1 / 2 / 3 variables) under the
+/// operators ~, &, |, ^ starting from the variables and the constants 0 and
+/// -1, minimizing operator count. The closure is computed once per variable
+/// count and cached for the process lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_MBA_BOOLEANMIN_H
+#define MBA_MBA_BOOLEANMIN_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <span>
+
+namespace mba {
+
+/// Maximum variable count the synthesis tables cover.
+constexpr unsigned MaxBooleanMinVars = 3;
+
+/// Builds the minimal bitwise expression over \p Vars whose truth column is
+/// \p Truth (bit k of \p Truth = function value on truth-table row k; rows
+/// follow the TruthTable.h convention). |Vars| must be 1..MaxBooleanMinVars.
+///
+/// \param CostOut if non-null, receives the operator count of the result.
+const Expr *synthesizeBitwise(Context &Ctx, std::span<const Expr *const> Vars,
+                              uint32_t Truth, unsigned *CostOut = nullptr);
+
+} // namespace mba
+
+#endif // MBA_MBA_BOOLEANMIN_H

@@ -1,0 +1,49 @@
+//===- mba/Classify.h - Linear / poly / non-poly classification -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntactic classification of MBA expressions into the paper's three
+/// categories (Figure 2):
+///
+///  * **Linear** (Definition 1): an integer-linear combination of pure
+///    bitwise expressions, sum_i a_i * e_i(x1..xt).
+///  * **Polynomial** (Definition 2): sum_i a_i * prod_j e_ij(x1..xt) —
+///    products of bitwise expressions are allowed inside terms. Following
+///    the paper, "poly MBA" elsewhere means *non-linear* polynomial.
+///  * **NonPolynomial**: everything else, i.e. some bitwise operator has an
+///    operand that itself computes arithmetic (e.g. (x+y)&z or ~(x-1)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_MBA_CLASSIFY_H
+#define MBA_MBA_CLASSIFY_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+namespace mba {
+
+/// The paper's MBA complexity categories. Linear implies Polynomial; the
+/// classifier returns the most specific category.
+enum class MBAKind : uint8_t {
+  Linear,
+  Polynomial,   ///< non-linear polynomial ("poly MBA" in the paper)
+  NonPolynomial ///< not expressible under Definition 2
+};
+
+/// Printable name of a category.
+const char *mbaKindName(MBAKind K);
+
+/// True if \p E is a pure bitwise expression: variables and the constants
+/// 0 / -1 (whose truth columns are uniform) combined with &, |, ^, ~ only.
+bool isPureBitwise(const Context &Ctx, const Expr *E);
+
+/// Classifies \p E into the most specific of the three categories.
+MBAKind classifyMBA(const Context &Ctx, const Expr *E);
+
+} // namespace mba
+
+#endif // MBA_MBA_CLASSIFY_H

@@ -1,0 +1,149 @@
+//===- mba/KnownBits.cpp - Known-bits dataflow analysis -------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mba/KnownBits.h"
+
+#include "ast/ExprUtils.h"
+
+#include <bit>
+
+using namespace mba;
+
+namespace {
+
+/// Mask of the low \p N bits (N <= 64).
+uint64_t lowBits(unsigned N) {
+  return N >= 64 ? ~0ULL : ((1ULL << N) - 1);
+}
+
+/// Known bits of A + B + CarryIn (carry-in fully known). Bits of the sum
+/// are determined from the least-significant end as long as both operands
+/// are determined: a carry out of a fully known prefix is itself known.
+KnownBits addKnown(KnownBits A, KnownBits B, uint64_t CarryIn,
+                   uint64_t Mask) {
+  unsigned TrailA = (unsigned)std::countr_one(A.knownMask());
+  unsigned TrailB = (unsigned)std::countr_one(B.knownMask());
+  unsigned Known = std::min(TrailA, TrailB);
+  if (Known == 0)
+    return KnownBits();
+  uint64_t Window = lowBits(Known);
+  uint64_t Sum = (A.One & Window) + (B.One & Window) + CarryIn;
+  KnownBits R;
+  R.One = Sum & Window & Mask;
+  R.Zero = ~Sum & Window & Mask;
+  return R;
+}
+
+} // namespace
+
+KnownBits
+mba::computeKnownBits(const Context &Ctx, const Expr *E,
+                      std::unordered_map<const Expr *, KnownBits> &Memo) {
+  uint64_t Mask = Ctx.mask();
+  forEachNodePostOrder(E, [&](const Expr *N) {
+    if (Memo.find(N) != Memo.end())
+      return;
+    KnownBits K;
+    switch (N->kind()) {
+    case ExprKind::Var:
+      break; // nothing known
+    case ExprKind::Const:
+      K.One = N->constValue();
+      K.Zero = ~N->constValue() & Mask;
+      break;
+    case ExprKind::Not: {
+      KnownBits A = Memo.at(N->operand());
+      K.Zero = A.One;
+      K.One = A.Zero;
+      break;
+    }
+    case ExprKind::And: {
+      KnownBits A = Memo.at(N->lhs()), B = Memo.at(N->rhs());
+      K.One = A.One & B.One;
+      K.Zero = (A.Zero | B.Zero) & Mask;
+      break;
+    }
+    case ExprKind::Or: {
+      KnownBits A = Memo.at(N->lhs()), B = Memo.at(N->rhs());
+      K.One = A.One | B.One;
+      K.Zero = A.Zero & B.Zero;
+      break;
+    }
+    case ExprKind::Xor: {
+      KnownBits A = Memo.at(N->lhs()), B = Memo.at(N->rhs());
+      K.One = (A.One & B.Zero) | (A.Zero & B.One);
+      K.Zero = (A.Zero & B.Zero) | (A.One & B.One);
+      break;
+    }
+    case ExprKind::Add:
+      K = addKnown(Memo.at(N->lhs()), Memo.at(N->rhs()), 0, Mask);
+      break;
+    case ExprKind::Sub: {
+      // a - b == a + ~b + 1.
+      KnownBits B = Memo.at(N->rhs());
+      KnownBits NotB{B.One, B.Zero};
+      K = addKnown(Memo.at(N->lhs()), NotB, 1, Mask);
+      break;
+    }
+    case ExprKind::Neg: {
+      // -a == ~a + 1.
+      KnownBits A = Memo.at(N->operand());
+      KnownBits NotA{A.One, A.Zero};
+      KnownBits Zero;
+      Zero.Zero = Mask; // the constant 0
+      K = addKnown(Zero, NotA, 1, Mask);
+      break;
+    }
+    case ExprKind::Mul: {
+      // The low k bits of a product depend only on the low k bits of the
+      // factors; when both are known on a low window, so is the product on
+      // that window. Trailing zeros additionally accumulate.
+      KnownBits A = Memo.at(N->lhs()), B = Memo.at(N->rhs());
+      unsigned TrailA = (unsigned)std::countr_one(A.knownMask());
+      unsigned TrailB = (unsigned)std::countr_one(B.knownMask());
+      unsigned Known = std::min(TrailA, TrailB);
+      if (Known) {
+        uint64_t Window = lowBits(Known);
+        uint64_t Prod = (A.One & Window) * (B.One & Window);
+        K.One = Prod & Window & Mask;
+        K.Zero = ~Prod & Window & Mask;
+      }
+      // Factor trailing zeros: tz(a*b) >= tz(a) + tz(b).
+      unsigned TzA = (unsigned)std::countr_one(A.Zero);
+      unsigned TzB = (unsigned)std::countr_one(B.Zero);
+      unsigned Tz = std::min(64u, TzA + TzB);
+      K.Zero |= lowBits(Tz) & Mask & ~K.One;
+      break;
+    }
+    }
+    assert((K.Zero & K.One) == 0 && "contradictory known bits");
+    Memo.emplace(N, K);
+  });
+  return Memo.at(E);
+}
+
+KnownBits mba::computeKnownBits(const Context &Ctx, const Expr *E) {
+  std::unordered_map<const Expr *, KnownBits> Memo;
+  return computeKnownBits(Ctx, E, Memo);
+}
+
+const Expr *mba::foldKnownBits(Context &Ctx, const Expr *E) {
+  std::unordered_map<const Expr *, KnownBits> Memo;
+  computeKnownBits(Ctx, E, Memo);
+  uint64_t Mask = Ctx.mask();
+  return rewriteBottomUp(Ctx, E, [&](const Expr *N) -> const Expr * {
+    if (N->isLeaf())
+      return N;
+    // Note: rebuilt nodes may be absent from the memo (their operands were
+    // folded); analyze on demand.
+    auto It = Memo.find(N);
+    KnownBits K =
+        It != Memo.end() ? It->second : computeKnownBits(Ctx, N, Memo);
+    if (K.isConstant(Mask))
+      return Ctx.getConst(K.One);
+    return N;
+  });
+}

@@ -1,0 +1,60 @@
+//===- mba/Signature.cpp - MBA signature vectors ----------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mba/Signature.h"
+
+#include "ast/CompiledEval.h"
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "linalg/TruthTable.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+using namespace mba;
+
+std::vector<uint64_t>
+mba::computeSignature(const Context &Ctx, const Expr *E,
+                      std::span<const Expr *const> Vars) {
+  unsigned T = (unsigned)Vars.size();
+  assert(T <= 20 && "signature would be too large");
+  std::vector<uint64_t> Sig(1u << T);
+  // 2^t evaluations of the same DAG: compile once, replay per corner.
+  CompiledExpr Compiled(Ctx, E);
+  unsigned MaxIndex = 0;
+  for (const Expr *V : Vars)
+    MaxIndex = std::max(MaxIndex, V->varIndex());
+  std::vector<uint64_t> Assignment(MaxIndex + 1, 0);
+  for (unsigned Row = 0; Row != (1u << T); ++Row) {
+    for (unsigned I = 0; I != T; ++I)
+      Assignment[Vars[I]->varIndex()] = truthBit(Row, I, T) ? Ctx.mask() : 0;
+    Sig[Row] = (0 - Compiled.evaluate(Assignment)) & Ctx.mask();
+  }
+  return Sig;
+}
+
+std::vector<uint64_t> mba::computeSignature(const Context &Ctx, const Expr *E,
+                                            std::vector<const Expr *> *VarsOut) {
+  std::vector<const Expr *> Vars = collectVariables(E);
+  auto Sig = computeSignature(Ctx, E, Vars);
+  if (VarsOut)
+    *VarsOut = std::move(Vars);
+  return Sig;
+}
+
+bool mba::linearMBAEquivalent(const Context &Ctx, const Expr *E1,
+                              const Expr *E2) {
+  // Union of the two variable sets, name-sorted for a canonical row order.
+  std::vector<const Expr *> Vars = collectVariables(E1);
+  for (const Expr *V : collectVariables(E2))
+    Vars.push_back(V);
+  std::sort(Vars.begin(), Vars.end(), [](const Expr *A, const Expr *B) {
+    return std::strcmp(A->varName(), B->varName()) < 0;
+  });
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return computeSignature(Ctx, E1, Vars) == computeSignature(Ctx, E2, Vars);
+}

@@ -1,0 +1,441 @@
+//===- mba/Simplifier.cpp - The MBA-Solver simplification engine ---------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mba/Simplifier.h"
+
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Printer.h"
+#include "linalg/TruthTable.h"
+#include "mba/BooleanMin.h"
+#include "mba/Classify.h"
+#include "mba/KnownBits.h"
+#include "mba/Metrics.h"
+#include "mba/Signature.h"
+#include "poly/PolyExpr.h"
+#include "support/Stopwatch.h"
+
+#include <functional>
+
+using namespace mba;
+
+MBASolver::MBASolver(Context &Ctx, SimplifyOptions Opts)
+    : Ctx(Ctx), Opts(Opts) {}
+
+const Expr *MBASolver::simplify(const Expr *E) {
+  Stopwatch Timer;
+  size_t BytesBefore = Ctx.bytesUsed();
+
+  const Expr *R = E;
+  if (Opts.EnableKnownBits)
+    R = foldKnownBits(Ctx, R);
+  R = simplifyRec(R, 0);
+  if (Opts.EnableFinalOpt)
+    R = finalOptimize(R);
+  // Never return a form with more bitwise/arithmetic mixing than the
+  // input. (Length may grow: the normalized expansion of a factored
+  // polynomial is longer but canonical, which is what solvers need.)
+  if (mbaAlternation(R) > mbaAlternation(E))
+    R = E;
+
+  Stats.Seconds += Timer.seconds();
+  Stats.ArenaBytesDelta += Ctx.bytesUsed() - BytesBefore;
+  return R;
+}
+
+const Expr *MBASolver::simplifyRec(const Expr *E, unsigned Depth) {
+  if (E->isLeaf())
+    return E;
+  if (Depth > Opts.MaxDepth)
+    return E;
+  auto It = ResultMemo.find(E);
+  if (It != ResultMemo.end())
+    return It->second;
+
+  const Expr *R = E;
+  switch (classifyMBA(Ctx, E)) {
+  case MBAKind::Linear: {
+    std::vector<const Expr *> Vars = collectVariables(E);
+    if (Vars.size() <= Opts.MaxSignatureVars)
+      R = simplifyLinear(E, Vars);
+    else
+      // Too many variables for a whole-expression signature: the
+      // polynomial path normalizes each bitwise atom over its own
+      // (smaller) variable set instead.
+      R = simplifyPoly(E, Depth);
+    break;
+  }
+  case MBAKind::Polynomial:
+    R = simplifyPoly(E, Depth);
+    break;
+  case MBAKind::NonPolynomial:
+    R = simplifyNonPoly(E, Depth);
+    break;
+  }
+
+  if (mbaAlternation(R) > mbaAlternation(E))
+    R = E;
+  ResultMemo.emplace(E, R);
+  return R;
+}
+
+const Expr *MBASolver::simplifyLinear(const Expr *E,
+                                      const std::vector<const Expr *> &Vars) {
+  if (Vars.empty())
+    // No variables: a constant expression; evaluate it.
+    return Ctx.getConst(evaluate(Ctx, E, std::span<const uint64_t>()));
+  ++Stats.LinearRuns;
+  std::vector<uint64_t> Sig = computeSignature(Ctx, E, Vars);
+  Stats.TransientBytes += Sig.size() * sizeof(uint64_t);
+  LinearCombo Combo = normalizedCombo(Sig, Vars, /*AllowAuto=*/true);
+  return buildLinearCombination(Ctx, Combo.Terms, Combo.Constant);
+}
+
+LinearCombo
+MBASolver::normalizedCombo(const std::vector<uint64_t> &Sig,
+                           const std::vector<const Expr *> &Vars,
+                           bool AllowAuto) {
+  auto Solve = [&]() -> LinearCombo {
+    if (!Opts.AutoBasis || !AllowAuto)
+      return solveBasis(Ctx, Opts.Basis, Sig, Vars);
+    // Input-dependent basis selection (Section 7): keep the combination
+    // with fewer terms; break ties toward the shorter rebuilt expression.
+    LinearCombo Conj = solveBasis(Ctx, BasisKind::Conjunction, Sig, Vars);
+    LinearCombo Disj = solveBasis(Ctx, BasisKind::Disjunction, Sig, Vars);
+    if (Conj.numExprTerms() != Disj.numExprTerms())
+      return Conj.numExprTerms() < Disj.numExprTerms() ? Conj : Disj;
+    size_t LenC = printExpr(Ctx, buildLinearCombination(Ctx, Conj.Terms,
+                                                        Conj.Constant))
+                      .size();
+    size_t LenD = printExpr(Ctx, buildLinearCombination(Ctx, Disj.Terms,
+                                                        Disj.Constant))
+                      .size();
+    return LenD < LenC ? Disj : Conj;
+  };
+
+  if (!Opts.EnableCache)
+    return Solve();
+  auto Key = std::make_tuple(Vars, Sig, AllowAuto && Opts.AutoBasis);
+  auto It = Cache.find(Key);
+  if (It != Cache.end()) {
+    ++Stats.CacheHits;
+    return It->second;
+  }
+  ++Stats.CacheMisses;
+  LinearCombo Combo = Solve();
+  Cache.emplace(std::move(Key), Combo);
+  return Combo;
+}
+
+const Expr *MBASolver::simplifyPoly(const Expr *E, unsigned Depth) {
+  ++Stats.PolyRuns;
+  AtomMap Atoms;
+  uint64_t Mask = Ctx.mask();
+
+  // Section 4.4: substitute every bitwise sub-expression by its normalized
+  // linear combination over basis terms, then expand and collect in the
+  // polynomial ring.
+  auto AtomPoly = [&](const Expr *N) -> std::optional<Polynomial> {
+    if (N->isVar())
+      return Polynomial::atom(Atoms.getOrCreate(N), Mask);
+    if (!isBitwiseKind(N->kind()))
+      return std::nullopt; // arithmetic and constants: converter recurses
+    if (!isPureBitwise(Ctx, N))
+      // Impure bitwise (only reachable from the non-poly path): opaque.
+      return Polynomial::atom(Atoms.getOrCreate(N), Mask);
+    std::vector<const Expr *> Vars = collectVariables(N);
+    if (Vars.empty())
+      return Polynomial::constant(
+          evaluate(Ctx, N, std::span<const uint64_t>()), Mask);
+    if (Vars.size() > Opts.MaxSignatureVars)
+      return Polynomial::atom(Atoms.getOrCreate(N), Mask);
+    std::vector<uint64_t> Sig = computeSignature(Ctx, N, Vars);
+    Stats.TransientBytes += Sig.size() * sizeof(uint64_t);
+    LinearCombo Combo = normalizedCombo(Sig, Vars, /*AllowAuto=*/false);
+    Polynomial P = Polynomial::constant(Combo.Constant, Mask);
+    for (auto &[Coeff, Term] : Combo.Terms)
+      P.addTerm(Monomial::atom(Atoms.getOrCreate(Term)), Coeff);
+    return P;
+  };
+
+  std::optional<Polynomial> P = exprToPolynomialGeneral(Ctx, E, AtomPoly);
+  if (!P)
+    // Expansion exceeded the term cap: fall back to simplifying operands.
+    return rebuildWithSimplifiedChildren(E, Depth);
+  // Rough per-term footprint of the map-based polynomial representation.
+  Stats.TransientBytes += P->numTerms() * 64;
+  return polynomialToExpr(Ctx, *P, Atoms);
+}
+
+const Expr *MBASolver::simplifyNonPoly(const Expr *E, unsigned Depth) {
+  ++Stats.NonPolyRuns;
+
+  // Abstract every arithmetic sub-expression that sits directly under a
+  // bitwise operator as a fresh temporary variable, recursively simplifying
+  // it first. Equal (post-simplification) sub-expressions share one
+  // temporary — this *is* the paper's common-sub-expression optimization:
+  //   ((x&~y - ~x&y)|z) + ((x&~y - ~x&y)&z)
+  //     -> (t|z) + (t&z) with t = x - y  ->  t + z  ->  x - y + z
+  std::unordered_map<const Expr *, const Expr *> TempFor;   // subexpr -> temp
+  std::unordered_map<const Expr *, const Expr *> BackSubst; // temp -> subexpr
+  bool AbstractionFailed = false;
+
+  std::unordered_map<const Expr *, const Expr *> Memo;
+  std::function<const Expr *(const Expr *)> Abstract =
+      [&](const Expr *N) -> const Expr * {
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    const Expr *R;
+    if (N->isLeaf()) {
+      R = N;
+    } else if (isBitwiseKind(N->kind())) {
+      auto DoOperand = [&](const Expr *O) -> const Expr * {
+        if (isPureBitwise(Ctx, O))
+          return O;
+        if (isBitwiseKind(O->kind()))
+          return Abstract(O); // impure bitwise: abstract deeper inside
+        // Note that a plain constant mask (e.g. the 3 in x & 3) is
+        // abstracted like any arithmetic operand: the derived identity
+        // holds for every value of the temporary, in particular for the
+        // constant. Generality is lost (no constant-specific reasoning)
+        // but soundness is not.
+        const Expr *S = simplifyRec(O, Depth);
+        if (isPureBitwise(Ctx, S))
+          return S; // simplification removed the arithmetic
+        // A linear operand whose signature is 0/1-valued *is* a bitwise
+        // function (Theorem 1 makes the corner agreement total): rewrite
+        // it as one instead of abstracting — e.g. -x-1 under & becomes
+        // ~x, letting the surrounding bitwise context normalize fully.
+        if (const Expr *Bitwise = recognizeBitwise(S))
+          return Bitwise;
+        if (!Opts.EnableCSE) {
+          AbstractionFailed = true;
+          return S;
+        }
+        auto [TIt, Inserted] = TempFor.emplace(S, nullptr);
+        if (Inserted) {
+          // Complement sharing: when S == ~S' for an already-abstracted
+          // S' (e.g. -x-y-1 alongside x+y), reuse ~t' instead of burning
+          // an unrelated temporary — the relation survives into the
+          // signature solve. Theorem 1 decides the equality exactly for
+          // (semantically) linear operands.
+          if (classifyMBA(Ctx, S) == MBAKind::Linear &&
+              collectVariables(S).size() <= Opts.MaxSignatureVars) {
+            for (const auto &[Prev, Temp] : TempFor) {
+              if (Prev == S || !Temp)
+                continue;
+              if (classifyMBA(Ctx, Prev) != MBAKind::Linear)
+                continue;
+              if (collectVariables(Prev).size() > Opts.MaxSignatureVars)
+                continue;
+              if (linearMBAEquivalent(Ctx, S, Ctx.getNot(Prev))) {
+                const Expr *Shared = Ctx.getNot(Temp);
+                TempFor.erase(TIt);
+                return Shared;
+              }
+            }
+          }
+          const Expr *T = freshTempVar();
+          TIt->second = T;
+          BackSubst.emplace(T, S);
+        }
+        return TIt->second;
+      };
+      if (N->isUnary())
+        R = Ctx.rebuild(N, DoOperand(N->operand()), nullptr);
+      else
+        R = Ctx.rebuild(N, DoOperand(N->lhs()), DoOperand(N->rhs()));
+    } else {
+      // Arithmetic spine: descend structurally.
+      if (N->isUnary())
+        R = Ctx.rebuild(N, Abstract(N->operand()), nullptr);
+      else
+        R = Ctx.rebuild(N, Abstract(N->lhs()), Abstract(N->rhs()));
+    }
+    Memo.emplace(N, R);
+    return R;
+  };
+
+  const Expr *EAbs = Abstract(E);
+  if (AbstractionFailed)
+    return arithReduceOpaque(rebuildWithSimplifiedChildren(E, Depth));
+
+  // The abstraction is linear or polynomial unless constants appear as
+  // direct bitwise operands (x & 3 style), which stay non-poly.
+  const Expr *RAbs = EAbs;
+  switch (classifyMBA(Ctx, EAbs)) {
+  case MBAKind::Linear: {
+    std::vector<const Expr *> Vars = collectVariables(EAbs);
+    RAbs = Vars.size() <= Opts.MaxSignatureVars ? simplifyLinear(EAbs, Vars)
+                                                : simplifyPoly(EAbs, Depth);
+    break;
+  }
+  case MBAKind::Polynomial:
+    RAbs = simplifyPoly(EAbs, Depth);
+    break;
+  case MBAKind::NonPolynomial:
+    RAbs = arithReduceOpaque(EAbs);
+    break;
+  }
+
+  const Expr *R =
+      BackSubst.empty() ? RAbs : substitute(Ctx, RAbs, BackSubst);
+  R = arithReduceOpaque(R);
+
+  // Substitution may expose further structure — a simpler class (the
+  // paper's example collapses to the linear x - y + z) or another round of
+  // abstraction (e.g. a remaining -z under &). Iterate while progress is
+  // made, bounded by the depth budget.
+  if (R != E && Depth < Opts.MaxDepth)
+    R = simplifyRec(R, Depth + 1);
+  return R;
+}
+
+const Expr *MBASolver::recognizeBitwise(const Expr *E) {
+  if (classifyMBA(Ctx, E) != MBAKind::Linear)
+    return nullptr;
+  std::vector<const Expr *> Vars = collectVariables(E);
+  if (Vars.empty() || Vars.size() > Opts.MaxSignatureVars)
+    return nullptr;
+  std::vector<uint64_t> Sig = computeSignature(Ctx, E, Vars);
+  for (uint64_t S : Sig)
+    if (S > 1)
+      return nullptr;
+
+  unsigned T = (unsigned)Vars.size();
+  unsigned Rows = 1u << T;
+  if (T <= MaxBooleanMinVars) {
+    uint32_t Truth = 0;
+    for (unsigned Row = 0; Row != Rows; ++Row)
+      if (Sig[Row])
+        Truth |= 1u << Row;
+    return synthesizeBitwise(Ctx, Vars, Truth);
+  }
+  // More variables: disjunctive normal form over the true rows (rarely
+  // reached and possibly large, but always pure bitwise and exact).
+  bool AllTrue = true;
+  for (uint64_t S : Sig)
+    AllTrue &= S == 1;
+  if (AllTrue)
+    return Ctx.getAllOnes();
+  const Expr *Dnf = nullptr;
+  for (unsigned Row = 0; Row != Rows; ++Row) {
+    if (!Sig[Row])
+      continue;
+    const Expr *Minterm = nullptr;
+    for (unsigned I = 0; I != T; ++I) {
+      const Expr *L = truthBit(Row, I, T) ? Vars[I] : Ctx.getNot(Vars[I]);
+      Minterm = Minterm ? Ctx.getAnd(Minterm, L) : L;
+    }
+    Dnf = Dnf ? Ctx.getOr(Dnf, Minterm) : Minterm;
+  }
+  return Dnf ? Dnf : Ctx.getZero();
+}
+
+const Expr *MBASolver::rebuildWithSimplifiedChildren(const Expr *E,
+                                                     unsigned Depth) {
+  if (E->isLeaf())
+    return E;
+  if (E->isUnary())
+    return Ctx.rebuild(E, simplifyRec(E->operand(), Depth), nullptr);
+  return Ctx.rebuild(E, simplifyRec(E->lhs(), Depth),
+                     simplifyRec(E->rhs(), Depth));
+}
+
+const Expr *MBASolver::arithReduceOpaque(const Expr *E) {
+  AtomMap Atoms;
+  std::optional<Polynomial> P =
+      exprToPolynomial(Ctx, E, Atoms, [](const Expr *N) {
+        return N->isVar() || isBitwiseKind(N->kind());
+      });
+  if (!P)
+    return E;
+  return polynomialToExpr(Ctx, *P, Atoms);
+}
+
+const Expr *MBASolver::finalOptimize(const Expr *E) {
+  if (E->isConst())
+    return E;
+  if (classifyMBA(Ctx, E) != MBAKind::Linear)
+    return E;
+  std::vector<const Expr *> Vars = collectVariables(E);
+  if (Vars.empty())
+    return Ctx.getConst(evaluate(Ctx, E, std::span<const uint64_t>()));
+  unsigned T = (unsigned)Vars.size();
+  if (T > Opts.MaxFinalOptVars || T > MaxBooleanMinVars)
+    return E;
+
+  uint64_t Mask = Ctx.mask();
+  unsigned Rows = 1u << T;
+  std::vector<uint64_t> Sig = computeSignature(Ctx, E, Vars);
+
+  // Uniform signature: the expression is a constant.
+  bool Uniform = true;
+  for (unsigned K = 1; K != Rows; ++K)
+    Uniform &= Sig[K] == Sig[0];
+  if (Uniform)
+    return pickBetter(Ctx.getConst((0 - Sig[0]) & Mask), E);
+
+  // Section 4.5 final step: search for a representation a * f(vars) + c
+  // with f a single bitwise function; e.g. sig(x + y - 2*(x&y)) matches
+  // f = XOR with a = 1, c = 0.
+  const Expr *Best = E;
+  for (uint32_t F = 1; F + 1 < (1u << Rows); ++F) {
+    uint64_t OffValue = 0, OnValue = 0;
+    bool HaveOff = false, HaveOn = false, Consistent = true;
+    for (unsigned K = 0; K != Rows && Consistent; ++K) {
+      if (F >> K & 1) {
+        if (!HaveOn) {
+          OnValue = Sig[K];
+          HaveOn = true;
+        } else {
+          Consistent = OnValue == Sig[K];
+        }
+      } else {
+        if (!HaveOff) {
+          OffValue = Sig[K];
+          HaveOff = true;
+        } else {
+          Consistent = OffValue == Sig[K];
+        }
+      }
+    }
+    if (!Consistent)
+      continue;
+    uint64_t A = (OnValue - OffValue) & Mask;
+    if (!A)
+      continue; // degenerate: uniform case already handled
+    const Expr *FExpr = synthesizeBitwise(Ctx, Vars, F);
+    const Expr *Candidate =
+        buildLinearCombination(Ctx, {{A, FExpr}}, (0 - OffValue) & Mask);
+    Best = pickBetter(Best, Candidate);
+  }
+  return Best;
+}
+
+const Expr *MBASolver::pickBetter(const Expr *A, const Expr *B) const {
+  if (A == B)
+    return A;
+  uint64_t AltA = mbaAlternation(A), AltB = mbaAlternation(B);
+  if (AltA != AltB)
+    return AltA < AltB ? A : B;
+  size_t LenA = printExpr(Ctx, A).size(), LenB = printExpr(Ctx, B).size();
+  if (LenA != LenB)
+    return LenA < LenB ? A : B;
+  size_t NodesA = countDagNodes(A), NodesB = countDagNodes(B);
+  if (NodesA != NodesB)
+    return NodesA < NodesB ? A : B;
+  return A;
+}
+
+const Expr *MBASolver::freshTempVar() {
+  for (;;) {
+    std::string Name = "_t" + std::to_string(NextTempId++);
+    if (!Ctx.hasVar(Name))
+      return Ctx.getVar(Name);
+  }
+}

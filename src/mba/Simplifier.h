@@ -1,0 +1,166 @@
+//===- mba/Simplifier.h - The MBA-Solver simplification engine -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution (Algorithm 1): a semantics-preserving
+/// transformation that reduces the MBA alternation of mixed
+/// bitwise-arithmetic expressions so that SMT solvers can process them.
+///
+/// Pipeline per expression:
+///  * **Linear MBA** — compute the signature vector, express it in the
+///    normalized basis (lookup table first, ring solve on miss), rebuild.
+///  * **Polynomial MBA** — substitute every bitwise sub-expression by its
+///    normalized linear form over conjunction terms (Section 4.4), expand
+///    in the polynomial ring, and collect/cancel.
+///  * **Non-polynomial MBA** — recursively simplify the arithmetic
+///    sub-expressions under bitwise operators, abstract them as fresh
+///    temporary variables (the common-sub-expression optimization of
+///    Section 4.5 falls out: equal sub-expressions share one temporary),
+///    simplify the now linear/polynomial abstraction, substitute back, and
+///    arithmetically reduce.
+///  * **Final-step optimization** — try to replace the result by
+///    `a * f(x..) + c` for a single bitwise function f of up to three
+///    variables, e.g. x + y - 2*(x&y) ==> x ^ y.
+///
+/// Every step is an exact identity on Z/2^w: the simplifier cannot produce
+/// false positives or negatives (unlike pattern matching or synthesis; see
+/// the peer-tool comparison in Table 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_MBA_SIMPLIFIER_H
+#define MBA_MBA_SIMPLIFIER_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+#include "mba/Basis.h"
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace mba {
+
+/// Tuning knobs of the simplifier.
+struct SimplifyOptions {
+  /// Normalized basis to express signatures in (Section 7 ablation).
+  BasisKind Basis = BasisKind::Conjunction;
+
+  /// Section 7 "future work": pick the basis per signature — solve in both
+  /// the conjunction and disjunction bases and keep the more compact
+  /// combination. Overrides Basis when enabled.
+  bool AutoBasis = false;
+
+  /// Maximum variable count for whole-expression signature computation
+  /// (the signature has 2^t entries). Beyond this, linear expressions take
+  /// the polynomial path, which normalizes atoms over their own variables.
+  unsigned MaxSignatureVars = 10;
+
+  /// Abstract arithmetic sub-expressions under bitwise operators as
+  /// temporary variables (Section 4.5 common-sub-expression optimization).
+  /// Disabling reproduces the paper's weaker behaviour on non-poly inputs.
+  bool EnableCSE = true;
+
+  /// Apply the final-step single-bitwise-function optimization.
+  bool EnableFinalOpt = true;
+
+  /// Run the known-bits folding pre-pass (covers masked-constant cases the
+  /// signature machinery cannot see, e.g. (x*2) & 1 == 0).
+  bool EnableKnownBits = true;
+
+  /// Memoize signature -> normalized combination (the look-up table of
+  /// Section 4.5).
+  bool EnableCache = true;
+
+  /// Maximum variable count for the final-step optimization (function
+  /// enumeration is exponential in 2^t).
+  unsigned MaxFinalOptVars = 3;
+
+  /// Recursion budget for re-simplification of substituted results.
+  unsigned MaxDepth = 16;
+};
+
+/// Cumulative statistics across simplify() calls.
+struct SimplifyStats {
+  double Seconds = 0;
+  size_t ArenaBytesDelta = 0; ///< context arena growth during simplify()
+  /// Estimated transient working-set bytes (signature vectors, polynomial
+  /// term maps, lookup-table entries). The arena only holds expression
+  /// nodes, so this is the dominant memory term for Table 8.
+  size_t TransientBytes = 0;
+  size_t CacheHits = 0;
+  size_t CacheMisses = 0;
+  unsigned LinearRuns = 0;  ///< linear-path simplifications
+  unsigned PolyRuns = 0;    ///< polynomial-path simplifications
+  unsigned NonPolyRuns = 0; ///< non-polynomial-path simplifications
+};
+
+/// The MBA-Solver simplification engine. Stateful only through the lookup
+/// cache and statistics; simplify() may be called any number of times.
+class MBASolver {
+public:
+  explicit MBASolver(Context &Ctx, SimplifyOptions Opts = SimplifyOptions());
+
+  /// Simplifies \p E to an equivalent expression with lower (usually zero
+  /// or near-zero) MBA alternation. Always returns a valid expression; when
+  /// no reduction is found the input is returned unchanged.
+  const Expr *simplify(const Expr *E);
+
+  const SimplifyStats &stats() const { return Stats; }
+  void resetStats() { Stats = SimplifyStats(); }
+
+  const SimplifyOptions &options() const { return Opts; }
+
+private:
+  const Expr *simplifyRec(const Expr *E, unsigned Depth);
+  const Expr *simplifyLinear(const Expr *E,
+                             const std::vector<const Expr *> &Vars);
+  const Expr *simplifyPoly(const Expr *E, unsigned Depth);
+  const Expr *simplifyNonPoly(const Expr *E, unsigned Depth);
+  const Expr *rebuildWithSimplifiedChildren(const Expr *E, unsigned Depth);
+
+  /// If \p E is a linear expression whose signature is 0/1-valued — i.e.
+  /// semantically a pure bitwise function (e.g. -x-1 == ~x) — returns that
+  /// bitwise form; otherwise nullptr.
+  const Expr *recognizeBitwise(const Expr *E);
+  const Expr *arithReduceOpaque(const Expr *E);
+  const Expr *finalOptimize(const Expr *E);
+
+  /// Looks up / computes the normalized combination of a signature.
+  /// \p AllowAuto permits per-input basis selection (AutoBasis option);
+  /// the polynomial path passes false — its atoms must all normalize in
+  /// one coherent basis or cross-atom cancellation breaks.
+  LinearCombo normalizedCombo(const std::vector<uint64_t> &Sig,
+                              const std::vector<const Expr *> &Vars,
+                              bool AllowAuto);
+
+  /// Returns the preferred of two equivalent forms (lower alternation,
+  /// then shorter, then fewer DAG nodes).
+  const Expr *pickBetter(const Expr *A, const Expr *B) const;
+
+  /// A fresh variable not used anywhere in the context yet.
+  const Expr *freshTempVar();
+
+  Context &Ctx;
+  SimplifyOptions Opts;
+  SimplifyStats Stats;
+
+  /// Lookup table (Section 4.5): (variable tuple, signature, auto-basis
+  /// flag) -> combination.
+  std::map<std::tuple<std::vector<const Expr *>, std::vector<uint64_t>, bool>,
+           LinearCombo>
+      Cache;
+
+  /// Memo of completed top-level rewrites, keyed on input node.
+  std::unordered_map<const Expr *, const Expr *> ResultMemo;
+
+  unsigned NextTempId = 0;
+};
+
+} // namespace mba
+
+#endif // MBA_MBA_SIMPLIFIER_H

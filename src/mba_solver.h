@@ -1,0 +1,59 @@
+//===- mba_solver.h - Umbrella header for the MBA-Solver library -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for downstream users: one include pulls in the
+/// public surface of the library. Individual headers remain the preferred
+/// include for translation units that only need one subsystem.
+///
+/// \code
+///   #include "mba_solver.h"
+///
+///   mba::Context Ctx(64);
+///   const mba::Expr *E = mba::parseOrDie(Ctx, "(x&~y)+y");
+///   mba::MBASolver Solver(Ctx);
+///   std::string S = mba::printExpr(Ctx, Solver.simplify(E)); // "x|y"
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_MBA_SOLVER_H
+#define MBA_MBA_SOLVER_H
+
+// Expressions: construction, parsing, printing, evaluation, visualization.
+#include "ast/CompiledEval.h"
+#include "ast/Context.h"
+#include "ast/DotPrinter.h"
+#include "ast/Evaluator.h"
+#include "ast/Expr.h"
+#include "ast/ExprUtils.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+
+// The MBA theory core: classification, metrics, signatures, simplification.
+#include "mba/Basis.h"
+#include "mba/BooleanMin.h"
+#include "mba/Classify.h"
+#include "mba/KnownBits.h"
+#include "mba/Metrics.h"
+#include "mba/Signature.h"
+#include "mba/Simplifier.h"
+
+// Obfuscation / dataset generation.
+#include "gen/Corpus.h"
+#include "gen/EncodeArithmetic.h"
+#include "gen/Obfuscator.h"
+#include "gen/SeedIdentities.h"
+
+// Equivalence checking backends and SMT-LIB interop.
+#include "solvers/EquivalenceChecker.h"
+#include "solvers/SmtLib.h"
+#include "solvers/SmtLibParser.h"
+
+// Straight-line code traces.
+#include "ir/Trace.h"
+
+#endif // MBA_MBA_SOLVER_H

@@ -1,0 +1,190 @@
+//===- peer/PatternRewriter.cpp - SSPAM-style simplification --------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "peer/PatternRewriter.h"
+
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Parser.h"
+
+#include <unordered_map>
+
+using namespace mba;
+
+namespace {
+
+using Bindings = std::unordered_map<const Expr *, const Expr *>;
+
+/// Syntactic matching with wildcard variables and commutative-operator
+/// backtracking.
+bool matchExpr(const Expr *Pattern, const Expr *Subject, Bindings &Bound) {
+  if (Pattern->isVar()) {
+    auto [It, Inserted] = Bound.emplace(Pattern, Subject);
+    return Inserted || It->second == Subject;
+  }
+  if (Pattern->isConst())
+    return Subject->isConst() &&
+           Pattern->constValue() == Subject->constValue();
+  if (Pattern->kind() != Subject->kind())
+    return false;
+  if (Pattern->isUnary())
+    return matchExpr(Pattern->operand(), Subject->operand(), Bound);
+
+  Bindings Saved = Bound;
+  if (matchExpr(Pattern->lhs(), Subject->lhs(), Bound) &&
+      matchExpr(Pattern->rhs(), Subject->rhs(), Bound))
+    return true;
+  Bound = Saved;
+  if (isCommutativeKind(Pattern->kind())) {
+    if (matchExpr(Pattern->lhs(), Subject->rhs(), Bound) &&
+        matchExpr(Pattern->rhs(), Subject->lhs(), Bound))
+      return true;
+    Bound = Saved;
+  }
+  return false;
+}
+
+} // namespace
+
+PatternRewriter::PatternRewriter(Context &Ctx) : Ctx(Ctx) {
+  // The built-in library: the classic identities SSPAM's pattern base
+  // covers (Hacker's Delight chapter 2, HAKMEM, and the trivial algebraic
+  // cleanups SymPy would do for it).
+  const struct {
+    const char *Pattern, *Replacement, *Name;
+  } Library[] = {
+      // Bitwise-to-arithmetic reductions.
+      {"(a&~b)+b", "a|b", "or-from-andnot"},
+      {"(a|b)-(a&b)", "a^b", "xor-from-or-and"},
+      {"(a^b)+2*(a&b)", "a+b", "add-from-xor-and"},
+      {"(a|b)+(a&b)", "a+b", "add-from-or-and"},
+      {"2*(a|b)-(a^b)", "a+b", "add-from-or-xor"},
+      {"a+b-(a|b)", "a&b", "and-from-sum-or"},
+      {"a+b-(a&b)", "a|b", "or-from-sum-and"},
+      {"a+b-2*(a&b)", "a^b", "xor-from-sum-and"},
+      {"(a&~b)-(~a&b)", "a-b", "sub-from-andnots"},
+      {"(a^b)-2*(~a&b)", "a-b", "sub-from-xor-andnot"},
+      {"2*(a&~b)-(a^b)", "a-b", "sub-from-andnot-xor"},
+      {"(a^b)+(a&b)", "a|b", "or-from-xor-and"},
+      {"(a|b)-b", "a&~b", "andnot-from-or"},
+      {"(a|b)-a", "~a&b", "andnot-from-or-2"},
+      {"(~a&b)+(a&b)", "b", "split-b"},
+      {"(a&~b)+(a&b)", "a", "split-a"},
+      // Complement / negation identities.
+      {"~a+1", "-a", "neg-from-not"},
+      {"-~a-1", "a", "id-from-negnot"},
+      {"~(~a)", "a", "double-not"},
+      {"-(-a)", "a", "double-neg"},
+      {"~(a-1)", "-a", "not-dec"},
+      {"~(-a)", "a-1", "not-neg"},
+      // Idempotence / annihilation / identity elements.
+      {"a&a", "a", "and-idem"},
+      {"a|a", "a", "or-idem"},
+      {"a^a", "0", "xor-self"},
+      {"a&~a", "0", "and-complement"},
+      {"a|~a", "-1", "or-complement"},
+      {"a^~a", "-1", "xor-complement"},
+      {"a&0", "0", "and-zero"},
+      {"a|0", "a", "or-zero"},
+      {"a^0", "a", "xor-zero"},
+      {"a&-1", "a", "and-ones"},
+      {"a|-1", "-1", "or-ones"},
+      {"a^-1", "~a", "xor-ones"},
+      // Arithmetic cleanups.
+      {"a*0", "0", "mul-zero"},
+      {"a*1", "a", "mul-one"},
+      {"a+0", "a", "add-zero"},
+      {"a-0", "a", "sub-zero"},
+      {"0-a", "-a", "zero-sub"},
+      {"a-a", "0", "sub-self"},
+      {"a+-1", "a-1", "add-minus-one"},
+      // Additional identities from Eyrolles's thesis rule base (the SSPAM
+      // pattern library covers these shapes as well).
+      {"(a|b)+(~a|b)-~a", "a+b", "add-from-or-noror"},
+      {"(a|b)+b-(~a&b)", "a+b", "add-from-or-andnot"},
+      {"(a^b)+2*b-2*(~a&b)", "a+b", "add-from-xor-andnot"},
+      {"b+(a&~b)+(a&b)", "a+b", "add-from-split"},
+      {"(a^b)+2*(a|~b)+2", "a-b", "sub-from-example1"},
+      {"-a-b+(a&b)-1", "~(a|b)", "nor-from-arith"},
+      {"-a-b+2*(a&b)-1", "b^~a", "xnor-from-arith"},
+      {"(a&b)-a-b-1", "~(a|b)", "nor-from-arith-2"},
+      {"~a&~b", "~(a|b)", "demorgan-and"},
+      {"~a|~b", "~(a&b)", "demorgan-or"},
+      {"~a^~b", "a^b", "xor-complements"},
+      {"~a^b", "~(a^b)", "xnor-pull-not"},
+      {"(a&b)|(a&~b)", "a", "or-of-splits"},
+      {"(a|b)&(a|~b)", "a", "and-of-joins"},
+      {"(a&b)|(~a&b)", "b", "or-of-splits-b"},
+      {"(a&b)^(a|b)", "a^b", "xor-from-and-or"},
+      {"(a|b)^(a&~b)", "b", "xor-absorb"},
+      {"a&(a|b)", "a", "absorb-and"},
+      {"a|(a&b)", "a", "absorb-or"},
+      {"a^(a&b)", "a&~b", "xor-and-self"},
+      {"a^(a|b)", "~a&b", "xor-or-self"},
+      {"a+b-(a^b)", "2*(a&b)", "collect-and"},
+  };
+  for (const auto &R : Library)
+    addRule(R.Pattern, R.Replacement, R.Name);
+}
+
+void PatternRewriter::addRule(std::string_view PatternText,
+                              std::string_view ReplacementText,
+                              std::string Name) {
+  const Expr *Pattern = parseOrDie(Ctx, PatternText);
+  const Expr *Replacement = parseOrDie(Ctx, ReplacementText);
+#ifndef NDEBUG
+  // Every replacement wildcard must be bound by the pattern.
+  auto PatternVars = collectVariables(Pattern);
+  for (const Expr *V : collectVariables(Replacement))
+    assert(std::find(PatternVars.begin(), PatternVars.end(), V) !=
+               PatternVars.end() &&
+           "replacement uses an unbound wildcard");
+#endif
+  Rules.push_back({Pattern, Replacement, std::move(Name)});
+}
+
+const Expr *PatternRewriter::foldConstants(const Expr *E) {
+  if (E->isLeaf())
+    return E;
+  for (unsigned I = 0; I != E->numOperands(); ++I)
+    if (!E->getOperand(I)->isConst())
+      return E;
+  return Ctx.getConst(evaluate(Ctx, E, std::span<const uint64_t>()));
+}
+
+const Expr *PatternRewriter::rewriteOnce(const Expr *E, bool &Changed) {
+  bool LocalChanged = false;
+  const Expr *R = rewriteBottomUp(Ctx, E, [&](const Expr *N) -> const Expr * {
+    const Expr *Folded = foldConstants(N);
+    if (Folded != N) {
+      LocalChanged = true;
+      return Folded;
+    }
+    for (const RewriteRule &Rule : Rules) {
+      Bindings Bound;
+      if (!matchExpr(Rule.Pattern, N, Bound))
+        continue;
+      const Expr *Out = substitute(Ctx, Rule.Replacement, Bound);
+      LocalChanged = true;
+      ++LastRewrites;
+      return foldConstants(Out);
+    }
+    return N;
+  });
+  Changed = LocalChanged;
+  return R;
+}
+
+const Expr *PatternRewriter::simplify(const Expr *E, unsigned MaxIterations) {
+  LastRewrites = 0;
+  for (unsigned I = 0; I != MaxIterations; ++I) {
+    bool Changed = false;
+    E = rewriteOnce(E, Changed);
+    if (!Changed)
+      break;
+  }
+  return E;
+}

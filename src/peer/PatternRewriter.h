@@ -1,0 +1,77 @@
+//===- peer/PatternRewriter.h - SSPAM-style simplification -----*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pattern-matching MBA simplifier in the spirit of SSPAM (Eyrolles,
+/// Goubin, Videau — SPRO'16), the first peer tool of the paper's Table 7
+/// comparison. A library of known MBA identities is applied bottom-up to a
+/// fixpoint; matching is syntactic with wildcards and commutative-operator
+/// backtracking, plus constant folding.
+///
+/// Every rule is an identity, so the transformation is always correct
+/// ("SSPAM does not introduce wrong simplification result"); coverage is
+/// limited to expressions that literally contain a library pattern — the
+/// reason it only rescues ~3% of the corpus in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_PEER_PATTERNREWRITER_H
+#define MBA_PEER_PATTERNREWRITER_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <string>
+#include <vector>
+
+namespace mba {
+
+/// One rewrite rule: Pattern -> Replacement over wildcard variables.
+/// Wildcards are the pattern's variables (they match any sub-expression);
+/// constants in patterns match exactly.
+struct RewriteRule {
+  const Expr *Pattern;
+  const Expr *Replacement;
+  std::string Name;
+};
+
+/// Bottom-up fixpoint rewriter over a rule library.
+class PatternRewriter {
+public:
+  /// Loads the built-in library (classic Hacker's Delight / MBA rules).
+  explicit PatternRewriter(Context &Ctx);
+
+  /// Adds a custom rule given as pattern/replacement text. The variables
+  /// of \p PatternText are the wildcards. Both sides must parse.
+  void addRule(std::string_view PatternText, std::string_view ReplacementText,
+               std::string Name = "");
+
+  /// Applies the library bottom-up until fixpoint or \p MaxIterations full
+  /// passes. Always returns an equivalent expression.
+  const Expr *simplify(const Expr *E, unsigned MaxIterations = 8);
+
+  size_t numRules() const { return Rules.size(); }
+
+  /// Read access to the rule library (tests verify each rule is an
+  /// identity by treating its wildcards as universally quantified
+  /// variables).
+  const std::vector<RewriteRule> &rules() const { return Rules; }
+
+  /// Number of successful rule applications in the last simplify() call.
+  size_t lastRewriteCount() const { return LastRewrites; }
+
+private:
+  const Expr *rewriteOnce(const Expr *E, bool &Changed);
+  const Expr *foldConstants(const Expr *E);
+
+  Context &Ctx;
+  std::vector<RewriteRule> Rules;
+  size_t LastRewrites = 0;
+};
+
+} // namespace mba
+
+#endif // MBA_PEER_PATTERNREWRITER_H

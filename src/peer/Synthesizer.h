@@ -1,0 +1,72 @@
+//===- peer/Synthesizer.h - Syntia-style MCTS program synthesis -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stochastic program-synthesis simplifier in the spirit of Syntia
+/// (Blazytko et al., USENIX Security'17), the second peer tool of the
+/// paper's Table 7 comparison. The target expression is observed only
+/// through input/output samples (the oracle); Monte-Carlo Tree Search over
+/// a small expression grammar looks for a compact expression matching all
+/// samples.
+///
+/// Because the oracle is finite, a synthesized expression that matches
+/// every sample may still differ from the target elsewhere — the *wrong
+/// simplification* failure mode that dominates Syntia's row of Table 7
+/// (up to 82.9% incorrect outputs). This implementation intentionally
+/// preserves that behaviour: it returns the best sample-consistent
+/// expression found, with no semantic verification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_PEER_SYNTHESIZER_H
+#define MBA_PEER_SYNTHESIZER_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mba {
+
+/// Synthesis parameters.
+struct SynthOptions {
+  unsigned NumSamples = 24;      ///< oracle I/O samples
+  unsigned MaxIterations = 4000; ///< MCTS iterations
+  unsigned MaxNodes = 15;        ///< size cap on candidate expressions
+  double ExplorationC = 1.3;     ///< UCT exploration constant
+  uint64_t Seed = 1;
+};
+
+/// Result of one synthesis run.
+struct SynthResult {
+  const Expr *Best = nullptr;  ///< best candidate found (never null)
+  bool MatchesAllSamples = false;
+  double BestReward = 0;
+  unsigned IterationsUsed = 0;
+};
+
+/// MCTS synthesizer over (vars, small constants, +, -, *, &, |, ^, ~, -).
+class Synthesizer {
+public:
+  explicit Synthesizer(Context &Ctx) : Ctx(Ctx) {}
+
+  /// Synthesizes an expression matching \p Target's behaviour on sampled
+  /// inputs over \p Vars. The target itself is used only as the I/O
+  /// oracle, as Syntia uses instruction traces.
+  SynthResult synthesize(const Expr *Target,
+                         std::span<const Expr *const> Vars,
+                         const SynthOptions &Opts);
+
+private:
+  Context &Ctx;
+};
+
+} // namespace mba
+
+#endif // MBA_PEER_SYNTHESIZER_H

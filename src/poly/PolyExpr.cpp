@@ -1,0 +1,187 @@
+//===- poly/PolyExpr.cpp - Expression <-> polynomial conversion ----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/PolyExpr.h"
+
+#include "ast/Printer.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace mba;
+
+std::optional<Polynomial> mba::exprToPolynomialGeneral(
+    const Context &Ctx, const Expr *E,
+    const std::function<std::optional<Polynomial>(const Expr *)> &AtomPoly) {
+  uint64_t Mask = Ctx.mask();
+  std::unordered_map<const Expr *, std::optional<Polynomial>> Memo;
+  std::function<std::optional<Polynomial>(const Expr *)> Go =
+      [&](const Expr *N) -> std::optional<Polynomial> {
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    std::optional<Polynomial> R;
+    if (auto AtomResult = AtomPoly(N)) {
+      R = std::move(AtomResult);
+    } else if (N->isConst()) {
+      R = Polynomial::constant(N->constValue(), Mask);
+    } else {
+      switch (N->kind()) {
+      case ExprKind::Neg: {
+        auto A = Go(N->operand());
+        if (A)
+          R = A->negated();
+        break;
+      }
+      case ExprKind::Add: {
+        auto A = Go(N->lhs());
+        auto B = A ? Go(N->rhs()) : std::nullopt;
+        if (A && B)
+          R = *A + *B;
+        break;
+      }
+      case ExprKind::Sub: {
+        auto A = Go(N->lhs());
+        auto B = A ? Go(N->rhs()) : std::nullopt;
+        if (A && B)
+          R = *A - *B;
+        break;
+      }
+      case ExprKind::Mul: {
+        auto A = Go(N->lhs());
+        auto B = A ? Go(N->rhs()) : std::nullopt;
+        if (A && B)
+          R = tryMul(*A, *B); // respects the expansion cap
+        break;
+      }
+      default:
+        // A bitwise node or variable not designated as an atom: the
+        // expression is outside the fragment this conversion handles.
+        break;
+      }
+    }
+    Memo.emplace(N, R);
+    return R;
+  };
+  return Go(E);
+}
+
+std::optional<Polynomial>
+mba::exprToPolynomial(const Context &Ctx, const Expr *E, AtomMap &Atoms,
+                      const std::function<bool(const Expr *)> &IsAtom) {
+  uint64_t Mask = Ctx.mask();
+  return exprToPolynomialGeneral(
+      Ctx, E, [&](const Expr *N) -> std::optional<Polynomial> {
+        if (!IsAtom(N))
+          return std::nullopt;
+        return Polynomial::atom(Atoms.getOrCreate(N), Mask);
+      });
+}
+
+namespace {
+
+/// Builds the expression of one power product, multiplying factors in
+/// printed order so the result does not depend on atom-id assignment.
+const Expr *monomialExpr(Context &Ctx, const Monomial &M,
+                         const AtomMap &Atoms) {
+  std::vector<std::pair<std::string, const Expr *>> Factors;
+  for (auto &[Id, Exp] : M.powers()) {
+    const Expr *A = Atoms.expr(Id);
+    std::string Key = printExpr(Ctx, A);
+    for (uint32_t I = 0; I != Exp; ++I)
+      Factors.push_back({Key, A});
+  }
+  std::sort(Factors.begin(), Factors.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  const Expr *Product = nullptr;
+  for (auto &[Key, A] : Factors)
+    Product = Product ? Ctx.getMul(Product, A) : A;
+  assert(Product && "constant monomial has no expression");
+  return Product;
+}
+
+/// Accumulates signed terms into a +/- chain. \p Factor may be null for a
+/// pure-constant term.
+class SumBuilder {
+public:
+  explicit SumBuilder(Context &Ctx) : Ctx(Ctx) {}
+
+  void addTerm(uint64_t Coeff, const Expr *Factor) {
+    Coeff &= Ctx.mask();
+    if (!Coeff)
+      return;
+    bool Negative = Ctx.toSigned(Coeff) < 0;
+    uint64_t Mag = Negative ? (0 - Coeff) & Ctx.mask() : Coeff;
+    const Expr *Term;
+    if (!Factor)
+      Term = Ctx.getConst(Mag);
+    else if (Mag == 1)
+      Term = Factor;
+    else
+      Term = Ctx.getMul(Ctx.getConst(Mag), Factor);
+    if (!Acc)
+      Acc = Negative ? negate(Term) : Term;
+    else
+      Acc = Negative ? Ctx.getSub(Acc, Term) : Ctx.getAdd(Acc, Term);
+  }
+
+  const Expr *finish() { return Acc ? Acc : Ctx.getZero(); }
+
+private:
+  const Expr *negate(const Expr *E) {
+    if (E->isConst())
+      return Ctx.getConst(0 - E->constValue());
+    return Ctx.getNeg(E);
+  }
+
+  Context &Ctx;
+  const Expr *Acc = nullptr;
+};
+
+} // namespace
+
+const Expr *mba::polynomialToExpr(Context &Ctx, const Polynomial &P,
+                                  const AtomMap &Atoms) {
+  // Order terms canonically: by total degree, then by the printed monomial.
+  // Atom ids are assigned in registration order (input-dependent), so
+  // sorting on them would make the output order depend on how the
+  // polynomial was built; printing keys make re-simplification a fixpoint.
+  struct TermRec {
+    unsigned Degree;
+    std::string Key;
+    uint64_t Coeff;
+    const Expr *Factor;
+  };
+  std::vector<TermRec> Terms;
+  for (auto &[M, C] : P.terms()) {
+    if (M.isConstant())
+      continue;
+    const Expr *Factor = monomialExpr(Ctx, M, Atoms);
+    Terms.push_back({M.degree(), printExpr(Ctx, Factor), C, Factor});
+  }
+  std::sort(Terms.begin(), Terms.end(), [](const TermRec &A, const TermRec &B) {
+    if (A.Degree != B.Degree)
+      return A.Degree < B.Degree;
+    return A.Key < B.Key;
+  });
+
+  SumBuilder Sum(Ctx);
+  for (const TermRec &T : Terms)
+    Sum.addTerm(T.Coeff, T.Factor);
+  Sum.addTerm(P.constantTerm(), nullptr);
+  return Sum.finish();
+}
+
+const Expr *mba::buildLinearCombination(
+    Context &Ctx,
+    const std::vector<std::pair<uint64_t, const Expr *>> &Terms,
+    uint64_t Constant) {
+  SumBuilder Sum(Ctx);
+  for (auto &[Coeff, E] : Terms)
+    Sum.addTerm(Coeff, E);
+  Sum.addTerm(Constant, nullptr);
+  return Sum.finish();
+}

@@ -1,0 +1,124 @@
+//===- poly/Polynomial.cpp - Polynomials over bitwise atoms --------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Polynomial.h"
+
+using namespace mba;
+
+Monomial Monomial::operator*(const Monomial &O) const {
+  Monomial Result;
+  auto &Out = Result.Powers;
+  size_t I = 0, J = 0;
+  while (I < Powers.size() && J < O.Powers.size()) {
+    if (Powers[I].first < O.Powers[J].first)
+      Out.push_back(Powers[I++]);
+    else if (Powers[I].first > O.Powers[J].first)
+      Out.push_back(O.Powers[J++]);
+    else {
+      Out.push_back({Powers[I].first, Powers[I].second + O.Powers[J].second});
+      ++I;
+      ++J;
+    }
+  }
+  while (I < Powers.size())
+    Out.push_back(Powers[I++]);
+  while (J < O.Powers.size())
+    Out.push_back(O.Powers[J++]);
+  return Result;
+}
+
+void Polynomial::addTerm(const Monomial &M, uint64_t Coeff) {
+  Coeff &= Mask;
+  if (!Coeff)
+    return;
+  auto [It, Inserted] = Terms.emplace(M, Coeff);
+  if (Inserted)
+    return;
+  It->second = (It->second + Coeff) & Mask;
+  if (!It->second)
+    Terms.erase(It);
+}
+
+Polynomial Polynomial::operator+(const Polynomial &O) const {
+  assert(Mask == O.Mask && "width mismatch");
+  Polynomial R = *this;
+  for (auto &[M, C] : O.Terms)
+    R.addTerm(M, C);
+  return R;
+}
+
+Polynomial Polynomial::operator-(const Polynomial &O) const {
+  assert(Mask == O.Mask && "width mismatch");
+  Polynomial R = *this;
+  for (auto &[M, C] : O.Terms)
+    R.addTerm(M, (0 - C) & Mask);
+  return R;
+}
+
+Polynomial Polynomial::operator*(const Polynomial &O) const {
+  assert(Mask == O.Mask && "width mismatch");
+  Polynomial R(Mask);
+  for (auto &[MA, CA] : Terms)
+    for (auto &[MB, CB] : O.Terms)
+      R.addTerm(MA * MB, (CA * CB) & Mask);
+  return R;
+}
+
+Polynomial Polynomial::negated() const {
+  Polynomial R(Mask);
+  for (auto &[M, C] : Terms)
+    R.addTerm(M, (0 - C) & Mask);
+  return R;
+}
+
+Polynomial Polynomial::scaled(uint64_t C) const {
+  Polynomial R(Mask);
+  for (auto &[M, Coeff] : Terms)
+    R.addTerm(M, (Coeff * C) & Mask);
+  return R;
+}
+
+bool Polynomial::isLinear() const {
+  for (auto &[M, C] : Terms)
+    if (M.degree() > 1)
+      return false;
+  return true;
+}
+
+unsigned Polynomial::degree() const {
+  unsigned D = 0;
+  for (auto &[M, C] : Terms)
+    D = std::max(D, M.degree());
+  return D;
+}
+
+uint64_t Polynomial::constantTerm() const {
+  auto It = Terms.find(Monomial());
+  return It == Terms.end() ? 0 : It->second;
+}
+
+uint64_t Polynomial::linearCoefficient(AtomId Id) const {
+  auto It = Terms.find(Monomial::atom(Id));
+  return It == Terms.end() ? 0 : It->second;
+}
+
+std::optional<uint64_t> Polynomial::asConstant() const {
+  if (Terms.empty())
+    return 0;
+  if (Terms.size() == 1 && Terms.begin()->first.isConstant())
+    return Terms.begin()->second;
+  return std::nullopt;
+}
+
+std::optional<Polynomial> mba::tryMul(const Polynomial &A,
+                                      const Polynomial &B) {
+  if (A.numTerms() * B.numTerms() > MaxPolynomialTerms)
+    return std::nullopt;
+  Polynomial R = A * B;
+  if (R.numTerms() > MaxPolynomialTerms)
+    return std::nullopt;
+  return R;
+}

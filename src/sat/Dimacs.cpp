@@ -1,0 +1,84 @@
+//===- sat/Dimacs.cpp - DIMACS CNF reader/writer --------------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Dimacs.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace mba::sat;
+
+std::optional<CnfFormula> mba::sat::parseDimacs(std::string_view Text) {
+  CnfFormula F;
+  size_t Pos = 0;
+  auto SkipSpace = [&] {
+    while (Pos < Text.size() &&
+           std::isspace((unsigned char)Text[Pos]))
+      ++Pos;
+  };
+  auto SkipLine = [&] {
+    while (Pos < Text.size() && Text[Pos] != '\n')
+      ++Pos;
+  };
+  std::vector<Lit> Current;
+  bool SawHeader = false;
+  while (true) {
+    SkipSpace();
+    if (Pos >= Text.size())
+      break;
+    char C = Text[Pos];
+    if (C == 'c') {
+      SkipLine();
+      continue;
+    }
+    if (C == 'p') {
+      // "p cnf <vars> <clauses>"
+      SkipLine(); // values are advisory; we grow on demand
+      SawHeader = true;
+      continue;
+    }
+    // Integer literal.
+    bool Negative = false;
+    if (C == '-') {
+      Negative = true;
+      ++Pos;
+    }
+    if (Pos >= Text.size() || !std::isdigit((unsigned char)Text[Pos]))
+      return std::nullopt;
+    unsigned long V = 0;
+    while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos])) {
+      V = V * 10 + (unsigned)(Text[Pos] - '0');
+      ++Pos;
+    }
+    if (V == 0) {
+      F.Clauses.push_back(Current);
+      Current.clear();
+      continue;
+    }
+    Var Variable = (Var)(V - 1);
+    if (Variable + 1 > F.NumVars)
+      F.NumVars = Variable + 1;
+    Current.push_back(Lit(Variable, Negative));
+  }
+  if (!Current.empty())
+    return std::nullopt; // clause missing its 0 terminator
+  (void)SawHeader;       // header is optional in practice
+  return F;
+}
+
+std::string mba::sat::writeDimacs(const CnfFormula &F) {
+  std::string Out = "p cnf " + std::to_string(F.NumVars) + ' ' +
+                    std::to_string(F.Clauses.size()) + '\n';
+  for (const auto &Clause : F.Clauses) {
+    for (Lit L : Clause) {
+      Out += L.negated() ? "-" : "";
+      Out += std::to_string(L.var() + 1);
+      Out += ' ';
+    }
+    Out += "0\n";
+  }
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- sat/Dimacs.h - DIMACS CNF reader/writer ------------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DIMACS CNF serialization for the CDCL solver: lets the bit-blasted MBA
+/// instances be exported to and cross-checked against external SAT tools,
+/// and provides a convenient text format for solver unit tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SAT_DIMACS_H
+#define MBA_SAT_DIMACS_H
+
+#include "sat/SatTypes.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mba::sat {
+
+/// A parsed CNF: clause list over variables 0..NumVars-1.
+struct CnfFormula {
+  unsigned NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+};
+
+/// Parses DIMACS text ("p cnf V C" header, clauses of nonzero integers
+/// terminated by 0, 'c' comment lines). Returns std::nullopt on malformed
+/// input. Variables beyond the header count grow the formula.
+std::optional<CnfFormula> parseDimacs(std::string_view Text);
+
+/// Renders \p F as DIMACS text.
+std::string writeDimacs(const CnfFormula &F);
+
+} // namespace mba::sat
+
+#endif // MBA_SAT_DIMACS_H

@@ -1,0 +1,120 @@
+//===- sat/Heap.h - Indexed max-heap for VSIDS ------------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An indexed binary max-heap over variables ordered by activity, in the
+/// MiniSat style: supports decrease/increase-key via a position index so the
+/// VSIDS branching heuristic can bump activities of variables already in
+/// the heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SAT_HEAP_H
+#define MBA_SAT_HEAP_H
+
+#include "sat/SatTypes.h"
+
+#include <vector>
+
+namespace mba::sat {
+
+/// Max-heap of variables keyed by an external activity array.
+class VarOrderHeap {
+public:
+  explicit VarOrderHeap(const std::vector<double> &Activity)
+      : Activity(Activity) {}
+
+  bool empty() const { return Heap.empty(); }
+  bool contains(Var V) const {
+    return V < Positions.size() && Positions[V] != UINT32_MAX;
+  }
+
+  /// Ensures the position index covers variables up to \p V.
+  void growTo(Var V) {
+    if (Positions.size() <= V)
+      Positions.resize(V + 1, UINT32_MAX);
+  }
+
+  void insert(Var V) {
+    growTo(V);
+    if (contains(V))
+      return;
+    Positions[V] = (uint32_t)Heap.size();
+    Heap.push_back(V);
+    siftUp(Positions[V]);
+  }
+
+  Var removeMax() {
+    assert(!Heap.empty() && "heap underflow");
+    Var Top = Heap[0];
+    Positions[Top] = UINT32_MAX;
+    Var Last = Heap.back();
+    Heap.pop_back();
+    if (!Heap.empty()) {
+      Heap[0] = Last;
+      Positions[Last] = 0;
+      siftDown(0);
+    }
+    return Top;
+  }
+
+  /// Restores heap order after \p V's activity increased.
+  void increased(Var V) {
+    if (contains(V))
+      siftUp(Positions[V]);
+  }
+
+  /// Rebuilds the heap after a global rescale (order unchanged, no-op) or
+  /// wholesale activity changes.
+  void rebuild() {
+    for (size_t I = Heap.size(); I-- > 0;)
+      siftDown((uint32_t)I);
+  }
+
+private:
+  bool higher(Var A, Var B) const { return Activity[A] > Activity[B]; }
+
+  void siftUp(uint32_t I) {
+    Var V = Heap[I];
+    while (I > 0) {
+      uint32_t Parent = (I - 1) >> 1;
+      if (!higher(V, Heap[Parent]))
+        break;
+      Heap[I] = Heap[Parent];
+      Positions[Heap[I]] = I;
+      I = Parent;
+    }
+    Heap[I] = V;
+    Positions[V] = I;
+  }
+
+  void siftDown(uint32_t I) {
+    Var V = Heap[I];
+    size_t N = Heap.size();
+    for (;;) {
+      uint32_t Child = 2 * I + 1;
+      if (Child >= N)
+        break;
+      if (Child + 1 < N && higher(Heap[Child + 1], Heap[Child]))
+        ++Child;
+      if (!higher(Heap[Child], V))
+        break;
+      Heap[I] = Heap[Child];
+      Positions[Heap[I]] = I;
+      I = Child;
+    }
+    Heap[I] = V;
+    Positions[V] = I;
+  }
+
+  const std::vector<double> &Activity;
+  std::vector<Var> Heap;
+  std::vector<uint32_t> Positions; // var -> heap index or UINT32_MAX
+};
+
+} // namespace mba::sat
+
+#endif // MBA_SAT_HEAP_H

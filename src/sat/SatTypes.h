@@ -1,0 +1,78 @@
+//===- sat/SatTypes.h - Literals, variables, clauses ------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Core types of the CDCL SAT solver: variables are dense 0-based integers,
+/// literals use the standard 2*var+sign packing (even = positive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SAT_SATTYPES_H
+#define MBA_SAT_SATTYPES_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mba::sat {
+
+/// A propositional variable (dense index).
+using Var = uint32_t;
+
+constexpr Var InvalidVar = UINT32_MAX;
+
+/// A literal: variable with sign, packed as 2*var + (negated ? 1 : 0).
+class Lit {
+public:
+  Lit() : Code(UINT32_MAX) {}
+  Lit(Var V, bool Negated) : Code(2 * V + (Negated ? 1 : 0)) {}
+
+  static Lit fromCode(uint32_t Code) {
+    Lit L;
+    L.Code = Code;
+    return L;
+  }
+
+  Var var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const { return fromCode(Code ^ 1); }
+  uint32_t code() const { return Code; }
+  bool valid() const { return Code != UINT32_MAX; }
+
+  bool operator==(const Lit &O) const { return Code == O.Code; }
+  bool operator!=(const Lit &O) const { return Code != O.Code; }
+  bool operator<(const Lit &O) const { return Code < O.Code; }
+
+private:
+  uint32_t Code;
+};
+
+/// Ternary assignment value.
+enum class LBool : int8_t { False = -1, Undef = 0, True = 1 };
+
+inline LBool lboolFromBool(bool B) { return B ? LBool::True : LBool::False; }
+inline LBool operator~(LBool V) { return (LBool)(-(int8_t)V); }
+
+/// A clause: disjunction of literals plus solver bookkeeping.
+struct Clause {
+  std::vector<Lit> Lits;
+  double Activity = 0;
+  bool Learnt = false;
+  bool Deleted = false;
+
+  size_t size() const { return Lits.size(); }
+  Lit &operator[](size_t I) { return Lits[I]; }
+  Lit operator[](size_t I) const { return Lits[I]; }
+};
+
+/// Index of a clause in the solver's database.
+using ClauseRef = uint32_t;
+constexpr ClauseRef InvalidClause = UINT32_MAX;
+
+} // namespace mba::sat
+
+#endif // MBA_SAT_SATTYPES_H

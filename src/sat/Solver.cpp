@@ -1,0 +1,453 @@
+//===- sat/Solver.cpp - CDCL SAT solver -------------------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+
+using namespace mba;
+using namespace mba::sat;
+
+SatSolver::SatSolver() : Order(Activity) {}
+
+Var SatSolver::newVar() {
+  Var V = (Var)Assigns.size();
+  Assigns.push_back(LBool::Undef);
+  SavedPhase.push_back(0);
+  Level.push_back(0);
+  Reason.push_back(InvalidClause);
+  Activity.push_back(0.0);
+  Seen.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  Order.insert(V);
+  return V;
+}
+
+bool SatSolver::addClause(std::span<const Lit> Lits) {
+  assert(decisionLevel() == 0 && "clauses are added at the root level");
+  if (ProvenUnsat)
+    return false;
+
+  // Simplify: sort, dedupe, drop root-false literals, detect tautologies
+  // and root-satisfied clauses.
+  std::vector<Lit> Simplified(Lits.begin(), Lits.end());
+  std::sort(Simplified.begin(), Simplified.end());
+  Simplified.erase(std::unique(Simplified.begin(), Simplified.end()),
+                   Simplified.end());
+  std::vector<Lit> Final;
+  for (size_t I = 0; I != Simplified.size(); ++I) {
+    Lit L = Simplified[I];
+    if (I + 1 < Simplified.size() && Simplified[I + 1] == ~L)
+      return true; // tautology: x | ~x
+    LBool V = value(L);
+    if (V == LBool::True)
+      return true; // already satisfied at root
+    if (V == LBool::False)
+      continue; // root-false literal drops out
+    Final.push_back(L);
+  }
+
+  if (Final.empty()) {
+    ProvenUnsat = true;
+    return false;
+  }
+  if (Final.size() == 1) {
+    enqueue(Final[0], InvalidClause);
+    if (propagate() != InvalidClause) {
+      ProvenUnsat = true;
+      return false;
+    }
+    return true;
+  }
+
+  ClauseRef Ref = (ClauseRef)Clauses.size();
+  Clauses.push_back(Clause{std::move(Final), 0.0, false, false});
+  attachClause(Ref);
+  return true;
+}
+
+void SatSolver::attachClause(ClauseRef Ref) {
+  const Clause &C = Clauses[Ref];
+  assert(C.size() >= 2 && "cannot watch a unit clause");
+  Watches[C[0].code()].push_back({Ref, C[1]});
+  Watches[C[1].code()].push_back({Ref, C[0]});
+}
+
+void SatSolver::enqueue(Lit L, ClauseRef From) {
+  assert(value(L) == LBool::Undef && "enqueue of assigned literal");
+  Var V = L.var();
+  Assigns[V] = lboolFromBool(!L.negated());
+  Level[V] = decisionLevel();
+  Reason[V] = From;
+  Trail.push_back(L);
+}
+
+ClauseRef SatSolver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++]; // P just became true
+    ++Stats.Propagations;
+    Lit NotP = ~P;
+    std::vector<Watcher> &WList = Watches[NotP.code()];
+    size_t I = 0, J = 0;
+    while (I < WList.size()) {
+      Watcher W = WList[I];
+      // Blocker fast path: clause already satisfied.
+      if (value(W.Blocker) == LBool::True) {
+        WList[J++] = WList[I++];
+        continue;
+      }
+      Clause &C = Clauses[W.Ref];
+      if (C.Deleted) {
+        ++I; // drop the stale watcher
+        continue;
+      }
+      // Normalize so the falsified watched literal sits at index 1.
+      if (C[0] == NotP)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C[1] == NotP && "watcher desynchronized");
+      ++I;
+      if (value(C[0]) == LBool::True) {
+        WList[J++] = {W.Ref, C[0]};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool FoundWatch = false;
+      for (size_t K = 2; K < C.size(); ++K) {
+        if (value(C[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[C[1].code()].push_back({W.Ref, C[0]});
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      // Clause is unit or conflicting under the current assignment.
+      WList[J++] = {W.Ref, C[0]};
+      if (value(C[0]) == LBool::False) {
+        // Conflict: compact the remaining watchers and bail out.
+        while (I < WList.size())
+          WList[J++] = WList[I++];
+        WList.resize(J);
+        PropagateHead = (uint32_t)Trail.size();
+        return W.Ref;
+      }
+      enqueue(C[0], W.Ref);
+    }
+    WList.resize(J);
+  }
+  return InvalidClause;
+}
+
+namespace {
+uint32_t abstractLevelBit(unsigned Level) { return 1u << (Level & 31); }
+} // namespace
+
+void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+                        unsigned &BacktrackLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // slot for the asserting (first-UIP) literal
+
+  unsigned Counter = 0;
+  Lit P; // invalid on the first iteration
+  size_t Index = Trail.size();
+  ClauseRef CRef = Conflict;
+
+  do {
+    assert(CRef != InvalidClause && "resolving on a decision");
+    Clause &C = Clauses[CRef];
+    if (C.Learnt)
+      bumpClauseActivity(C);
+    for (size_t K = P.valid() ? 1 : 0; K < C.size(); ++K) {
+      Lit Q = C[K];
+      Var V = Q.var();
+      if (Seen[V] || Level[V] == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVarActivity(V);
+      if (Level[V] >= decisionLevel())
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Walk the trail back to the next marked literal.
+    do {
+      --Index;
+    } while (!Seen[Trail[Index].var()]);
+    P = Trail[Index];
+    CRef = Reason[P.var()];
+    Seen[P.var()] = 0;
+    --Counter;
+  } while (Counter > 0);
+  Learnt[0] = ~P;
+
+  // Conflict-clause minimization by self-subsumption (MiniSat style): a
+  // literal is redundant when its reason is covered by the rest of the
+  // learnt clause.
+  std::vector<Lit> ToClear(Learnt.begin() + 1, Learnt.end());
+  uint32_t AbstractLevels = 0;
+  for (size_t I = 1; I != Learnt.size(); ++I)
+    AbstractLevels |= abstractLevelBit(Level[Learnt[I].var()]);
+  size_t NewSize = 1;
+  for (size_t I = 1; I != Learnt.size(); ++I) {
+    Lit L = Learnt[I];
+    bool Redundant = false;
+    if (Reason[L.var()] != InvalidClause) {
+      // Track Seen marks added during the redundancy check for cleanup.
+      size_t MarkBase = ToClear.size();
+      AnalyzeStack.assign(1, L);
+      Redundant = true;
+      while (!AnalyzeStack.empty() && Redundant) {
+        Lit Q = AnalyzeStack.back();
+        AnalyzeStack.pop_back();
+        const Clause &RC = Clauses[Reason[Q.var()]];
+        for (size_t K = 1; K < RC.size(); ++K) {
+          Lit R = RC[K];
+          Var V = R.var();
+          if (Seen[V] || Level[V] == 0)
+            continue;
+          if (Reason[V] != InvalidClause &&
+              (abstractLevelBit(Level[V]) & AbstractLevels)) {
+            Seen[V] = 1;
+            ToClear.push_back(R);
+            AnalyzeStack.push_back(R);
+          } else {
+            Redundant = false;
+            break;
+          }
+        }
+      }
+      if (!Redundant) {
+        for (size_t Z = MarkBase; Z < ToClear.size(); ++Z)
+          Seen[ToClear[Z].var()] = 0;
+        ToClear.resize(MarkBase);
+      }
+    }
+    if (!Redundant)
+      Learnt[NewSize++] = L;
+  }
+  Learnt.resize(NewSize);
+
+  // Backtrack level: the second-highest decision level in the clause; move
+  // that literal to index 1 so it is watched.
+  if (Learnt.size() == 1) {
+    BacktrackLevel = 0;
+  } else {
+    size_t MaxIndex = 1;
+    for (size_t I = 2; I != Learnt.size(); ++I)
+      if (Level[Learnt[I].var()] > Level[Learnt[MaxIndex].var()])
+        MaxIndex = I;
+    std::swap(Learnt[1], Learnt[MaxIndex]);
+    BacktrackLevel = Level[Learnt[1].var()];
+  }
+
+  for (Lit L : ToClear)
+    Seen[L.var()] = 0;
+  Seen[Learnt[0].var()] = 0;
+}
+
+void SatSolver::backtrack(unsigned ToLevel) {
+  if (decisionLevel() <= ToLevel)
+    return;
+  uint32_t Bound = TrailLim[ToLevel];
+  for (size_t I = Trail.size(); I-- > Bound;) {
+    Var V = Trail[I].var();
+    SavedPhase[V] = Assigns[V] == LBool::True;
+    Assigns[V] = LBool::Undef;
+    Reason[V] = InvalidClause;
+    Order.insert(V);
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(ToLevel);
+  PropagateHead = Bound;
+}
+
+Lit SatSolver::pickBranchLit() {
+  while (!Order.empty()) {
+    Var V = Order.removeMax();
+    if (Assigns[V] == LBool::Undef)
+      return Lit(V, !SavedPhase[V]); // phase saving
+  }
+  return Lit(); // fully assigned: model found
+}
+
+void SatSolver::bumpVarActivity(Var V) {
+  Activity[V] += VarActivityInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarActivityInc *= 1e-100;
+    Order.rebuild();
+  }
+  Order.increased(V);
+}
+
+void SatSolver::bumpClauseActivity(Clause &C) {
+  C.Activity += ClauseActivityInc;
+  if (C.Activity > 1e20) {
+    for (Clause &Other : Clauses)
+      if (Other.Learnt)
+        Other.Activity *= 1e-20;
+    ClauseActivityInc *= 1e-20;
+  }
+}
+
+void SatSolver::decayActivities() {
+  VarActivityInc /= 0.95;
+  ClauseActivityInc /= 0.999;
+}
+
+void SatSolver::reduceLearntDB() {
+  // Restart first: rebuilding watch lists blindly on lits[0]/lits[1] is
+  // only invariant-preserving when nothing beyond the root level is
+  // assigned (a clause whose first two literals are already false would
+  // otherwise never be revisited and could silently stay violated in a
+  // "model").
+  backtrack(0);
+
+  // Collect deletable learnt clauses (not currently a reason).
+  std::vector<uint8_t> Locked(Clauses.size(), 0);
+  for (Lit L : Trail)
+    if (Reason[L.var()] != InvalidClause)
+      Locked[Reason[L.var()]] = 1;
+
+  std::vector<ClauseRef> Candidates;
+  for (ClauseRef R = 0; R != Clauses.size(); ++R) {
+    const Clause &C = Clauses[R];
+    if (C.Learnt && !C.Deleted && !Locked[R] && C.size() > 2)
+      Candidates.push_back(R);
+  }
+  std::sort(Candidates.begin(), Candidates.end(),
+            [&](ClauseRef A, ClauseRef B) {
+              return Clauses[A].Activity < Clauses[B].Activity;
+            });
+  size_t ToDelete = Candidates.size() / 2;
+  for (size_t I = 0; I != ToDelete; ++I) {
+    Clauses[Candidates[I]].Deleted = true;
+    Clauses[Candidates[I]].Lits.clear();
+    Clauses[Candidates[I]].Lits.shrink_to_fit();
+    ++Stats.DeletedClauses;
+    --LearntCount;
+  }
+  MaxLearnt = MaxLearnt + MaxLearnt / 4;
+  rebuildWatches();
+}
+
+void SatSolver::rebuildWatches() {
+  for (auto &WList : Watches)
+    WList.clear();
+  for (ClauseRef R = 0; R != Clauses.size(); ++R)
+    if (!Clauses[R].Deleted && Clauses[R].size() >= 2)
+      attachClause(R);
+}
+
+uint64_t SatSolver::luby(uint64_t I) {
+  // Finite-subsequence Luby: find the subsequence containing index I.
+  uint64_t Size = 1, Seq = 0;
+  while (Size < I + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != I) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    I = I % Size;
+  }
+  return 1ULL << Seq;
+}
+
+SatResult SatSolver::solve(const Budget &Limits) {
+  if (ProvenUnsat)
+    return SatResult::Unsat;
+  Stopwatch Timer;
+
+  if (propagate() != InvalidClause) {
+    ProvenUnsat = true;
+    return SatResult::Unsat;
+  }
+
+  uint64_t ConflictBudgetStart = Stats.Conflicts;
+  uint64_t PropagationBudgetStart = Stats.Propagations;
+  std::vector<Lit> Learnt;
+
+  for (uint64_t RestartNum = 0;; ++RestartNum) {
+    uint64_t RestartLimit = 64 * luby(RestartNum);
+    uint64_t ConflictsThisRestart = 0;
+    ++Stats.Restarts;
+
+    for (;;) {
+      ClauseRef Conflict = propagate();
+      if (Conflict != InvalidClause) {
+        ++Stats.Conflicts;
+        ++ConflictsThisRestart;
+        if (decisionLevel() == 0) {
+          ProvenUnsat = true;
+          return SatResult::Unsat;
+        }
+
+        unsigned BtLevel = 0;
+        analyze(Conflict, Learnt, BtLevel);
+        backtrack(BtLevel);
+
+        if (Learnt.size() == 1) {
+          enqueue(Learnt[0], InvalidClause);
+        } else {
+          ClauseRef Ref = (ClauseRef)Clauses.size();
+          Clauses.push_back(Clause{Learnt, ClauseActivityInc, true, false});
+          attachClause(Ref);
+          ++Stats.LearntClauses;
+          ++LearntCount;
+          enqueue(Learnt[0], Ref);
+        }
+        decayActivities();
+
+        // Budget checks on conflict boundaries.
+        if (Stats.Conflicts - ConflictBudgetStart >= Limits.MaxConflicts ||
+            Stats.Propagations - PropagationBudgetStart >=
+                Limits.MaxPropagations) {
+          backtrack(0);
+          return SatResult::Unknown;
+        }
+        if ((ConflictsThisRestart & 0xff) == 0 &&
+            Timer.seconds() > Limits.MaxSeconds) {
+          backtrack(0);
+          return SatResult::Unknown;
+        }
+
+        if (LearntCount >= MaxLearnt)
+          reduceLearntDB();
+        if (ConflictsThisRestart >= RestartLimit) {
+          backtrack(0);
+          break; // restart
+        }
+      } else {
+        // Budgets are also enforced on decision boundaries so that
+        // conflict-free instances (pure propagation chains) terminate.
+        if (Stats.Conflicts - ConflictBudgetStart >= Limits.MaxConflicts ||
+            Stats.Propagations - PropagationBudgetStart >=
+                Limits.MaxPropagations) {
+          backtrack(0);
+          return SatResult::Unknown;
+        }
+        Lit Next = pickBranchLit();
+        if (!Next.valid()) {
+          // Model found.
+          Model.resize(Assigns.size());
+          for (Var V = 0; V != Assigns.size(); ++V)
+            Model[V] = Assigns[V] == LBool::True;
+          backtrack(0);
+          return SatResult::Sat;
+        }
+        ++Stats.Decisions;
+        TrailLim.push_back((uint32_t)Trail.size());
+        enqueue(Next, InvalidClause);
+      }
+    }
+  }
+}

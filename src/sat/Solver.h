@@ -1,0 +1,154 @@
+//===- sat/Solver.h - CDCL SAT solver ---------------------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver in the MiniSat lineage:
+/// two-watched-literal propagation, first-UIP conflict analysis with
+/// self-subsumption minimization, exponential VSIDS branching with phase
+/// saving, Luby restarts, and activity-based learnt-clause deletion.
+///
+/// This is the engine under the in-tree bit-vector solver (bitblast/),
+/// which stands in for STP and Boolector in the paper's experiments (both
+/// are bit-blasting solvers over CDCL cores; see DESIGN.md on the
+/// substitution). Budgets (conflicts / propagations / wall clock) provide
+/// the timeout mechanism the study's tables rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SAT_SOLVER_H
+#define MBA_SAT_SOLVER_H
+
+#include "sat/Heap.h"
+#include "sat/SatTypes.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mba::sat {
+
+/// Search limits; solve() returns Unknown when one is exhausted.
+struct Budget {
+  uint64_t MaxConflicts = UINT64_MAX;
+  uint64_t MaxPropagations = UINT64_MAX;
+  double MaxSeconds = 1e100;
+};
+
+/// Outcome of a solve() call.
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// Counters exposed for the benchmark harness.
+struct SolverStats {
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  uint64_t LearntClauses = 0;
+  uint64_t DeletedClauses = 0;
+};
+
+/// CDCL solver. Usage: newVar()/addClause() to build the instance, then
+/// solve(); on Sat, modelValue() reads the model. Incremental solving
+/// across addClause calls is supported as long as solve() has not returned
+/// Unsat.
+class SatSolver {
+public:
+  SatSolver();
+
+  /// Creates a fresh variable and returns it.
+  Var newVar();
+
+  unsigned numVars() const { return (unsigned)Assigns.size(); }
+
+  /// Adds a clause (disjunction of \p Lits). Returns false if the formula
+  /// became trivially unsatisfiable (empty clause or conflicting units).
+  bool addClause(std::span<const Lit> Lits);
+  bool addClause(std::initializer_list<Lit> Lits) {
+    return addClause(std::span<const Lit>(Lits.begin(), Lits.size()));
+  }
+
+  /// Runs the CDCL loop under \p Limits.
+  SatResult solve(const Budget &Limits = Budget());
+
+  /// Model value of \p V after a Sat result.
+  bool modelValue(Var V) const {
+    assert(V < Model.size() && "no model for variable");
+    return Model[V];
+  }
+
+  const SolverStats &stats() const { return Stats; }
+
+  /// True once the clause set is known unsatisfiable regardless of budget.
+  bool isProvenUnsat() const { return ProvenUnsat; }
+
+  /// Lowers the learnt-clause limit that triggers database reduction
+  /// (default 4096). Primarily a test hook to exercise the reduction path
+  /// on small instances.
+  void setLearntLimit(size_t Limit) { MaxLearnt = Limit; }
+
+private:
+  struct Watcher {
+    ClauseRef Ref;
+    Lit Blocker; // satisfied blocker literal fast path
+  };
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[L.var()];
+    return L.negated() ? ~V : V;
+  }
+  LBool value(Var V) const { return Assigns[V]; }
+
+  unsigned decisionLevel() const { return (unsigned)TrailLim.size(); }
+
+  void attachClause(ClauseRef Ref);
+  void enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+               unsigned &BacktrackLevel);
+  bool litRedundant(Lit L, uint32_t AbstractLevels);
+  void backtrack(unsigned Level);
+  Lit pickBranchLit();
+  void bumpVarActivity(Var V);
+  void bumpClauseActivity(Clause &C);
+  void decayActivities();
+  void reduceLearntDB();
+  void rebuildWatches();
+  static uint64_t luby(uint64_t I);
+
+  // Clause database.
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by literal code
+
+  // Assignment trail.
+  std::vector<LBool> Assigns;        // per var
+  std::vector<uint8_t> SavedPhase;   // per var, phase saving
+  std::vector<unsigned> Level;       // per var
+  std::vector<ClauseRef> Reason;     // per var
+  std::vector<Lit> Trail;
+  std::vector<uint32_t> TrailLim;
+  uint32_t PropagateHead = 0;
+
+  // Branching.
+  std::vector<double> Activity;
+  double VarActivityInc = 1.0;
+  double ClauseActivityInc = 1.0;
+  VarOrderHeap Order;
+
+  // Conflict analysis scratch.
+  std::vector<uint8_t> Seen;
+  std::vector<Lit> AnalyzeStack;
+
+  std::vector<uint8_t> Model;
+
+  SolverStats Stats;
+  bool ProvenUnsat = false;
+  size_t LearntCount = 0;
+  size_t MaxLearnt = 4096;
+};
+
+} // namespace mba::sat
+
+#endif // MBA_SAT_SOLVER_H

@@ -1,0 +1,87 @@
+//===- solvers/BlastChecker.cpp - In-tree bit-vector backend --------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solvers/EquivalenceChecker.h"
+
+#include "bitblast/BitBlaster.h"
+#include "bitblast/ExprBlaster.h"
+#include "support/Stopwatch.h"
+
+using namespace mba;
+
+const char *mba::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Equivalent:
+    return "equivalent";
+  case Verdict::NotEquivalent:
+    return "not-equivalent";
+  case Verdict::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+EquivalenceChecker::~EquivalenceChecker() = default;
+
+namespace {
+
+class BlastChecker : public EquivalenceChecker {
+public:
+  explicit BlastChecker(bool EnableRewriting) : Rewriting(EnableRewriting) {}
+
+  std::string name() const override {
+    return Rewriting ? "BlastBV+RW" : "BlastBV";
+  }
+
+  CheckResult check(const Context &Ctx, const Expr *A, const Expr *B,
+                    double TimeoutSeconds) override {
+    Stopwatch Timer;
+    sat::SatSolver Solver;
+    BitBlaster Blaster(Solver, Ctx.width(), Rewriting);
+    ExprBlaster EB(Blaster);
+    auto WA = EB.blast(A);
+    auto WB = EB.blast(B);
+    Blaster.assertLit(Blaster.disequal(WA, WB));
+
+    sat::Budget Limits;
+    // Leave whatever time encoding took to the search.
+    Limits.MaxSeconds = std::max(0.0, TimeoutSeconds - Timer.seconds());
+    sat::SatResult R = Solver.solve(Limits);
+
+    CheckResult Result;
+    Result.Seconds = Timer.seconds();
+    switch (R) {
+    case sat::SatResult::Unsat:
+      Result.Outcome = Verdict::Equivalent;
+      break;
+    case sat::SatResult::Sat:
+      Result.Outcome = Verdict::NotEquivalent;
+      break;
+    case sat::SatResult::Unknown:
+      Result.Outcome = Verdict::Timeout;
+      break;
+    }
+    return Result;
+  }
+
+private:
+  bool Rewriting;
+};
+
+} // namespace
+
+std::unique_ptr<EquivalenceChecker> mba::makeBlastChecker(bool EnableRewriting) {
+  return std::make_unique<BlastChecker>(EnableRewriting);
+}
+
+std::vector<std::unique_ptr<EquivalenceChecker>> mba::makeAllCheckers() {
+  std::vector<std::unique_ptr<EquivalenceChecker>> Checkers;
+  if (auto Z3 = makeZ3Checker())
+    Checkers.push_back(std::move(Z3));
+  Checkers.push_back(makeBlastChecker(false));
+  Checkers.push_back(makeBlastChecker(true));
+  return Checkers;
+}

@@ -1,0 +1,83 @@
+//===- solvers/EquivalenceChecker.h - Solver backends -----------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform solver interface the study harness drives (Sections 3 and
+/// 6): given an MBA identity equation LHS == RHS, a backend must decide
+/// equivalence within a timeout. Three backends reproduce the paper's
+/// solver matrix:
+///
+///  * **Z3** — the real solver via its C++ API (enabled when libz3 is
+///    present).
+///  * **BlastBV** — the in-tree bit-blasting CDCL solver, plain encoding.
+///  * **BlastBV+RW** — the same with structural rewriting.
+///
+/// The last two substitute for STP and Boolector (unavailable offline; see
+/// DESIGN.md). All backends answer the same query the paper poses to
+/// solvers: `solve(lhs != rhs)` — UNSAT means the identity holds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SOLVERS_EQUIVALENCECHECKER_H
+#define MBA_SOLVERS_EQUIVALENCECHECKER_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mba {
+
+/// Outcome of one equivalence query.
+enum class Verdict {
+  Equivalent,    ///< lhs != rhs refuted (UNSAT)
+  NotEquivalent, ///< witness found (SAT)
+  Timeout        ///< budget exhausted (the paper's "O" outcome)
+};
+
+const char *verdictName(Verdict V);
+
+/// One query's result with its wall-clock cost.
+struct CheckResult {
+  Verdict Outcome = Verdict::Timeout;
+  double Seconds = 0;
+};
+
+/// Abstract solver backend.
+class EquivalenceChecker {
+public:
+  virtual ~EquivalenceChecker();
+
+  /// Short display name ("Z3", "BlastBV", "BlastBV+RW").
+  virtual std::string name() const = 0;
+
+  /// Decides A == B over all inputs of Ctx's width, within
+  /// \p TimeoutSeconds of wall-clock time.
+  virtual CheckResult check(const Context &Ctx, const Expr *A, const Expr *B,
+                            double TimeoutSeconds) = 0;
+};
+
+/// The in-tree bit-blasting backend. \p EnableRewriting selects the +RW
+/// configuration.
+std::unique_ptr<EquivalenceChecker> makeBlastChecker(bool EnableRewriting);
+
+/// The Z3 backend; returns nullptr when built without Z3.
+std::unique_ptr<EquivalenceChecker> makeZ3Checker();
+
+/// The MBA-theory backend ("SigCheck"): sampling refutation, Theorem 1 on
+/// the linear fragment, and canonical-form comparison — no SAT search. Not
+/// part of makeAllCheckers() (the paper's solver matrix); an extension.
+std::unique_ptr<EquivalenceChecker> makeSignatureChecker();
+
+/// All available backends in the paper's order (Z3, then the two
+/// STP/Boolector stand-ins).
+std::vector<std::unique_ptr<EquivalenceChecker>> makeAllCheckers();
+
+} // namespace mba
+
+#endif // MBA_SOLVERS_EQUIVALENCECHECKER_H

@@ -1,0 +1,96 @@
+//===- solvers/SmtLib.cpp - SMT-LIB2 export --------------------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solvers/SmtLib.h"
+
+#include "ast/ExprUtils.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace mba;
+
+namespace {
+
+const char *smtOpName(ExprKind K) {
+  switch (K) {
+  case ExprKind::Not:
+    return "bvnot";
+  case ExprKind::Neg:
+    return "bvneg";
+  case ExprKind::Add:
+    return "bvadd";
+  case ExprKind::Sub:
+    return "bvsub";
+  case ExprKind::Mul:
+    return "bvmul";
+  case ExprKind::And:
+    return "bvand";
+  case ExprKind::Or:
+    return "bvor";
+  case ExprKind::Xor:
+    return "bvxor";
+  default:
+    assert(false && "leaf kinds have no operator name");
+    return "?";
+  }
+}
+
+} // namespace
+
+std::string mba::toSmtLibTerm(const Context &Ctx, const Expr *E) {
+  // Post-order rendering with DAG sharing flattened into the string (a
+  // `let`-based encoding would be smaller but this keeps terms readable;
+  // memoizing the strings keeps the cost linear in the DAG).
+  std::unordered_map<const Expr *, std::string> Memo;
+  forEachNodePostOrder(E, [&](const Expr *N) {
+    std::string S;
+    switch (N->kind()) {
+    case ExprKind::Var:
+      S = N->varName();
+      break;
+    case ExprKind::Const:
+      S = "(_ bv" + std::to_string(N->constValue()) + " " +
+          std::to_string(Ctx.width()) + ")";
+      break;
+    default: {
+      S = "(";
+      S += smtOpName(N->kind());
+      for (unsigned I = 0; I != N->numOperands(); ++I) {
+        S += ' ';
+        S += Memo.at(N->getOperand(I));
+      }
+      S += ')';
+      break;
+    }
+    }
+    Memo.emplace(N, std::move(S));
+  });
+  return Memo.at(E);
+}
+
+std::string mba::toSmtLibQuery(const Context &Ctx, const Expr *A,
+                               const Expr *B) {
+  std::vector<const Expr *> Vars = collectVariables(A);
+  for (const Expr *V : collectVariables(B))
+    if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+      Vars.push_back(V);
+  std::sort(Vars.begin(), Vars.end(), [](const Expr *X, const Expr *Y) {
+    return std::string_view(X->varName()) < std::string_view(Y->varName());
+  });
+
+  std::string Out;
+  Out += "(set-logic QF_BV)\n";
+  for (const Expr *V : Vars) {
+    Out += "(declare-const ";
+    Out += V->varName();
+    Out += " (_ BitVec " + std::to_string(Ctx.width()) + "))\n";
+  }
+  Out += "(assert (distinct " + toSmtLibTerm(Ctx, A) + " " +
+         toSmtLibTerm(Ctx, B) + "))\n";
+  Out += "(check-sat)\n";
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===- solvers/SmtLib.h - SMT-LIB2 export -----------------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SMT-LIB2 rendering of MBA expressions and equivalence queries, so the
+/// library's output can be fed to any external solver (the paper drives
+/// Z3, STP and Boolector through their APIs; SMT-LIB2 is the portable
+/// equivalent and what the artifact's datasets ship as).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SOLVERS_SMTLIB_H
+#define MBA_SOLVERS_SMTLIB_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <optional>
+#include <string>
+
+namespace mba {
+
+/// Renders \p E as an SMT-LIB2 term over QF_BV (s-expression form,
+/// `bvadd`/`bvand`/... operators, `(_ bvN w)` literals).
+std::string toSmtLibTerm(const Context &Ctx, const Expr *E);
+
+/// Renders a complete benchmark script asserting `A != B`: `unsat` from a
+/// solver means the identity A == B holds. Declares every variable of both
+/// sides at the context width and ends with (check-sat).
+std::string toSmtLibQuery(const Context &Ctx, const Expr *A, const Expr *B);
+
+/// Parses and solves an SMT-LIB2 script with the Z3 backend (used to
+/// validate exported queries end-to-end). Returns true for sat, false for
+/// unsat, std::nullopt when Z3 is unavailable or answers unknown.
+std::optional<bool> solveSmtLibWithZ3(const std::string &Script,
+                                      double TimeoutSeconds);
+
+} // namespace mba
+
+#endif // MBA_SOLVERS_SMTLIB_H

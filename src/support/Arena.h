@@ -1,0 +1,98 @@
+//===- support/Arena.h - Bump-pointer arena allocator ----------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena. Expression nodes are allocated here so that
+/// they live exactly as long as their owning Context, and so that the memory
+/// cost of a simplification run can be measured precisely (Table 8 of the
+/// paper reports simplifier memory use).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SUPPORT_ARENA_H
+#define MBA_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mba {
+
+/// Bump-pointer allocator with slab growth.
+///
+/// Objects allocated from the arena are never individually freed; everything
+/// is released when the arena is destroyed. Destructors of allocated objects
+/// are NOT run, so only trivially-destructible payloads should be placed here
+/// (expression nodes satisfy this).
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+           "alignment must be a power of two");
+    uintptr_t P = (Cur + Align - 1) & ~(uintptr_t)(Align - 1);
+    if (P + Size > End) {
+      growSlab(Size + Align);
+      P = (Cur + Align - 1) & ~(uintptr_t)(Align - 1);
+    }
+    Cur = P + Size;
+    BytesUsed += Size;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Allocates and default-constructs a \p T with the given arguments.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(As)...);
+  }
+
+  /// Copies the character range into the arena and returns a NUL-terminated
+  /// pointer. Used to intern variable names.
+  const char *copyString(const char *Data, size_t Len) {
+    char *Mem = static_cast<char *>(allocate(Len + 1, 1));
+    std::copy(Data, Data + Len, Mem);
+    Mem[Len] = '\0';
+    return Mem;
+  }
+
+  /// Total payload bytes handed out so far (excludes slab slack).
+  size_t bytesUsed() const { return BytesUsed; }
+
+  /// Total bytes reserved from the system.
+  size_t bytesReserved() const { return BytesReserved; }
+
+private:
+  void growSlab(size_t MinSize) {
+    size_t SlabSize = Slabs.empty() ? 4096 : Slabs.back().Size * 2;
+    if (SlabSize < MinSize)
+      SlabSize = MinSize;
+    Slabs.push_back({std::make_unique<char[]>(SlabSize), SlabSize});
+    BytesReserved += SlabSize;
+    Cur = reinterpret_cast<uintptr_t>(Slabs.back().Mem.get());
+    End = Cur + SlabSize;
+  }
+
+  struct Slab {
+    std::unique_ptr<char[]> Mem;
+    size_t Size;
+  };
+
+  std::vector<Slab> Slabs;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t BytesUsed = 0;
+  size_t BytesReserved = 0;
+};
+
+} // namespace mba
+
+#endif // MBA_SUPPORT_ARENA_H

@@ -1,0 +1,65 @@
+//===- support/RNG.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used by the corpus
+/// generator, the Syntia-style synthesizer, and the property tests.
+/// Determinism matters: the generated 3000-expression corpus must be
+/// reproducible across runs so that the benchmark tables are stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SUPPORT_RNG_H
+#define MBA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace mba {
+
+/// SplitMix64 generator. Passes BigCrush for the purposes we need and is
+/// two lines of state transition, which keeps corpus generation trivially
+/// reproducible.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    // Rejection-free modulo is fine here; bias is irrelevant for workload
+    // generation.
+    return next() % Bound;
+  }
+
+  /// Returns a value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + (int64_t)below((uint64_t)(Hi - Lo) + 1);
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Splits off an independent generator (for parallel-safe sub-streams).
+  RNG split() { return RNG(next() ^ 0x5851f42d4c957f2dULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace mba
+
+#endif // MBA_SUPPORT_RNG_H

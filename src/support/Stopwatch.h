@@ -1,0 +1,43 @@
+//===- support/Stopwatch.h - Wall-clock timing helper -----------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic stopwatch used by the benchmark harness to report solving and
+/// simplification times (Tables 2, 6, 7, 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SUPPORT_STOPWATCH_H
+#define MBA_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace mba {
+
+/// Starts timing on construction; query elapsed time at any point.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction or last reset().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace mba
+
+#endif // MBA_SUPPORT_STOPWATCH_H

@@ -1,0 +1,322 @@
+//===- tests/ast_test.cpp - AST, parser, printer, evaluator tests --------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace mba;
+
+namespace {
+
+TEST(Context, InterningDeduplicatesNodes) {
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *Y = Ctx.getVar("y");
+  EXPECT_EQ(X, Ctx.getVar("x"));
+  EXPECT_NE(X, Y);
+  EXPECT_EQ(Ctx.getAdd(X, Y), Ctx.getAdd(X, Y));
+  EXPECT_NE(Ctx.getAdd(X, Y), Ctx.getAdd(Y, X)); // not canonicalized
+  EXPECT_EQ(Ctx.getConst(5), Ctx.getConst(5));
+  EXPECT_EQ(Ctx.getNot(X), Ctx.getNot(X));
+}
+
+TEST(Context, WidthMaskAndTruncation) {
+  Context Ctx(8);
+  EXPECT_EQ(Ctx.mask(), 0xffu);
+  EXPECT_EQ(Ctx.getConst(0x1ff)->constValue(), 0xffu);
+  EXPECT_EQ(Ctx.toSigned(0xff), -1);
+  EXPECT_EQ(Ctx.toSigned(0x7f), 127);
+  EXPECT_EQ(Ctx.toSigned(0x80), -128);
+}
+
+TEST(Context, Width64Mask) {
+  Context Ctx(64);
+  EXPECT_EQ(Ctx.mask(), ~0ULL);
+  EXPECT_EQ(Ctx.toSigned(~0ULL), -1);
+}
+
+TEST(Context, VarIndicesAreDense) {
+  Context Ctx(32);
+  EXPECT_EQ(Ctx.getVar("a")->varIndex(), 0u);
+  EXPECT_EQ(Ctx.getVar("b")->varIndex(), 1u);
+  EXPECT_EQ(Ctx.getVar("a")->varIndex(), 0u);
+  EXPECT_EQ(Ctx.numVars(), 2u);
+  EXPECT_EQ(Ctx.getVarByIndex(1), Ctx.getVar("b"));
+}
+
+TEST(Context, RebuildReturnsSameNodeWhenUnchanged) {
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *Y = Ctx.getVar("y");
+  const Expr *E = Ctx.getAdd(X, Y);
+  EXPECT_EQ(Ctx.rebuild(E, X, Y), E);
+  EXPECT_EQ(Ctx.rebuild(E, Y, X), Ctx.getAdd(Y, X));
+  const Expr *N = Ctx.getNot(X);
+  EXPECT_EQ(Ctx.rebuild(N, X, nullptr), N);
+}
+
+TEST(ExprKindPredicates, Classification) {
+  EXPECT_TRUE(isArithmeticKind(ExprKind::Add));
+  EXPECT_TRUE(isArithmeticKind(ExprKind::Neg));
+  EXPECT_FALSE(isArithmeticKind(ExprKind::And));
+  EXPECT_TRUE(isBitwiseKind(ExprKind::Not));
+  EXPECT_TRUE(isBitwiseKind(ExprKind::Xor));
+  EXPECT_FALSE(isBitwiseKind(ExprKind::Mul));
+  EXPECT_TRUE(isCommutativeKind(ExprKind::Mul));
+  EXPECT_FALSE(isCommutativeKind(ExprKind::Sub));
+}
+
+TEST(Evaluator, BasicOperators) {
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *Y = Ctx.getVar("y");
+  uint64_t Vals[] = {7, 12};
+  EXPECT_EQ(evaluate(Ctx, Ctx.getAdd(X, Y), Vals), 19u);
+  EXPECT_EQ(evaluate(Ctx, Ctx.getSub(X, Y), Vals), (uint64_t)-5);
+  EXPECT_EQ(evaluate(Ctx, Ctx.getMul(X, Y), Vals), 84u);
+  EXPECT_EQ(evaluate(Ctx, Ctx.getAnd(X, Y), Vals), 4u);
+  EXPECT_EQ(evaluate(Ctx, Ctx.getOr(X, Y), Vals), 15u);
+  EXPECT_EQ(evaluate(Ctx, Ctx.getXor(X, Y), Vals), 11u);
+  EXPECT_EQ(evaluate(Ctx, Ctx.getNot(X), Vals), ~7ULL);
+  EXPECT_EQ(evaluate(Ctx, Ctx.getNeg(X), Vals), (uint64_t)-7);
+}
+
+TEST(Evaluator, NarrowWidthWraps) {
+  Context Ctx(8);
+  const Expr *X = Ctx.getVar("x");
+  uint64_t Vals[] = {200};
+  EXPECT_EQ(evaluate(Ctx, Ctx.getAdd(X, X), Vals), (200 + 200) & 0xffu);
+  EXPECT_EQ(evaluate(Ctx, Ctx.getMul(X, X), Vals), (200 * 200) & 0xffu);
+}
+
+TEST(Evaluator, MissingVariableIsZero) {
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *Y = Ctx.getVar("y");
+  uint64_t Vals[] = {3}; // y unbound
+  EXPECT_EQ(evaluate(Ctx, Ctx.getOr(X, Y), Vals), 3u);
+}
+
+TEST(Evaluator, MapOverload) {
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  std::unordered_map<const Expr *, uint64_t> Vals = {{X, 41}};
+  EXPECT_EQ(evaluate(Ctx, Ctx.getAdd(X, Ctx.getOne()), Vals), 42u);
+}
+
+TEST(Evaluator, HackersDelightIdentities) {
+  // Classic identities from the paper's Background section hold for random
+  // inputs: x | y == (x & ~y) + y and x ^ y == (x | y) - (x & y).
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *Y = Ctx.getVar("y");
+  const Expr *Lhs1 = Ctx.getOr(X, Y);
+  const Expr *Rhs1 = Ctx.getAdd(Ctx.getAnd(X, Ctx.getNot(Y)), Y);
+  const Expr *Lhs2 = Ctx.getXor(X, Y);
+  const Expr *Rhs2 = Ctx.getSub(Ctx.getOr(X, Y), Ctx.getAnd(X, Y));
+  RNG Rng(1);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t Vals[] = {Rng.next(), Rng.next()};
+    EXPECT_EQ(evaluate(Ctx, Lhs1, Vals), evaluate(Ctx, Rhs1, Vals));
+    EXPECT_EQ(evaluate(Ctx, Lhs2, Vals), evaluate(Ctx, Rhs2, Vals));
+  }
+}
+
+TEST(Parser, PrecedenceMatchesPython) {
+  Context Ctx(64);
+  // '&' binds looser than '+': x&y+2 == x & (y+2).
+  const Expr *E = parseOrDie(Ctx, "x&y+2");
+  ASSERT_EQ(E->kind(), ExprKind::And);
+  EXPECT_EQ(E->rhs()->kind(), ExprKind::Add);
+  // '|' loosest, '^' between '|' and '&'.
+  const Expr *F = parseOrDie(Ctx, "a|b^c&d");
+  ASSERT_EQ(F->kind(), ExprKind::Or);
+  EXPECT_EQ(F->rhs()->kind(), ExprKind::Xor);
+  ASSERT_EQ(F->rhs()->rhs()->kind(), ExprKind::And);
+}
+
+TEST(Parser, UnaryOperators) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "~x * -y");
+  ASSERT_EQ(E->kind(), ExprKind::Mul);
+  EXPECT_EQ(E->lhs()->kind(), ExprKind::Not);
+  EXPECT_EQ(E->rhs()->kind(), ExprKind::Neg);
+  // Double negation parses.
+  const Expr *F = parseOrDie(Ctx, "--x");
+  ASSERT_EQ(F->kind(), ExprKind::Neg);
+  EXPECT_EQ(F->operand()->kind(), ExprKind::Neg);
+}
+
+TEST(Parser, NegativeConstantsFold) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "-1");
+  ASSERT_TRUE(E->isConst());
+  EXPECT_EQ(E->constValue(), ~0ULL);
+  const Expr *F = parseOrDie(Ctx, "~0");
+  ASSERT_TRUE(F->isConst());
+  EXPECT_EQ(F->constValue(), ~0ULL);
+}
+
+TEST(Parser, HexLiterals) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "0xdeadBEEF");
+  ASSERT_TRUE(E->isConst());
+  EXPECT_EQ(E->constValue(), 0xdeadbeefULL);
+}
+
+TEST(Parser, SubtractionIsLeftAssociative) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "a-b-c");
+  ASSERT_EQ(E->kind(), ExprKind::Sub);
+  EXPECT_EQ(E->lhs()->kind(), ExprKind::Sub);
+  uint64_t Vals[] = {10, 3, 2};
+  EXPECT_EQ(evaluate(Ctx, E, Vals), 5u);
+}
+
+TEST(Parser, PaperFigure1Expression) {
+  Context Ctx(64);
+  const Expr *E =
+      parseOrDie(Ctx, "(x&~y)*(~x&y) + (x&y)*(x|y)");
+  const Expr *XY = parseOrDie(Ctx, "x*y");
+  RNG Rng(7);
+  for (int I = 0; I < 200; ++I) {
+    uint64_t Vals[] = {Rng.next(), Rng.next()};
+    EXPECT_EQ(evaluate(Ctx, E, Vals), evaluate(Ctx, XY, Vals));
+  }
+}
+
+TEST(Parser, ErrorsAreReported) {
+  Context Ctx(64);
+  EXPECT_FALSE(parseExpr(Ctx, "x +").ok());
+  EXPECT_FALSE(parseExpr(Ctx, "(x").ok());
+  EXPECT_FALSE(parseExpr(Ctx, "x $ y").ok());
+  EXPECT_FALSE(parseExpr(Ctx, "").ok());
+  EXPECT_FALSE(parseExpr(Ctx, "x y").ok());
+  ParseResult R = parseExpr(Ctx, "x + $");
+  ASSERT_FALSE(R.ok());
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_EQ(R.ErrorPos, 4u);
+}
+
+TEST(Printer, ConstantsPrintSigned) {
+  Context Ctx(64);
+  EXPECT_EQ(printExpr(Ctx, Ctx.getAllOnes()), "-1");
+  EXPECT_EQ(printExpr(Ctx, Ctx.getConst(42)), "42");
+}
+
+TEST(Printer, MinimalParentheses) {
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *Y = Ctx.getVar("y");
+  const Expr *Z = Ctx.getVar("z");
+  EXPECT_EQ(printExpr(Ctx, Ctx.getAdd(Ctx.getMul(X, Y), Z)), "x*y+z");
+  EXPECT_EQ(printExpr(Ctx, Ctx.getMul(Ctx.getAdd(X, Y), Z)), "(x+y)*z");
+  EXPECT_EQ(printExpr(Ctx, Ctx.getAnd(Ctx.getAdd(X, Y), Z)), "x+y&z");
+  EXPECT_EQ(printExpr(Ctx, Ctx.getAdd(Ctx.getAnd(X, Y), Z)), "(x&y)+z");
+  EXPECT_EQ(printExpr(Ctx, Ctx.getSub(X, Ctx.getSub(Y, Z))), "x-(y-z)");
+  EXPECT_EQ(printExpr(Ctx, Ctx.getSub(Ctx.getSub(X, Y), Z)), "x-y-z");
+}
+
+TEST(Printer, RoundTripPreservesSemantics) {
+  Context Ctx(64);
+  RNG Rng(99);
+  const char *Samples[] = {
+      "x+2*y+(x&y)-3*(x^y)+4",
+      "2*(x|y)-(~x&y)-(x&~y)",
+      "(x&~y)*(~x&y)+(x&y)*(x|y)",
+      "((x&~y-~x&y)|z)+((x&~y-~x&y)&z)",
+      "~(x-1)",
+      "-x-1",
+      "x^y^z^w",
+  };
+  for (const char *S : Samples) {
+    const Expr *E = parseOrDie(Ctx, S);
+    std::string Printed = printExpr(Ctx, E);
+    const Expr *F = parseOrDie(Ctx, Printed);
+    for (int I = 0; I < 50; ++I) {
+      uint64_t Vals[] = {Rng.next(), Rng.next(), Rng.next(), Rng.next()};
+      EXPECT_EQ(evaluate(Ctx, E, Vals), evaluate(Ctx, F, Vals))
+          << "sample: " << S << " printed: " << Printed;
+    }
+  }
+}
+
+TEST(ExprUtils, CollectVariablesSortsByName) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "b + a*c + a");
+  auto Vars = collectVariables(E);
+  ASSERT_EQ(Vars.size(), 3u);
+  EXPECT_STREQ(Vars[0]->varName(), "a");
+  EXPECT_STREQ(Vars[1]->varName(), "b");
+  EXPECT_STREQ(Vars[2]->varName(), "c");
+}
+
+TEST(ExprUtils, ContainsSubExpr) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "(x&y) + z");
+  const Expr *Sub = parseOrDie(Ctx, "x&y");
+  const Expr *Other = parseOrDie(Ctx, "x|y");
+  EXPECT_TRUE(containsSubExpr(E, Sub));
+  EXPECT_FALSE(containsSubExpr(E, Other));
+}
+
+TEST(ExprUtils, CountNodes) {
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *S = Ctx.getAdd(X, X); // shared leaf
+  EXPECT_EQ(countDagNodes(S), 2u);
+  EXPECT_EQ(countTreeNodes(S), 3u);
+}
+
+TEST(ExprUtils, SubstituteReplacesAllOccurrences) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "(x-y)|z");
+  const Expr *T = Ctx.getVar("t");
+  const Expr *XY = parseOrDie(Ctx, "x-y");
+  std::unordered_map<const Expr *, const Expr *> Map = {{XY, T}};
+  const Expr *R = substitute(Ctx, E, Map);
+  EXPECT_EQ(R, parseOrDie(Ctx, "t|z"));
+}
+
+TEST(ExprUtils, SubstituteIsNonRecursive) {
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  // x -> x+1 must not loop on the substituted x.
+  std::unordered_map<const Expr *, const Expr *> Map = {
+      {X, Ctx.getAdd(X, Ctx.getOne())}};
+  const Expr *R = substitute(Ctx, Ctx.getMul(X, X), Map);
+  EXPECT_EQ(R, parseOrDie(Ctx, "(x+1)*(x+1)"));
+}
+
+TEST(ExprUtils, RewriteBottomUpFoldsConstants) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "(2+3)*x");
+  const Expr *R = rewriteBottomUp(Ctx, E, [&](const Expr *N) -> const Expr * {
+    if (N->isBinary() && N->lhs()->isConst() && N->rhs()->isConst()) {
+      uint64_t A = N->lhs()->constValue(), B = N->rhs()->constValue();
+      if (N->kind() == ExprKind::Add)
+        return Ctx.getConst(A + B);
+    }
+    return N;
+  });
+  EXPECT_EQ(R, parseOrDie(Ctx, "5*x"));
+}
+
+TEST(ExprUtils, DeepExpressionDoesNotOverflowStack) {
+  Context Ctx(64);
+  const Expr *E = Ctx.getVar("x");
+  for (int I = 0; I < 200000; ++I)
+    E = Ctx.getAdd(E, Ctx.getOne());
+  EXPECT_EQ(countDagNodes(E), 200002u);
+}
+
+} // namespace

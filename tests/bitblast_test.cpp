@@ -1,0 +1,207 @@
+//===- tests/bitblast_test.cpp - Bit-blasting circuit tests ---------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bitblast/BitBlaster.h"
+#include "bitblast/ExprBlaster.h"
+
+#include "ast/Evaluator.h"
+#include "ast/Parser.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace mba;
+using namespace mba::sat;
+
+namespace {
+
+/// Reads the model value of a word as an integer.
+uint64_t wordValue(const SatSolver &S, const BitBlaster &B,
+                   const BitBlaster::Word &W) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I != W.size(); ++I) {
+    Lit L = W[I];
+    bool Bit;
+    if (L == B.trueLit())
+      Bit = true;
+    else if (L == ~B.trueLit())
+      Bit = false;
+    else
+      Bit = S.modelValue(L.var()) != L.negated();
+    if (Bit)
+      V |= 1ULL << I;
+  }
+  return V;
+}
+
+/// Asserts that a circuit output equals a constant and checks SAT-model
+/// consistency: Op(a, b) forced to equal Expected for concrete a, b.
+class CircuitParamTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool>> {};
+
+TEST_P(CircuitParamTest, ArithmeticMatchesReference) {
+  auto [Width, Rewriting] = GetParam();
+  RNG Rng(500 + Width + (Rewriting ? 1 : 0));
+  uint64_t Mask = Width == 64 ? ~0ULL : ((1ULL << Width) - 1);
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    uint64_t AVal = Rng.next() & Mask;
+    uint64_t BVal = Rng.next() & Mask;
+    SatSolver S;
+    BitBlaster B(S, Width, Rewriting);
+    auto A = B.constWord(AVal);
+    auto BB = B.constWord(BVal);
+
+    struct OpCase {
+      BitBlaster::Word W;
+      uint64_t Expected;
+    };
+    std::vector<OpCase> Cases = {
+        {B.bvAdd(A, BB), (AVal + BVal) & Mask},
+        {B.bvSub(A, BB), (AVal - BVal) & Mask},
+        {B.bvMul(A, BB), (AVal * BVal) & Mask},
+        {B.bvAnd(A, BB), AVal & BVal},
+        {B.bvOr(A, BB), AVal | BVal},
+        {B.bvXor(A, BB), AVal ^ BVal},
+        {B.bvNot(A), ~AVal & Mask},
+        {B.bvNeg(A), (0 - AVal) & Mask},
+    };
+    ASSERT_EQ(S.solve(), SatResult::Sat);
+    for (auto &C : Cases)
+      ASSERT_EQ(wordValue(S, B, C.W), C.Expected)
+          << "width " << Width << " rewriting " << Rewriting;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndConfigs, CircuitParamTest,
+    ::testing::Combine(::testing::Values(1u, 4u, 8u, 16u, 32u, 64u),
+                       ::testing::Bool()));
+
+TEST(BitBlasterTest, RewritingFoldsConstantGates) {
+  SatSolver S;
+  BitBlaster B(S, 8, /*EnableRewriting=*/true);
+  Lit T = B.trueLit(), F = B.falseLit();
+  EXPECT_EQ(B.mkAnd(T, T), T);
+  EXPECT_EQ(B.mkAnd(T, F), F);
+  EXPECT_EQ(B.mkXor(T, T), F);
+  EXPECT_EQ(B.mkXor(T, F), T);
+  Lit X(S.newVar(), false);
+  EXPECT_EQ(B.mkAnd(X, X), X);
+  EXPECT_EQ(B.mkAnd(X, ~X), F);
+  EXPECT_EQ(B.mkXor(X, X), F);
+  EXPECT_EQ(B.mkXor(X, ~X), T);
+  EXPECT_EQ(B.numGates(), 0u); // everything folded
+}
+
+TEST(BitBlasterTest, StructuralHashingSharesGates) {
+  SatSolver S;
+  BitBlaster B(S, 8, /*EnableRewriting=*/true);
+  Lit X(S.newVar(), false), Y(S.newVar(), false);
+  Lit G1 = B.mkAnd(X, Y);
+  Lit G2 = B.mkAnd(Y, X); // commuted: must hit the cache
+  EXPECT_EQ(G1, G2);
+  EXPECT_EQ(B.numGates(), 1u);
+  // xor negation normalization: xor(~x, y) == ~xor(x, y).
+  Lit X1 = B.mkXor(X, Y);
+  Lit X2 = B.mkXor(~X, Y);
+  EXPECT_EQ(X2, ~X1);
+}
+
+TEST(BitBlasterTest, PlainModeCreatesFreshGates) {
+  SatSolver S;
+  BitBlaster B(S, 8, /*EnableRewriting=*/false);
+  Lit X(S.newVar(), false), Y(S.newVar(), false);
+  Lit G1 = B.mkAnd(X, Y);
+  Lit G2 = B.mkAnd(X, Y);
+  EXPECT_NE(G1, G2);
+  EXPECT_EQ(B.numGates(), 2u);
+}
+
+TEST(ExprBlasterTest, CircuitAgreesWithEvaluator) {
+  // Blast an expression, force the inputs to concrete values with unit
+  // clauses, and compare the circuit output with the interpreter.
+  Context Ctx(16);
+  RNG Rng(808);
+  const char *Samples[] = {
+      "x + y",
+      "x * y - (x & y)",
+      "~(x - 1)",
+      "(x&~y)*(~x&y) + (x&y)*(x|y)",
+      "2*(x|y) - (~x&y) - (x&~y)",
+      "-x ^ (y | 3)",
+  };
+  for (const char *Text : Samples) {
+    const Expr *E = parseOrDie(Ctx, Text);
+    for (int Trial = 0; Trial < 6; ++Trial) {
+      uint64_t XV = Rng.next() & Ctx.mask(), YV = Rng.next() & Ctx.mask();
+      SatSolver S;
+      BitBlaster B(S, Ctx.width(), true);
+      ExprBlaster EB(B);
+      auto Out = EB.blast(E);
+      // Pin the inputs.
+      auto Pin = [&](const Expr *V, uint64_t Value) {
+        const auto &W = EB.inputWord(V);
+        for (unsigned I = 0; I != W.size(); ++I)
+          B.assertLit((Value >> I & 1) ? W[I] : ~W[I]);
+      };
+      Pin(Ctx.getVar("x"), XV);
+      Pin(Ctx.getVar("y"), YV);
+      ASSERT_EQ(S.solve(), SatResult::Sat) << Text;
+      uint64_t Vals[] = {XV, YV};
+      ASSERT_EQ(wordValue(S, B, Out), evaluate(Ctx, E, Vals)) << Text;
+    }
+  }
+}
+
+TEST(ExprBlasterTest, EquivalenceRefutationUnsat) {
+  // (x&~y) + y == x|y: asserting disequality must be UNSAT.
+  Context Ctx(8);
+  SatSolver S;
+  BitBlaster B(S, 8, true);
+  ExprBlaster EB(B);
+  auto L = EB.blast(parseOrDie(Ctx, "(x&~y) + y"));
+  auto R = EB.blast(parseOrDie(Ctx, "x|y"));
+  B.assertLit(B.disequal(L, R));
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(ExprBlasterTest, NonEquivalenceFindsWitness) {
+  // x + y != x | y somewhere (e.g. x = y = 1): SAT with a valid witness.
+  Context Ctx(8);
+  SatSolver S;
+  BitBlaster B(S, 8, true);
+  ExprBlaster EB(B);
+  const Expr *EL = parseOrDie(Ctx, "x + y");
+  const Expr *ER = parseOrDie(Ctx, "x | y");
+  auto L = EB.blast(EL);
+  auto R = EB.blast(ER);
+  B.assertLit(B.disequal(L, R));
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  uint64_t XV = wordValue(S, B, EB.inputWord(Ctx.getVar("x")));
+  uint64_t YV = wordValue(S, B, EB.inputWord(Ctx.getVar("y")));
+  uint64_t Vals[] = {XV, YV};
+  EXPECT_NE(evaluate(Ctx, EL, Vals), evaluate(Ctx, ER, Vals));
+}
+
+TEST(ExprBlasterTest, SharedSubDagBlastedOnce) {
+  Context Ctx(8);
+  SatSolver S;
+  BitBlaster B(S, 8, false);
+  ExprBlaster EB(B);
+  const Expr *Shared = parseOrDie(Ctx, "x*y");
+  const Expr *E = Ctx.getAdd(Shared, Shared);
+  EB.blast(E);
+  uint64_t GatesOnce = B.numGates();
+  SatSolver S2;
+  BitBlaster B2(S2, 8, false);
+  ExprBlaster EB2(B2);
+  EB2.blast(Shared);
+  uint64_t GatesShared = B2.numGates();
+  // The sum costs one adder more than the product alone — not two products.
+  EXPECT_LT(GatesOnce, 2 * GatesShared);
+}
+
+} // namespace

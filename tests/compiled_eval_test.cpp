@@ -1,0 +1,83 @@
+//===- tests/compiled_eval_test.cpp - Bytecode evaluator tests ------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/CompiledEval.h"
+
+#include "ast/Evaluator.h"
+#include "ast/Parser.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace mba;
+
+namespace {
+
+TEST(CompiledEval, MatchesInterpreterOnSamples) {
+  Context Ctx(64);
+  RNG Rng(12);
+  const char *Samples[] = {
+      "x",
+      "42",
+      "x + y",
+      "(x&~y)*(~x&y) + (x&y)*(x|y)",
+      "~(x - 1)",
+      "((x-y)|z) + ((x-y)&z)",
+      "2*(x|y) - (~x&y) - (x&~y)",
+      "-x ^ (y | 3) * z",
+  };
+  for (const char *S : Samples) {
+    const Expr *E = parseOrDie(Ctx, S);
+    CompiledExpr C(Ctx, E);
+    for (int I = 0; I < 200; ++I) {
+      uint64_t Vals[] = {Rng.next(), Rng.next(), Rng.next()};
+      ASSERT_EQ(C.evaluate(Vals), evaluate(Ctx, E, Vals)) << S;
+    }
+  }
+}
+
+TEST(CompiledEval, NarrowWidths) {
+  for (unsigned W : {1u, 4u, 8u, 16u, 33u}) {
+    Context Ctx(W);
+    RNG Rng(W);
+    const Expr *E = parseOrDie(Ctx, "x*y + (x&y) - ~x");
+    CompiledExpr C(Ctx, E);
+    for (int I = 0; I < 100; ++I) {
+      uint64_t Vals[] = {Rng.next(), Rng.next()};
+      ASSERT_EQ(C.evaluate(Vals), evaluate(Ctx, E, Vals)) << "width " << W;
+    }
+  }
+}
+
+TEST(CompiledEval, SharedSubtreesCompileOnce) {
+  Context Ctx(64);
+  const Expr *Shared = parseOrDie(Ctx, "x*y + 1");
+  const Expr *E = Ctx.getAdd(Shared, Ctx.getMul(Shared, Shared));
+  CompiledExpr C(Ctx, E);
+  // Nodes: x, y, x*y, 1, x*y+1 (shared), shared*shared, outer add = 7.
+  EXPECT_EQ(C.size(), 7u);
+}
+
+TEST(CompiledEval, MissingVariablesReadZero) {
+  Context Ctx(64);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *Y = Ctx.getVar("y");
+  CompiledExpr C(Ctx, Ctx.getOr(X, Y));
+  uint64_t Vals[] = {7}; // y out of range
+  EXPECT_EQ(C.evaluate(Vals), 7u);
+  EXPECT_EQ(C.evaluate({}), 0u);
+}
+
+TEST(CompiledEval, RepeatedEvaluationIsConsistent) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "x*x - 2*x + 1");
+  CompiledExpr C(Ctx, E);
+  uint64_t Vals[] = {5};
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(C.evaluate(Vals), 16u);
+}
+
+} // namespace

@@ -1,0 +1,363 @@
+//===- tests/gen_test.cpp - Obfuscator and corpus generator tests --------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Corpus.h"
+#include "gen/EncodeArithmetic.h"
+#include "gen/Obfuscator.h"
+#include "gen/SeedIdentities.h"
+
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+#include "mba/Metrics.h"
+#include "mba/Signature.h"
+#include "mba/Simplifier.h"
+#include "poly/PolyExpr.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace mba;
+
+namespace {
+
+TEST(Decompose, LinearTerms) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "x + 2*y - 3*(x&y) + 4");
+  auto Terms = decomposeLinearTerms(Ctx, E);
+  ASSERT_EQ(Terms.size(), 4u);
+  EXPECT_EQ(Terms[0].first, 1u);
+  EXPECT_EQ(printExpr(Ctx, Terms[0].second), "x");
+  EXPECT_EQ(Terms[1].first, 2u);
+  EXPECT_EQ(Terms[2].first, (uint64_t)-3);
+  EXPECT_EQ(printExpr(Ctx, Terms[2].second), "x&y");
+  EXPECT_EQ(Terms[3].second, nullptr);
+  EXPECT_EQ(Terms[3].first, 4u);
+}
+
+TEST(Decompose, NestedScaling) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "-(2*(x - 3*y))");
+  auto Terms = decomposeLinearTerms(Ctx, E);
+  ASSERT_EQ(Terms.size(), 2u);
+  EXPECT_EQ(Terms[0].first, (uint64_t)-2);
+  EXPECT_EQ(Terms[1].first, 6u);
+}
+
+TEST(Decompose, RoundTripsThroughBuild) {
+  Context Ctx(64);
+  RNG Rng(9);
+  const char *Samples[] = {"x", "3*x - y + 7", "-(x&y) - (x|y)*2 + 5 - x"};
+  for (const char *S : Samples) {
+    const Expr *E = parseOrDie(Ctx, S);
+    auto Terms = decomposeLinearTerms(Ctx, E);
+    uint64_t Constant = 0;
+    std::vector<LinearTerm> ExprTerms;
+    for (auto &T : Terms) {
+      if (T.second)
+        ExprTerms.push_back(T);
+      else
+        Constant += T.first;
+    }
+    const Expr *R = buildLinearCombination(Ctx, ExprTerms, Constant);
+    for (int I = 0; I < 50; ++I) {
+      uint64_t Vals[] = {Rng.next(), Rng.next()};
+      EXPECT_EQ(evaluate(Ctx, E, Vals), evaluate(Ctx, R, Vals)) << S;
+    }
+  }
+}
+
+TEST(ObfuscatorTest, RandomBitwiseIsPureBitwise) {
+  Context Ctx(64);
+  Obfuscator Obf(Ctx, 5);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y"), Ctx.getVar("z")};
+  for (int I = 0; I < 200; ++I) {
+    const Expr *E = Obf.randomBitwise(Vars, 3);
+    EXPECT_TRUE(isPureBitwise(Ctx, E)) << printExpr(Ctx, E);
+  }
+}
+
+TEST(ObfuscatorTest, ZeroIdentityIsZeroEverywhere) {
+  Context Ctx(64);
+  Obfuscator Obf(Ctx, 11);
+  RNG Rng(13);
+  for (unsigned T = 1; T <= 3; ++T) {
+    std::vector<const Expr *> Vars;
+    for (unsigned I = 0; I != T; ++I)
+      Vars.push_back(Ctx.getVar(std::string(1, (char)('x' + I))));
+    for (int Trial = 0; Trial < 30; ++Trial) {
+      const Expr *Z = Obf.zeroIdentity(Vars, 5);
+      // Signature of a zero identity is the zero vector (Theorem 1).
+      auto Sig = computeSignature(Ctx, Z, Vars);
+      for (uint64_t S : Sig)
+        ASSERT_EQ(S, 0u) << printExpr(Ctx, Z);
+      // And it evaluates to zero on random (non-corner) inputs too.
+      for (int I = 0; I < 20; ++I) {
+        std::vector<uint64_t> Vals(4);
+        for (auto &V : Vals)
+          V = Rng.next();
+        ASSERT_EQ(evaluate(Ctx, Z, Vals), 0u) << printExpr(Ctx, Z);
+      }
+    }
+  }
+}
+
+TEST(ObfuscatorTest, LinearObfuscationPreservesSemantics) {
+  Context Ctx(64);
+  Obfuscator Obf(Ctx, 21);
+  RNG Rng(23);
+  const char *Targets[] = {"x+y", "x-y", "x^y", "x&y", "2*x + 3*y - 1", "x"};
+  ObfuscationOptions Opts;
+  for (const char *T : Targets) {
+    const Expr *Target = parseOrDie(Ctx, T);
+    const Expr *Obfuscated = Obf.obfuscateLinear(Target, Opts);
+    EXPECT_EQ(classifyMBA(Ctx, Obfuscated), MBAKind::Linear);
+    EXPECT_TRUE(linearMBAEquivalent(Ctx, Target, Obfuscated)) << T;
+    // Obfuscation must actually complicate the expression.
+    EXPECT_GT(mbaAlternation(Obfuscated), mbaAlternation(Target)) << T;
+    for (int I = 0; I < 30; ++I) {
+      uint64_t Vals[] = {Rng.next(), Rng.next()};
+      ASSERT_EQ(evaluate(Ctx, Target, Vals), evaluate(Ctx, Obfuscated, Vals));
+    }
+  }
+}
+
+TEST(ObfuscatorTest, PolyObfuscationPreservesSemantics) {
+  Context Ctx(64);
+  Obfuscator Obf(Ctx, 31);
+  RNG Rng(33);
+  const Expr *X = Ctx.getVar("x"), *Y = Ctx.getVar("y");
+  Obfuscator::ProductTerm Term{1, {X, Y}}; // x*y
+  ObfuscationOptions Opts;
+  const Expr *Obfuscated = Obf.obfuscatePoly(std::span(&Term, 1), Opts);
+  EXPECT_EQ(classifyMBA(Ctx, Obfuscated), MBAKind::Polynomial);
+  const Expr *Ground = Ctx.getMul(X, Y);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t Vals[] = {Rng.next(), Rng.next()};
+    ASSERT_EQ(evaluate(Ctx, Ground, Vals), evaluate(Ctx, Obfuscated, Vals));
+  }
+}
+
+TEST(ObfuscatorTest, NonPolyObfuscationPreservesSemantics) {
+  Context Ctx(64);
+  Obfuscator Obf(Ctx, 41);
+  RNG Rng(43);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y")};
+  const Expr *Ground = parseOrDie(Ctx, "x - y");
+  ObfuscationOptions Opts;
+  const Expr *Seed = Obf.obfuscateLinear(Ground, Opts);
+  const Expr *NonPoly = Obf.obfuscateNonPoly(Seed, Vars, 3);
+  EXPECT_EQ(classifyMBA(Ctx, NonPoly), MBAKind::NonPolynomial);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t Vals[] = {Rng.next(), Rng.next()};
+    ASSERT_EQ(evaluate(Ctx, Ground, Vals), evaluate(Ctx, NonPoly, Vals));
+  }
+}
+
+TEST(EncodeArithmeticTest, PreservesSemantics) {
+  Context Ctx(64);
+  RNG Rng(505);
+  const char *Targets[] = {"x + y", "x - y", "x ^ y", "x | y", "x & y",
+                           "~x",    "-x",    "x * y", "3*x - 2*y + 7"};
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    EncodeOptions Opts;
+    Opts.Seed = Seed;
+    Opts.Rounds = 2;
+    for (const char *T : Targets) {
+      const Expr *E = parseOrDie(Ctx, T);
+      const Expr *Enc = encodeArithmetic(Ctx, E, Opts);
+      for (int I = 0; I < 60; ++I) {
+        uint64_t Vals[] = {Rng.next(), Rng.next()};
+        ASSERT_EQ(evaluate(Ctx, E, Vals), evaluate(Ctx, Enc, Vals))
+            << T << " seed " << Seed << " -> " << printExpr(Ctx, Enc);
+      }
+    }
+  }
+}
+
+TEST(EncodeArithmeticTest, RoundsCompoundComplexity) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "x + y");
+  size_t PrevLength = printExpr(Ctx, E).size();
+  for (unsigned Rounds = 1; Rounds <= 4; ++Rounds) {
+    EncodeOptions Opts;
+    Opts.Rounds = Rounds;
+    Opts.Percent = 100;
+    Opts.Seed = 9;
+    const Expr *Enc = encodeArithmetic(Ctx, E, Opts);
+    size_t Length = printExpr(Ctx, Enc).size();
+    EXPECT_GT(Length, PrevLength) << "rounds " << Rounds;
+    PrevLength = Length;
+  }
+}
+
+TEST(EncodeArithmeticTest, MulEncodingMatchesFigure1) {
+  Context Ctx(64);
+  EncodeOptions Opts;
+  Opts.Rounds = 1;
+  Opts.Percent = 100;
+  const Expr *Enc = encodeArithmetic(Ctx, parseOrDie(Ctx, "x*y"), Opts);
+  // One round of x*y yields exactly the Figure 1 shape.
+  EXPECT_EQ(printExpr(Ctx, Enc), "(x&y)*(x|y)+(x&~y)*(~x&y)");
+  // With EncodeMul off, products survive.
+  Opts.EncodeMul = false;
+  EXPECT_EQ(encodeArithmetic(Ctx, parseOrDie(Ctx, "x*y"), Opts),
+            parseOrDie(Ctx, "x*y"));
+}
+
+TEST(EncodeArithmeticTest, SimplifierInvertsTheEncoding) {
+  // The core claim, end to end: Tigress-style layered encoding undone by
+  // MBA-Solver.
+  Context Ctx(64);
+  MBASolver Solver(Ctx);
+  EncodeOptions Opts;
+  Opts.Rounds = 3;
+  Opts.Percent = 100;
+  Opts.Seed = 77;
+  const Expr *E = parseOrDie(Ctx, "x + y");
+  const Expr *Enc = encodeArithmetic(Ctx, E, Opts);
+  EXPECT_GT(printExpr(Ctx, Enc).size(), 60u); // genuinely obfuscated
+  EXPECT_EQ(printExpr(Ctx, Solver.simplify(Enc)), "x+y");
+}
+
+TEST(SeedIdentitiesTest, AllSeedIdentitiesHold) {
+  Context Ctx(64);
+  RNG Rng(51);
+  for (const SeedIdentity &S : seedIdentities()) {
+    ParsedIdentity P = parseSeedIdentity(Ctx, S);
+    EXPECT_EQ(classifyMBA(Ctx, P.Obfuscated), S.Category) << S.Obfuscated;
+    for (int I = 0; I < 200; ++I) {
+      uint64_t Vals[] = {Rng.next(), Rng.next(), Rng.next(), Rng.next()};
+      ASSERT_EQ(evaluate(Ctx, P.Obfuscated, Vals),
+                evaluate(Ctx, P.Ground, Vals))
+          << S.Obfuscated << " (" << S.Source << ")";
+    }
+  }
+}
+
+TEST(CorpusTest, SmallCorpusShape) {
+  Context Ctx(64);
+  CorpusOptions Opts;
+  Opts.LinearCount = 40;
+  Opts.PolyCount = 30;
+  Opts.NonPolyCount = 30;
+  auto Corpus = generateCorpus(Ctx, Opts);
+  ASSERT_EQ(Corpus.size(), 100u);
+  unsigned Counts[3] = {0, 0, 0};
+  for (const CorpusEntry &E : Corpus) {
+    ++Counts[(int)E.Category];
+    EXPECT_EQ(classifyMBA(Ctx, E.Obfuscated), E.Category);
+    EXPECT_GE(E.NumVars, 1u);
+    EXPECT_LE(E.NumVars, 4u);
+  }
+  EXPECT_EQ(Counts[(int)MBAKind::Linear], 40u);
+  EXPECT_EQ(Counts[(int)MBAKind::Polynomial], 30u);
+  EXPECT_EQ(Counts[(int)MBAKind::NonPolynomial], 30u);
+}
+
+TEST(CorpusTest, EveryEntryIsAnIdentity) {
+  Context Ctx(64);
+  CorpusOptions Opts;
+  Opts.LinearCount = 60;
+  Opts.PolyCount = 40;
+  Opts.NonPolyCount = 40;
+  auto Corpus = generateCorpus(Ctx, Opts);
+  for (const CorpusEntry &E : Corpus)
+    EXPECT_TRUE(verifyEntrySampled(Ctx, E, 64))
+        << printExpr(Ctx, E.Obfuscated) << " != " << printExpr(Ctx, E.Ground);
+}
+
+TEST(CorpusTest, DeterministicForFixedSeed) {
+  CorpusOptions Opts;
+  Opts.LinearCount = 10;
+  Opts.PolyCount = 10;
+  Opts.NonPolyCount = 10;
+  Context Ctx1(64), Ctx2(64);
+  auto C1 = generateCorpus(Ctx1, Opts);
+  auto C2 = generateCorpus(Ctx2, Opts);
+  ASSERT_EQ(C1.size(), C2.size());
+  for (size_t I = 0; I != C1.size(); ++I)
+    EXPECT_EQ(printExpr(Ctx1, C1[I].Obfuscated),
+              printExpr(Ctx2, C2[I].Obfuscated));
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer) {
+  CorpusOptions A, B;
+  A.LinearCount = B.LinearCount = 5;
+  A.PolyCount = B.PolyCount = 0;
+  A.NonPolyCount = B.NonPolyCount = 0;
+  A.IncludeSeedIdentities = B.IncludeSeedIdentities = false;
+  B.Seed = A.Seed + 1;
+  Context Ctx1(64), Ctx2(64);
+  auto C1 = generateCorpus(Ctx1, A);
+  auto C2 = generateCorpus(Ctx2, B);
+  bool AnyDifferent = false;
+  for (size_t I = 0; I != C1.size(); ++I)
+    AnyDifferent |= printExpr(Ctx1, C1[I].Obfuscated) !=
+                    printExpr(Ctx2, C2[I].Obfuscated);
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(CorpusTest, TextSerializationRoundTrips) {
+  Context Ctx(64);
+  CorpusOptions Opts;
+  Opts.LinearCount = 5;
+  Opts.PolyCount = 5;
+  Opts.NonPolyCount = 5;
+  auto Corpus = generateCorpus(Ctx, Opts);
+  std::string Text = corpusToText(Ctx, Corpus);
+  // One line per entry; each obfuscated column reparses to the same node.
+  size_t Lines = std::count(Text.begin(), Text.end(), '\n');
+  EXPECT_EQ(Lines, Corpus.size());
+  // Reparsing may reassociate +/- chains (minimal parentheses), so the
+  // round trip is semantic: reparsed text must evaluate identically.
+  RNG Rng(77);
+  size_t Pos = 0;
+  for (const CorpusEntry &E : Corpus) {
+    size_t End = Text.find('\n', Pos);
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t Tab1 = Line.find('\t');
+    size_t Tab2 = Line.find('\t', Tab1 + 1);
+    const Expr *Ground = parseOrDie(Ctx, Line.substr(Tab1 + 1, Tab2 - Tab1 - 1));
+    const Expr *Obf = parseOrDie(Ctx, Line.substr(Tab2 + 1));
+    for (int I = 0; I < 20; ++I) {
+      uint64_t Vals[] = {Rng.next(), Rng.next(), Rng.next(), Rng.next()};
+      ASSERT_EQ(evaluate(Ctx, Ground, Vals), evaluate(Ctx, E.Ground, Vals));
+      ASSERT_EQ(evaluate(Ctx, Obf, Vals), evaluate(Ctx, E.Obfuscated, Vals));
+    }
+  }
+}
+
+TEST(CorpusTest, ComplexityRoughlyMatchesTable1) {
+  // The regenerated corpus should land in the paper's Table 1 ballpark:
+  // average alternation around 5-20, average length around 50-500, term
+  // counts around 5-25.
+  Context Ctx(64);
+  CorpusOptions Opts;
+  Opts.LinearCount = 100;
+  Opts.PolyCount = 100;
+  Opts.NonPolyCount = 100;
+  Opts.IncludeSeedIdentities = false;
+  auto Corpus = generateCorpus(Ctx, Opts);
+  double SumAlt = 0, SumLen = 0, SumTerms = 0;
+  for (const CorpusEntry &E : Corpus) {
+    ComplexityMetrics M = measureComplexity(Ctx, E.Obfuscated);
+    SumAlt += (double)M.Alternation;
+    SumLen += (double)M.Length;
+    SumTerms += (double)M.NumTerms;
+  }
+  double N = (double)Corpus.size();
+  EXPECT_GE(SumAlt / N, 4.0);
+  EXPECT_LE(SumAlt / N, 40.0);
+  EXPECT_GE(SumLen / N, 40.0);
+  EXPECT_LE(SumLen / N, 800.0);
+  EXPECT_GE(SumTerms / N, 4.0);
+  EXPECT_LE(SumTerms / N, 40.0);
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- tests/harness_test.cpp - Benchmark harness tests -------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "ast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mba;
+using namespace mba::bench;
+
+namespace {
+
+TEST(HarnessArgs, DefaultsAndOverrides) {
+  {
+    char Prog[] = "bench";
+    char *Argv[] = {Prog};
+    HarnessOptions Opts = parseHarnessArgs(1, Argv);
+    EXPECT_EQ(Opts.PerCategory, 40u);
+    EXPECT_EQ(Opts.TimeoutSeconds, 1.0);
+    EXPECT_EQ(Opts.Width, 64u);
+  }
+  {
+    char Prog[] = "bench";
+    char A1[] = "--per-category=7";
+    char A2[] = "--timeout=0.125";
+    char A3[] = "--width=16";
+    char A4[] = "--seed=99";
+    char *Argv[] = {Prog, A1, A2, A3, A4};
+    HarnessOptions Opts = parseHarnessArgs(5, Argv);
+    EXPECT_EQ(Opts.PerCategory, 7u);
+    EXPECT_EQ(Opts.TimeoutSeconds, 0.125);
+    EXPECT_EQ(Opts.Width, 16u);
+    EXPECT_EQ(Opts.Seed, 99u);
+  }
+}
+
+TEST(HarnessStudy, RunsRawAndSimplifiedStudies) {
+  Context Ctx(8);
+  CorpusOptions CorpusOpts;
+  CorpusOpts.LinearCount = 4;
+  CorpusOpts.PolyCount = 2;
+  CorpusOpts.NonPolyCount = 2;
+  CorpusOpts.IncludeSeedIdentities = false;
+  auto Corpus = generateCorpus(Ctx, CorpusOpts);
+
+  auto Checkers = makeAllCheckers();
+  auto Raw = runSolvingStudy(Ctx, Corpus, Checkers, 0.2, nullptr);
+  EXPECT_EQ(Raw.size(), Corpus.size() * Checkers.size());
+  for (const QueryRecord &R : Raw) {
+    EXPECT_FALSE(R.Solver.empty());
+    EXPECT_LT(R.EntryIndex, Corpus.size());
+    // Corpus entries are identities: a solver may time out but must never
+    // refute one.
+    EXPECT_NE(R.Outcome, Verdict::NotEquivalent);
+  }
+
+  MBASolver Simplifier(Ctx);
+  auto Simplified = runSolvingStudy(Ctx, Corpus, Checkers, 2.0, &Simplifier);
+  unsigned Solved = 0;
+  for (const QueryRecord &R : Simplified)
+    Solved += R.Outcome == Verdict::Equivalent;
+  // After preprocessing at width 8, effectively everything solves.
+  EXPECT_GE(Solved, Simplified.size() - 2);
+}
+
+TEST(HarnessFormat, SecondsFormatting) {
+  EXPECT_EQ(formatSeconds(0.0), "0.000");
+  EXPECT_EQ(formatSeconds(1.2345), "1.234");
+  EXPECT_EQ(formatSeconds(12.0), "12.000");
+}
+
+TEST(HarnessPrint, TablesRenderWithoutCrashing) {
+  // Smoke the printers with a synthetic record set covering every cell
+  // state (solved, unsolved, absent categories).
+  std::vector<QueryRecord> Records = {
+      {"SolverA", MBAKind::Linear, Verdict::Equivalent, 0.05, 0},
+      {"SolverA", MBAKind::Linear, Verdict::Timeout, 0.2, 1},
+      {"SolverA", MBAKind::Polynomial, Verdict::Timeout, 0.2, 2},
+      {"SolverB", MBAKind::Linear, Verdict::Equivalent, 0.01, 0},
+      {"SolverB", MBAKind::NonPolynomial, Verdict::Equivalent, 0.02, 3},
+  };
+  printSolverCategoryTable(Records, 2, "unit-test table");
+  printTimeDistribution(Records, 0.2, "unit-test distribution");
+  SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/knownbits_test.cpp - Known-bits analysis tests ---------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mba/KnownBits.h"
+
+#include "ast/Evaluator.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+#include "mba/Simplifier.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace mba;
+
+namespace {
+
+TEST(KnownBitsTest, ConstantsAreFullyKnown) {
+  Context Ctx(8);
+  KnownBits K = computeKnownBits(Ctx, Ctx.getConst(0b1010));
+  EXPECT_EQ(K.One, 0b1010u);
+  EXPECT_EQ(K.Zero, 0xf5u);
+  EXPECT_TRUE(K.isConstant(Ctx.mask()));
+}
+
+TEST(KnownBitsTest, VariablesAreUnknown) {
+  Context Ctx(64);
+  KnownBits K = computeKnownBits(Ctx, Ctx.getVar("x"));
+  EXPECT_EQ(K.knownMask(), 0u);
+}
+
+TEST(KnownBitsTest, BitwiseTransfer) {
+  Context Ctx(8);
+  // x & 0x0f: the high nibble is known zero.
+  KnownBits K = computeKnownBits(Ctx, parseOrDie(Ctx, "x & 15"));
+  EXPECT_EQ(K.Zero, 0xf0u);
+  EXPECT_EQ(K.One, 0u);
+  // x | 0xf0: the high nibble is known one.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "x | 240"));
+  EXPECT_EQ(K.One, 0xf0u);
+  // (x|240) ^ (x|240): everything cancels... via Xor transfer only the
+  // known-agreeing bits are known; identical subtrees share a node, so
+  // their knowledge aligns on the 0xf0 window.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "(x|240) ^ (x|240)"));
+  EXPECT_EQ(K.Zero & 0xf0u, 0xf0u);
+  // ~(x & 15): complement of a known-zero window is known one.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "~(x & 15)"));
+  EXPECT_EQ(K.One, 0xf0u);
+}
+
+TEST(KnownBitsTest, ArithmeticTrailingWindows) {
+  Context Ctx(8);
+  // (x & 240) + 3: the low 4 bits are known (0 + 3 = 3).
+  KnownBits K = computeKnownBits(Ctx, parseOrDie(Ctx, "(x & 240) + 3"));
+  EXPECT_EQ(K.One & 0x0fu, 3u);
+  EXPECT_EQ(K.Zero & 0x0fu, 0x0cu);
+  // (x & 240) - 1: low nibble borrows to all-ones.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "(x & 240) - 1"));
+  EXPECT_EQ(K.One & 0x0fu, 0x0fu);
+  // x * 2 clears bit 0; x * 4 clears two bits.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "x * 2"));
+  EXPECT_EQ(K.Zero & 1u, 1u);
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "x * 4"));
+  EXPECT_EQ(K.Zero & 3u, 3u);
+  // -(x*2) is still even.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "-(x * 2)"));
+  EXPECT_EQ(K.Zero & 1u, 1u);
+}
+
+TEST(KnownBitsTest, SoundnessOnRandomExpressions) {
+  // Property: claimed known bits agree with concrete evaluation.
+  Context Ctx(16);
+  RNG Rng(404);
+  const char *Samples[] = {
+      "(x & 255) * (y & 255)",
+      "((x | 61440) + y) & 4095",
+      "~(x * 8) | (y & 7)",
+      "(x & 240) + (y & 240)",
+      "(x ^ y) & (x ^ y) & 15",
+      "x - (x & 3) + 3",
+  };
+  for (const char *S : Samples) {
+    const Expr *E = parseOrDie(Ctx, S);
+    KnownBits K = computeKnownBits(Ctx, E);
+    for (int I = 0; I < 300; ++I) {
+      uint64_t Vals[] = {Rng.next() & Ctx.mask(), Rng.next() & Ctx.mask()};
+      uint64_t V = evaluate(Ctx, E, Vals);
+      ASSERT_EQ(V & K.Zero, 0u) << S << " value " << V;
+      ASSERT_EQ(V & K.One, K.One) << S << " value " << V;
+    }
+  }
+}
+
+TEST(KnownBitsTest, FoldsFullyKnownSubtrees) {
+  Context Ctx(64);
+  // (x*2) & 1 == 0: multiplication by two clears the tested bit.
+  EXPECT_EQ(printExpr(Ctx, foldKnownBits(Ctx, parseOrDie(Ctx, "(x*2) & 1"))),
+            "0");
+  // (x | 1) & 1 == 1.
+  EXPECT_EQ(printExpr(Ctx, foldKnownBits(Ctx, parseOrDie(Ctx, "(x | 1) & 1"))),
+            "1");
+  // (x & 6) & 9 == 0 (disjoint masks).
+  EXPECT_EQ(printExpr(Ctx, foldKnownBits(Ctx, parseOrDie(Ctx, "(x & 6) & 9"))),
+            "0");
+  // Nothing folds when bits stay unknown.
+  const Expr *E = parseOrDie(Ctx, "x & 3");
+  EXPECT_EQ(foldKnownBits(Ctx, E), E);
+}
+
+TEST(KnownBitsTest, SimplifierUsesTheFoldingPrePass) {
+  Context Ctx(64);
+  MBASolver Solver(Ctx);
+  // The fold exposes a pure MBA expression underneath.
+  const Expr *E = parseOrDie(Ctx, "((x*2) & 1) + (x|y) + (x&y) - y");
+  EXPECT_EQ(printExpr(Ctx, Solver.simplify(E)), "x");
+  // Disabled, the masked term survives (soundness unchanged).
+  SimplifyOptions Opts;
+  Opts.EnableKnownBits = false;
+  MBASolver Plain(Ctx, Opts);
+  const Expr *R = Plain.simplify(E);
+  RNG Rng(11);
+  for (int I = 0; I < 50; ++I) {
+    uint64_t Vals[] = {Rng.next(), Rng.next()};
+    EXPECT_EQ(evaluate(Ctx, R, Vals), evaluate(Ctx, E, Vals));
+  }
+}
+
+TEST(KnownBitsTest, WorksAtAllWidths) {
+  // (Known-bits is per-node dataflow: it cannot see relational facts like
+  // x ^ ~x == -1; those belong to the signature machinery.)
+  for (unsigned W : {1u, 2u, 7u, 32u, 64u}) {
+    Context Ctx(W);
+    KnownBits K = computeKnownBits(Ctx, parseOrDie(Ctx, "x & 0"));
+    EXPECT_EQ(K.Zero, Ctx.mask()) << "width " << W;
+    K = computeKnownBits(Ctx, parseOrDie(Ctx, "x | -1"));
+    EXPECT_EQ(K.One, Ctx.mask()) << "width " << W;
+    K = computeKnownBits(Ctx, parseOrDie(Ctx, "(x & 0) + 1"));
+    EXPECT_TRUE(K.isConstant(Ctx.mask())) << "width " << W;
+    EXPECT_EQ(K.One, 1u) << "width " << W;
+  }
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+//===- tests/linalg_test.cpp - Truth table / modular algebra tests -------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/IntKernel.h"
+#include "linalg/ModSolver.h"
+#include "linalg/Subset.h"
+#include "linalg/TruthTable.h"
+
+#include "ast/Parser.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace mba;
+
+namespace {
+
+TEST(TruthTable, RowConventionMatchesPaper) {
+  // The paper lists rows (x,y) = (0,0),(0,1),(1,0),(1,1): x is the high bit.
+  EXPECT_EQ(truthBit(/*Row=*/1, /*VarPos=*/0, /*NumVars=*/2), 0u); // x
+  EXPECT_EQ(truthBit(/*Row=*/1, /*VarPos=*/1, /*NumVars=*/2), 1u); // y
+  EXPECT_EQ(truthBit(/*Row=*/2, /*VarPos=*/0, /*NumVars=*/2), 1u);
+  EXPECT_EQ(truthBit(/*Row=*/2, /*VarPos=*/1, /*NumVars=*/2), 0u);
+}
+
+TEST(TruthTable, PaperExample1Columns) {
+  // Columns of Example 1's matrix M: x, y, x^y, x|~y over rows
+  // (0,0),(0,1),(1,0),(1,1).
+  Context Ctx(64);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y")};
+  EXPECT_EQ(truthColumn(Ctx, parseOrDie(Ctx, "x"), Vars),
+            (std::vector<uint8_t>{0, 0, 1, 1}));
+  EXPECT_EQ(truthColumn(Ctx, parseOrDie(Ctx, "y"), Vars),
+            (std::vector<uint8_t>{0, 1, 0, 1}));
+  EXPECT_EQ(truthColumn(Ctx, parseOrDie(Ctx, "x^y"), Vars),
+            (std::vector<uint8_t>{0, 1, 1, 0}));
+  EXPECT_EQ(truthColumn(Ctx, parseOrDie(Ctx, "x|~y"), Vars),
+            (std::vector<uint8_t>{1, 0, 1, 1}));
+}
+
+TEST(TruthTable, Table3BaseVectors) {
+  // Table 3: ~x&~y, ~x&y, x&~y, x&y are the four unit columns.
+  Context Ctx(32);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y")};
+  EXPECT_EQ(truthColumn(Ctx, parseOrDie(Ctx, "~x&~y"), Vars),
+            (std::vector<uint8_t>{1, 0, 0, 0}));
+  EXPECT_EQ(truthColumn(Ctx, parseOrDie(Ctx, "~x&y"), Vars),
+            (std::vector<uint8_t>{0, 1, 0, 0}));
+  EXPECT_EQ(truthColumn(Ctx, parseOrDie(Ctx, "x&~y"), Vars),
+            (std::vector<uint8_t>{0, 0, 1, 0}));
+  EXPECT_EQ(truthColumn(Ctx, parseOrDie(Ctx, "x&y"), Vars),
+            (std::vector<uint8_t>{0, 0, 0, 1}));
+}
+
+TEST(TruthTable, MatrixLayout) {
+  Context Ctx(64);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y")};
+  const Expr *Exprs[] = {parseOrDie(Ctx, "x"), parseOrDie(Ctx, "y")};
+  auto M = truthTableMatrix(Ctx, Exprs, Vars);
+  ASSERT_EQ(M.size(), 8u);
+  // Row 2 = (x=1,y=0): columns (1, 0).
+  EXPECT_EQ(M[2 * 2 + 0], 1);
+  EXPECT_EQ(M[2 * 2 + 1], 0);
+}
+
+TEST(TruthTable, CornerAssignment) {
+  Context Ctx(16);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y")};
+  auto A = cornerAssignment(Ctx, 2, Vars); // (x,y) = (1,0)
+  EXPECT_EQ(A[0], 0xffffu);
+  EXPECT_EQ(A[1], 0u);
+}
+
+TEST(Subset, ZetaThenMoebiusRoundTrips) {
+  RNG Rng(3);
+  uint64_t Mask = ~0ULL;
+  for (unsigned T = 0; T <= 6; ++T) {
+    std::vector<uint64_t> Data(1u << T), Orig;
+    for (auto &V : Data)
+      V = Rng.next();
+    Orig = Data;
+    subsetZeta(Data, Mask);
+    subsetMoebius(Data, Mask);
+    EXPECT_EQ(Data, Orig) << "t = " << T;
+  }
+}
+
+TEST(Subset, ZetaComputesSubsetSums) {
+  std::vector<uint64_t> Data = {1, 2, 3, 4}; // indexed by subset {y}, {x}
+  subsetZeta(Data, ~0ULL);
+  EXPECT_EQ(Data[0], 1u);           // {}
+  EXPECT_EQ(Data[1], 3u);           // {} + {y}
+  EXPECT_EQ(Data[2], 4u);           // {} + {x}
+  EXPECT_EQ(Data[3], 10u);          // all four
+}
+
+TEST(Subset, MoebiusSolvesConjunctionBasisSystem) {
+  // Section 4.3's system: sig = (0,1,1,2) over basis x&y-style columns.
+  // With the zeta convention sig[S] = sum_{T subseteq S} c_T, Moebius
+  // recovers c. Basis order (rows by (x,y)): c[{}], c[{y}], c[{x}], c[{x,y}]
+  // must come out as the paper's C4=0 -> constant 0, C1 (x) = 1, C2 (y) = 1,
+  // C3 (x&y) = 0.
+  std::vector<uint64_t> Sig = {0, 1, 1, 2};
+  subsetMoebius(Sig, ~0ULL);
+  EXPECT_EQ(Sig[0], 0u); // constant term (coefficient of -1)
+  EXPECT_EQ(Sig[1], 1u); // y
+  EXPECT_EQ(Sig[2], 1u); // x
+  EXPECT_EQ(Sig[3], 0u); // x&y
+}
+
+TEST(ModSolver, InverseMod2N) {
+  uint64_t Mask64 = ~0ULL;
+  for (uint64_t A : {1ULL, 3ULL, 5ULL, 0x123456789abcdef1ULL, ~0ULL}) {
+    uint64_t Inv = inverseMod2N(A, Mask64);
+    EXPECT_EQ((A * Inv) & Mask64, 1u) << A;
+  }
+  uint64_t Mask8 = 0xff;
+  for (uint64_t A = 1; A < 256; A += 2) {
+    uint64_t Inv = inverseMod2N(A, Mask8);
+    EXPECT_EQ((A * Inv) & Mask8, 1u) << A;
+  }
+}
+
+TEST(ModSolver, SolvesPaperTable9Basis) {
+  // Basis {x, y, x|y, -1} (Table 9): columns form an invertible matrix over
+  // Z/2^w. Solve for the signature of x&y = (0,0,0,1): expected solution
+  // from inclusion-exclusion is x + y - (x|y), i.e. (1, 1, -1, 0).
+  SquareMatrix A;
+  A.N = 4;
+  // Rows: truth rows (0,0),(0,1),(1,0),(1,1); columns x, y, x|y, all-ones.
+  A.Data = {0, 0, 0, 1, //
+            0, 1, 1, 1, //
+            1, 0, 1, 1, //
+            1, 1, 1, 1};
+  uint64_t Mask = ~0ULL;
+  std::vector<uint64_t> B = {0, 0, 0, 1};
+  auto X = solveInvertibleMod2N(A, B, Mask);
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ((*X)[0], 1u);
+  EXPECT_EQ((*X)[1], 1u);
+  EXPECT_EQ((*X)[2], (uint64_t)-1);
+  EXPECT_EQ((*X)[3], 0u);
+}
+
+TEST(ModSolver, DetectsSingularMatrix) {
+  SquareMatrix A;
+  A.N = 2;
+  A.Data = {2, 4, 6, 8}; // all even: singular over Z/2^w
+  std::vector<uint64_t> B = {1, 1};
+  EXPECT_FALSE(solveInvertibleMod2N(A, B, ~0ULL).has_value());
+  EXPECT_FALSE(isInvertibleMod2(A));
+}
+
+TEST(ModSolver, RandomRoundTrip) {
+  RNG Rng(17);
+  uint64_t Mask = 0xffffffffULL;
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    unsigned N = 1 + (unsigned)Rng.below(6);
+    SquareMatrix A;
+    A.N = N;
+    A.Data.resize(N * N);
+    for (auto &V : A.Data)
+      V = Rng.next() & Mask;
+    // Force invertibility: make the diagonal odd-dominant.
+    for (unsigned I = 0; I != N; ++I)
+      A.at(I, I) |= 1;
+    for (unsigned I = 0; I != N; ++I)
+      for (unsigned J = 0; J != N; ++J)
+        if (I != J)
+          A.at(I, J) &= ~1ULL; // off-diagonal even => det odd
+    std::vector<uint64_t> X0(N);
+    for (auto &V : X0)
+      V = Rng.next() & Mask;
+    std::vector<uint64_t> B(N, 0);
+    for (unsigned I = 0; I != N; ++I) {
+      for (unsigned J = 0; J != N; ++J)
+        B[I] += A.at(I, J) * X0[J];
+      B[I] &= Mask;
+    }
+    auto X = solveInvertibleMod2N(A, B, Mask);
+    ASSERT_TRUE(X.has_value());
+    EXPECT_EQ(*X, X0);
+  }
+}
+
+TEST(IntKernel, PaperExample1KernelVector) {
+  // Example 1: M columns x, y, x^y, x|~y, all-ones; kernel vector
+  // proportional to (1, -1, -1, -2, 2).
+  IntMatrix M;
+  M.Rows = 4;
+  M.Cols = 5;
+  M.Data = {0, 0, 0, 1, 1, //
+            0, 1, 1, 0, 1, //
+            1, 0, 1, 1, 1, //
+            1, 1, 0, 1, 1};
+  auto C = integerKernelVector(M);
+  ASSERT_TRUE(C.has_value());
+  ASSERT_EQ(C->size(), 5u);
+  // Verify M C = 0.
+  for (unsigned R = 0; R != 4; ++R) {
+    int64_t Sum = 0;
+    for (unsigned Col = 0; Col != 5; ++Col)
+      Sum += M.at(R, Col) * (*C)[Col];
+    EXPECT_EQ(Sum, 0) << "row " << R;
+  }
+  // The kernel is one-dimensional here, so C is +-(1,-1,-1,-2,2).
+  int64_t Sign = (*C)[0] > 0 ? 1 : -1;
+  EXPECT_EQ((*C)[0] * Sign, 1);
+  EXPECT_EQ((*C)[1] * Sign, -1);
+  EXPECT_EQ((*C)[2] * Sign, -1);
+  EXPECT_EQ((*C)[3] * Sign, -2);
+  EXPECT_EQ((*C)[4] * Sign, 2);
+}
+
+TEST(IntKernel, FullRankHasTrivialKernel) {
+  IntMatrix M;
+  M.Rows = 2;
+  M.Cols = 2;
+  M.Data = {1, 0, 0, 1};
+  EXPECT_FALSE(integerKernelVector(M).has_value());
+  EXPECT_EQ(rationalRank(M), 2u);
+}
+
+TEST(IntKernel, RandomKernelVectorsAnnihilate) {
+  RNG Rng(23);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    IntMatrix M;
+    M.Rows = 4;
+    M.Cols = 6; // more columns than rows: kernel guaranteed
+    M.Data.resize(M.Rows * M.Cols);
+    for (auto &V : M.Data)
+      V = (int64_t)Rng.below(2);
+    auto C = integerKernelVector(M, (unsigned)Rng.below(4));
+    ASSERT_TRUE(C.has_value());
+    bool NonZero = false;
+    for (int64_t V : *C)
+      NonZero |= V != 0;
+    EXPECT_TRUE(NonZero);
+    for (unsigned R = 0; R != M.Rows; ++R) {
+      int64_t Sum = 0;
+      for (unsigned Col = 0; Col != M.Cols; ++Col)
+        Sum += M.at(R, Col) * (*C)[Col];
+      EXPECT_EQ(Sum, 0);
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- tests/printer_exhaustive_test.cpp - Exhaustive precedence checks ---===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Systematic verification of the printer's minimal-parenthesization logic:
+/// enumerate *every* expression of depth <= 2 over a small leaf set and
+/// every operator combination, print it, reparse, and require semantic
+/// equality. Any precedence or associativity mistake in the printer shows
+/// up as a disagreement on some operator pair.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Evaluator.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace mba;
+
+namespace {
+
+TEST(PrinterExhaustive, AllDepthTwoExpressionsRoundTrip) {
+  Context Ctx(16);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *Y = Ctx.getVar("y");
+  std::vector<const Expr *> Leaves = {X, Y, Ctx.getConst(1),
+                                      Ctx.getAllOnes()};
+
+  const ExprKind BinaryOps[] = {ExprKind::Add, ExprKind::Sub, ExprKind::Mul,
+                                ExprKind::And, ExprKind::Or, ExprKind::Xor};
+  const ExprKind UnaryOps[] = {ExprKind::Not, ExprKind::Neg};
+
+  // Depth-1 expressions: every operator over every leaf combination.
+  std::vector<const Expr *> Depth1 = Leaves;
+  for (ExprKind K : BinaryOps)
+    for (const Expr *A : Leaves)
+      for (const Expr *B : Leaves)
+        Depth1.push_back(Ctx.getBinary(K, A, B));
+  for (ExprKind K : UnaryOps)
+    for (const Expr *A : Leaves)
+      Depth1.push_back(Ctx.getUnary(K, A));
+
+  const uint64_t Samples[][2] = {
+      {0, 0}, {1, 0}, {0xffff, 0x00ff}, {0x1234, 0xfedc}, {0xffff, 0xffff}};
+
+  auto CheckRoundTrip = [&](const Expr *E) {
+    std::string Text = printExpr(Ctx, E);
+    ParseResult R = parseExpr(Ctx, Text);
+    ASSERT_TRUE(R.ok()) << Text;
+    for (auto &S : Samples) {
+      uint64_t Vals[] = {S[0], S[1]};
+      ASSERT_EQ(evaluate(Ctx, E, Vals), evaluate(Ctx, R.E, Vals))
+          << "printed: " << Text;
+    }
+  };
+
+  // Depth-2: every operator over every pair of depth-1 expressions (this
+  // covers every parent/child operator pairing on both sides), plus unary
+  // wrappers.
+  size_t Checked = 0;
+  for (ExprKind K : BinaryOps) {
+    for (const Expr *A : Depth1) {
+      for (const Expr *B : Depth1) {
+        CheckRoundTrip(Ctx.getBinary(K, A, B));
+        ++Checked;
+      }
+      if (::testing::Test::HasFatalFailure())
+        return;
+    }
+  }
+  for (ExprKind K : UnaryOps) {
+    for (const Expr *A : Depth1) {
+      CheckRoundTrip(Ctx.getUnary(K, A));
+      ++Checked;
+    }
+  }
+  // 6 * (4 + 96 + 8)^2 + 2 * 108 combinations.
+  EXPECT_GT(Checked, 65000u);
+}
+
+TEST(PrinterExhaustive, TripleChainAssociativity) {
+  // a op1 b op2 c in both association orders must reparse equivalently for
+  // every operator pair.
+  Context Ctx(16);
+  const Expr *A = Ctx.getVar("a");
+  const Expr *B = Ctx.getVar("b");
+  const Expr *C = Ctx.getVar("c");
+  const ExprKind Ops[] = {ExprKind::Add, ExprKind::Sub, ExprKind::Mul,
+                          ExprKind::And, ExprKind::Or, ExprKind::Xor};
+  const uint64_t Samples[][3] = {
+      {0, 0, 0}, {1, 2, 3}, {0xffff, 0x0f0f, 0x3333}, {7, 0xffff, 1}};
+  for (ExprKind K1 : Ops) {
+    for (ExprKind K2 : Ops) {
+      const Expr *Left = Ctx.getBinary(K2, Ctx.getBinary(K1, A, B), C);
+      const Expr *Right = Ctx.getBinary(K1, A, Ctx.getBinary(K2, B, C));
+      for (const Expr *E : {Left, Right}) {
+        std::string Text = printExpr(Ctx, E);
+        ParseResult R = parseExpr(Ctx, Text);
+        ASSERT_TRUE(R.ok()) << Text;
+        for (auto &S : Samples) {
+          uint64_t Vals[] = {S[0], S[1], S[2]};
+          ASSERT_EQ(evaluate(Ctx, E, Vals), evaluate(Ctx, R.E, Vals))
+              << "printed: " << Text;
+        }
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- tests/property_test.cpp - Property-based invariant sweeps ----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Parameterized property sweeps over the library's core invariants:
+///  * simplification preserves semantics on random expressions, at every
+///    width, under every option combination;
+///  * simplification never increases MBA alternation;
+///  * signatures are invariant under simplification (Theorem 1);
+///  * solver backends agree with brute-force equivalence at small widths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Printer.h"
+#include "gen/Corpus.h"
+#include "gen/Obfuscator.h"
+#include "mba/Metrics.h"
+#include "mba/Signature.h"
+#include "mba/Simplifier.h"
+#include "solvers/EquivalenceChecker.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace mba;
+
+namespace {
+
+/// Draws a random MBA expression of any category.
+const Expr *randomMBA(Context &Ctx, Obfuscator &Obf, RNG &Rng,
+                      std::span<const Expr *const> Vars) {
+  ObfuscationOptions Opts;
+  Opts.ZeroIdentities = 1 + (unsigned)Rng.below(2);
+  Opts.TermsPerIdentity = 3 + (unsigned)Rng.below(3);
+  const Expr *Base = Vars[Rng.below(Vars.size())];
+  const Expr *Target =
+      Rng.chance(1, 2)
+          ? Ctx.getAdd(Base, Vars[Rng.below(Vars.size())])
+          : Ctx.getSub(Ctx.getMul(Ctx.getConst(1 + Rng.below(4)), Base),
+                       Ctx.getConst(Rng.below(8)));
+  const Expr *E = Obf.obfuscateLinear(Target, Opts);
+  switch (Rng.below(3)) {
+  case 0:
+    return E; // linear
+  case 1: {
+    Obfuscator::ProductTerm P{1 + Rng.below(3),
+                              {Vars[Rng.below(Vars.size())], Base}};
+    return Ctx.getAdd(E, Obf.obfuscatePoly(std::span(&P, 1), Opts));
+  }
+  default:
+    return Obf.obfuscateNonPoly(E, Vars, 1 + (unsigned)Rng.below(2));
+  }
+}
+
+struct SweepConfig {
+  unsigned Width;
+  BasisKind Basis;
+  bool CSE;
+  bool FinalOpt;
+  bool AutoBasis = false;
+
+  friend void PrintTo(const SweepConfig &C, std::ostream *OS) {
+    *OS << "w" << C.Width
+        << (C.AutoBasis ? "-auto"
+            : C.Basis == BasisKind::Conjunction ? "-conj"
+                                                : "-disj")
+        << (C.CSE ? "-cse" : "") << (C.FinalOpt ? "-fo" : "");
+  }
+};
+
+class SimplifySweep : public ::testing::TestWithParam<SweepConfig> {};
+
+TEST_P(SimplifySweep, SoundAndNonWorsening) {
+  SweepConfig Cfg = GetParam();
+  Context Ctx(Cfg.Width);
+  SimplifyOptions Opts;
+  Opts.Basis = Cfg.Basis;
+  Opts.EnableCSE = Cfg.CSE;
+  Opts.EnableFinalOpt = Cfg.FinalOpt;
+  Opts.AutoBasis = Cfg.AutoBasis;
+  MBASolver Solver(Ctx, Opts);
+  Obfuscator Obf(Ctx, 9000 + Cfg.Width + (unsigned)Cfg.Basis);
+  RNG Rng(77 + Cfg.Width);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y"), Ctx.getVar("z")};
+
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    const Expr *E = randomMBA(Ctx, Obf, Rng, Vars);
+    const Expr *R = Solver.simplify(E);
+    // Soundness on random inputs.
+    for (int I = 0; I < 40; ++I) {
+      uint64_t Vals[] = {Rng.next(), Rng.next(), Rng.next()};
+      ASSERT_EQ(evaluate(Ctx, E, Vals), evaluate(Ctx, R, Vals))
+          << printExpr(Ctx, E) << "\n -> " << printExpr(Ctx, R);
+    }
+    // Exhaustive corner check (signatures' domain).
+    for (unsigned K = 0; K != 8; ++K) {
+      uint64_t Vals[] = {K & 4 ? Ctx.mask() : 0, K & 2 ? Ctx.mask() : 0,
+                         K & 1 ? Ctx.mask() : 0};
+      ASSERT_EQ(evaluate(Ctx, E, Vals), evaluate(Ctx, R, Vals));
+    }
+    // Never worse than the input.
+    EXPECT_LE(mbaAlternation(R), mbaAlternation(E));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, SimplifySweep,
+    ::testing::Values(
+        SweepConfig{4, BasisKind::Conjunction, true, true},
+        SweepConfig{8, BasisKind::Conjunction, true, true},
+        SweepConfig{16, BasisKind::Disjunction, true, true},
+        SweepConfig{32, BasisKind::Conjunction, false, true},
+        SweepConfig{32, BasisKind::Conjunction, true, false},
+        SweepConfig{64, BasisKind::Conjunction, true, true},
+        SweepConfig{64, BasisKind::Disjunction, false, false},
+        SweepConfig{64, BasisKind::Conjunction, true, true,
+                    /*AutoBasis=*/true},
+        SweepConfig{16, BasisKind::Conjunction, true, true,
+                    /*AutoBasis=*/true}));
+
+TEST(SignatureInvariance, SimplificationPreservesSignatures) {
+  Context Ctx(64);
+  MBASolver Solver(Ctx);
+  Obfuscator Obf(Ctx, 4242);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y")};
+  ObfuscationOptions Opts;
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    const Expr *Target =
+        Trial % 2 ? Ctx.getAdd(Vars[0], Vars[1]) : Ctx.getXor(Vars[0], Vars[1]);
+    const Expr *E = Obf.obfuscateLinear(Target, Opts);
+    const Expr *R = Solver.simplify(E);
+    EXPECT_EQ(computeSignature(Ctx, E, Vars), computeSignature(Ctx, R, Vars));
+  }
+}
+
+TEST(SolverAgreement, BlastBackendsMatchBruteForceAtWidth4) {
+  // Exhaustive ground truth at width 4 with 2 variables (256 input pairs)
+  // against both blast configurations.
+  Context Ctx(4);
+  RNG Rng(31337);
+  Obfuscator Obf(Ctx, 808);
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y")};
+  auto Plain = makeBlastChecker(false);
+  auto RW = makeBlastChecker(true);
+
+  for (int Trial = 0; Trial < 15; ++Trial) {
+    const Expr *A = Obf.randomBitwise(Vars, 2);
+    const Expr *B = Rng.chance(1, 2)
+                        ? Obf.randomBitwise(Vars, 2)
+                        : Ctx.getAdd(A, Ctx.getConst(Rng.below(2)));
+    bool Equal = true;
+    for (uint64_t X = 0; X != 16 && Equal; ++X)
+      for (uint64_t Y = 0; Y != 16 && Equal; ++Y) {
+        uint64_t Vals[] = {X, Y};
+        Equal = evaluate(Ctx, A, Vals) == evaluate(Ctx, B, Vals);
+      }
+    Verdict Expected = Equal ? Verdict::Equivalent : Verdict::NotEquivalent;
+    EXPECT_EQ(Plain->check(Ctx, A, B, 30).Outcome, Expected)
+        << printExpr(Ctx, A) << " vs " << printExpr(Ctx, B);
+    EXPECT_EQ(RW->check(Ctx, A, B, 30).Outcome, Expected)
+        << printExpr(Ctx, A) << " vs " << printExpr(Ctx, B);
+  }
+}
+
+TEST(SolverAgreement, Z3AgreesWithBlastOnIdentities) {
+  auto Z3 = makeZ3Checker();
+  if (!Z3)
+    GTEST_SKIP() << "built without Z3";
+  Context Ctx(8);
+  Obfuscator Obf(Ctx, 515);
+  auto Blast = makeBlastChecker(true);
+  ObfuscationOptions Opts;
+  Opts.ZeroIdentities = 1;
+  Opts.TermsPerIdentity = 4;
+  const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y")};
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    const Expr *Target = Ctx.getAdd(Vars[0], Vars[1]);
+    const Expr *E = Obf.obfuscateLinear(Target, Opts);
+    CheckResult RZ = Z3->check(Ctx, E, Target, 30);
+    CheckResult RB = Blast->check(Ctx, E, Target, 30);
+    EXPECT_EQ(RZ.Outcome, Verdict::Equivalent);
+    EXPECT_EQ(RB.Outcome, Verdict::Equivalent);
+  }
+}
+
+TEST(GeneratorProperties, CorpusEntriesAreIdentitiesAcrossWidths) {
+  for (unsigned Width : {8u, 32u, 64u}) {
+    Context Ctx(Width);
+    CorpusOptions Opts;
+    Opts.LinearCount = 15;
+    Opts.PolyCount = 10;
+    Opts.NonPolyCount = 10;
+    Opts.Seed = 999 + Width;
+    auto Corpus = generateCorpus(Ctx, Opts);
+    for (const CorpusEntry &E : Corpus)
+      EXPECT_TRUE(verifyEntrySampled(Ctx, E, 48, Width))
+          << "width " << Width << ": " << printExpr(Ctx, E.Obfuscated);
+  }
+}
+
+TEST(SimplifierIdempotence, FixpointOnCorpus) {
+  Context Ctx(64);
+  CorpusOptions Opts;
+  Opts.LinearCount = 15;
+  Opts.PolyCount = 10;
+  Opts.NonPolyCount = 10;
+  auto Corpus = generateCorpus(Ctx, Opts);
+  MBASolver Solver(Ctx);
+  for (const CorpusEntry &E : Corpus) {
+    const Expr *R1 = Solver.simplify(E.Obfuscated);
+    const Expr *R2 = Solver.simplify(R1);
+    EXPECT_EQ(printExpr(Ctx, R1), printExpr(Ctx, R2));
+  }
+}
+
+} // namespace

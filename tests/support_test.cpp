@@ -1,0 +1,133 @@
+//===- tests/support_test.cpp - Support library tests ---------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/RNG.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+using namespace mba;
+
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena A;
+  std::set<void *> Seen;
+  for (int I = 1; I <= 200; ++I) {
+    size_t Align = 1ULL << (I % 5); // 1..16
+    void *P = A.allocate((size_t)I, Align);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ((uintptr_t)P % Align, 0u);
+    EXPECT_TRUE(Seen.insert(P).second);
+    std::memset(P, 0xab, (size_t)I); // must be writable
+  }
+  EXPECT_GT(A.bytesUsed(), 0u);
+  EXPECT_GE(A.bytesReserved(), A.bytesUsed());
+}
+
+TEST(ArenaTest, LargeAllocationsGrowSlabs) {
+  Arena A;
+  void *P1 = A.allocate(1 << 20, 8); // bigger than the first slab
+  void *P2 = A.allocate(64, 8);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_NE(P2, nullptr);
+  EXPECT_GE(A.bytesReserved(), (size_t)(1 << 20));
+}
+
+TEST(ArenaTest, CreateConstructsObjects) {
+  Arena A;
+  struct Pair {
+    int X, Y;
+  };
+  Pair *P = A.create<Pair>(Pair{3, 4});
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(ArenaTest, CopyStringNulTerminates) {
+  Arena A;
+  const char *S = A.copyString("hello", 5);
+  EXPECT_STREQ(S, "hello");
+  const char *Empty = A.copyString("", 0);
+  EXPECT_STREQ(Empty, "");
+  // Embedded content is copied, not aliased.
+  char Buf[] = "mutate";
+  const char *C = A.copyString(Buf, 6);
+  Buf[0] = 'X';
+  EXPECT_STREQ(C, "mutate");
+}
+
+TEST(RNGTest, DeterministicPerSeed) {
+  RNG A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t V = A.next();
+    EXPECT_EQ(V, B.next());
+  }
+  bool Differs = false;
+  RNG A2(42);
+  for (int I = 0; I < 100; ++I)
+    Differs |= A2.next() != C.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RNGTest, BelowStaysInRange) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(R.below(10), 10u);
+    EXPECT_EQ(R.below(1), 0u);
+  }
+}
+
+TEST(RNGTest, RangeIsInclusive) {
+  RNG R(8);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+  EXPECT_EQ(R.range(5, 5), 5);
+}
+
+TEST(RNGTest, ChanceIsRoughlyCalibrated) {
+  RNG R(9);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.chance(1, 4);
+  EXPECT_GT(Hits, 2000);
+  EXPECT_LT(Hits, 3000);
+}
+
+TEST(RNGTest, SplitProducesIndependentStream) {
+  RNG A(10);
+  RNG B = A.split();
+  bool Differs = false;
+  for (int I = 0; I < 50; ++I)
+    Differs |= A.next() != B.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch W;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double S = W.seconds();
+  EXPECT_GE(S, 0.015);
+  EXPECT_LT(S, 5.0);
+  EXPECT_NEAR(W.millis(), W.seconds() * 1000, 50.0);
+  W.reset();
+  EXPECT_LT(W.seconds(), 0.015);
+}
+
+} // namespace
