@@ -1,0 +1,124 @@
+//===- bench/micro_audit.cpp - Audit-mode overhead micro-benchmarks -------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the cost of the soundness-auditing layer on the paper's corpus
+/// path: simplification with the rewrite trail disabled (baseline), with
+/// trail recording only, and with a full post-hoc audit replay. A fourth
+/// benchmark isolates the IR verifier sweep. Run on a slice of the same
+/// generator that produces the 3000-expression corpus, so the ratio between
+/// BM_SimplifyCorpus* variants is the audit-mode overhead number.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Audit.h"
+#include "analysis/Verifier.h"
+#include "ast/Context.h"
+#include "gen/Corpus.h"
+#include "mba/Simplifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mba;
+
+namespace {
+
+/// A deterministic slice of the paper-scale corpus (LinearCount etc. are
+/// scaled down so one iteration stays in the millisecond range; the mix of
+/// categories matches the 1000/1000/1000 dataset).
+std::vector<CorpusEntry> makeCorpus(Context &Ctx, unsigned PerCategory) {
+  CorpusOptions Opts;
+  Opts.LinearCount = PerCategory;
+  Opts.PolyCount = PerCategory;
+  Opts.NonPolyCount = PerCategory;
+  return generateCorpus(Ctx, Opts);
+}
+
+void BM_SimplifyCorpusBaseline(benchmark::State &State) {
+  Context Ctx(64);
+  auto Corpus = makeCorpus(Ctx, (unsigned)State.range(0));
+  for (auto _ : State) {
+    MBASolver Solver(Ctx);
+    for (const CorpusEntry &E : Corpus)
+      benchmark::DoNotOptimize(Solver.simplify(E.Obfuscated));
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.size());
+}
+BENCHMARK(BM_SimplifyCorpusBaseline)->Arg(10)->Arg(50);
+
+void BM_SimplifyCorpusWithTrail(benchmark::State &State) {
+  // Trail recording only: the overhead of remembering (rule, before, after)
+  // per rewrite, without replaying the checks.
+  Context Ctx(64);
+  auto Corpus = makeCorpus(Ctx, (unsigned)State.range(0));
+  for (auto _ : State) {
+    RewriteTrail Trail;
+    SimplifyOptions Opts;
+    Opts.Trail = &Trail;
+    MBASolver Solver(Ctx, Opts);
+    for (const CorpusEntry &E : Corpus)
+      benchmark::DoNotOptimize(Solver.simplify(E.Obfuscated));
+    benchmark::DoNotOptimize(Trail.size());
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.size());
+}
+BENCHMARK(BM_SimplifyCorpusWithTrail)->Arg(10)->Arg(50);
+
+void BM_SimplifyCorpusWithAudit(benchmark::State &State) {
+  // Full audit mode: record the trail and replay every step through the
+  // structure/abstract/signature/concrete cross-checks.
+  Context Ctx(64);
+  auto Corpus = makeCorpus(Ctx, (unsigned)State.range(0));
+  for (auto _ : State) {
+    RewriteTrail Trail;
+    SimplifyOptions Opts;
+    Opts.Trail = &Trail;
+    MBASolver Solver(Ctx, Opts);
+    for (const CorpusEntry &E : Corpus)
+      benchmark::DoNotOptimize(Solver.simplify(E.Obfuscated));
+    AuditReport Report = auditTrail(Ctx, Trail);
+    if (!Report.ok())
+      State.SkipWithError("audit found issues in a sound pipeline");
+    benchmark::DoNotOptimize(Report.StepsChecked);
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.size());
+}
+BENCHMARK(BM_SimplifyCorpusWithAudit)->Arg(10)->Arg(50);
+
+void BM_VerifyContext(benchmark::State &State) {
+  // Whole-context IR verification after a corpus generation + simplify run
+  // (linear in the number of interned nodes).
+  Context Ctx(64);
+  auto Corpus = makeCorpus(Ctx, 50);
+  MBASolver Solver(Ctx);
+  for (const CorpusEntry &E : Corpus)
+    benchmark::DoNotOptimize(Solver.simplify(E.Obfuscated));
+  for (auto _ : State) {
+    VerifyResult R = verifyContext(Ctx);
+    if (!R.ok())
+      State.SkipWithError("context failed verification");
+    benchmark::DoNotOptimize(R.ok());
+  }
+  State.SetItemsProcessed(State.iterations() * Ctx.numNodes());
+}
+BENCHMARK(BM_VerifyContext);
+
+void BM_AuditReplayOnly(benchmark::State &State) {
+  // Isolates the replay cost: one fixed trail, audited repeatedly.
+  Context Ctx(64);
+  auto Corpus = makeCorpus(Ctx, 20);
+  RewriteTrail Trail;
+  SimplifyOptions Opts;
+  Opts.Trail = &Trail;
+  MBASolver Solver(Ctx, Opts);
+  for (const CorpusEntry &E : Corpus)
+    benchmark::DoNotOptimize(Solver.simplify(E.Obfuscated));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(auditTrail(Ctx, Trail).StepsChecked);
+  State.SetItemsProcessed(State.iterations() * Trail.size());
+}
+BENCHMARK(BM_AuditReplayOnly);
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- analysis/Audit.cpp - Rewrite audit trail and auditor ---------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Audit.h"
+
+#include "analysis/AbstractInterp.h"
+#include "analysis/Verifier.h"
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Printer.h"
+#include "support/RNG.h"
+
+#include <algorithm>
+
+using namespace mba;
+
+namespace {
+
+/// Distinct variables of both sides, name-sorted (union preserves the
+/// canonical order used by signatures).
+std::vector<const Expr *> unionVariables(const Expr *A, const Expr *B) {
+  std::vector<const Expr *> Vars = collectVariables(A);
+  for (const Expr *V : collectVariables(B))
+    if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+      Vars.push_back(V);
+  std::sort(Vars.begin(), Vars.end(), [](const Expr *X, const Expr *Y) {
+    return std::string_view(X->varName()) < std::string_view(Y->varName());
+  });
+  return Vars;
+}
+
+/// Replays one step's checks and produces issues.
+class StepAuditor {
+public:
+  StepAuditor(const Context &Ctx, const AuditOptions &Opts) : Ctx(Ctx),
+      Opts(Opts), Rng(Opts.Seed) {}
+
+  void audit(const RewriteStep &Step, std::vector<AuditIssue> &Issues) {
+    if (Opts.CheckStructure) {
+      for (const Expr *Side : {Step.Before, Step.After}) {
+        VerifyResult R = verifyExpr(Ctx, Side);
+        if (!R.ok()) {
+          Issues.push_back({Step, "structure",
+                            (Side == Step.Before ? "before: " : "after: ") +
+                                R.Message,
+                            ""});
+          return; // do not evaluate malformed nodes
+        }
+      }
+    }
+
+    std::vector<const Expr *> Vars = unionVariables(Step.Before, Step.After);
+    unsigned MaxIndex = 0;
+    for (const Expr *V : Vars)
+      MaxIndex = std::max(MaxIndex, V->varIndex());
+    std::vector<uint64_t> Vals(Vars.empty() ? 0 : MaxIndex + 1, 0);
+
+    if (Opts.CheckAbstract) {
+      if (auto R = refuteEquivalence(Ctx, Step.Before, Step.After)) {
+        // A refutation means the sides differ on *every* input, so any
+        // assignment is a witness; the all-zeros one is already minimal.
+        std::fill(Vals.begin(), Vals.end(), 0);
+        Issues.push_back({Step, "abstract", R->Domain + ": " + R->Detail,
+                          reproducer(Step, Vars, Vals)});
+        return;
+      }
+    }
+
+    if (Opts.CheckSignatures) {
+      // Truth-table corners: every variable 0 or all-ones. Row k of the
+      // signature vector is -E(corner_k), so corner agreement is signature
+      // agreement (complete for linear MBA by Theorem 1).
+      unsigned T = (unsigned)Vars.size();
+      if (T <= Opts.MaxCornerVars) {
+        for (uint64_t K = 0; K != (1ULL << T); ++K) {
+          for (unsigned I = 0; I != T; ++I)
+            Vals[Vars[I]->varIndex()] = (K >> I & 1) ? Ctx.mask() : 0;
+          if (flagMismatch(Step, Vars, Vals, "signature",
+                           "signature row " + std::to_string(K) +
+                               " (truth-table corner) disagrees",
+                           Issues))
+            return;
+        }
+      } else {
+        for (unsigned I = 0; I != Opts.RandomSamples; ++I) {
+          for (const Expr *V : Vars)
+            Vals[V->varIndex()] = Rng.chance(1, 2) ? Ctx.mask() : 0;
+          if (flagMismatch(Step, Vars, Vals, "signature",
+                           "sampled truth-table corner disagrees", Issues))
+            return;
+        }
+      }
+    }
+
+    if (Opts.CheckConcrete) {
+      for (unsigned I = 0; I != Opts.RandomSamples; ++I) {
+        for (const Expr *V : Vars)
+          Vals[V->varIndex()] = Rng.next() & Ctx.mask();
+        if (flagMismatch(Step, Vars, Vals, "concrete",
+                         "random concrete evaluation disagrees", Issues))
+          return;
+      }
+    }
+  }
+
+private:
+  /// If the sides disagree under \p Vals, records an issue with a
+  /// minimized reproducer and returns true.
+  bool flagMismatch(const RewriteStep &Step,
+                    const std::vector<const Expr *> &Vars,
+                    std::vector<uint64_t> &Vals, const char *Check,
+                    std::string Detail, std::vector<AuditIssue> &Issues) {
+    if (evaluate(Ctx, Step.Before, Vals) == evaluate(Ctx, Step.After, Vals))
+      return false;
+    minimizeWitness(Step, Vars, Vals);
+    Issues.push_back(
+        {Step, Check, std::move(Detail), reproducer(Step, Vars, Vals)});
+    return true;
+  }
+
+  /// Greedy witness shrinking: drive each variable toward 0, then 1, then
+  /// a single low bit, keeping any replacement under which the two sides
+  /// still disagree.
+  void minimizeWitness(const RewriteStep &Step,
+                       const std::vector<const Expr *> &Vars,
+                       std::vector<uint64_t> &Vals) const {
+    auto Disagrees = [&] {
+      return evaluate(Ctx, Step.Before, Vals) !=
+             evaluate(Ctx, Step.After, Vals);
+    };
+    for (const Expr *V : Vars) {
+      uint64_t &Slot = Vals[V->varIndex()];
+      uint64_t Original = Slot;
+      for (uint64_t Candidate : {(uint64_t)0, (uint64_t)1,
+                                 Original & (0 - Original) /*lowest bit*/}) {
+        if (Candidate == Original)
+          continue;
+        Slot = Candidate;
+        if (Disagrees())
+          break; // keep the simpler value
+        Slot = Original;
+      }
+    }
+  }
+
+  std::string reproducer(const RewriteStep &Step,
+                         const std::vector<const Expr *> &Vars,
+                         const std::vector<uint64_t> &Vals) const {
+    std::string S = "rule '" + std::string(Step.Rule) +
+                    "': " + printExpr(Ctx, Step.Before) + "  -->  " +
+                    printExpr(Ctx, Step.After) + "\n  width " +
+                    std::to_string(Ctx.width());
+    for (const Expr *V : Vars)
+      S += std::string(", ") + V->varName() + " = " +
+           std::to_string(Vals[V->varIndex()]);
+    S += ": lhs = " + std::to_string(evaluate(Ctx, Step.Before, Vals)) +
+         ", rhs = " + std::to_string(evaluate(Ctx, Step.After, Vals));
+    return S;
+  }
+
+  const Context &Ctx;
+  const AuditOptions &Opts;
+  RNG Rng;
+};
+
+} // namespace
+
+AuditReport mba::auditTrail(const Context &Ctx, const RewriteTrail &Trail,
+                            const AuditOptions &Opts) {
+  AuditReport Report;
+  StepAuditor Auditor(Ctx, Opts);
+  for (const RewriteStep &Step : Trail.steps()) {
+    ++Report.StepsChecked;
+    Auditor.audit(Step, Report.Issues);
+  }
+  return Report;
+}

@@ -1,0 +1,104 @@
+//===- analysis/Audit.h - Rewrite audit trail and auditor -------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An opt-in audit trail for the simplifier: every rewrite step `e -> e'`
+/// claims semantic equality on Z/2^w (the paper's Theorems 1-3 prove this
+/// per rule), and the auditor replays the recorded trail cross-checking
+/// each claim four ways, from cheapest to most thorough:
+///
+///  * **structure** — both sides pass the IR verifier (analysis/Verifier.h);
+///  * **abstract**  — no abstract domain refutes the equality
+///    (analysis/AbstractInterp.h; a refutation is a proof the rewrite
+///    changed semantics, found without any solving);
+///  * **signature** — both sides agree on all truth-table corners (every
+///    variable 0 or all-ones). For linear MBA this is exactly the signature
+///    vector of Definition 3, so by Theorem 1 corner agreement there is a
+///    complete equivalence check; for other classes it is a strong
+///    necessary condition.
+///  * **concrete**  — randomized concrete evaluation on full-width inputs.
+///
+/// On mismatch the auditor emits a minimized reproducer: the witness
+/// assignment is greedily shrunk toward 0/1 values while the disagreement
+/// persists, then printed together with both expressions and both values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_ANALYSIS_AUDIT_H
+#define MBA_ANALYSIS_AUDIT_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mba {
+
+/// One recorded rewrite: the claim `Before == After` on all inputs,
+/// produced by the rule named \p Rule (a static string).
+struct RewriteStep {
+  const Expr *Before = nullptr;
+  const Expr *After = nullptr;
+  const char *Rule = "";
+};
+
+/// Append-only record of rewrite steps. Hand one to
+/// SimplifyOptions::Trail to make the simplifier auditable; nodes are
+/// owned by the Context and stay valid for the context's lifetime.
+class RewriteTrail {
+public:
+  /// Records one step; identity rewrites are not recorded.
+  void record(const char *Rule, const Expr *Before, const Expr *After) {
+    if (Before != After)
+      Steps.push_back({Before, After, Rule});
+  }
+
+  const std::vector<RewriteStep> &steps() const { return Steps; }
+  bool empty() const { return Steps.empty(); }
+  size_t size() const { return Steps.size(); }
+  void clear() { Steps.clear(); }
+
+private:
+  std::vector<RewriteStep> Steps;
+};
+
+/// Auditor knobs.
+struct AuditOptions {
+  unsigned RandomSamples = 64; ///< full-width random assignments per step
+  unsigned MaxCornerVars = 10; ///< exhaustive corners up to 2^this rows
+  uint64_t Seed = 0xA0D17;     ///< RNG seed (deterministic audits)
+  bool CheckStructure = true;
+  bool CheckAbstract = true;
+  bool CheckSignatures = true;
+  bool CheckConcrete = true;
+};
+
+/// One confirmed problem with a recorded step.
+struct AuditIssue {
+  RewriteStep Step;
+  std::string Check;      ///< "structure", "abstract", "signature", "concrete"
+  std::string Detail;     ///< what disagreed
+  std::string Reproducer; ///< minimized witness; empty for structure issues
+};
+
+/// Result of replaying a trail.
+struct AuditReport {
+  std::vector<AuditIssue> Issues;
+  unsigned StepsChecked = 0;
+
+  bool ok() const { return Issues.empty(); }
+};
+
+/// Replays \p Trail, cross-checking every step. Deterministic in
+/// \p Opts.Seed.
+AuditReport auditTrail(const Context &Ctx, const RewriteTrail &Trail,
+                       const AuditOptions &Opts = AuditOptions());
+
+} // namespace mba
+
+#endif // MBA_ANALYSIS_AUDIT_H

@@ -1,4 +1,4 @@
-//===- mba/KnownBits.h - Known-bits dataflow analysis -----------*- C++ -*-===//
+//===- analysis/KnownBits.h - Known-bits dataflow analysis ------*- C++ -*-===//
 //
 // Part of the MBA-Solver reproduction. MIT license.
 //
@@ -13,10 +13,14 @@
 /// `(x*2) & 1` folds to 0 because multiplication by two clears bit 0 — so
 /// the simplifier runs it as a folding pre-pass.
 ///
+/// Known-bits is one of the three pluggable domains of the abstract-
+/// interpretation framework in analysis/AbstractInterp.h; this header keeps
+/// the historical standalone interface (moved here from src/mba).
+///
 //===----------------------------------------------------------------------===//
 
-#ifndef MBA_MBA_KNOWNBITS_H
-#define MBA_MBA_KNOWNBITS_H
+#ifndef MBA_ANALYSIS_KNOWNBITS_H
+#define MBA_ANALYSIS_KNOWNBITS_H
 
 #include "ast/Context.h"
 #include "ast/Expr.h"
@@ -51,4 +55,4 @@ const Expr *foldKnownBits(Context &Ctx, const Expr *E);
 
 } // namespace mba
 
-#endif // MBA_MBA_KNOWNBITS_H
+#endif // MBA_ANALYSIS_KNOWNBITS_H

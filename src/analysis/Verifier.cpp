@@ -1,0 +1,159 @@
+//===- analysis/Verifier.cpp - IR well-formedness verifier ----------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace mba;
+
+namespace {
+
+enum class Color : uint8_t { Gray, Black };
+
+VerifyResult fail(const Expr *Node, std::string Message) {
+  VerifyResult R;
+  R.BadNode = Node;
+  R.Message = std::move(Message);
+  return R;
+}
+
+/// Node-local checks: kind validity, operand arity, payload invariants, and
+/// structural uniqueness against the context's intern table.
+VerifyResult verifyNode(const Context &Ctx, const Expr *N) {
+  if (!N)
+    return fail(nullptr, "null expression");
+
+  ExprKind K = N->kind();
+  if ((uint8_t)K > (uint8_t)ExprKind::Xor)
+    return fail(N, "invalid kind tag " + std::to_string((unsigned)K));
+
+  const Expr *Raw0 = N->rawOperand(0);
+  const Expr *Raw1 = N->rawOperand(1);
+  if (N->isLeaf()) {
+    if (Raw0 || Raw1)
+      return fail(N, "leaf node with operand pointers");
+  } else if (isUnaryKind(K)) {
+    if (!Raw0)
+      return fail(N, "unary node with null operand");
+    if (Raw1)
+      return fail(N, "unary node with a second operand");
+  } else {
+    if (!Raw0 || !Raw1)
+      return fail(N, "binary node with a null operand");
+  }
+
+  uint64_t Aux = 0;
+  switch (K) {
+  case ExprKind::Const:
+    if (N->constValue() != (N->constValue() & Ctx.mask()))
+      return fail(N, "constant " + std::to_string(N->constValue()) +
+                         " not reduced modulo the context mask");
+    Aux = N->constValue();
+    break;
+  case ExprKind::Var: {
+    if (!N->varName() || N->varName()[0] == '\0')
+      return fail(N, "variable with empty name");
+    if (N->varIndex() >= Ctx.numVars())
+      return fail(N, "variable index " + std::to_string(N->varIndex()) +
+                         " out of range (context has " +
+                         std::to_string(Ctx.numVars()) + " variables)");
+    if (Ctx.getVarByIndex(N->varIndex()) != N)
+      return fail(N, std::string("variable '") + N->varName() +
+                         "' disagrees with the context's variable table");
+    Aux = N->varIndex();
+    break;
+  }
+  default:
+    break;
+  }
+
+  // Structural uniqueness: the node must be the canonical representative of
+  // its own key. A node built outside the context (or a stale duplicate)
+  // either resolves to a different pointer or to nothing at all.
+  const Expr *Canonical = Ctx.findInterned(K, N->isLeaf() ? nullptr : Raw0,
+                                           isBinaryKind(K) ? Raw1 : nullptr,
+                                           Aux);
+  if (Canonical != N)
+    return fail(N, Canonical
+                       ? "node is a duplicate of an interned node (hash-"
+                         "consing uniqueness violated)"
+                       : "node is not interned in this context");
+  return VerifyResult();
+}
+
+/// Iterative DFS from \p Root with tri-color marking shared across roots:
+/// Gray nodes are on the current path, so reaching one again is a cycle.
+/// Hash-consed construction makes cycles impossible to build through the
+/// public API, but the verifier's job is to not trust that.
+VerifyResult verifyFrom(const Context &Ctx, const Expr *Root,
+                        std::unordered_map<const Expr *, Color> &Marks) {
+  struct Frame {
+    const Expr *Node;
+    unsigned NextOperand;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({Root, 0});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const Expr *N = F.Node;
+    if (F.NextOperand == 0) {
+      auto It = Marks.find(N);
+      if (It != Marks.end()) {
+        if (It->second == Color::Gray)
+          return fail(N, "cycle detected (expression graph is not a DAG)");
+        Stack.pop_back(); // already fully verified
+        continue;
+      }
+      VerifyResult R = verifyNode(Ctx, N);
+      if (!R.ok())
+        return R;
+      Marks.emplace(N, Color::Gray);
+    }
+    if (F.NextOperand < N->numOperands()) {
+      const Expr *Child = N->getOperand(F.NextOperand++);
+      Stack.push_back({Child, 0});
+    } else {
+      Marks[N] = Color::Black;
+      Stack.pop_back();
+    }
+  }
+  return VerifyResult();
+}
+
+} // namespace
+
+VerifyResult mba::verifyExpr(const Context &Ctx, const Expr *E) {
+  if (!E)
+    return fail(nullptr, "null expression");
+  std::unordered_map<const Expr *, Color> Marks;
+  return verifyFrom(Ctx, E, Marks);
+}
+
+VerifyResult mba::verifyContext(const Context &Ctx) {
+  // Every owned node roots a verified walk; shared marks keep the whole
+  // sweep linear in the number of owned nodes.
+  VerifyResult R;
+  size_t Seen = 0;
+  std::unordered_map<const Expr *, Color> Marks;
+  Ctx.forEachOwnedNode([&](const Expr *N) {
+    ++Seen;
+    if (!R.ok())
+      return;
+    VerifyResult WalkR = verifyFrom(Ctx, N, Marks);
+    if (!WalkR.ok())
+      R = std::move(WalkR);
+  });
+  if (!R.ok())
+    return R;
+  if (Seen != Ctx.numNodes())
+    return fail(nullptr, "node-count bookkeeping mismatch: context reports " +
+                             std::to_string(Ctx.numNodes()) + " nodes, " +
+                             std::to_string(Seen) + " are owned");
+  return R;
+}

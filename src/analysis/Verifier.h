@@ -1,0 +1,59 @@
+//===- analysis/Verifier.h - IR well-formedness verifier --------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of expression DAGs against the hash-consing
+/// invariants of ast/Context.h. Every pass in this library is supposed to
+/// preserve these invariants; the verifier makes them checkable after any
+/// pass (and is wired into the fuzz and property test harnesses so every
+/// generated and every simplified expression is verified).
+///
+/// Checked per node:
+///  * the kind is a valid ExprKind;
+///  * operand arity matches the kind (leaves have no operands, unary nodes
+///    exactly one, binary nodes exactly two);
+///  * constants are reduced modulo the context mask;
+///  * variable indices are in range and consistent with the context's
+///    dense variable table;
+///  * the node is its own canonical interned representative (structural
+///    uniqueness — no duplicate nodes outside the context's intern table);
+///  * the reachable graph is acyclic (a DAG, not a cyclic graph).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_ANALYSIS_VERIFIER_H
+#define MBA_ANALYSIS_VERIFIER_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <string>
+
+namespace mba {
+
+/// Outcome of a verification run. Empty message means every check passed;
+/// otherwise BadNode points at the first offending node (it may be only
+/// partially safe to inspect — the message says what is wrong with it).
+struct VerifyResult {
+  const Expr *BadNode = nullptr;
+  std::string Message;
+
+  bool ok() const { return Message.empty(); }
+  explicit operator bool() const { return ok(); }
+};
+
+/// Verifies every node reachable from \p E against the invariants listed in
+/// the file comment. Stops at the first violation.
+VerifyResult verifyExpr(const Context &Ctx, const Expr *E);
+
+/// Verifies every node owned by \p Ctx (variables, constants, operators):
+/// per-node invariants plus intern-table consistency (each owned node maps
+/// back to itself) and the node-count bookkeeping.
+VerifyResult verifyContext(const Context &Ctx);
+
+} // namespace mba
+
+#endif // MBA_ANALYSIS_VERIFIER_H

@@ -15,7 +15,7 @@ Context::Context(unsigned Width) : Width(Width) {
 
 const Expr *Context::getVar(std::string_view Name) {
   assert(!Name.empty() && "variable name must be non-empty");
-  auto It = VarsByName.find(std::string(Name));
+  auto It = VarsByName.find(Name);
   if (It != VarsByName.end())
     return It->second;
 
@@ -65,6 +65,23 @@ const Expr *Context::getBinary(ExprKind K, const Expr *A, const Expr *B) {
   ++NumNodes;
   Interned.emplace(Key, E);
   return E;
+}
+
+const Expr *Context::findInterned(ExprKind K, const Expr *L, const Expr *R,
+                                  uint64_t Aux) const {
+  if (K == ExprKind::Var)
+    return Aux < Vars.size() ? Vars[Aux] : nullptr;
+  NodeKey Key{K, L, R, Aux};
+  auto It = Interned.find(Key);
+  return It != Interned.end() ? It->second : nullptr;
+}
+
+void Context::forEachOwnedNode(
+    const std::function<void(const Expr *)> &Fn) const {
+  for (const Expr *V : Vars)
+    Fn(V);
+  for (const auto &[Key, Node] : Interned)
+    Fn(Node);
 }
 
 const Expr *Context::rebuild(const Expr *E, const Expr *NewLHS,

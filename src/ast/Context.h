@@ -19,6 +19,7 @@
 #include "support/Arena.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -76,7 +77,7 @@ public:
 
   /// Returns true if a variable named \p Name already exists.
   bool hasVar(std::string_view Name) const {
-    return VarsByName.find(std::string(Name)) != VarsByName.end();
+    return VarsByName.contains(Name);
   }
 
   /// Returns the interned constant \p Value (truncated to the width).
@@ -118,6 +119,18 @@ public:
   /// Rebuilds \p E with new operands. Leaves are returned unchanged.
   const Expr *rebuild(const Expr *E, const Expr *NewLHS, const Expr *NewRHS);
 
+  /// Looks up the canonical interned node a node of kind \p K with operands
+  /// \p L / \p R and auxiliary payload \p Aux (constant value or variable
+  /// index) resolves to, or nullptr when no such node has been interned.
+  /// Used by the IR verifier (analysis/Verifier.h) to check structural
+  /// uniqueness: a well-formed node must be its own canonical representative.
+  const Expr *findInterned(ExprKind K, const Expr *L, const Expr *R,
+                           uint64_t Aux) const;
+
+  /// Invokes \p Fn on every node owned by this context (variables,
+  /// constants, and operators), in no particular order. Verifier support.
+  void forEachOwnedNode(const std::function<void(const Expr *)> &Fn) const;
+
   /// Total number of distinct nodes interned so far.
   size_t numNodes() const { return NumNodes; }
 
@@ -147,12 +160,22 @@ private:
     }
   };
 
+  /// Heterogeneous string hashing so name lookups take string_view without
+  /// materializing a temporary std::string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>()(S);
+    }
+  };
+
   unsigned Width;
   uint64_t Mask;
   Arena Alloc;
   size_t NumNodes = 0;
   std::unordered_map<NodeKey, const Expr *, NodeKeyHash> Interned;
-  std::unordered_map<std::string, const Expr *> VarsByName;
+  std::unordered_map<std::string, const Expr *, StringHash, std::equal_to<>>
+      VarsByName;
   std::vector<const Expr *> Vars;
 };
 

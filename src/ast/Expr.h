@@ -128,6 +128,12 @@ public:
     return I == 0 ? LHS : RHS;
   }
 
+  /// Unchecked operand-slot access for the IR verifier
+  /// (analysis/Verifier.h): returns the raw pointer stored in slot \p I
+  /// without arity assertions, so malformed nodes can be diagnosed instead
+  /// of tripping an assert. Not for general use — prefer lhs()/rhs().
+  const Expr *rawOperand(unsigned I) const { return I == 0 ? LHS : RHS; }
+
 private:
   friend class Context;
 

@@ -81,7 +81,7 @@ struct SynthTable {
           } Ops[] = {{Recipe::AndOp, A & B},
                      {Recipe::OrOp, A | B},
                      {Recipe::XorOp, A ^ B}};
-          for (auto [K, F] : Ops) {
+          for (const auto &[K, F] : Ops) {
             if (PairCost < Recipes[F].Cost) {
               Recipes[F] = {K, 0, (uint16_t)A, (uint16_t)B, PairCost};
               Changed = true;

@@ -6,13 +6,13 @@
 
 #include "mba/Simplifier.h"
 
+#include "analysis/AbstractInterp.h"
 #include "ast/Evaluator.h"
 #include "ast/ExprUtils.h"
 #include "ast/Printer.h"
 #include "linalg/TruthTable.h"
 #include "mba/BooleanMin.h"
 #include "mba/Classify.h"
-#include "mba/KnownBits.h"
 #include "mba/Metrics.h"
 #include "mba/Signature.h"
 #include "poly/PolyExpr.h"
@@ -30,11 +30,23 @@ const Expr *MBASolver::simplify(const Expr *E) {
   size_t BytesBefore = Ctx.bytesUsed();
 
   const Expr *R = E;
-  if (Opts.EnableKnownBits)
-    R = foldKnownBits(Ctx, R);
+  if (Opts.EnableKnownBits) {
+    // Multi-domain constant folding (known bits + parity + intervals);
+    // strictly stronger than the original known-bits-only pre-pass.
+    R = foldAbstract(Ctx, R);
+    note("abstract-fold", E, R);
+  }
+  if (Opts.ExperimentalRule) {
+    const Expr *Before = R;
+    R = Opts.ExperimentalRule(Ctx, R);
+    note("experimental-rule", Before, R);
+  }
   R = simplifyRec(R, 0);
-  if (Opts.EnableFinalOpt)
+  if (Opts.EnableFinalOpt) {
+    const Expr *Before = R;
     R = finalOptimize(R);
+    note("final-opt", Before, R);
+  }
   // Never return a form with more bitwise/arithmetic mixing than the
   // input. (Length may grow: the normalized expansion of a factored
   // polynomial is longer but canonical, which is what solvers need.)
@@ -56,28 +68,35 @@ const Expr *MBASolver::simplifyRec(const Expr *E, unsigned Depth) {
     return It->second;
 
   const Expr *R = E;
+  const char *Rule = "";
   switch (classifyMBA(Ctx, E)) {
   case MBAKind::Linear: {
     std::vector<const Expr *> Vars = collectVariables(E);
-    if (Vars.size() <= Opts.MaxSignatureVars)
+    if (Vars.size() <= Opts.MaxSignatureVars) {
       R = simplifyLinear(E, Vars);
-    else
+      Rule = "linear-signature";
+    } else {
       // Too many variables for a whole-expression signature: the
       // polynomial path normalizes each bitwise atom over its own
       // (smaller) variable set instead.
       R = simplifyPoly(E, Depth);
+      Rule = "poly-normalize";
+    }
     break;
   }
   case MBAKind::Polynomial:
     R = simplifyPoly(E, Depth);
+    Rule = "poly-normalize";
     break;
   case MBAKind::NonPolynomial:
     R = simplifyNonPoly(E, Depth);
+    Rule = "nonpoly-abstraction";
     break;
   }
 
   if (mbaAlternation(R) > mbaAlternation(E))
     R = E;
+  note(Rule, E, R);
   ResultMemo.emplace(E, R);
   return R;
 }

@@ -34,11 +34,13 @@
 #ifndef MBA_MBA_SIMPLIFIER_H
 #define MBA_MBA_SIMPLIFIER_H
 
+#include "analysis/Audit.h"
 #include "ast/Context.h"
 #include "ast/Expr.h"
 #include "mba/Basis.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -68,9 +70,24 @@ struct SimplifyOptions {
   /// Apply the final-step single-bitwise-function optimization.
   bool EnableFinalOpt = true;
 
-  /// Run the known-bits folding pre-pass (covers masked-constant cases the
-  /// signature machinery cannot see, e.g. (x*2) & 1 == 0).
+  /// Run the abstract-domain folding pre-pass (known bits + parity +
+  /// unsigned intervals; see analysis/AbstractInterp.h). Covers
+  /// masked-constant cases the signature machinery cannot see, e.g.
+  /// (x*2) & 1 == 0 or (x+x) & 1 == 0.
   bool EnableKnownBits = true;
+
+  /// Opt-in rewrite audit trail: when set, every top-level rewrite step
+  /// (rule id, before/after nodes) is recorded here; replay it with
+  /// auditTrail() (analysis/Audit.h) to cross-check the run. The trail is
+  /// never cleared by the simplifier and must outlive it.
+  RewriteTrail *Trail = nullptr;
+
+  /// Extension point for custom rewrite rules, applied to the whole
+  /// expression after the folding pre-pass. Recorded in the audit trail as
+  /// rule "experimental-rule", so unsound candidate rules are caught by the
+  /// auditor before they can corrupt results. Must return a valid
+  /// expression in the same context (possibly its argument).
+  std::function<const Expr *(Context &, const Expr *)> ExperimentalRule;
 
   /// Memoize signature -> normalized combination (the look-up table of
   /// Section 4.5).
@@ -144,6 +161,13 @@ private:
 
   /// A fresh variable not used anywhere in the context yet.
   const Expr *freshTempVar();
+
+  /// Records a rewrite step into the opt-in audit trail (no-op when
+  /// auditing is off or the step is an identity).
+  void note(const char *Rule, const Expr *Before, const Expr *After) {
+    if (Opts.Trail)
+      Opts.Trail->record(Rule, Before, After);
+  }
 
   Context &Ctx;
   SimplifyOptions Opts;

@@ -33,11 +33,16 @@
 #include "ast/Parser.h"
 #include "ast/Printer.h"
 
+// Soundness auditing: IR verifier, abstract domains, rewrite audit trail.
+#include "analysis/AbstractInterp.h"
+#include "analysis/Audit.h"
+#include "analysis/KnownBits.h"
+#include "analysis/Verifier.h"
+
 // The MBA theory core: classification, metrics, signatures, simplification.
 #include "mba/Basis.h"
 #include "mba/BooleanMin.h"
 #include "mba/Classify.h"
-#include "mba/KnownBits.h"
 #include "mba/Metrics.h"
 #include "mba/Signature.h"
 #include "mba/Simplifier.h"

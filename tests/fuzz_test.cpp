@@ -19,6 +19,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Verifier.h"
 #include "ast/Evaluator.h"
 #include "ast/ExprUtils.h"
 #include "ast/Parser.h"
@@ -76,9 +77,15 @@ const Expr *randomExpr(Context &Ctx, RNG &Rng,
   }
 }
 
-/// Samples agreement of two expressions on random + corner inputs.
+/// Samples agreement of two expressions on random + corner inputs. Both
+/// sides are first run through the IR verifier: every expression the fuzz
+/// pipeline produces must satisfy the hash-consing invariants.
 void expectAgreement(const Context &Ctx, const Expr *A, const Expr *B,
                      RNG &Rng, const char *What) {
+  for (const Expr *Side : {A, B}) {
+    VerifyResult VR = verifyExpr(Ctx, Side);
+    ASSERT_TRUE(VR.ok()) << What << ": " << VR.Message;
+  }
   std::vector<const Expr *> Vars = collectVariables(A);
   for (const Expr *V : collectVariables(B))
     if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())

@@ -4,9 +4,11 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "mba/KnownBits.h"
+#include "analysis/KnownBits.h"
 
+#include "analysis/AbstractInterp.h"
 #include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
 #include "ast/Parser.h"
 #include "ast/Printer.h"
 #include "mba/Simplifier.h"
@@ -140,6 +142,117 @@ TEST(KnownBitsTest, WorksAtAllWidths) {
     K = computeKnownBits(Ctx, parseOrDie(Ctx, "(x & 0) + 1"));
     EXPECT_TRUE(K.isConstant(Ctx.mask())) << "width " << W;
     EXPECT_EQ(K.One, 1u) << "width " << W;
+  }
+}
+
+TEST(KnownBitsTest, Width64MaskBoundaries) {
+  // Transfer functions must stay exact at the full 64-bit width, where
+  // mask arithmetic is most prone to shift/overflow slips.
+  Context Ctx(64);
+  const uint64_t High = 0x8000000000000000ull;
+  KnownBits K = computeKnownBits(Ctx, parseOrDie(Ctx, "x | 9223372036854775808"));
+  EXPECT_EQ(K.One, High);
+  EXPECT_EQ(K.Zero, 0u);
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "x & 9223372036854775808"));
+  EXPECT_EQ(K.Zero, ~High);
+  // Adding two values with 63 known-zero low bits: the trailing window
+  // covers bits 0..62 of the sum, and carries cannot reach it.
+  K = computeKnownBits(
+      Ctx, parseOrDie(Ctx, "(x & 9223372036854775808) + "
+                           "(y & 9223372036854775808)"));
+  EXPECT_EQ(K.Zero & ~High, ~High);
+  // All-ones constants survive the boundary.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "x | -1"));
+  EXPECT_TRUE(K.isConstant(Ctx.mask()));
+  EXPECT_EQ(K.One, ~0ull);
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "(x & 0) - 1"));
+  EXPECT_TRUE(K.isConstant(Ctx.mask()));
+  EXPECT_EQ(K.One, ~0ull);
+  // Folding at the boundary: ~x | x is not foldable by known-bits (it is
+  // a relational fact), but (x*2) & 1 is, even at width 64.
+  EXPECT_EQ(printExpr(Ctx, foldKnownBits(Ctx, parseOrDie(Ctx, "(x*2) & 1"))),
+            "0");
+}
+
+TEST(KnownBitsTest, MultiplicationByEvenConstants) {
+  Context Ctx(32);
+  // Trailing zeros of the factors accumulate: 6 = 2*3, 12 = 4*3, 40 = 8*5.
+  KnownBits K = computeKnownBits(Ctx, parseOrDie(Ctx, "x * 6"));
+  EXPECT_EQ(K.Zero & 1u, 1u);
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "x * 12"));
+  EXPECT_EQ(K.Zero & 3u, 3u);
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "x * 40"));
+  EXPECT_EQ(K.Zero & 7u, 7u);
+  // Factors compound across a product tree: (x*2) * (y*4) has 3 trailing
+  // zeros even though neither factor alone has more than 2.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "(x*2) * (y*4)"));
+  EXPECT_EQ(K.Zero & 7u, 7u);
+  // An odd factor contributes nothing but must not destroy the evenness.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "(x*2) * 3"));
+  EXPECT_EQ(K.Zero & 1u, 1u);
+  // Folds that hinge on even multiplication.
+  EXPECT_EQ(printExpr(Ctx, foldKnownBits(Ctx, parseOrDie(Ctx, "(x*6) & 1"))),
+            "0");
+  EXPECT_EQ(printExpr(Ctx, foldKnownBits(Ctx, parseOrDie(Ctx, "(x*12) & 3"))),
+            "0");
+}
+
+TEST(KnownBitsTest, NotInteractsWithKnownOneBits) {
+  Context Ctx(8);
+  // ~ swaps the roles of Zero and One exactly.
+  KnownBits K = computeKnownBits(Ctx, parseOrDie(Ctx, "~(x | 240)"));
+  EXPECT_EQ(K.Zero, 240u);
+  EXPECT_EQ(K.One, 0u);
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "~(x | 1)"));
+  EXPECT_EQ(K.Zero & 1u, 1u);
+  // Double negation restores the original knowledge.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "~~(x | 240)"));
+  EXPECT_EQ(K.One, 240u);
+  // -(x|1) = ~(x|1) + 1: the known-one low bit flips to known-zero under
+  // ~, then the +1 carries through the known window to a known one.
+  K = computeKnownBits(Ctx, parseOrDie(Ctx, "-(x | 1)"));
+  EXPECT_EQ(K.One & 1u, 1u);
+  // ~ of a fully-known constant folds (the printer renders 254 mod 2^8 in
+  // its signed form, -2).
+  EXPECT_EQ(printExpr(Ctx, foldKnownBits(
+                               Ctx, parseOrDie(Ctx, "~((x|1) & 1) & 255"))),
+            "-2");
+}
+
+TEST(KnownBitsTest, ZeroOneDisjointInvariantUnderAllOps) {
+  // Structural invariant of the lattice: a bit can never be known zero and
+  // known one at once, and claimed bits stay inside the width mask. Checked
+  // on every node of random expressions over the full operator set.
+  for (unsigned Width : {1u, 8u, 33u, 64u}) {
+    Context Ctx(Width);
+    RNG Rng(555 + Width);
+    const Expr *Vars[] = {Ctx.getVar("x"), Ctx.getVar("y")};
+    for (int Trial = 0; Trial < 50; ++Trial) {
+      const Expr *E = Vars[0];
+      for (int I = 0; I < 12; ++I) {
+        const Expr *Other = Rng.chance(1, 3)
+                                ? Ctx.getConst(Rng.next())
+                                : Vars[Rng.below(2)];
+        switch (Rng.below(8)) {
+        case 0: E = Ctx.getAdd(E, Other); break;
+        case 1: E = Ctx.getSub(E, Other); break;
+        case 2: E = Ctx.getMul(E, Other); break;
+        case 3: E = Ctx.getAnd(E, Other); break;
+        case 4: E = Ctx.getOr(E, Other); break;
+        case 5: E = Ctx.getXor(E, Other); break;
+        case 6: E = Ctx.getNot(E); break;
+        default: E = Ctx.getNeg(E); break;
+        }
+      }
+      std::unordered_map<const Expr *, KnownBits> Memo;
+      computeKnownBits(Ctx, E, Memo);
+      for (const auto &[Node, K] : Memo) {
+        ASSERT_EQ(K.Zero & K.One, 0u)
+            << "width " << Width << ": " << printExpr(Ctx, Node);
+        ASSERT_EQ(K.Zero & ~Ctx.mask(), 0u) << printExpr(Ctx, Node);
+        ASSERT_EQ(K.One & ~Ctx.mask(), 0u) << printExpr(Ctx, Node);
+      }
+    }
   }
 }
 

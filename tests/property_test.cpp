@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Verifier.h"
 #include "ast/Evaluator.h"
 #include "ast/ExprUtils.h"
 #include "ast/Printer.h"
@@ -90,6 +91,14 @@ TEST_P(SimplifySweep, SoundAndNonWorsening) {
   for (int Trial = 0; Trial < 25; ++Trial) {
     const Expr *E = randomMBA(Ctx, Obf, Rng, Vars);
     const Expr *R = Solver.simplify(E);
+    // Both the obfuscated input and the simplified output must satisfy the
+    // hash-consing IR invariants.
+    {
+      VerifyResult VR = verifyExpr(Ctx, E);
+      ASSERT_TRUE(VR.ok()) << VR.Message;
+      VR = verifyExpr(Ctx, R);
+      ASSERT_TRUE(VR.ok()) << VR.Message;
+    }
     // Soundness on random inputs.
     for (int I = 0; I < 40; ++I) {
       uint64_t Vals[] = {Rng.next(), Rng.next(), Rng.next()};
@@ -196,9 +205,15 @@ TEST(GeneratorProperties, CorpusEntriesAreIdentitiesAcrossWidths) {
     Opts.NonPolyCount = 10;
     Opts.Seed = 999 + Width;
     auto Corpus = generateCorpus(Ctx, Opts);
-    for (const CorpusEntry &E : Corpus)
+    for (const CorpusEntry &E : Corpus) {
       EXPECT_TRUE(verifyEntrySampled(Ctx, E, 48, Width))
           << "width " << Width << ": " << printExpr(Ctx, E.Obfuscated);
+      EXPECT_TRUE(verifyExpr(Ctx, E.Obfuscated).ok());
+      EXPECT_TRUE(verifyExpr(Ctx, E.Ground).ok());
+    }
+    // The whole generator run must leave the context structurally sound.
+    VerifyResult VR = verifyContext(Ctx);
+    EXPECT_TRUE(VR.ok()) << VR.Message;
   }
 }
 
