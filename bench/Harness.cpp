@@ -31,10 +31,13 @@ HarnessOptions mba::bench::parseHarnessArgs(int Argc, char **Argv) {
       Opts.Width = (unsigned)std::strtoul(V, nullptr, 10);
     else if (const char *V = Value("--seed="))
       Opts.Seed = std::strtoull(V, nullptr, 10);
+    else if (const char *V = Value("--static-prove="))
+      Opts.StageZeroProver = std::strtoul(V, nullptr, 10) != 0;
     else
       std::fprintf(stderr,
                    "warning: unknown argument '%s' "
-                   "(supported: --per-category= --timeout= --width= --seed=)\n",
+                   "(supported: --per-category= --timeout= --width= --seed= "
+                   "--static-prove=)\n",
                    Arg);
   }
   return Opts;
@@ -66,6 +69,31 @@ std::vector<QueryRecord> mba::bench::runSolvingStudy(
     }
   }
   return Records;
+}
+
+void mba::bench::addStageZeroProver(
+    Context &Ctx, std::vector<std::unique_ptr<EquivalenceChecker>> &Checkers,
+    StageZeroStats &Stats) {
+  for (auto &Checker : Checkers)
+    Checker = makeStagedChecker(Ctx, std::move(Checker), &Stats);
+}
+
+void mba::bench::printStageZeroStats(const StageZeroStats &Stats) {
+  size_t Queries = Stats.queries();
+  double Pct = Queries ? 100.0 * (double)Stats.discharged() / (double)Queries
+                       : 0.0;
+  std::printf("Stage-0 static prover: %zu / %zu queries discharged before "
+              "any solver (%.1f%%)\n",
+              Stats.discharged(), Queries, Pct);
+  std::printf("  proved %zu, refuted %zu, fallthrough to solver %zu\n",
+              Stats.Proved, Stats.Refuted, Stats.Fallthrough);
+  std::printf("  static time %.3f s total; solver time %.3f s on the "
+              "fallthrough queries\n",
+              Stats.StaticSeconds, Stats.SolverSeconds);
+  std::printf("  saturation: %u rounds, %zu rule matches, %zu merges, "
+              "%zu e-nodes across queries\n",
+              Stats.Saturation.Iterations, Stats.Saturation.Matches,
+              Stats.Saturation.Merges, Stats.Saturation.ENodes);
 }
 
 std::string mba::bench::formatSeconds(double S) {

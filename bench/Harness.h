@@ -39,9 +39,14 @@ struct HarnessOptions {
   double TimeoutSeconds = 1.0; ///< per-query budget (paper: 3600)
   unsigned Width = 64;         ///< word width (paper: 64)
   uint64_t Seed = 20210620;
+  /// Run the static equivalence prover as stage 0 in front of every
+  /// backend (benches that opt in call addStageZeroProver). Sound either
+  /// way — verdicts are identical with or without it.
+  bool StageZeroProver = true;
 };
 
-/// Parses --per-category / --timeout / --width / --seed overrides.
+/// Parses --per-category / --timeout / --width / --seed / --static-prove
+/// overrides.
 HarnessOptions parseHarnessArgs(int Argc, char **Argv);
 
 /// One solver query outcome.
@@ -76,6 +81,18 @@ void printTimeDistribution(const std::vector<QueryRecord> &Records,
 
 /// Convenience: formats seconds with three decimals.
 std::string formatSeconds(double S);
+
+/// Wraps every checker in \p Checkers with the stage-0 static prover
+/// (makeStagedChecker), all feeding the shared \p Stats counters. \p Stats
+/// must outlive the checkers.
+void addStageZeroProver(
+    Context &Ctx, std::vector<std::unique_ptr<EquivalenceChecker>> &Checkers,
+    StageZeroStats &Stats);
+
+/// Prints the stage-0 counters accumulated by a staged run: the
+/// proved/refuted/fallthrough split (how many queries never reached a
+/// solver), static vs solver wall-clock, and saturation statistics.
+void printStageZeroStats(const StageZeroStats &Stats);
 
 } // namespace mba::bench
 

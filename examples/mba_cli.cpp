@@ -10,11 +10,17 @@
 ///   mba_cli classify '<expr>'            category + metrics
 ///   mba_cli check '<a>' '<b>'            equivalence via all backends
 ///   mba_cli sig '<expr>'                 signature vector (linear MBA)
+///   mba_cli certify                      certify the shipped rewrite rules
 ///
 /// Options: --width=N (default 64), --timeout=SECONDS (check; default 5).
 ///
+/// `certify` re-proves every shipped equality-saturation rule sound for all
+/// bit widths and exits non-zero if any rule fails — CI runs it so an
+/// unsound rule edit fails the build.
+///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Rules.h"
 #include "ast/Context.h"
 #include "ast/ExprUtils.h"
 #include "ast/Parser.h"
@@ -37,7 +43,7 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--width=N] [--timeout=S] "
-               "simplify|classify|check|sig <expr> [<expr2>]\n",
+               "simplify|classify|check|sig|certify [<expr>] [<expr2>]\n",
                Prog);
   return 2;
 }
@@ -65,13 +71,35 @@ int main(int Argc, char **Argv) {
       continue;
     Positional.push_back(Argv[I]);
   }
-  if (Positional.size() < 2)
+  if (Positional.empty())
     return usage(Argv[0]);
   const std::string Command = Positional[0];
   if (Width < 1 || Width > 64) {
     std::fprintf(stderr, "width must be in [1, 64]\n");
     return 2;
   }
+
+  if (Command == "certify") {
+    RuleSet RS;
+    addDefaultRules(RS);
+    CertifySummary S = certifyRules(RS);
+    for (const RuleCert &C : S.Results)
+      if (C.ok())
+        std::printf("  OK   %-28s %s\n", C.Name.c_str(),
+                    certMethodName(C.Method));
+      else
+        std::printf("  FAIL %-28s %s\n", C.Name.c_str(), C.Detail.c_str());
+    std::printf("%zu / %zu rules certified sound for all widths\n",
+                S.NumCertified, S.Results.size());
+    if (!S.allCertified()) {
+      std::fprintf(stderr, "error: uncertified rules in the shipped table\n");
+      return 1;
+    }
+    return 0;
+  }
+
+  if (Positional.size() < 2)
+    return usage(Argv[0]);
 
   Context Ctx(Width);
 

@@ -298,10 +298,22 @@ Interval IntervalDomain::binary(ExprKind K, const Interval &A,
     if (A.Lo >= B.Hi)
       return Interval{A.Lo - B.Hi, A.Hi - B.Lo};
     return top(); // possible borrow below zero
-  case ExprKind::Mul:
+  case ExprKind::Mul: {
     if ((U128)A.Hi * B.Hi <= Mask)
       return Interval{A.Lo * B.Lo, A.Hi * B.Hi};
+    // Constant multiplier c = m·2^t: v*c ≡ (v·m mod 2^(w-t))·2^t, so the
+    // product stays a multiple of 2^t even after wraparound — the top of
+    // the range drops by the t trailing-zero bits (e.g. x*4 at width 8
+    // lies in [0, 252] although the product itself may wrap).
+    unsigned TrailingZeros = 0;
+    if (A.Lo == A.Hi && A.Lo != 0)
+      TrailingZeros = (unsigned)std::countr_zero(A.Lo);
+    else if (B.Lo == B.Hi && B.Lo != 0)
+      TrailingZeros = (unsigned)std::countr_zero(B.Lo);
+    if (TrailingZeros > 0)
+      return Interval{0, Mask & ~lowBitsMask(TrailingZeros)};
     return top();
+  }
   case ExprKind::And: {
     if (SameOperand)
       return A;

@@ -1,0 +1,216 @@
+//===- analysis/Prover.cpp - Static equivalence prover --------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Prover.h"
+
+#include "analysis/AbstractInterp.h"
+#include "analysis/EGraph.h"
+
+#include <vector>
+
+using namespace mba;
+
+const char *mba::proveOutcomeName(ProveOutcome O) {
+  switch (O) {
+  case ProveOutcome::Proved: return "proved";
+  case ProveOutcome::Refuted: return "refuted";
+  case ProveOutcome::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+/// An e-matching environment: pattern-variable dense index -> e-class.
+constexpr EClassId Unbound = ~(EClassId)0;
+using Env = std::vector<EClassId>;
+
+/// Matches pattern \p P against class \p Cls, extending \p Base. Appends
+/// every consistent completed environment to \p Out (bounded by \p Cap).
+/// Patterns live in the rule set's pattern context; constants match the
+/// pattern value truncated to the e-graph's width.
+void matchPattern(const EGraph &G, const Expr *P, EClassId Cls,
+                  const Env &Base, std::vector<Env> &Out, size_t Cap) {
+  if (Out.size() >= Cap)
+    return;
+  Cls = G.find(Cls);
+  switch (P->kind()) {
+  case ExprKind::Var: {
+    unsigned Idx = P->varIndex();
+    if (Base[Idx] == Unbound) {
+      Env E = Base;
+      E[Idx] = Cls;
+      Out.push_back(std::move(E));
+    } else if (G.find(Base[Idx]) == Cls) {
+      Out.push_back(Base);
+    }
+    return;
+  }
+  case ExprKind::Const: {
+    std::optional<uint64_t> C = G.constantOf(Cls);
+    if (C && *C == G.context().truncate(P->constValue()))
+      Out.push_back(Base);
+    return;
+  }
+  default:
+    break;
+  }
+  for (const ENode &N : G.nodesOf(Cls)) {
+    if (N.Kind != P->kind())
+      continue;
+    if (isUnaryKind(N.Kind)) {
+      matchPattern(G, P->operand(), N.Lhs, Base, Out, Cap);
+    } else {
+      std::vector<Env> Partial;
+      matchPattern(G, P->lhs(), N.Lhs, Base, Partial, Cap);
+      for (const Env &E : Partial)
+        matchPattern(G, P->rhs(), N.Rhs, E, Out, Cap);
+    }
+    if (Out.size() >= Cap)
+      return;
+  }
+}
+
+/// Instantiates pattern \p P under \p E into the e-graph.
+EClassId instantiate(EGraph &G, const Expr *P, const Env &E) {
+  switch (P->kind()) {
+  case ExprKind::Var:
+    assert(E[P->varIndex()] != Unbound && "rhs variable unbound by lhs");
+    return E[P->varIndex()];
+  case ExprKind::Const:
+    return G.addConst(P->constValue()); // addConst truncates to the width
+  case ExprKind::Not:
+  case ExprKind::Neg:
+    return G.addNode(P->kind(), instantiate(G, P->operand(), E));
+  default:
+    return G.addNode(P->kind(), instantiate(G, P->lhs(), E),
+                     instantiate(G, P->rhs(), E));
+  }
+}
+
+/// One pending rewrite: class \p Where equals \p Rhs instantiated under Env.
+struct PendingMerge {
+  EClassId Where;
+  const Expr *Rhs;
+  Env Binding;
+};
+
+/// Runs one saturation round: e-matches every certified rule (both
+/// directions for bidirectional rules) against every class, then applies
+/// all merges and rebuilds. Returns true when the e-graph changed.
+bool saturateRound(EGraph &G, const RuleSet &Rules, const ProveBudget &Budget,
+                   ProveStats &Stats) {
+  unsigned NumPatVars = Rules.patternContext().numVars();
+  std::vector<PendingMerge> Pending;
+  std::vector<EClassId> Classes = G.canonicalClasses();
+  Env Fresh(NumPatVars, Unbound);
+  auto MatchRule = [&](const Expr *Lhs, const Expr *Rhs) {
+    // Leaf-pattern LHS would merge every class into one; the table has no
+    // such rule, but guard custom sets.
+    if (Lhs->isLeaf())
+      return;
+    size_t Budgeted = 0;
+    for (EClassId Cls : Classes) {
+      std::vector<Env> Matches;
+      matchPattern(G, Lhs, Cls, Fresh, Matches,
+                   Budget.MaxMatchesPerRule - Budgeted);
+      for (Env &E : Matches)
+        Pending.push_back({Cls, Rhs, std::move(E)});
+      Budgeted += Matches.size();
+      if (Budgeted >= Budget.MaxMatchesPerRule)
+        break;
+    }
+  };
+  for (const EqualityRule &R : Rules.rules()) {
+    if (R.Certified == CertMethod::Uncertified)
+      continue; // only certified rules may touch the e-graph
+    MatchRule(R.Lhs, R.Rhs);
+    if (R.Bidirectional)
+      MatchRule(R.Rhs, R.Lhs);
+  }
+  bool Changed = false;
+  for (const PendingMerge &P : Pending) {
+    if (G.numNodes() >= Budget.MaxENodes)
+      break;
+    EClassId RhsCls = instantiate(G, P.Rhs, P.Binding);
+    Changed |= G.merge(P.Where, RhsCls);
+    ++Stats.Matches;
+  }
+  G.rebuild();
+  return Changed;
+}
+
+void fillStats(const EGraph &G, ProveStats &Stats) {
+  Stats.ENodes = G.numNodes();
+  Stats.EClasses = G.numClasses();
+  Stats.Merges = G.numMerges();
+}
+
+} // namespace
+
+Prover::Prover(Context &Ctx, const RuleSet *Rules)
+    : Ctx(Ctx), Rules(Rules ? Rules : &certifiedRules()) {}
+
+ProveResult Prover::prove(const Expr *A, const Expr *B,
+                          const ProveBudget &Budget) {
+  ProveResult Result;
+  if (A == B) { // hash-consing: pointer equality is structural equality
+    Result.Outcome = ProveOutcome::Proved;
+    Result.Detail = "syntactic";
+    return Result;
+  }
+  if (std::optional<Refutation> R = refuteEquivalence(Ctx, A, B)) {
+    Result.Outcome = ProveOutcome::Refuted;
+    Result.Detail = R->Domain + ": " + R->Detail;
+    return Result;
+  }
+  EGraph G(Ctx);
+  EClassId CA = G.addExpr(A), CB = G.addExpr(B);
+  G.rebuild();
+  if (G.sameClass(CA, CB)) {
+    Result.Outcome = ProveOutcome::Proved;
+    Result.Detail = "congruence";
+    fillStats(G, Result.Stats);
+    return Result;
+  }
+  for (unsigned Iter = 0; Iter != Budget.MaxIterations; ++Iter) {
+    bool Changed = saturateRound(G, *Rules, Budget, Result.Stats);
+    ++Result.Stats.Iterations;
+    if (G.sameClass(CA, CB)) {
+      Result.Outcome = ProveOutcome::Proved;
+      Result.Detail =
+          "saturation, " + std::to_string(Result.Stats.Iterations) + " round" +
+          (Result.Stats.Iterations == 1 ? "" : "s");
+      fillStats(G, Result.Stats);
+      return Result;
+    }
+    if (!Changed || G.numNodes() >= Budget.MaxENodes)
+      break; // saturated or out of budget
+  }
+  Result.Outcome = ProveOutcome::Unknown;
+  Result.Detail = "budget exhausted";
+  fillStats(G, Result.Stats);
+  return Result;
+}
+
+const Expr *Prover::saturateAndExtract(const Expr *E,
+                                       const ProveBudget &Budget) {
+  EGraph G(Ctx);
+  EClassId Root = G.addExpr(E);
+  G.rebuild();
+  ProveStats Stats;
+  for (unsigned Iter = 0; Iter != Budget.MaxIterations; ++Iter)
+    if (!saturateRound(G, *Rules, Budget, Stats) ||
+        G.numNodes() >= Budget.MaxENodes)
+      break;
+  const Expr *Best = G.extract(Root);
+  return Best ? Best : E;
+}
+
+ProveResult mba::proveEquivalence(Context &Ctx, const Expr *A, const Expr *B,
+                                  const ProveBudget &Budget) {
+  return Prover(Ctx).prove(A, B, Budget);
+}

@@ -1,0 +1,489 @@
+//===- analysis/Rules.cpp - Certified declarative rewrite rules -----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Rules.h"
+
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Parser.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+using namespace mba;
+
+const char *mba::certMethodName(CertMethod M) {
+  switch (M) {
+  case CertMethod::Uncertified: return "uncertified";
+  case CertMethod::Polynomial: return "polynomial";
+  case CertMethod::LinearCorner: return "linear-corner";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// RuleSet
+//===----------------------------------------------------------------------===//
+
+RuleSet::RuleSet() : PatCtx(std::make_unique<Context>(64)) {}
+
+namespace {
+
+/// Folds operator nodes whose operands are all constants (`-1` parses as
+/// Neg(1); matching wants the all-ones Const node). Unlike foldAbstract()
+/// this never folds across pattern variables — `a&0` must stay a pattern,
+/// not become the constant it denotes for every `a`.
+const Expr *foldLiterals(Context &Ctx, const Expr *E) {
+  return rewriteBottomUp(Ctx, E, [&](const Expr *N) -> const Expr * {
+    if (N->isLeaf())
+      return N;
+    for (unsigned I = 0; I != N->numOperands(); ++I)
+      if (!N->getOperand(I)->isConst())
+        return N;
+    return Ctx.getConst(evaluate(Ctx, N, std::span<const uint64_t>()));
+  });
+}
+
+} // namespace
+
+void RuleSet::add(std::string Name, std::string_view Lhs, std::string_view Rhs,
+                  bool Bidirectional) {
+  EqualityRule R;
+  R.Name = std::move(Name);
+  R.LhsText = Lhs;
+  R.RhsText = Rhs;
+  R.Lhs = foldLiterals(*PatCtx, parseOrDie(*PatCtx, Lhs));
+  R.Rhs = foldLiterals(*PatCtx, parseOrDie(*PatCtx, Rhs));
+  R.Bidirectional = Bidirectional;
+  // Rewrites may not invent variables: every RHS variable must be bound by
+  // the LHS match (and vice versa for bidirectional rules).
+  std::vector<const Expr *> LV = collectVariables(R.Lhs);
+  std::vector<const Expr *> RV = collectVariables(R.Rhs);
+  for (const Expr *V : RV)
+    if (std::find(LV.begin(), LV.end(), V) == LV.end()) {
+      std::fprintf(stderr, "rule '%s': rhs variable %s unbound by lhs\n",
+                   R.Name.c_str(), V->varName());
+      std::abort();
+    }
+  if (Bidirectional)
+    for (const Expr *V : LV)
+      if (std::find(RV.begin(), RV.end(), V) == RV.end()) {
+        std::fprintf(stderr,
+                     "rule '%s': bidirectional but lhs variable %s unbound "
+                     "by rhs\n",
+                     R.Name.c_str(), V->varName());
+        std::abort();
+      }
+  Rules.push_back(std::move(R));
+}
+
+size_t RuleSet::pruneUncertified() {
+  size_t Before = Rules.size();
+  std::erase_if(Rules, [](const EqualityRule &R) {
+    return R.Certified == CertMethod::Uncertified;
+  });
+  return Before - Rules.size();
+}
+
+//===----------------------------------------------------------------------===//
+// The shipped rule table
+//===----------------------------------------------------------------------===//
+
+void mba::addDefaultRules(RuleSet &RS) {
+  // --- Ring axioms of Z/2^w (certified polynomially) ---
+  RS.add("add-comm", "a+b", "b+a");
+  RS.add("add-assoc", "(a+b)+c", "a+(b+c)", /*Bidirectional=*/true);
+  RS.add("mul-comm", "a*b", "b*a");
+  RS.add("mul-assoc", "(a*b)*c", "a*(b*c)", true);
+  RS.add("mul-distrib", "a*(b+c)", "a*b+a*c", true);
+  RS.add("add-zero", "a+0", "a");
+  RS.add("mul-one", "a*1", "a");
+  RS.add("mul-zero", "a*0", "0");
+  RS.add("sub-def", "a-b", "a+(-b)", true);
+  RS.add("neg-neg", "-(-a)", "a");
+  RS.add("add-self", "a+a", "2*a", true);
+  RS.add("sub-self", "a-a", "0");
+
+  // --- Bitwise lattice laws (certified by corner sums) ---
+  RS.add("and-comm", "a&b", "b&a");
+  RS.add("or-comm", "a|b", "b|a");
+  RS.add("xor-comm", "a^b", "b^a");
+  RS.add("and-assoc", "(a&b)&c", "a&(b&c)", true);
+  RS.add("or-assoc", "(a|b)|c", "a|(b|c)", true);
+  RS.add("xor-assoc", "(a^b)^c", "a^(b^c)", true);
+  RS.add("and-self", "a&a", "a");
+  RS.add("or-self", "a|a", "a");
+  RS.add("xor-self", "a^a", "0");
+  RS.add("and-zero", "a&0", "0");
+  RS.add("or-zero", "a|0", "a");
+  RS.add("xor-zero", "a^0", "a");
+  RS.add("and-ones", "a&-1", "a");
+  RS.add("or-ones", "a|-1", "-1");
+  RS.add("xor-ones", "a^-1", "~a", true);
+  RS.add("not-not", "~~a", "a");
+  RS.add("demorgan-and", "~(a&b)", "~a|~b", true);
+  RS.add("demorgan-or", "~(a|b)", "~a&~b", true);
+  RS.add("absorb-and", "a&(a|b)", "a");
+  RS.add("absorb-or", "a|(a&b)", "a");
+  RS.add("and-or-distrib", "a&(b|c)", "(a&b)|(a&c)", true);
+
+  // --- Bitwise/arithmetic bridges (Section 2, Table 5, Hacker's Delight;
+  //     certified by corner sums — these carry the MBA reasoning) ---
+  RS.add("not-def", "~a", "-a-1", true);
+  RS.add("neg-def", "-a", "~a+1", true);
+  RS.add("add-to-or-and", "a+b", "(a|b)+(a&b)", true);
+  RS.add("add-to-xor-and", "a+b", "(a^b)+2*(a&b)", true);
+  RS.add("add-to-or-xor", "a+b", "2*(a|b)-(a^b)", true);
+  RS.add("or-to-arith", "a|b", "a+b-(a&b)", true);
+  RS.add("xor-to-or-and", "a^b", "(a|b)-(a&b)", true);
+  RS.add("andnot-to-arith", "a&~b", "a-(a&b)", true);
+
+  // --- Direct Table 5 / seed-identity contractions (one-directional:
+  //     complex form to simple form, so raw corpus seeds prove fast) ---
+  RS.add("t5-or", "(a&~b)+b", "a|b");
+  RS.add("t5-add-1", "(a|b)+(~a|b)-~a", "a+b");
+  RS.add("t5-add-2", "(a|b)+b-(~a&b)", "a+b");
+  RS.add("t5-add-3", "(a^b)+2*b-2*(~a&b)", "a+b");
+  RS.add("t5-add-4", "b+(a&~b)+(a&b)", "a+b");
+  RS.add("t5-add-5", "2*(a|b)-(~a&b)-(a&~b)", "a+b");
+  RS.add("t5-sub-1", "(a^b)+2*(a|~b)+2", "a-b");
+  RS.add("t5-sub-2", "(a^b)-2*(~a&b)", "a-b");
+  RS.add("t5-sub-3", "(a&~b)-(~a&b)", "a-b");
+  RS.add("t5-sub-4", "2*(a&~b)-(a^b)", "a-b");
+}
+
+//===----------------------------------------------------------------------===//
+// Prover 1: formal integer polynomials over atoms
+//===----------------------------------------------------------------------===//
+//
+// Atoms are pattern variables and opaque bitwise subterms (interned Expr
+// pointers, so structurally equal subterms are one atom). `~e` is rewritten
+// through the all-width ring identity ~e = -e - 1, which keeps pure
+// negation algebra inside the polynomial fragment. A zero difference
+// polynomial over ℤ holds in every commutative ring, hence in every Z/2^w.
+
+namespace {
+
+using Coeff = __int128;
+
+/// A monomial: sorted atom pointers, with repetition for powers.
+using Monomial = std::vector<const Expr *>;
+
+/// Polynomial: monomial -> integer coefficient. Empty monomial = constant.
+using Poly = std::map<Monomial, Coeff>;
+
+constexpr Coeff CoeffLimit = (Coeff)1 << 100;
+constexpr size_t MonomialLimit = 512;
+
+void polyAdd(Poly &P, const Monomial &M, Coeff C) {
+  Coeff &Slot = P[M];
+  Slot += C;
+  if (Slot == 0)
+    P.erase(M);
+}
+
+/// Returns false on blow-up (the prover gives up, it never lies).
+bool polyCombine(Poly &Out, const Poly &A, const Poly &B, Coeff ScaleB) {
+  Out = A;
+  for (const auto &[M, C] : B)
+    polyAdd(Out, M, C * ScaleB);
+  for (const auto &[M, C] : Out)
+    if (C >= CoeffLimit || C <= -CoeffLimit)
+      return false;
+  return Out.size() <= MonomialLimit;
+}
+
+bool polyMul(Poly &Out, const Poly &A, const Poly &B) {
+  Out.clear();
+  for (const auto &[MA, CA] : A)
+    for (const auto &[MB, CB] : B) {
+      Monomial M = MA;
+      M.insert(M.end(), MB.begin(), MB.end());
+      std::sort(M.begin(), M.end());
+      polyAdd(Out, M, CA * CB);
+    }
+  for (const auto &[M, C] : Out)
+    if (C >= CoeffLimit || C <= -CoeffLimit)
+      return false;
+  return Out.size() <= MonomialLimit;
+}
+
+/// Builds the formal polynomial of \p E. Returns false on blow-up.
+bool buildPoly(const Context &Ctx, const Expr *E, Poly &Out) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+    Out.clear();
+    if (uint64_t V = E->constValue(); V != 0)
+      Out[{}] = (Coeff)Ctx.toSigned(V);
+    return true;
+  case ExprKind::Var:
+    Out.clear();
+    Out[{E}] = 1;
+    return true;
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Xor:
+    // Opaque bitwise atom (hash-consing makes equal subterms one pointer).
+    Out.clear();
+    Out[{E}] = 1;
+    return true;
+  case ExprKind::Not: {
+    // ~e = -e - 1 in Z/2^w for every w.
+    Poly Sub, MinusOne;
+    if (!buildPoly(Ctx, E->operand(), Sub))
+      return false;
+    MinusOne[{}] = -1;
+    return polyCombine(Out, MinusOne, Sub, -1);
+  }
+  case ExprKind::Neg: {
+    Poly Sub, Zero;
+    if (!buildPoly(Ctx, E->operand(), Sub))
+      return false;
+    return polyCombine(Out, Zero, Sub, -1);
+  }
+  case ExprKind::Add:
+  case ExprKind::Sub: {
+    Poly L, R;
+    if (!buildPoly(Ctx, E->lhs(), L) || !buildPoly(Ctx, E->rhs(), R))
+      return false;
+    return polyCombine(Out, L, R, E->kind() == ExprKind::Add ? 1 : -1);
+  }
+  case ExprKind::Mul: {
+    Poly L, R;
+    if (!buildPoly(Ctx, E->lhs(), L) || !buildPoly(Ctx, E->rhs(), R))
+      return false;
+    return polyMul(Out, L, R);
+  }
+  }
+  return false;
+}
+
+/// Certifies Lhs == Rhs when the difference polynomial cancels over ℤ.
+bool provePolynomial(const Context &Ctx, const Expr *Lhs, const Expr *Rhs) {
+  Poly L, R, Diff;
+  if (!buildPoly(Ctx, Lhs, L) || !buildPoly(Ctx, Rhs, R))
+    return false;
+  if (!polyCombine(Diff, L, R, -1))
+    return false;
+  return Diff.empty();
+}
+
+//===----------------------------------------------------------------------===//
+// Prover 2: linear decomposition + integer corner sums
+//===----------------------------------------------------------------------===//
+//
+// Decomposes E = Σ cᵢ·Bᵢ where each Bᵢ is a pure bitwise function of the
+// pattern variables or the all-ones column (key nullptr; integer constant k
+// embeds as coefficient -k on it, since k = (-k)·(-1) in every Z/2^w).
+// Bitwise operators act per bit, so E = Σ_j 2^j · Σᵢ cᵢ·bᵢ(v_j) as an
+// integer before reduction: equal corner sums Σᵢ cᵢ·bᵢ(v) on all
+// v ∈ {0,1}^t make the two sides equal integers at every width.
+
+/// Linear form: bitwise column (nullptr = all-ones) -> coefficient.
+using LinForm = std::map<const Expr *, Coeff>;
+
+/// A pure bitwise column computes the same boolean function at every bit
+/// position: variables, bitwise operators, and *bit-uniform* constants
+/// (0 and all-ones), whose bits do not vary with position.
+bool isPureBitwise(const Context &Ctx, const Expr *E) {
+  bool Pure = true;
+  forEachNodePostOrder(E, [&](const Expr *N) {
+    if (N->isVar() || isBitwiseKind(N->kind()))
+      return;
+    if (N->isConst() && (N->constValue() == 0 || N->constValue() == Ctx.mask()))
+      return;
+    Pure = false;
+  });
+  return Pure;
+}
+
+void linAdd(LinForm &F, const Expr *Col, Coeff C) {
+  Coeff &Slot = F[Col];
+  Slot += C;
+  if (Slot == 0)
+    F.erase(Col);
+}
+
+/// If \p F is constant (only the all-ones column), returns its value.
+std::optional<Coeff> linConstant(const LinForm &F) {
+  if (F.empty())
+    return 0;
+  if (F.size() == 1 && F.begin()->first == nullptr)
+    return -F.begin()->second; // coefficient c on the -1 column is value -c
+  return std::nullopt;
+}
+
+bool buildLinForm(const Context &Ctx, const Expr *E, LinForm &Out) {
+  // Constants route to the all-ones column (below) rather than the pure-
+  // bitwise fast path so linConstant() recognizes them in Mul operands.
+  if (!E->isConst() && isPureBitwise(Ctx, E)) {
+    Out.clear();
+    Out[E] = 1;
+    return true;
+  }
+  switch (E->kind()) {
+  case ExprKind::Const:
+    Out.clear();
+    if (uint64_t V = E->constValue(); V != 0)
+      Out[nullptr] = -(Coeff)Ctx.toSigned(V);
+    return true;
+  case ExprKind::Neg: {
+    LinForm Sub;
+    if (!buildLinForm(Ctx, E->operand(), Sub))
+      return false;
+    Out.clear();
+    for (const auto &[Col, C] : Sub)
+      linAdd(Out, Col, -C);
+    return true;
+  }
+  case ExprKind::Not: {
+    // ~e = -e - 1: negate and add one all-ones column unit.
+    LinForm Sub;
+    if (!buildLinForm(Ctx, E->operand(), Sub))
+      return false;
+    Out.clear();
+    for (const auto &[Col, C] : Sub)
+      linAdd(Out, Col, -C);
+    linAdd(Out, nullptr, 1); // constant -1 == +1 * (all-ones column)
+    return true;
+  }
+  case ExprKind::Add:
+  case ExprKind::Sub: {
+    LinForm L, R;
+    if (!buildLinForm(Ctx, E->lhs(), L) || !buildLinForm(Ctx, E->rhs(), R))
+      return false;
+    Out = std::move(L);
+    Coeff S = E->kind() == ExprKind::Add ? 1 : -1;
+    for (const auto &[Col, C] : R)
+      linAdd(Out, Col, S * C);
+    return true;
+  }
+  case ExprKind::Mul: {
+    LinForm L, R;
+    if (!buildLinForm(Ctx, E->lhs(), L) || !buildLinForm(Ctx, E->rhs(), R))
+      return false;
+    std::optional<Coeff> KL = linConstant(L), KR = linConstant(R);
+    if (!KL && !KR)
+      return false; // nonlinear: out of this prover's fragment
+    const LinForm &Var = KL ? R : L;
+    Coeff K = KL ? *KL : *KR;
+    Out.clear();
+    for (const auto &[Col, C] : Var)
+      linAdd(Out, Col, K * C);
+    return true;
+  }
+  default:
+    return false; // bitwise op over non-variable operands (not pure): give up
+  }
+}
+
+/// Integer corner sum of \p F at corner \p CornerBits (bit i = value of
+/// pattern variable with dense index VarIdx[i]).
+Coeff cornerSum(const Context &Ctx, const LinForm &F,
+                const std::vector<unsigned> &VarIdx, unsigned Corner) {
+  unsigned MaxIndex = 0;
+  for (unsigned I : VarIdx)
+    MaxIndex = std::max(MaxIndex, I);
+  std::vector<uint64_t> Vals(MaxIndex + 1, 0);
+  for (size_t I = 0; I != VarIdx.size(); ++I)
+    if (Corner >> I & 1)
+      Vals[VarIdx[I]] = Ctx.mask();
+  Coeff Sum = 0;
+  for (const auto &[Col, C] : F) {
+    uint64_t Bit = Col == nullptr ? 1 : (evaluate(Ctx, Col, Vals) & 1);
+    Sum += C * (Coeff)Bit;
+  }
+  return Sum;
+}
+
+/// Certifies Lhs == Rhs by comparing integer corner sums. On failure with a
+/// successful decomposition, reports the witnessing corner in \p Detail.
+bool proveLinearCorners(const Context &Ctx, const Expr *Lhs, const Expr *Rhs,
+                        std::string &Detail) {
+  LinForm L, R;
+  if (!buildLinForm(Ctx, Lhs, L) || !buildLinForm(Ctx, Rhs, R)) {
+    Detail = "not decomposable as a linear combination of bitwise columns";
+    return false;
+  }
+  std::vector<const Expr *> Vars = collectVariables(Lhs);
+  for (const Expr *V : collectVariables(Rhs))
+    if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+      Vars.push_back(V);
+  std::vector<unsigned> VarIdx;
+  for (const Expr *V : Vars)
+    VarIdx.push_back(V->varIndex());
+  if (VarIdx.size() > 16) {
+    Detail = "too many pattern variables for corner enumeration";
+    return false;
+  }
+  for (unsigned Corner = 0; Corner != (1u << VarIdx.size()); ++Corner) {
+    Coeff SL = cornerSum(Ctx, L, VarIdx, Corner);
+    Coeff SR = cornerSum(Ctx, R, VarIdx, Corner);
+    if (SL != SR) {
+      Detail = "corner";
+      for (size_t I = 0; I != Vars.size(); ++I)
+        Detail += std::string(" ") + Vars[I]->varName() + "=" +
+                  ((Corner >> I & 1) ? "1" : "0");
+      Detail += ": lhs sum " + std::to_string((long long)SL) + ", rhs sum " +
+                std::to_string((long long)SR);
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Certification driver
+//===----------------------------------------------------------------------===//
+
+CertifySummary mba::certifyRules(RuleSet &RS) {
+  CertifySummary Summary;
+  const Context &Ctx = RS.patternContext();
+  for (EqualityRule &R : RS.rules()) {
+    RuleCert Cert;
+    Cert.Name = R.Name;
+    R.Certified = CertMethod::Uncertified;
+    if (provePolynomial(Ctx, R.Lhs, R.Rhs)) {
+      R.Certified = CertMethod::Polynomial;
+    } else {
+      std::string Detail;
+      if (proveLinearCorners(Ctx, R.Lhs, R.Rhs, Detail))
+        R.Certified = CertMethod::LinearCorner;
+      else
+        Cert.Detail = Detail;
+    }
+    Cert.Method = R.Certified;
+    if (Cert.ok())
+      ++Summary.NumCertified;
+    Summary.Results.push_back(std::move(Cert));
+  }
+  return Summary;
+}
+
+const RuleSet &mba::certifiedRules() {
+  static RuleSet RS = [] {
+    RuleSet S;
+    addDefaultRules(S);
+    CertifySummary Summary = certifyRules(S);
+    if (!Summary.allCertified()) {
+      for (const RuleCert &C : Summary.Results)
+        if (!C.ok())
+          std::fprintf(stderr,
+                       "fatal: shipped rewrite rule '%s' failed all-width "
+                       "certification: %s\n",
+                       C.Name.c_str(), C.Detail.c_str());
+      std::abort();
+    }
+    return S;
+  }();
+  return RS;
+}

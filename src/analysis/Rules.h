@@ -1,0 +1,140 @@
+//===- analysis/Rules.h - Certified declarative rewrite rules ---*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative rewrite-rule table driving equality saturation
+/// (analysis/Prover.h), and the certification pass that statically proves
+/// every rule sound for **all** bit widths before it may be used. A rule is
+/// a pair of pattern expressions over pattern variables (`a`, `b`, `c`);
+/// it asserts that both sides agree on Z/2^w for every w and every value of
+/// the pattern variables. The table is data, not code: an uncertified rule
+/// is rejected at load time, so an unsound entry cannot corrupt results —
+/// it fails the build (CI runs `mba_cli certify`).
+///
+/// Certification uses two width-parametric provers; either suffices:
+///
+///  * **Polynomial**: interpret both sides as formal polynomials over ℤ
+///    with atoms = pattern variables and opaque bitwise subterms, using the
+///    all-width ring identities of Z/2^w (`~e = -e - 1`). If LHS − RHS
+///    cancels to the zero polynomial over ℤ, the rule holds in every
+///    quotient ring Z/2^w. Certifies ring axioms (associativity,
+///    distributivity, negation algebra).
+///
+///  * **Linear corners** (width-parametric ANF on symbolic bits): decompose
+///    both sides as Σ cᵢ·Bᵢ where each Bᵢ is a pure bitwise function of the
+///    pattern variables or the all-ones column (integer constants k embed
+///    as −k·(−1), the paper's encoding). Bitwise operators act
+///    independently per bit position, so the value is Σ_j 2^j · Σᵢ cᵢ·bᵢ(v_j)
+///    with v_j the j-th bits of the variables. If the *integer* sums
+///    Σᵢ cᵢ·bᵢ(v) agree on all 2^t corners v ∈ {0,1}^t, both sides agree on
+///    every bit of every width — Theorem 1 generalized to all w at once.
+///    Certifies the Table 5 / HAKMEM linear-MBA identities and all pure
+///    bitwise laws.
+///
+/// Both provers are sound (a certificate implies all-width equivalence);
+/// a rule neither can prove is rejected even if true.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_ANALYSIS_RULES_H
+#define MBA_ANALYSIS_RULES_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mba {
+
+/// How a rule was proved sound for all widths.
+enum class CertMethod {
+  Uncertified, ///< not (yet) certified; the prover must ignore the rule
+  Polynomial,  ///< formal-ℤ polynomial identity over atoms
+  LinearCorner ///< per-bit linear decomposition, integer corner sums
+};
+
+const char *certMethodName(CertMethod M);
+
+/// One declarative rewrite rule `Lhs == Rhs` over pattern variables.
+struct EqualityRule {
+  std::string Name;     ///< stable id, e.g. "add-to-or-and"
+  std::string LhsText;  ///< surface syntax, kept for reports
+  std::string RhsText;
+  const Expr *Lhs = nullptr; ///< parsed into the owning set's pattern context
+  const Expr *Rhs = nullptr;
+  bool Bidirectional = false; ///< also match Rhs and rewrite to Lhs
+  CertMethod Certified = CertMethod::Uncertified;
+};
+
+/// A set of rewrite rules sharing one pattern context. Every variable
+/// occurring in a pattern is a pattern variable that matches any e-class.
+/// Constants in patterns match the same constant truncated to the target
+/// width (so `-1` matches the all-ones word at any width).
+class RuleSet {
+public:
+  RuleSet();
+  RuleSet(RuleSet &&) = default;
+  RuleSet &operator=(RuleSet &&) = default;
+
+  /// Parses and appends a rule. Aborts on pattern syntax errors (the table
+  /// is compiled-in data; a malformed pattern is a programming error).
+  /// Patterns are constant-folded after parsing, so `-1` is a Const node.
+  void add(std::string Name, std::string_view Lhs, std::string_view Rhs,
+           bool Bidirectional = false);
+
+  std::span<const EqualityRule> rules() const { return Rules; }
+  std::span<EqualityRule> rules() { return Rules; }
+
+  /// The context the patterns live in (width 64; pattern constants are
+  /// re-truncated to the target width when matching).
+  Context &patternContext() { return *PatCtx; }
+  const Context &patternContext() const { return *PatCtx; }
+
+  /// Drops every rule not marked certified. Returns the number removed.
+  size_t pruneUncertified();
+
+private:
+  std::unique_ptr<Context> PatCtx;
+  std::vector<EqualityRule> Rules;
+};
+
+/// Appends the shipped rule table: ring axioms of Z/2^w, the bitwise
+/// lattice laws, the bitwise/arithmetic bridges (Table 5, HAKMEM, Hacker's
+/// Delight), and arithmetic-reduction rules.
+void addDefaultRules(RuleSet &RS);
+
+/// Per-rule certification outcome.
+struct RuleCert {
+  std::string Name;
+  CertMethod Method = CertMethod::Uncertified;
+  std::string Detail; ///< failure reason / corner witness when uncertified
+  bool ok() const { return Method != CertMethod::Uncertified; }
+};
+
+/// Result of certifying a whole rule set.
+struct CertifySummary {
+  std::vector<RuleCert> Results;
+  size_t NumCertified = 0;
+  bool allCertified() const { return NumCertified == Results.size(); }
+};
+
+/// Tries to prove every rule of \p RS sound for all widths, marking each
+/// rule's Certified method. Already-certified rules are re-proved (the call
+/// is idempotent). Rules that fail stay Uncertified and are reported with
+/// the reason; callers gate on allCertified() or pruneUncertified().
+CertifySummary certifyRules(RuleSet &RS);
+
+/// The shipped rule table, certified once on first use; aborts the process
+/// if any shipped rule fails certification (the table is trusted data — a
+/// failure means the table was edited without re-running certification).
+const RuleSet &certifiedRules();
+
+} // namespace mba
+
+#endif // MBA_ANALYSIS_RULES_H

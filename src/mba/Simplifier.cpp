@@ -36,6 +36,15 @@ const Expr *MBASolver::simplify(const Expr *E) {
     R = foldAbstract(Ctx, R);
     note("abstract-fold", E, R);
   }
+  if (Opts.EnableSaturation) {
+    // Equality saturation with the certified rule table; extraction picks
+    // the smallest discovered form. pickBetter guards against extraction
+    // trading alternation for size.
+    const Expr *Before = R;
+    R = pickBetter(Prover(Ctx).saturateAndExtract(R, Opts.SaturationBudget),
+                   R);
+    note("egraph-saturate", Before, R);
+  }
   if (Opts.ExperimentalRule) {
     const Expr *Before = R;
     R = Opts.ExperimentalRule(Ctx, R);

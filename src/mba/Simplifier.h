@@ -35,6 +35,7 @@
 #define MBA_MBA_SIMPLIFIER_H
 
 #include "analysis/Audit.h"
+#include "analysis/Prover.h"
 #include "ast/Context.h"
 #include "ast/Expr.h"
 #include "mba/Basis.h"
@@ -75,6 +76,18 @@ struct SimplifyOptions {
   /// masked-constant cases the signature machinery cannot see, e.g.
   /// (x*2) & 1 == 0 or (x+x) & 1 == 0.
   bool EnableKnownBits = true;
+
+  /// Run the e-graph equality-saturation pre-pass (analysis/Prover.h):
+  /// saturate with the certified rewrite-rule table and extract the
+  /// smallest equivalent form before the signature pipeline. Off by
+  /// default — the signature machinery subsumes it on the paper corpus —
+  /// but it pays off on rule-shaped inputs (Table 5 compositions) and
+  /// every extracted form is certified-sound, so enabling it can never
+  /// change semantics.
+  bool EnableSaturation = false;
+
+  /// Budget for the saturation pre-pass when EnableSaturation is set.
+  ProveBudget SaturationBudget;
 
   /// Opt-in rewrite audit trail: when set, every top-level rewrite step
   /// (rule id, before/after nodes) is recorded here; replay it with

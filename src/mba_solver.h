@@ -39,6 +39,11 @@
 #include "analysis/KnownBits.h"
 #include "analysis/Verifier.h"
 
+// Static equivalence proving: e-graph, certified rules, saturation prover.
+#include "analysis/EGraph.h"
+#include "analysis/Prover.h"
+#include "analysis/Rules.h"
+
 // The MBA theory core: classification, metrics, signatures, simplification.
 #include "mba/Basis.h"
 #include "mba/BooleanMin.h"

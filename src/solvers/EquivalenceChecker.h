@@ -24,6 +24,7 @@
 #ifndef MBA_SOLVERS_EQUIVALENCECHECKER_H
 #define MBA_SOLVERS_EQUIVALENCECHECKER_H
 
+#include "analysis/Prover.h"
 #include "ast/Context.h"
 #include "ast/Expr.h"
 
@@ -77,6 +78,40 @@ std::unique_ptr<EquivalenceChecker> makeSignatureChecker();
 /// All available backends in the paper's order (Z3, then the two
 /// STP/Boolector stand-ins).
 std::vector<std::unique_ptr<EquivalenceChecker>> makeAllCheckers();
+
+//===----------------------------------------------------------------------===//
+// Stage 0: the static equivalence prover in front of any backend
+//===----------------------------------------------------------------------===//
+
+/// Cumulative counters of the stage-0 static prover (analysis/Prover.h)
+/// across the queries of one staged checker (or several sharing the struct).
+struct StageZeroStats {
+  size_t Proved = 0;      ///< answered Equivalent without a solver
+  size_t Refuted = 0;     ///< answered NotEquivalent without a solver
+  size_t Fallthrough = 0; ///< undecided; passed to the wrapped backend
+  double StaticSeconds = 0; ///< wall-clock spent in the static prover
+  double SolverSeconds = 0; ///< wall-clock spent in the wrapped backend
+  ProveStats Saturation;    ///< accumulated e-graph saturation statistics
+
+  size_t queries() const { return Proved + Refuted + Fallthrough; }
+  size_t discharged() const { return Proved + Refuted; }
+};
+
+/// Wraps \p Inner with the static equivalence prover as stage 0: each query
+/// first runs congruence closure + bounded equality saturation with the
+/// certified rule table (and abstract-domain refutation); only queries the
+/// prover cannot decide reach the wrapped backend, with the static time
+/// deducted from the timeout. Both stage-0 answers are sound, so the staged
+/// checker's verdicts never differ from the backend's — queries just get
+/// cheaper. The wrapper keeps the inner backend's name (tables stay
+/// comparable) and reports its counters through \p Stats when given.
+///
+/// \p Ctx must be the context later passed to check() — the prover builds
+/// e-nodes against its width and variable numbering.
+std::unique_ptr<EquivalenceChecker>
+makeStagedChecker(Context &Ctx, std::unique_ptr<EquivalenceChecker> Inner,
+                  StageZeroStats *Stats = nullptr,
+                  const ProveBudget &Budget = ProveBudget());
 
 } // namespace mba
 

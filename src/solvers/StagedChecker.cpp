@@ -1,0 +1,90 @@
+//===- solvers/StagedChecker.cpp - Static prover as solver stage 0 --------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The stage-0 wrapper around any EquivalenceChecker backend: a query is
+/// first handed to the static equivalence prover (congruence closure +
+/// bounded equality saturation with the certified rule table, abstract-
+/// domain refutation); only an Unknown verdict reaches the wrapped solver.
+/// Both static answers are sound, so wrapping never changes verdicts — it
+/// only removes solver work (the Table 6/8 counters report how much).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Prover.h"
+#include "solvers/EquivalenceChecker.h"
+#include "support/Stopwatch.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace mba;
+
+namespace {
+
+class StagedChecker final : public EquivalenceChecker {
+public:
+  StagedChecker(Context &Ctx, std::unique_ptr<EquivalenceChecker> Inner,
+                StageZeroStats *Stats, const ProveBudget &Budget)
+      : Ctx(Ctx), Inner(std::move(Inner)), Stats(Stats), Budget(Budget) {}
+
+  // The inner backend's name: Table 2/6 rows keep their solver labels and
+  // the stage-0 effect shows up purely in the counters and times.
+  std::string name() const override { return Inner->name(); }
+
+  CheckResult check(const Context &CheckCtx, const Expr *A, const Expr *B,
+                    double TimeoutSeconds) override {
+    assert(&CheckCtx == &Ctx &&
+           "staged checker bound to a different context than the query");
+    (void)CheckCtx;
+    Stopwatch Timer;
+    ProveResult Static = Prover(Ctx).prove(A, B, Budget);
+    double StaticSeconds = Timer.seconds();
+    if (Stats) {
+      Stats->StaticSeconds += StaticSeconds;
+      Stats->Saturation.Iterations += Static.Stats.Iterations;
+      Stats->Saturation.ENodes += Static.Stats.ENodes;
+      Stats->Saturation.EClasses += Static.Stats.EClasses;
+      Stats->Saturation.Merges += Static.Stats.Merges;
+      Stats->Saturation.Matches += Static.Stats.Matches;
+    }
+    switch (Static.Outcome) {
+    case ProveOutcome::Proved:
+      if (Stats)
+        ++Stats->Proved;
+      return {Verdict::Equivalent, StaticSeconds};
+    case ProveOutcome::Refuted:
+      if (Stats)
+        ++Stats->Refuted;
+      return {Verdict::NotEquivalent, StaticSeconds};
+    case ProveOutcome::Unknown:
+      break;
+    }
+    if (Stats)
+      ++Stats->Fallthrough;
+    double Remaining = TimeoutSeconds - StaticSeconds;
+    if (Remaining <= 0)
+      return {Verdict::Timeout, StaticSeconds};
+    CheckResult R = Inner->check(Ctx, A, B, Remaining);
+    if (Stats)
+      Stats->SolverSeconds += R.Seconds;
+    R.Seconds += StaticSeconds;
+    return R;
+  }
+
+private:
+  Context &Ctx;
+  std::unique_ptr<EquivalenceChecker> Inner;
+  StageZeroStats *Stats;
+  ProveBudget Budget;
+};
+
+} // namespace
+
+std::unique_ptr<EquivalenceChecker>
+mba::makeStagedChecker(Context &Ctx, std::unique_ptr<EquivalenceChecker> Inner,
+                       StageZeroStats *Stats, const ProveBudget &Budget) {
+  return std::make_unique<StagedChecker>(Ctx, std::move(Inner), Stats, Budget);
+}

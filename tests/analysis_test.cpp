@@ -17,7 +17,10 @@
 
 #include "analysis/AbstractInterp.h"
 
+#include "analysis/EGraph.h"
 #include "analysis/KnownBits.h"
+#include "analysis/Prover.h"
+#include "analysis/Rules.h"
 #include "analysis/Verifier.h"
 #include "ast/Evaluator.h"
 #include "ast/ExprUtils.h"
@@ -312,6 +315,306 @@ TEST(AbstractInterpTest, WorksAtWidthOne) {
   EXPECT_EQ(printExpr(Ctx, foldAbstract(Ctx, parseOrDie(Ctx, "x ^ x"))), "0");
   Parity P = computeParity(Ctx, parseOrDie(Ctx, "x * 3"));
   EXPECT_LE(P.KnownLow, 1u);
+}
+
+TEST(IntervalDomainTest, MulByEvenConstantShiftsTheBound) {
+  // Constant multiplier c = m·2^t keeps the product a multiple of 2^t even
+  // after wraparound, so the interval top drops by the trailing-zero bits
+  // — where the old transfer had to give up with [0, mask].
+  Context Ctx(8);
+  Interval I = computeInterval(Ctx, parseOrDie(Ctx, "x * 4"));
+  EXPECT_EQ(I.Lo, 0u);
+  EXPECT_EQ(I.Hi, 252u);
+  I = computeInterval(Ctx, parseOrDie(Ctx, "6 * x"));
+  EXPECT_EQ(I.Hi, 254u); // 6 = 3·2: one trailing zero
+  I = computeInterval(Ctx, parseOrDie(Ctx, "x * 32"));
+  EXPECT_EQ(I.Hi, 224u);
+  // Odd constants and non-constant multipliers still widen to top.
+  I = computeInterval(Ctx, parseOrDie(Ctx, "x * 3"));
+  EXPECT_EQ(I.Hi, 255u);
+  I = computeInterval(Ctx, parseOrDie(Ctx, "x * y"));
+  EXPECT_EQ(I.Hi, 255u);
+}
+
+TEST(IntervalDomainTest, MulEvenConstantTransferIsSound) {
+  // Exhaustive at width 8: every product must land inside the transfer's
+  // interval for a spread of even and odd multipliers.
+  Context Ctx(8);
+  for (uint64_t C : {2u, 4u, 6u, 12u, 40u, 128u, 130u, 255u}) {
+    Interval I = computeInterval(
+        Ctx, Ctx.getMul(Ctx.getVar("x"), Ctx.getConst(C)));
+    for (uint64_t X = 0; X != 256; ++X) {
+      uint64_t V = (X * C) & Ctx.mask();
+      ASSERT_TRUE(I.contains(V)) << "c=" << C << " x=" << X;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// E-graph: hashcons, congruence closure, folding, extraction
+//===----------------------------------------------------------------------===//
+
+TEST(EGraphTest, HashConsingInternsEachNodeOnce) {
+  Context Ctx(32);
+  EGraph G(Ctx);
+  EClassId A = G.addExpr(parseOrDie(Ctx, "x + y"));
+  EClassId B = G.addExpr(parseOrDie(Ctx, "x + y"));
+  EXPECT_EQ(G.find(A), G.find(B));
+  // x, y, x+y: three e-nodes, three classes.
+  EXPECT_EQ(G.numNodes(), 3u);
+  EXPECT_EQ(G.numClasses(), 3u);
+}
+
+TEST(EGraphTest, CongruenceClosurePropagatesThroughOperators) {
+  // Merging b ≡ c must pull a+b and a+c (and then (a+b)*d, (a+c)*d)
+  // together at rebuild() — the congruence invariant.
+  Context Ctx(32);
+  EGraph G(Ctx);
+  EClassId AB = G.addExpr(parseOrDie(Ctx, "(a + b) * d"));
+  EClassId AC = G.addExpr(parseOrDie(Ctx, "(a + c) * d"));
+  ASSERT_NE(G.find(AB), G.find(AC));
+  G.merge(G.addExpr(parseOrDie(Ctx, "b")), G.addExpr(parseOrDie(Ctx, "c")));
+  G.rebuild();
+  EXPECT_TRUE(G.sameClass(AB, AC));
+}
+
+TEST(EGraphTest, FoldsConstantOperandsEagerly) {
+  Context Ctx(32);
+  EGraph G(Ctx);
+  EClassId Id = G.addExpr(parseOrDie(Ctx, "2 * 3"));
+  ASSERT_TRUE(G.constantOf(Id).has_value());
+  EXPECT_EQ(*G.constantOf(Id), 6u);
+}
+
+TEST(EGraphTest, FoldsConstantsDiscoveredByMerging) {
+  // x+4 is not constant — until x is learned equal to 2; rebuild() must
+  // then fold the parent to 6.
+  Context Ctx(32);
+  EGraph G(Ctx);
+  EClassId Sum = G.addExpr(parseOrDie(Ctx, "x + 4"));
+  EXPECT_FALSE(G.constantOf(Sum).has_value());
+  G.merge(G.addVar(parseOrDie(Ctx, "x")->varIndex()), G.addConst(2));
+  G.rebuild();
+  ASSERT_TRUE(G.constantOf(Sum).has_value());
+  EXPECT_EQ(*G.constantOf(Sum), 6u);
+}
+
+TEST(EGraphTest, ConstantsTruncateToTheContextWidth) {
+  Context Ctx(8);
+  EGraph G(Ctx);
+  EXPECT_EQ(G.find(G.addConst(256)), G.find(G.addConst(0)));
+  EXPECT_EQ(G.find(G.addConst(~0ULL)), G.find(G.addConst(255)));
+}
+
+TEST(EGraphTest, ExtractsTheSmallestKnownForm) {
+  Context Ctx(32);
+  EGraph G(Ctx);
+  EClassId Big = G.addExpr(parseOrDie(Ctx, "(x | y) + (x & y)"));
+  const Expr *Small = parseOrDie(Ctx, "x + y");
+  G.merge(Big, G.addExpr(Small));
+  G.rebuild();
+  EXPECT_EQ(G.extract(Big), Small);
+}
+
+//===----------------------------------------------------------------------===//
+// Rule certification: every shipped rule, all widths, unsound rejection
+//===----------------------------------------------------------------------===//
+
+TEST(RuleCertification, ShippedTableFullyCertified) {
+  RuleSet RS;
+  addDefaultRules(RS);
+  CertifySummary S = certifyRules(RS);
+  EXPECT_TRUE(S.allCertified());
+  for (const RuleCert &C : S.Results)
+    EXPECT_TRUE(C.ok()) << C.Name << ": " << C.Detail;
+  // Both provers must carry their share: the ring axioms certify
+  // polynomially, the MBA bridges by corner sums.
+  unsigned Poly = 0, Corner = 0;
+  for (const EqualityRule &R : RS.rules()) {
+    Poly += R.Certified == CertMethod::Polynomial;
+    Corner += R.Certified == CertMethod::LinearCorner;
+  }
+  EXPECT_GT(Poly, 0u);
+  EXPECT_GT(Corner, 0u);
+}
+
+TEST(RuleCertification, ShippedRulesHoldAtEveryWidth2Through64) {
+  // The certificate claims all-width soundness; spot-check it against the
+  // concrete evaluator by re-parsing each rule's surface syntax into a
+  // context of every width and sampling random points.
+  RuleSet RS;
+  addDefaultRules(RS);
+  RNG Rng(0xA11);
+  for (unsigned Width = 2; Width <= 64; ++Width) {
+    Context Ctx(Width);
+    for (const EqualityRule &R : RS.rules()) {
+      const Expr *L = parseOrDie(Ctx, R.LhsText);
+      const Expr *Rh = parseOrDie(Ctx, R.RhsText);
+      std::vector<uint64_t> Vals(Ctx.numVars());
+      for (int I = 0; I < 24; ++I) {
+        for (uint64_t &V : Vals)
+          V = Rng.next();
+        ASSERT_EQ(evaluate(Ctx, L, Vals), evaluate(Ctx, Rh, Vals))
+            << "rule " << R.Name << " fails at width " << Width;
+      }
+    }
+  }
+}
+
+TEST(RuleCertification, RejectsDeliberatelyUnsoundRules) {
+  // An injected unsound rule must stay Uncertified, with the witnessing
+  // corner reported — the table is checked data, not trusted code.
+  RuleSet RS;
+  RS.add("bogus-add-to-or", "a+b", "a|b");
+  RS.add("bogus-mul-to-and", "a*b", "a&b");
+  RS.add("bogus-neg", "-a", "~a");
+  RS.add("sound-control", "a+b", "(a|b)+(a&b)"); // genuine Table 5 entry
+  CertifySummary S = certifyRules(RS);
+  EXPECT_EQ(S.NumCertified, 1u);
+  EXPECT_FALSE(S.allCertified());
+  for (const RuleCert &C : S.Results) {
+    if (C.Name == "sound-control") {
+      EXPECT_TRUE(C.ok());
+      continue;
+    }
+    EXPECT_FALSE(C.ok()) << C.Name;
+    EXPECT_FALSE(C.Detail.empty()) << C.Name;
+  }
+  // And pruning drops exactly the bogus ones.
+  EXPECT_EQ(RS.pruneUncertified(), 3u);
+  ASSERT_EQ(RS.rules().size(), 1u);
+  EXPECT_EQ(RS.rules().front().Name, "sound-control");
+}
+
+TEST(RuleCertification, CertificationIsIdempotent) {
+  RuleSet RS;
+  addDefaultRules(RS);
+  CertifySummary First = certifyRules(RS);
+  CertifySummary Second = certifyRules(RS);
+  ASSERT_EQ(First.Results.size(), Second.Results.size());
+  for (size_t I = 0; I != First.Results.size(); ++I)
+    EXPECT_EQ(First.Results[I].Method, Second.Results[I].Method)
+        << First.Results[I].Name;
+}
+
+TEST(RuleCertification, CertifiedRulesSingletonIsFullyCertified) {
+  for (const EqualityRule &R : certifiedRules().rules())
+    EXPECT_NE(R.Certified, CertMethod::Uncertified) << R.Name;
+  EXPECT_FALSE(certifiedRules().rules().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The equality-saturation prover
+//===----------------------------------------------------------------------===//
+
+TEST(ProverTest, SyntacticAndCongruentFastPaths) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, "x*y + (x&z)");
+  EXPECT_EQ(proveEquivalence(Ctx, E, E).Outcome, ProveOutcome::Proved);
+  // Constant folding inside the e-graph: congruence without saturation.
+  ProveResult R =
+      proveEquivalence(Ctx, parseOrDie(Ctx, "x + (2*3)"),
+                       parseOrDie(Ctx, "x + 6"));
+  EXPECT_EQ(R.Outcome, ProveOutcome::Proved);
+}
+
+TEST(ProverTest, ProvesTable5AndRingIdentities) {
+  Context Ctx(64);
+  const std::pair<const char *, const char *> Identities[] = {
+      {"(x&~y)+y", "x|y"},
+      {"(x|y)+(x&y)", "x+y"},
+      {"(x^y)+2*(x&y)", "x+y"},
+      {"2*(x|y)-(x^y)", "x+y"},
+      {"x+y-(x&y)", "x|y"},
+      {"(x|y)-(x&y)", "x^y"},
+      {"(x&~y)-(~x&y)", "x-y"},
+      {"~(x&y)", "~x|~y"},
+      {"-(-x)", "x"},
+      {"(x+y)+z", "x+(y+z)"},
+      {"x*(y+z)", "x*y+x*z"},
+  };
+  for (auto [Lhs, Rhs] : Identities) {
+    ProveResult R = proveEquivalence(Ctx, parseOrDie(Ctx, Lhs),
+                                     parseOrDie(Ctx, Rhs));
+    EXPECT_EQ(R.Outcome, ProveOutcome::Proved)
+        << Lhs << " == " << Rhs << " (" << R.Detail << ")";
+  }
+}
+
+TEST(ProverTest, RefutesViaAbstractDomains) {
+  Context Ctx(64);
+  // Parity: 2x is even, 2x+1 is odd — different on every input.
+  ProveResult R = proveEquivalence(Ctx, parseOrDie(Ctx, "2*x"),
+                                   parseOrDie(Ctx, "2*x + 1"));
+  EXPECT_EQ(R.Outcome, ProveOutcome::Refuted);
+  EXPECT_FALSE(R.Detail.empty());
+}
+
+TEST(ProverTest, UnknownOnUndecidablePairsWithinBudget) {
+  Context Ctx(64);
+  // Different variables: not equal, but no domain refutes a top value.
+  EXPECT_EQ(proveEquivalence(Ctx, parseOrDie(Ctx, "x"), parseOrDie(Ctx, "y"))
+                .Outcome,
+            ProveOutcome::Unknown);
+  // x*x vs x: unequal beyond the rule fragment; must stay Unknown, never
+  // a false verdict.
+  EXPECT_EQ(proveEquivalence(Ctx, parseOrDie(Ctx, "x*x"),
+                             parseOrDie(Ctx, "x"))
+                .Outcome,
+            ProveOutcome::Unknown);
+}
+
+TEST(ProverTest, ReportsSaturationStatistics) {
+  Context Ctx(64);
+  ProveResult R = proveEquivalence(Ctx, parseOrDie(Ctx, "(x|y)+(x&y)"),
+                                   parseOrDie(Ctx, "x+y"));
+  ASSERT_EQ(R.Outcome, ProveOutcome::Proved);
+  EXPECT_GE(R.Stats.Iterations, 1u);
+  EXPECT_GT(R.Stats.Matches, 0u);
+  EXPECT_GT(R.Stats.ENodes, 0u);
+}
+
+TEST(ProverTest, UncertifiedRulesNeverTouchTheEGraph) {
+  // A custom rule set whose only entry is unsound and uncertified: the
+  // saturation loop must skip it, leaving the (false) equivalence Unknown
+  // rather than "proving" it.
+  Context Ctx(64);
+  RuleSet RS;
+  RS.add("bogus-add-to-or", "a+b", "a|b");
+  Prover P(Ctx, &RS);
+  EXPECT_EQ(P.prove(parseOrDie(Ctx, "x+y"), parseOrDie(Ctx, "x|y")).Outcome,
+            ProveOutcome::Unknown);
+  // Certification fails; the rule stays out even after the attempt.
+  certifyRules(RS);
+  EXPECT_EQ(P.prove(parseOrDie(Ctx, "x+y"), parseOrDie(Ctx, "x|y")).Outcome,
+            ProveOutcome::Unknown);
+}
+
+TEST(ProverTest, BudgetBoundsTheSearch) {
+  Context Ctx(64);
+  ProveBudget Tiny;
+  Tiny.MaxIterations = 0; // congruence closure only, no saturation
+  ProveResult R = proveEquivalence(Ctx, parseOrDie(Ctx, "(x|y)+(x&y)"),
+                                   parseOrDie(Ctx, "x+y"), Tiny);
+  EXPECT_EQ(R.Outcome, ProveOutcome::Unknown);
+  EXPECT_EQ(R.Stats.Iterations, 0u);
+}
+
+TEST(ProverTest, SaturateAndExtractShrinksKnownIdentities) {
+  Context Ctx(64);
+  Prover P(Ctx);
+  const Expr *E = parseOrDie(Ctx, "(x | y) + (x & y)");
+  const Expr *S = P.saturateAndExtract(E);
+  // The minimal form is x+y (or its commutation, depending on discovery
+  // order) — 3 tree nodes either way.
+  EXPECT_EQ(countTreeNodes(S), 3u) << printExpr(Ctx, S);
+  EXPECT_EQ(proveEquivalence(Ctx, E, S).Outcome, ProveOutcome::Proved);
+  // Extraction must never grow the expression (commutation is allowed).
+  const Expr *Already = parseOrDie(Ctx, "x ^ y");
+  const Expr *Kept = P.saturateAndExtract(Already);
+  EXPECT_LE(countTreeNodes(Kept), countTreeNodes(Already));
+  EXPECT_EQ(proveEquivalence(Ctx, Already, Kept).Outcome,
+            ProveOutcome::Proved);
 }
 
 } // namespace

@@ -256,4 +256,38 @@ TEST(KnownBitsTest, ZeroOneDisjointInvariantUnderAllOps) {
   }
 }
 
+TEST(IntervalMulTest, EvenConstantMultiplierTightensTheTop) {
+  // Companion to KnownBitsTest.MultiplicationByEvenConstants: the interval
+  // domain now also exploits c = m·2^t — the product stays a multiple of
+  // 2^t through wraparound, so the top drops from mask to mask & ~(2^t-1).
+  Context Ctx(8);
+  EXPECT_EQ(computeInterval(Ctx, parseOrDie(Ctx, "x * 4")).Hi, 252u);
+  EXPECT_EQ(computeInterval(Ctx, parseOrDie(Ctx, "x * 6")).Hi, 254u);
+  EXPECT_EQ(computeInterval(Ctx, parseOrDie(Ctx, "16 * x")).Hi, 240u);
+  // The small-range fast path still wins when no wraparound can occur.
+  Interval Narrow = computeInterval(Ctx, parseOrDie(Ctx, "(x & 3) * 4"));
+  EXPECT_EQ(Narrow.Lo, 0u);
+  EXPECT_EQ(Narrow.Hi, 12u);
+}
+
+TEST(IntervalMulTest, SoundOnRandomEvenProducts) {
+  // Random widths and multipliers: the concrete product must always land
+  // in the computed interval.
+  RNG Rng(0xE7E7);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    unsigned Width = 2 + Rng.below(63);
+    Context Ctx(Width);
+    uint64_t C = Rng.next() & Ctx.mask();
+    const Expr *E = Ctx.getMul(Ctx.getVar("x"), Ctx.getConst(C));
+    Interval I = computeInterval(Ctx, E);
+    std::vector<uint64_t> Vals(1);
+    for (int Pt = 0; Pt < 64; ++Pt) {
+      Vals[0] = Rng.next() & Ctx.mask();
+      uint64_t V = evaluate(Ctx, E, Vals);
+      ASSERT_TRUE(I.contains(V))
+          << "w=" << Width << " c=" << C << " x=" << Vals[0];
+    }
+  }
+}
+
 } // namespace
