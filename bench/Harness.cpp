@@ -6,11 +6,15 @@
 
 #include "Harness.h"
 
+#include "ast/ExprUtils.h"
+#include "support/Stopwatch.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <thread>
 
 using namespace mba;
 using namespace mba::bench;
@@ -33,11 +37,15 @@ HarnessOptions mba::bench::parseHarnessArgs(int Argc, char **Argv) {
       Opts.Seed = std::strtoull(V, nullptr, 10);
     else if (const char *V = Value("--static-prove="))
       Opts.StageZeroProver = std::strtoul(V, nullptr, 10) != 0;
+    else if (const char *V = Value("--jobs="))
+      Opts.Jobs = (unsigned)std::strtoul(V, nullptr, 10);
+    else if (const char *V = Value("--json="))
+      Opts.JsonPath = V;
     else
       std::fprintf(stderr,
                    "warning: unknown argument '%s' "
                    "(supported: --per-category= --timeout= --width= --seed= "
-                   "--static-prove=)\n",
+                   "--static-prove= --jobs= --json=)\n",
                    Arg);
   }
   return Opts;
@@ -71,6 +79,118 @@ std::vector<QueryRecord> mba::bench::runSolvingStudy(
   return Records;
 }
 
+namespace {
+
+void mergeStageZeroStats(StageZeroStats &Into, const StageZeroStats &From) {
+  Into.Proved += From.Proved;
+  Into.Refuted += From.Refuted;
+  Into.Fallthrough += From.Fallthrough;
+  Into.StaticSeconds += From.StaticSeconds;
+  Into.SolverSeconds += From.SolverSeconds;
+  Into.Saturation.Iterations += From.Saturation.Iterations;
+  Into.Saturation.ENodes += From.Saturation.ENodes;
+  Into.Saturation.Merges += From.Saturation.Merges;
+  Into.Saturation.Matches += From.Saturation.Matches;
+}
+
+} // namespace
+
+StudyResult mba::bench::runSolvingStudyParallel(
+    Context &Ctx, const std::vector<CorpusEntry> &Corpus,
+    const CheckerFactory &MakeCheckers, const StudyConfig &Config) {
+  StudyResult Out;
+  Out.Jobs = Config.Jobs ? Config.Jobs
+                         : std::max(1u, std::thread::hardware_concurrency());
+
+  if (Out.Jobs == 1) {
+    // Serial path, bit-identical to runSolvingStudy on the main context.
+    std::vector<std::unique_ptr<EquivalenceChecker>> Checkers =
+        MakeCheckers(Ctx);
+    if (Config.StageZero)
+      addStageZeroProver(Ctx, Checkers, Out.StaticStats);
+    std::unique_ptr<MBASolver> Simplifier;
+    if (Config.Simplify)
+      Simplifier = std::make_unique<MBASolver>(Ctx);
+    std::vector<const Expr *> Lhs(Corpus.size()), Rhs(Corpus.size());
+    for (size_t I = 0; I != Corpus.size(); ++I) {
+      Lhs[I] = Simplifier ? Simplifier->simplify(Corpus[I].Obfuscated)
+                          : Corpus[I].Obfuscated;
+      Rhs[I] = Simplifier ? Simplifier->simplify(Corpus[I].Ground)
+                          : Corpus[I].Ground;
+    }
+    // The wall clock starts after preprocessing (and there is no cloning
+    // on the serial path): it measures the solve loop alone.
+    Stopwatch Wall;
+    Out.Records.reserve(Corpus.size() * Checkers.size());
+    for (auto &Checker : Checkers)
+      for (size_t I = 0; I != Corpus.size(); ++I) {
+        CheckResult R =
+            Checker->check(Ctx, Lhs[I], Rhs[I], Config.TimeoutSeconds);
+        Out.Records.push_back(
+            {Checker->name(), Corpus[I].Category, R.Outcome, R.Seconds, I});
+      }
+    Out.WallSeconds = Wall.seconds();
+    if (Simplifier)
+      Out.SimplifySeconds = Simplifier->stats().Seconds;
+    return Out;
+  }
+
+  const size_t N = Corpus.size();
+  // One private pipeline per worker. Members are ordered so the checkers
+  // (which hold pointers into Stats and Ctx) die before their targets.
+  struct Worker {
+    std::unique_ptr<Context> Ctx;
+    StageZeroStats Stats;
+    std::unique_ptr<MBASolver> Simplifier;
+    std::vector<std::unique_ptr<EquivalenceChecker>> Checkers;
+    double CloneSeconds = 0;
+  };
+  std::vector<Worker> Workers(Out.Jobs);
+
+  size_t NumCheckers = MakeCheckers(Ctx).size();
+  Out.Records.assign(N * NumCheckers, QueryRecord{});
+
+  ThreadPool Pool(Out.Jobs);
+  Stopwatch Wall;
+  Pool.parallelFor(N, [&](size_t I, unsigned Ordinal) {
+    Worker &W = Workers[Ordinal];
+    if (!W.Ctx) {
+      // First task on this worker: build its context here, on the worker
+      // thread, so the context's owner-thread guardrail holds.
+      W.Ctx = std::make_unique<Context>(Ctx.width());
+      if (Config.Simplify)
+        W.Simplifier = std::make_unique<MBASolver>(*W.Ctx);
+      W.Checkers = MakeCheckers(*W.Ctx);
+      if (Config.StageZero)
+        addStageZeroProver(*W.Ctx, W.Checkers, W.Stats);
+    }
+    Stopwatch CloneTimer;
+    const Expr *Lhs = cloneExpr(*W.Ctx, Corpus[I].Obfuscated);
+    const Expr *Rhs = cloneExpr(*W.Ctx, Corpus[I].Ground);
+    W.CloneSeconds += CloneTimer.seconds();
+    if (W.Simplifier) {
+      Lhs = W.Simplifier->simplify(Lhs);
+      Rhs = W.Simplifier->simplify(Rhs);
+    }
+    for (size_t C = 0; C != W.Checkers.size(); ++C) {
+      CheckResult R =
+          W.Checkers[C]->check(*W.Ctx, Lhs, Rhs, Config.TimeoutSeconds);
+      // Slot layout matches the serial loop's checker-major order.
+      Out.Records[C * N + I] = {W.Checkers[C]->name(), Corpus[I].Category,
+                                R.Outcome, R.Seconds, I};
+    }
+  });
+  Out.WallSeconds = Wall.seconds();
+  Out.Pool = Pool.stats();
+  for (Worker &W : Workers) {
+    mergeStageZeroStats(Out.StaticStats, W.Stats);
+    if (W.Simplifier)
+      Out.SimplifySeconds += W.Simplifier->stats().Seconds;
+    Out.CloneSeconds += W.CloneSeconds;
+  }
+  return Out;
+}
+
 void mba::bench::addStageZeroProver(
     Context &Ctx, std::vector<std::unique_ptr<EquivalenceChecker>> &Checkers,
     StageZeroStats &Stats) {
@@ -94,6 +214,97 @@ void mba::bench::printStageZeroStats(const StageZeroStats &Stats) {
               "%zu e-nodes across queries\n",
               Stats.Saturation.Iterations, Stats.Saturation.Matches,
               Stats.Saturation.Merges, Stats.Saturation.ENodes);
+}
+
+void mba::bench::writeStudyJson(const std::string &Path,
+                                const std::string &Table,
+                                const HarnessOptions &Opts,
+                                const StudyResult &Result) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write JSON report to '%s'\n",
+                 Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"table\": \"%s\",\n", Table.c_str());
+  std::fprintf(F,
+               "  \"config\": {\"per_category\": %u, \"timeout_seconds\": "
+               "%.6f, \"width\": %u, \"seed\": %llu, \"jobs\": %u, "
+               "\"stage_zero\": %s, \"simplify\": %s},\n",
+               Opts.PerCategory, Opts.TimeoutSeconds, Opts.Width,
+               (unsigned long long)Opts.Seed, Result.Jobs,
+               Result.StaticStats.queries() ? "true" : "false",
+               Result.SimplifySeconds > 0 ? "true" : "false");
+  std::fprintf(F,
+               "  \"timing\": {\"wall_seconds\": %.6f, \"clone_seconds\": "
+               "%.6f, \"simplify_seconds\": %.6f},\n",
+               Result.WallSeconds, Result.CloneSeconds,
+               Result.SimplifySeconds);
+  std::fprintf(F,
+               "  \"pool\": {\"workers\": %u, \"tasks\": %llu, \"steals\": "
+               "%llu, \"idle_waits\": %llu},\n",
+               Result.Jobs, (unsigned long long)Result.Pool.Tasks,
+               (unsigned long long)Result.Pool.Steals,
+               (unsigned long long)Result.Pool.IdleWaits);
+  std::fprintf(F,
+               "  \"stage_zero\": {\"proved\": %zu, \"refuted\": %zu, "
+               "\"fallthrough\": %zu, \"static_seconds\": %.6f, "
+               "\"solver_seconds\": %.6f},\n",
+               Result.StaticStats.Proved, Result.StaticStats.Refuted,
+               Result.StaticStats.Fallthrough,
+               Result.StaticStats.StaticSeconds,
+               Result.StaticStats.SolverSeconds);
+
+  // Per-solver, per-category aggregation (the printed table's cells).
+  struct Agg {
+    unsigned Solved = 0, Total = 0;
+    double TMin = 1e100, TMax = 0, TSum = 0;
+  };
+  std::vector<std::string> Solvers;
+  std::map<std::pair<std::string, MBAKind>, Agg> Cells;
+  for (const QueryRecord &R : Result.Records) {
+    if (std::find(Solvers.begin(), Solvers.end(), R.Solver) == Solvers.end())
+      Solvers.push_back(R.Solver);
+    Agg &Cell = Cells[{R.Solver, R.Category}];
+    ++Cell.Total;
+    if (R.Outcome == Verdict::Equivalent) {
+      ++Cell.Solved;
+      Cell.TMin = std::min(Cell.TMin, R.Seconds);
+      Cell.TMax = std::max(Cell.TMax, R.Seconds);
+      Cell.TSum += R.Seconds;
+    }
+  }
+  std::fprintf(F, "  \"solvers\": [\n");
+  const MBAKind Kinds[] = {MBAKind::Linear, MBAKind::Polynomial,
+                           MBAKind::NonPolynomial};
+  for (size_t S = 0; S != Solvers.size(); ++S) {
+    std::fprintf(F, "    {\"name\": \"%s\", \"categories\": [",
+                 Solvers[S].c_str());
+    bool First = true;
+    unsigned TotalSolved = 0, Total = 0;
+    for (MBAKind K : Kinds) {
+      auto It = Cells.find({Solvers[S], K});
+      if (It == Cells.end())
+        continue;
+      const Agg &Cell = It->second;
+      TotalSolved += Cell.Solved;
+      Total += Cell.Total;
+      std::fprintf(F, "%s\n      {\"category\": \"%s\", \"solved\": %u, "
+                      "\"total\": %u",
+                   First ? "" : ",", mbaKindName(K), Cell.Solved, Cell.Total);
+      if (Cell.Solved)
+        std::fprintf(F,
+                     ", \"tmin\": %.6f, \"tmax\": %.6f, \"tavg\": %.6f}",
+                     Cell.TMin, Cell.TMax, Cell.TSum / Cell.Solved);
+      else
+        std::fprintf(F, "}");
+      First = false;
+    }
+    std::fprintf(F, "],\n     \"total_solved\": %u, \"total\": %u}%s\n",
+                 TotalSolved, Total, S + 1 == Solvers.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
 }
 
 std::string mba::bench::formatSeconds(double S) {

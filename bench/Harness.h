@@ -26,7 +26,9 @@
 #include "gen/Corpus.h"
 #include "mba/Simplifier.h"
 #include "solvers/EquivalenceChecker.h"
+#include "support/ThreadPool.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,10 +45,16 @@ struct HarnessOptions {
   /// backend (benches that opt in call addStageZeroProver). Sound either
   /// way — verdicts are identical with or without it.
   bool StageZeroProver = true;
+  /// Worker threads for the solving loop: 0 = hardware concurrency,
+  /// 1 = the exact serial path on the main context.
+  unsigned Jobs = 0;
+  /// When non-empty, the study also writes a machine-readable JSON report
+  /// here (writeStudyJson).
+  std::string JsonPath;
 };
 
-/// Parses --per-category / --timeout / --width / --seed / --static-prove
-/// overrides.
+/// Parses --per-category / --timeout / --width / --seed / --static-prove /
+/// --jobs / --json overrides.
 HarnessOptions parseHarnessArgs(int Argc, char **Argv);
 
 /// One solver query outcome.
@@ -66,6 +74,58 @@ std::vector<QueryRecord>
 runSolvingStudy(Context &Ctx, const std::vector<CorpusEntry> &Corpus,
                 std::vector<std::unique_ptr<EquivalenceChecker>> &Checkers,
                 double TimeoutSeconds, MBASolver *Simplifier);
+
+/// Builds the checker set for one context. Called once per worker in a
+/// parallel study, so every backend instance is private to its thread.
+using CheckerFactory =
+    std::function<std::vector<std::unique_ptr<EquivalenceChecker>>(
+        Context &Ctx)>;
+
+/// Configuration for runSolvingStudyParallel.
+struct StudyConfig {
+  double TimeoutSeconds = 1.0;
+  /// Worker threads. 1 runs the serial loop inline on the main context —
+  /// bit-identical to runSolvingStudy. 0 = hardware concurrency.
+  unsigned Jobs = 1;
+  /// Preprocess both sides through a per-worker MBASolver (Table 6's
+  /// configuration) before handing them to the checkers.
+  bool Simplify = false;
+  /// Wrap every checker in the stage-0 static prover (addStageZeroProver);
+  /// counters are merged across workers into StudyResult::StaticStats.
+  bool StageZero = false;
+};
+
+/// Everything a study run produces: the per-query records (in the same
+/// checker-major order as runSolvingStudy, regardless of Jobs) plus the
+/// aggregate counters the JSON report serializes.
+struct StudyResult {
+  std::vector<QueryRecord> Records;
+  StageZeroStats StaticStats;  ///< merged across workers (Config.StageZero)
+  double SimplifySeconds = 0;  ///< preprocessing cost, summed over workers
+  double CloneSeconds = 0;     ///< cross-context corpus cloning, summed
+  double WallSeconds = 0;      ///< solve loop only; excludes corpus setup
+  PoolStats Pool;              ///< steal/idle counters (zero when Jobs == 1)
+  unsigned Jobs = 1;           ///< resolved worker count
+};
+
+/// The parallel solving study. Work is partitioned per corpus entry; each
+/// worker owns a private Context (created on its own thread — see the
+/// threading model in ast/Context.h), clones the entry's expressions into
+/// it with cloneExpr, optionally simplifies, and runs every checker from
+/// its own factory-built set. Results land in pre-assigned slots, so the
+/// record order — and, since every stage is deterministic, every verdict —
+/// is identical for any job count.
+StudyResult runSolvingStudyParallel(Context &Ctx,
+                                    const std::vector<CorpusEntry> &Corpus,
+                                    const CheckerFactory &MakeCheckers,
+                                    const StudyConfig &Config);
+
+/// Writes \p Result as a machine-readable JSON report (the BENCH_*.json
+/// files; schema documented in docs/PERF.md): run config, wall-clock and
+/// preprocessing timings, pool counters, the stage-0 split, and per-solver
+/// per-category solved counts with Tmin/Tmax/Tavg.
+void writeStudyJson(const std::string &Path, const std::string &Table,
+                    const HarnessOptions &Opts, const StudyResult &Result);
 
 /// Prints the Table 2 / Table 6 layout: one block per solver with per-
 /// category N, [Tmin, Tmax], Tavg and the total solved count.

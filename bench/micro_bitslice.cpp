@@ -1,0 +1,214 @@
+//===- bench/micro_bitslice.cpp - Bitsliced evaluation benchmarks ---------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Micro-benchmarks of the bitsliced (transposed) evaluation path against
+/// the scalar baseline it replaced:
+///  * signature construction (computeSignature vs computeSignatureScalar) —
+///    the hot loop of classification and simplification, and the headline
+///    ">= 10x at 3 variables / width 64" number in docs/PERF.md;
+///  * batch point evaluation (BitslicedExpr vs CompiledExpr vs evaluate) —
+///    the sampling-refutation and fuzz-agreement workload;
+///  * the raw 64x64 bit-matrix transpose primitive.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/BitslicedEval.h"
+#include "ast/CompiledEval.h"
+#include "ast/Evaluator.h"
+#include "ast/ExprUtils.h"
+#include "ast/Parser.h"
+#include "gen/Corpus.h"
+#include "mba/Signature.h"
+#include "support/Bitslice.h"
+#include "support/RNG.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mba;
+
+namespace {
+
+// The signature workload: obfuscated corpus entries. Pick a median-size
+// 3-variable linear entry from the regenerated paper corpus.
+const Expr *corpusLinear3(Context &Ctx) {
+  CorpusOptions Opts;
+  Opts.LinearCount = 40;
+  Opts.PolyCount = 0;
+  Opts.NonPolyCount = 0;
+  Opts.MinVars = 3;
+  Opts.MaxVars = 3;
+  Opts.IncludeSeedIdentities = false;
+  std::vector<CorpusEntry> Corpus = generateCorpus(Ctx, Opts);
+  return Corpus[Corpus.size() / 2].Obfuscated;
+}
+
+void BM_SignatureScalar(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = corpusLinear3(Ctx);
+  std::vector<const Expr *> Vars;
+  for (const Expr *V : collectVariables(E))
+    Vars.push_back(V);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeSignatureScalar(Ctx, E, Vars));
+}
+BENCHMARK(BM_SignatureScalar);
+
+void BM_SignatureBitsliced(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = corpusLinear3(Ctx);
+  std::vector<const Expr *> Vars;
+  for (const Expr *V : collectVariables(E))
+    Vars.push_back(V);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeSignature(Ctx, E, Vars));
+}
+BENCHMARK(BM_SignatureBitsliced);
+
+// Cold-path cost: compiling the bitsliced program for the corpus entry.
+// computeSignature amortizes this through Context::getBitsliced (pointer
+// identity = structural identity), so the warm numbers above pay it only
+// on the first signature of each distinct DAG.
+void BM_SignatureBitslicedColdCompile(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = corpusLinear3(Ctx);
+  for (auto _ : State) {
+    BitslicedExpr Compiled(Ctx, E);
+    benchmark::DoNotOptimize(&Compiled);
+  }
+}
+BENCHMARK(BM_SignatureBitslicedColdCompile);
+
+// A small handwritten linear MBA: the lower bound on expression size,
+// where per-call compile overhead is the whole story.
+const char *SampleLinear3 =
+    "2*(x|y) - (~x&y) - (x&~y) + 4*(x^y) - 3*(x&y) + (x&z) - (y|z)";
+
+void BM_SignatureSmallScalar(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear3);
+  std::vector<const Expr *> Vars = {Ctx.getVar("x"), Ctx.getVar("y"),
+                                    Ctx.getVar("z")};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeSignatureScalar(Ctx, E, Vars));
+}
+BENCHMARK(BM_SignatureSmallScalar);
+
+void BM_SignatureSmallBitsliced(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear3);
+  std::vector<const Expr *> Vars = {Ctx.getVar("x"), Ctx.getVar("y"),
+                                    Ctx.getVar("z")};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeSignature(Ctx, E, Vars));
+}
+BENCHMARK(BM_SignatureSmallBitsliced);
+
+// Eight-variable signatures: 256 corners = four full 64-lane blocks.
+const char *SampleLinear8 = "(a&b) + 2*(c|d) - (e^f) + 3*(g&~h) - (a|h)";
+
+void BM_Signature8VarScalar(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear8);
+  std::vector<const Expr *> Vars;
+  for (const char *Name : {"a", "b", "c", "d", "e", "f", "g", "h"})
+    Vars.push_back(Ctx.getVar(Name));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeSignatureScalar(Ctx, E, Vars));
+}
+BENCHMARK(BM_Signature8VarScalar);
+
+void BM_Signature8VarBitsliced(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear8);
+  std::vector<const Expr *> Vars;
+  for (const char *Name : {"a", "b", "c", "d", "e", "f", "g", "h"})
+    Vars.push_back(Ctx.getVar(Name));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeSignature(Ctx, E, Vars));
+}
+BENCHMARK(BM_Signature8VarBitsliced);
+
+// Batch evaluation of 4096 random points (the sampling/fuzz workload).
+constexpr size_t BatchPoints = 4096;
+
+void BM_Batch4096Interpreted(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear3);
+  RNG Rng(7);
+  std::vector<uint64_t> X(BatchPoints), Y(BatchPoints), Z(BatchPoints);
+  for (size_t I = 0; I != BatchPoints; ++I) {
+    X[I] = Rng.next();
+    Y[I] = Rng.next();
+    Z[I] = Rng.next();
+  }
+  for (auto _ : State) {
+    uint64_t Acc = 0;
+    for (size_t I = 0; I != BatchPoints; ++I) {
+      std::vector<uint64_t> Vals = {X[I], Y[I], Z[I]};
+      Acc ^= evaluate(Ctx, E, Vals);
+    }
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_Batch4096Interpreted);
+
+void BM_Batch4096Compiled(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear3);
+  RNG Rng(7);
+  std::vector<uint64_t> X(BatchPoints), Y(BatchPoints), Z(BatchPoints);
+  for (size_t I = 0; I != BatchPoints; ++I) {
+    X[I] = Rng.next();
+    Y[I] = Rng.next();
+    Z[I] = Rng.next();
+  }
+  CompiledExpr Compiled(Ctx, E);
+  std::vector<uint64_t> Vals(3);
+  for (auto _ : State) {
+    uint64_t Acc = 0;
+    for (size_t I = 0; I != BatchPoints; ++I) {
+      Vals[0] = X[I];
+      Vals[1] = Y[I];
+      Vals[2] = Z[I];
+      Acc ^= Compiled.evaluate(Vals);
+    }
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_Batch4096Compiled);
+
+void BM_Batch4096Bitsliced(benchmark::State &State) {
+  Context Ctx(64);
+  const Expr *E = parseOrDie(Ctx, SampleLinear3);
+  RNG Rng(7);
+  std::vector<uint64_t> X(BatchPoints), Y(BatchPoints), Z(BatchPoints);
+  for (size_t I = 0; I != BatchPoints; ++I) {
+    X[I] = Rng.next();
+    Y[I] = Rng.next();
+    Z[I] = Rng.next();
+  }
+  BitslicedExpr Compiled(Ctx, E);
+  const uint64_t *Ptrs[] = {X.data(), Y.data(), Z.data()};
+  for (auto _ : State) {
+    std::vector<uint64_t> Out = Compiled.evaluatePoints(Ptrs, BatchPoints);
+    benchmark::DoNotOptimize(Out.data());
+  }
+}
+BENCHMARK(BM_Batch4096Bitsliced);
+
+void BM_Transpose64(benchmark::State &State) {
+  RNG Rng(11);
+  uint64_t M[64];
+  for (uint64_t &W : M)
+    W = Rng.next();
+  for (auto _ : State) {
+    bitslice::transpose64(M);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_Transpose64);
+
+} // namespace

@@ -1,0 +1,499 @@
+//===- ast/BitslicedEval.cpp - Bitsliced batch DAG evaluation -------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/BitslicedEval.h"
+
+#include "support/Bitslice.h"
+
+#include <cassert>
+
+using namespace mba;
+
+namespace {
+
+/// Minimal open-addressing pointer -> register map. The evaluator is
+/// compiled once per computeSignature call on the hot simplifier path, so
+/// compilation must stay lean; this avoids the allocation and hashing
+/// overhead of unordered_map (a measurable share of the scalar baseline).
+class NodeIndexMap {
+public:
+  static constexpr uint32_t None = 0xFFFFFFFFu;
+
+  NodeIndexMap() : Table(256) {}
+
+  uint32_t get(const Expr *K) const {
+    size_t I = probe(K);
+    return Table[I].first == K ? Table[I].second : None;
+  }
+
+  /// Returns the value already stored for \p K, or inserts \p V and
+  /// returns None. One probe for the visited-check + claim of the DFS.
+  uint32_t getOrInsert(const Expr *K, uint32_t V) {
+    size_t I = probe(K);
+    if (Table[I].first == K)
+      return Table[I].second;
+    Table[I] = {K, V};
+    if (++Count * 4 >= Table.size() * 3)
+      grow();
+    return None;
+  }
+
+  void set(const Expr *K, uint32_t V) {
+    size_t I = probe(K);
+    assert(Table[I].first == K && "set of a key never inserted");
+    Table[I].second = V;
+  }
+
+private:
+  size_t probe(const Expr *K) const {
+    uint64_t H = (uint64_t)(uintptr_t)K * 0x9e3779b97f4a7c15ULL;
+    size_t M = Table.size() - 1;
+    size_t I = (size_t)(H >> 32) & M;
+    while (Table[I].first && Table[I].first != K)
+      I = (I + 1) & M;
+    return I;
+  }
+
+  void grow() {
+    std::vector<std::pair<const Expr *, uint32_t>> Old = std::move(Table);
+    Table.assign(Old.size() * 2, {nullptr, 0});
+    for (auto &[K, V] : Old)
+      if (K) {
+        size_t I = probe(K);
+        Table[I] = {K, V};
+      }
+  }
+
+  std::vector<std::pair<const Expr *, uint32_t>> Table;
+  size_t Count = 0;
+};
+
+} // namespace
+
+BitslicedExpr::BitslicedExpr(const Context &Ctx, const Expr *E)
+    : Ctx(&Ctx), Width(Ctx.width()), Mask(Ctx.mask()) {
+  assert(E && "null expression");
+  NodeIndexMap Regs;
+  constexpr uint32_t Pending = 0xFFFFFFFEu;
+  Program.reserve(64);
+  // Iterative post-order; the low pointer bit tags "operands already
+  // pushed" markers (Expr nodes are at least word-aligned).
+  std::vector<uintptr_t> Stack;
+  Stack.reserve(64);
+  Stack.push_back((uintptr_t)E);
+  while (!Stack.empty()) {
+    uintptr_t Top = Stack.back();
+    Stack.pop_back();
+    const Expr *N = (const Expr *)(Top & ~(uintptr_t)1);
+    if (!(Top & 1)) {
+      if (Regs.getOrInsert(N, Pending) != NodeIndexMap::None)
+        continue; // shared subtree already emitted (or queued below us)
+      Stack.push_back(Top | 1);
+      for (unsigned I = 0, NumOps = N->numOperands(); I != NumOps; ++I)
+        Stack.push_back((uintptr_t)N->getOperand(I));
+      continue;
+    }
+    Inst I;
+    switch (N->kind()) {
+    case ExprKind::Var:
+      I.Opcode = Op::LoadVar;
+      I.A = N->varIndex();
+      break;
+    case ExprKind::Const:
+      I.Opcode = Op::LoadConst;
+      I.Imm = N->constValue();
+      break;
+    case ExprKind::Not:
+    case ExprKind::Neg:
+      I.Opcode = N->kind() == ExprKind::Not ? Op::Not : Op::Neg;
+      I.A = Regs.get(N->operand());
+      break;
+    default:
+      switch (N->kind()) {
+      case ExprKind::Add: I.Opcode = Op::Add; break;
+      case ExprKind::Sub: I.Opcode = Op::Sub; break;
+      case ExprKind::Mul: I.Opcode = Op::Mul; break;
+      case ExprKind::And: I.Opcode = Op::And; break;
+      case ExprKind::Or: I.Opcode = Op::Or; break;
+      default: I.Opcode = Op::Xor; break;
+      }
+      I.A = Regs.get(N->lhs());
+      I.B = Regs.get(N->rhs());
+      break;
+    }
+    Regs.set(N, (uint32_t)Program.size());
+    Program.push_back(I);
+  }
+}
+
+uint64_t *BitslicedExpr::slot(uint32_t Reg) const {
+  return Slots + (size_t)Reg * 64;
+}
+
+const uint64_t *BitslicedExpr::slicesOf(uint32_t Reg, uint64_t *Tmp) const {
+  switch (RepOf[Reg]) {
+  case Rep::Sliced:
+    return Slots + (size_t)Reg * 64;
+  case Rep::Splat:
+    bitslice::sliceBroadcast(Width, Word[Reg], Tmp);
+    return Tmp;
+  default: // Uniform/Lanes never occur in sliced mode
+    for (unsigned B = 0; B != Width; ++B)
+      Tmp[B] = Word[Reg];
+    return Tmp;
+  }
+}
+
+const uint64_t *BitslicedExpr::lanesOf(uint32_t Reg, uint64_t *Tmp,
+                                       unsigned NumLanes) const {
+  switch (RepOf[Reg]) {
+  case Rep::Lanes:
+    return Slots + (size_t)Reg * 64;
+  case Rep::Uniform: {
+    uint64_t M = Word[Reg];
+    for (unsigned J = 0; J != NumLanes; ++J)
+      Tmp[J] = (M >> J & 1) ? Mask : 0;
+    return Tmp;
+  }
+  default: // Splat (Sliced never occurs in lane mode)
+    for (unsigned J = 0; J != NumLanes; ++J)
+      Tmp[J] = Word[Reg];
+    return Tmp;
+  }
+}
+
+/// Lane mode: values are kept per point. Arithmetic is NumLanes independent
+/// word operations per node — vectorizable, no carry ripple, and only the
+/// live lanes of a partial block are touched.
+void BitslicedExpr::runLanes(unsigned NumLanes) const {
+  const unsigned N = NumLanes;
+  uint64_t TmpA[64], TmpB[64];
+  for (size_t I = 0, P = Program.size(); I != P; ++I) {
+    const Inst &Ins = Program[I];
+    const uint32_t A = Ins.A, B = Ins.B;
+    switch (Ins.Opcode) {
+    case Op::LoadVar:
+      if (CornerMode) {
+        RepOf[I] = Rep::Uniform;
+        Word[I] = A < CornerMasks.size() ? CornerMasks[A] : 0;
+      } else {
+        const uint64_t *Lanes =
+            A < LaneInputs.size() ? LaneInputs[A] : nullptr;
+        if (!Lanes) {
+          RepOf[I] = Rep::Splat;
+          Word[I] = 0;
+        } else {
+          RepOf[I] = Rep::Lanes;
+          uint64_t *S = slot((uint32_t)I);
+          for (unsigned J = 0; J != N; ++J)
+            S[J] = Lanes[J] & Mask;
+        }
+      }
+      break;
+    case Op::LoadConst:
+      RepOf[I] = Rep::Splat;
+      Word[I] = Ins.Imm & Mask;
+      break;
+    case Op::Not:
+      RepOf[I] = RepOf[A];
+      if (RepOf[A] == Rep::Splat)
+        Word[I] = ~Word[A] & Mask;
+      else if (RepOf[A] == Rep::Uniform)
+        Word[I] = ~Word[A];
+      else {
+        const uint64_t *SA = Slots + (size_t)A * 64;
+        uint64_t *S = slot((uint32_t)I);
+        for (unsigned J = 0; J != N; ++J)
+          S[J] = ~SA[J] & Mask;
+      }
+      break;
+    case Op::Neg:
+      if (RepOf[A] == Rep::Splat) {
+        RepOf[I] = Rep::Splat;
+        Word[I] = (0 - Word[A]) & Mask;
+      } else if (RepOf[A] == Rep::Uniform) {
+        // Per-lane value 0 or -1; negation gives 0 or 1.
+        RepOf[I] = Rep::Lanes;
+        uint64_t M = Word[A];
+        uint64_t *S = slot((uint32_t)I);
+        for (unsigned J = 0; J != N; ++J)
+          S[J] = (M >> J) & 1;
+      } else {
+        RepOf[I] = Rep::Lanes;
+        const uint64_t *SA = Slots + (size_t)A * 64;
+        uint64_t *S = slot((uint32_t)I);
+        for (unsigned J = 0; J != N; ++J)
+          S[J] = (0 - SA[J]) & Mask;
+      }
+      break;
+    case Op::And:
+    case Op::Or:
+    case Op::Xor: {
+      Rep RA = RepOf[A], RB = RepOf[B];
+      if ((RA == Rep::Splat && RB == Rep::Splat) ||
+          (RA == Rep::Uniform && RB == Rep::Uniform)) {
+        // Splat stays Splat; Uniform stays Uniform — the corner-evaluation
+        // fast path, one word op per bitwise node for the whole block.
+        RepOf[I] = RA;
+        Word[I] = Ins.Opcode == Op::And   ? Word[A] & Word[B]
+                  : Ins.Opcode == Op::Or ? Word[A] | Word[B]
+                                          : Word[A] ^ Word[B];
+      } else {
+        RepOf[I] = Rep::Lanes;
+        const uint64_t *SA = lanesOf(A, TmpA, N);
+        const uint64_t *SB = lanesOf(B, TmpB, N);
+        uint64_t *S = slot((uint32_t)I);
+        if (Ins.Opcode == Op::And)
+          for (unsigned J = 0; J != N; ++J)
+            S[J] = SA[J] & SB[J];
+        else if (Ins.Opcode == Op::Or)
+          for (unsigned J = 0; J != N; ++J)
+            S[J] = SA[J] | SB[J];
+        else
+          for (unsigned J = 0; J != N; ++J)
+            S[J] = SA[J] ^ SB[J];
+      }
+      break;
+    }
+    case Op::Add:
+    case Op::Sub: {
+      Rep RA = RepOf[A], RB = RepOf[B];
+      bool IsAdd = Ins.Opcode == Op::Add;
+      if (RA == Rep::Splat && RB == Rep::Splat) {
+        RepOf[I] = Rep::Splat;
+        Word[I] = (IsAdd ? Word[A] + Word[B] : Word[A] - Word[B]) & Mask;
+      } else {
+        RepOf[I] = Rep::Lanes;
+        const uint64_t *SA = lanesOf(A, TmpA, N);
+        const uint64_t *SB = lanesOf(B, TmpB, N);
+        uint64_t *S = slot((uint32_t)I);
+        if (IsAdd)
+          for (unsigned J = 0; J != N; ++J)
+            S[J] = (SA[J] + SB[J]) & Mask;
+        else
+          for (unsigned J = 0; J != N; ++J)
+            S[J] = (SA[J] - SB[J]) & Mask;
+      }
+      break;
+    }
+    case Op::Mul: {
+      Rep RA = RepOf[A], RB = RepOf[B];
+      if (RA == Rep::Splat && RB == Rep::Splat) {
+        RepOf[I] = Rep::Splat;
+        Word[I] = (Word[A] * Word[B]) & Mask;
+      } else if ((RA == Rep::Splat && RB == Rep::Uniform) ||
+                 (RA == Rep::Uniform && RB == Rep::Splat)) {
+        // Coefficient times bitwise term (the backbone of linear MBA):
+        // lanes valued -1 select -C, lanes valued 0 select 0.
+        uint64_t C = RA == Rep::Splat ? Word[A] : Word[B];
+        uint64_t M = RA == Rep::Splat ? Word[B] : Word[A];
+        uint64_t NC = (0 - C) & Mask;
+        RepOf[I] = Rep::Lanes;
+        uint64_t *S = slot((uint32_t)I);
+        for (unsigned J = 0; J != N; ++J)
+          S[J] = (M >> J & 1) ? NC : 0;
+      } else if (RA == Rep::Uniform && RB == Rep::Uniform) {
+        // (-1) * (-1) = 1, anything else 0.
+        RepOf[I] = Rep::Lanes;
+        uint64_t M = Word[A] & Word[B];
+        uint64_t *S = slot((uint32_t)I);
+        for (unsigned J = 0; J != N; ++J)
+          S[J] = (M >> J) & 1;
+      } else {
+        RepOf[I] = Rep::Lanes;
+        const uint64_t *SA = lanesOf(A, TmpA, N);
+        const uint64_t *SB = lanesOf(B, TmpB, N);
+        uint64_t *S = slot((uint32_t)I);
+        for (unsigned J = 0; J != N; ++J)
+          S[J] = (SA[J] * SB[J]) & Mask;
+      }
+      break;
+    }
+    }
+  }
+}
+
+/// Sliced mode (narrow widths, point inputs): values are transposed, w slice
+/// words cover all 64 points, so a full block costs w ops per bitwise node
+/// no matter how many points are live. Registers here are Splat or Sliced
+/// only (Uniform arises from corner inputs, which always use lane mode).
+void BitslicedExpr::runSliced(unsigned NumLanes) const {
+  const unsigned W = Width;
+  uint64_t TmpA[64], TmpB[64];
+  for (size_t I = 0, P = Program.size(); I != P; ++I) {
+    const Inst &Ins = Program[I];
+    const uint32_t A = Ins.A, B = Ins.B;
+    switch (Ins.Opcode) {
+    case Op::LoadVar: {
+      const uint64_t *Lanes =
+          A < LaneInputs.size() ? LaneInputs[A] : nullptr;
+      if (!Lanes) {
+        RepOf[I] = Rep::Splat;
+        Word[I] = 0;
+      } else {
+        RepOf[I] = Rep::Sliced;
+        bitslice::lanesToSlices(Lanes, NumLanes, W, slot((uint32_t)I));
+      }
+      break;
+    }
+    case Op::LoadConst:
+      RepOf[I] = Rep::Splat;
+      Word[I] = Ins.Imm & Mask;
+      break;
+    case Op::Not:
+      if (RepOf[A] == Rep::Splat) {
+        RepOf[I] = Rep::Splat;
+        Word[I] = ~Word[A] & Mask;
+      } else {
+        RepOf[I] = Rep::Sliced;
+        bitslice::sliceNot(W, Slots + (size_t)A * 64,
+                           slot((uint32_t)I));
+      }
+      break;
+    case Op::Neg:
+      if (RepOf[A] == Rep::Splat) {
+        RepOf[I] = Rep::Splat;
+        Word[I] = (0 - Word[A]) & Mask;
+      } else {
+        RepOf[I] = Rep::Sliced;
+        bitslice::sliceNeg(W, Slots + (size_t)A * 64,
+                           slot((uint32_t)I));
+      }
+      break;
+    case Op::And:
+    case Op::Or:
+    case Op::Xor: {
+      if (RepOf[A] == Rep::Splat && RepOf[B] == Rep::Splat) {
+        RepOf[I] = Rep::Splat;
+        Word[I] = Ins.Opcode == Op::And   ? Word[A] & Word[B]
+                  : Ins.Opcode == Op::Or ? Word[A] | Word[B]
+                                          : Word[A] ^ Word[B];
+      } else {
+        RepOf[I] = Rep::Sliced;
+        const uint64_t *SA = slicesOf(A, TmpA);
+        const uint64_t *SB = slicesOf(B, TmpB);
+        uint64_t *S = slot((uint32_t)I);
+        if (Ins.Opcode == Op::And)
+          bitslice::sliceAnd(W, SA, SB, S);
+        else if (Ins.Opcode == Op::Or)
+          bitslice::sliceOr(W, SA, SB, S);
+        else
+          bitslice::sliceXor(W, SA, SB, S);
+      }
+      break;
+    }
+    case Op::Add:
+    case Op::Sub: {
+      bool IsAdd = Ins.Opcode == Op::Add;
+      if (RepOf[A] == Rep::Splat && RepOf[B] == Rep::Splat) {
+        RepOf[I] = Rep::Splat;
+        Word[I] = (IsAdd ? Word[A] + Word[B] : Word[A] - Word[B]) & Mask;
+      } else {
+        RepOf[I] = Rep::Sliced;
+        const uint64_t *SA = slicesOf(A, TmpA);
+        const uint64_t *SB = slicesOf(B, TmpB);
+        uint64_t *S = slot((uint32_t)I);
+        if (IsAdd)
+          bitslice::sliceAdd(W, SA, SB, S);
+        else
+          bitslice::sliceSub(W, SA, SB, S);
+      }
+      break;
+    }
+    case Op::Mul: {
+      if (RepOf[A] == Rep::Splat && RepOf[B] == Rep::Splat) {
+        RepOf[I] = Rep::Splat;
+        Word[I] = (Word[A] * Word[B]) & Mask;
+      } else {
+        RepOf[I] = Rep::Sliced;
+        const uint64_t *SA = slicesOf(A, TmpA);
+        const uint64_t *SB = slicesOf(B, TmpB);
+        bitslice::sliceMul(W, SA, SB, slot((uint32_t)I));
+      }
+      break;
+    }
+    }
+  }
+}
+
+void BitslicedExpr::run(unsigned NumLanes, uint64_t *Out) const {
+  assert(NumLanes <= bitslice::LanesPerBlock && "block too large");
+  if (Program.empty()) {
+    for (unsigned J = 0; J != NumLanes; ++J)
+      Out[J] = 0;
+    return;
+  }
+  // Carve this run's register file out of the context's shared scratch:
+  // P 64-word slots, P mask/splat words, and P representation tags.
+  size_t P = Program.size();
+  uint64_t *S = Ctx->evalScratch(P * 65 + (P + 7) / 8);
+  Slots = S;
+  Word = S + P * 64;
+  RepOf = reinterpret_cast<Rep *>(Word + P);
+  // Corner inputs are uniform (the whole point); point inputs use slices
+  // only below the width where w slice ops beat 64 lane ops.
+  if (CornerMode || Width > bitslice::kSchoolbookMulMaxWidth)
+    runLanes(NumLanes);
+  else
+    runSliced(NumLanes);
+
+  // Expand the root register into per-lane values.
+  uint32_t Root = (uint32_t)Program.size() - 1;
+  switch (RepOf[Root]) {
+  case Rep::Uniform: {
+    uint64_t M = Word[Root];
+    for (unsigned J = 0; J != NumLanes; ++J)
+      Out[J] = (M >> J & 1) ? Mask : 0;
+    break;
+  }
+  case Rep::Splat:
+    for (unsigned J = 0; J != NumLanes; ++J)
+      Out[J] = Word[Root];
+    break;
+  case Rep::Lanes: {
+    const uint64_t *S = Slots + (size_t)Root * 64;
+    for (unsigned J = 0; J != NumLanes; ++J)
+      Out[J] = S[J];
+    break;
+  }
+  case Rep::Sliced:
+    bitslice::slicesToLanes(Slots + (size_t)Root * 64, Width, NumLanes,
+                            Out);
+    break;
+  }
+}
+
+void BitslicedExpr::evaluateCorners(std::span<const uint64_t> VarMasks,
+                                    unsigned NumLanes, uint64_t *Out) const {
+  CornerMode = true;
+  CornerMasks = VarMasks;
+  LaneInputs = {};
+  run(NumLanes, Out);
+}
+
+void BitslicedExpr::evaluateBlock(std::span<const uint64_t *const> VarLanes,
+                                  unsigned NumLanes, uint64_t *Out) const {
+  CornerMode = false;
+  CornerMasks = {};
+  LaneInputs = VarLanes;
+  run(NumLanes, Out);
+}
+
+std::vector<uint64_t>
+BitslicedExpr::evaluatePoints(std::span<const uint64_t *const> VarLanes,
+                              size_t NumPoints) const {
+  std::vector<uint64_t> Out(NumPoints);
+  std::vector<const uint64_t *> Block(VarLanes.size());
+  for (size_t Base = 0; Base < NumPoints;
+       Base += bitslice::LanesPerBlock) {
+    unsigned N = (unsigned)std::min<size_t>(bitslice::LanesPerBlock,
+                                            NumPoints - Base);
+    for (size_t V = 0; V != VarLanes.size(); ++V)
+      Block[V] = VarLanes[V] ? VarLanes[V] + Base : nullptr;
+    evaluateBlock(Block, N, Out.data() + Base);
+  }
+  return Out;
+}

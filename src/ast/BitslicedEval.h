@@ -1,0 +1,138 @@
+//===- ast/BitslicedEval.h - Bitsliced batch DAG evaluation -----*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A transposed (bitsliced) evaluator: 64 evaluation points are packed one
+/// per bit of a uint64_t and the expression DAG is executed once over the
+/// whole block with the word kernels of support/Bitslice.h. This replaces
+/// point-at-a-time loops in signature construction (2^t corner evaluations
+/// per Definition 3), sampling refutation, and the fuzz/property agreement
+/// sweeps, where the same DAG is evaluated on thousands of inputs.
+///
+/// Each compiled instruction's block value carries one of four
+/// representations, which is what makes corner evaluation fast:
+///  * Uniform — every bit slice is the same word M (each point's value is 0
+///    or all-ones). Truth-table corners start Uniform, and bitwise operators
+///    keep them Uniform, so the bitwise bulk of an MBA costs ONE word op per
+///    DAG node for all 64 points together.
+///  * Splat — every point has the same constant value (folded scalars).
+///  * Lanes — direct per-point values. Used once a corner-mode value stops
+///    being uniform (a coefficient multiply, an addition), and for wide
+///    widths in point mode: arithmetic is then NumLanes independent word
+///    ops per node (vectorizable, no carry ripple), and only the *live*
+///    lanes are computed — a 3-variable signature touches 8 lanes, not 64.
+///  * Sliced — the transposed form, width-w slice words. Wins for narrow
+///    widths in point mode, where w slice ops cover all 64 points.
+///
+/// Arithmetic on mixed representations lowers to the cheapest available
+/// kernel (e.g. coefficient * bitwise-term — the backbone of linear MBA —
+/// is one select per live lane, no ripple or multiply).
+///
+/// Instances are not thread-safe (evaluation borrows the owning Context's
+/// shared scratch) and follow the one-context-per-thread rule. Prefer
+/// Context::getBitsliced(E) over constructing directly: interning makes the
+/// Expr pointer the structural identity, so compiled programs are cached
+/// per context and repeated signature construction pays the compile cost
+/// only once per distinct DAG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_AST_BITSLICEDEVAL_H
+#define MBA_AST_BITSLICEDEVAL_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace mba {
+
+/// A bitsliced batch evaluator for one expression DAG.
+class BitslicedExpr {
+public:
+  /// Compiles \p E. Valid as long as the context lives.
+  BitslicedExpr(const Context &Ctx, const Expr *E);
+
+  /// Evaluates one block of truth-table corners: lane j of the variable
+  /// with dense index i reads all-ones when bit j of VarMasks[i] is set,
+  /// else 0 (indices beyond VarMasks read 0). Writes \p NumLanes values,
+  /// masked to the width, into \p Out. NumLanes <= 64.
+  void evaluateCorners(std::span<const uint64_t> VarMasks, unsigned NumLanes,
+                       uint64_t *Out) const;
+
+  /// Evaluates one block of arbitrary points: VarLanes[i] points to
+  /// \p NumLanes input words for the variable with dense index i (null or
+  /// out-of-range entries read 0). NumLanes <= 64.
+  void evaluateBlock(std::span<const uint64_t *const> VarLanes,
+                     unsigned NumLanes, uint64_t *Out) const;
+
+  /// Convenience batch driver over any number of points: VarLanes[i] holds
+  /// \p NumPoints values for dense variable index i; processes
+  /// ceil(NumPoints/64) blocks and returns the NumPoints outputs.
+  std::vector<uint64_t>
+  evaluatePoints(std::span<const uint64_t *const> VarLanes,
+                 size_t NumPoints) const;
+
+  /// Number of compiled instructions (= distinct DAG nodes).
+  size_t size() const { return Program.size(); }
+
+private:
+  enum class Op : uint8_t {
+    LoadVar,
+    LoadConst,
+    Not,
+    Neg,
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor
+  };
+
+  /// Block-value representation tag (see file comment).
+  enum class Rep : uint8_t { Uniform, Splat, Lanes, Sliced };
+
+  struct Inst {
+    Op Opcode;
+    uint32_t A = 0; // source register / dense variable index
+    uint32_t B = 0; // second source register
+    uint64_t Imm = 0; // constant payload
+  };
+
+  void run(unsigned NumLanes, uint64_t *Out) const;
+  void runLanes(unsigned NumLanes) const;
+  void runSliced(unsigned NumLanes) const;
+  const uint64_t *slicesOf(uint32_t Reg, uint64_t *Tmp) const;
+  const uint64_t *lanesOf(uint32_t Reg, uint64_t *Tmp,
+                          unsigned NumLanes) const;
+  uint64_t *slot(uint32_t Reg) const;
+
+  const Context *Ctx; // owning context; outlives this (nodes are interned)
+  unsigned Width;
+  uint64_t Mask;
+  std::vector<Inst> Program; // instruction i writes register i
+
+  // Evaluation scratch, carved per run() out of the owning Context's shared
+  // buffer (Context::evalScratch) so cached programs stay small (register i
+  // of the current block): the representation tags, the Uniform-mask /
+  // Splat-value words, and the 64-word value slots. Uninitialized; only
+  // registers tagged Lanes/Sliced ever touch their slot.
+  mutable Rep *RepOf = nullptr;
+  mutable uint64_t *Word = nullptr;  // Uniform mask / Splat value
+  mutable uint64_t *Slots = nullptr; // Program.size() slots of 64 words
+  // Variable load plan for the current call (set by the public entries).
+  mutable std::span<const uint64_t> CornerMasks;
+  mutable std::span<const uint64_t *const> LaneInputs;
+  mutable bool CornerMode = false;
+};
+
+} // namespace mba
+
+#endif // MBA_AST_BITSLICEDEVAL_H

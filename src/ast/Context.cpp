@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ast/Context.h"
+#include "ast/BitslicedEval.h"
 
 using namespace mba;
 
@@ -13,8 +14,27 @@ Context::Context(unsigned Width) : Width(Width) {
   Mask = Width == 64 ? ~0ULL : ((1ULL << Width) - 1);
 }
 
+// Out of line so BitslicedExpr is complete where the cache is destroyed.
+Context::~Context() = default;
+
+const BitslicedExpr &Context::getBitsliced(const Expr *E) const {
+  assertOwnedByCurrentThread();
+  std::unique_ptr<BitslicedExpr> &Slot = BitslicedCache[E];
+  if (!Slot)
+    Slot = std::make_unique<BitslicedExpr>(*this, E);
+  return *Slot;
+}
+
+uint64_t *Context::evalScratch(size_t Words) const {
+  assertOwnedByCurrentThread();
+  if (EvalScratch.size() < Words)
+    EvalScratch.resize(Words);
+  return EvalScratch.data();
+}
+
 const Expr *Context::getVar(std::string_view Name) {
   assert(!Name.empty() && "variable name must be non-empty");
+  assertOwnedByCurrentThread();
   auto It = VarsByName.find(Name);
   if (It != VarsByName.end())
     return It->second;
@@ -29,6 +49,7 @@ const Expr *Context::getVar(std::string_view Name) {
 }
 
 const Expr *Context::getConst(uint64_t Value) {
+  assertOwnedByCurrentThread();
   Value &= Mask;
   NodeKey Key{ExprKind::Const, nullptr, nullptr, Value};
   auto It = Interned.find(Key);
@@ -42,6 +63,7 @@ const Expr *Context::getConst(uint64_t Value) {
 }
 
 const Expr *Context::getUnary(ExprKind K, const Expr *A) {
+  assertOwnedByCurrentThread();
   assert(isUnaryKind(K) && "not a unary kind");
   assert(A && "null operand");
   NodeKey Key{K, A, nullptr, 0};
@@ -55,6 +77,7 @@ const Expr *Context::getUnary(ExprKind K, const Expr *A) {
 }
 
 const Expr *Context::getBinary(ExprKind K, const Expr *A, const Expr *B) {
+  assertOwnedByCurrentThread();
   assert(isBinaryKind(K) && "not a binary kind");
   assert(A && B && "null operand");
   NodeKey Key{K, A, B, 0};

@@ -20,12 +20,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 namespace mba {
+
+class BitslicedExpr;
 
 /// Owns and interns Expr nodes for one bit width.
 ///
@@ -35,13 +39,29 @@ namespace mba {
 ///   const Expr *X = Ctx.getVar("x"), *Y = Ctx.getVar("y");
 ///   const Expr *E = Ctx.getAdd(X, Ctx.getAnd(X, Y));
 /// \endcode
+///
+/// Threading model: a Context is NOT thread-safe — not even for concurrent
+/// reads, because lookups and evaluation share mutable caches. The rule is
+/// one Context per worker thread: parallel pipelines (bench/Harness.cpp)
+/// give each worker its own Context and clone expressions into it with
+/// cloneExpr() (ast/ExprUtils.h). Debug builds enforce the rule by
+/// asserting that every interning mutation and cache access happens on the
+/// owner thread — the thread that constructed the Context, or the last one
+/// to call adoptByCurrentThread().
 class Context {
 public:
   /// Creates a context for \p Width-bit words. Width must be in [1, 64].
   explicit Context(unsigned Width = 64);
+  ~Context();
 
   Context(const Context &) = delete;
   Context &operator=(const Context &) = delete;
+
+  /// Re-homes the context onto the calling thread (see the class comment's
+  /// threading model). Needed when a Context is constructed on one thread
+  /// and handed off to another — e.g. built up front, then used by a pool
+  /// worker. The handoff itself must be externally synchronized.
+  void adoptByCurrentThread() { Owner = std::this_thread::get_id(); }
 
   /// The word width in bits.
   unsigned width() const { return Width; }
@@ -131,6 +151,21 @@ public:
   /// constants, and operators), in no particular order. Verifier support.
   void forEachOwnedNode(const std::function<void(const Expr *)> &Fn) const;
 
+  /// Returns (compiling and caching on first use) the bitsliced evaluator
+  /// for \p E, which must be owned by this context. Sound as a pointer-keyed
+  /// cache because interning makes the pointer the structural identity and
+  /// nodes are immutable for the context's lifetime. This is what makes
+  /// repeated signature construction over the same DAG (the simplifier's
+  /// inner loop) cheap: the compile cost is paid once per distinct DAG.
+  const BitslicedExpr &getBitsliced(const Expr *E) const;
+
+  /// Shared evaluation scratch: returns at least \p Words words of
+  /// uninitialized, context-lifetime storage. Reused by every cached
+  /// evaluator (legal under the one-thread-per-context rule), so cached
+  /// programs stay small instead of each holding tens of KB of slots.
+  /// The pointer is invalidated by the next evalScratch() call.
+  uint64_t *evalScratch(size_t Words) const;
+
   /// Total number of distinct nodes interned so far.
   size_t numNodes() const { return NumNodes; }
 
@@ -169,6 +204,14 @@ private:
     }
   };
 
+  /// Debug guardrail for the one-thread-per-context rule (class comment).
+  void assertOwnedByCurrentThread() const {
+    assert(std::this_thread::get_id() == Owner &&
+           "Context used from a thread other than its owner; create one "
+           "Context per worker (or call adoptByCurrentThread after a "
+           "synchronized handoff)");
+  }
+
   unsigned Width;
   uint64_t Mask;
   Arena Alloc;
@@ -177,6 +220,10 @@ private:
   std::unordered_map<std::string, const Expr *, StringHash, std::equal_to<>>
       VarsByName;
   std::vector<const Expr *> Vars;
+  std::thread::id Owner = std::this_thread::get_id();
+  mutable std::unordered_map<const Expr *, std::unique_ptr<BitslicedExpr>>
+      BitslicedCache;
+  mutable std::vector<uint64_t> EvalScratch;
 };
 
 } // namespace mba

@@ -123,3 +123,44 @@ const Expr *mba::rewriteBottomUp(
   };
   return Go(E);
 }
+
+const Expr *mba::cloneExpr(Context &Dst, const Expr *E) {
+  assert(E && "null expression");
+  // Source-node -> clone; a nullptr value claims a node whose operands are
+  // being cloned (acyclicity guarantees it is filled in before any parent
+  // needs it). Iterative post-order; the low pointer bit tags "operands
+  // already pushed" markers (Expr nodes are at least word-aligned).
+  std::unordered_map<const Expr *, const Expr *> Memo;
+  std::vector<uintptr_t> Stack;
+  Stack.push_back((uintptr_t)E);
+  while (!Stack.empty()) {
+    uintptr_t Top = Stack.back();
+    Stack.pop_back();
+    const Expr *N = (const Expr *)(Top & ~(uintptr_t)1);
+    if (!(Top & 1)) {
+      if (!Memo.emplace(N, nullptr).second)
+        continue; // shared subtree already cloned (or claimed below us)
+      Stack.push_back(Top | 1);
+      for (unsigned I = 0, NumOps = N->numOperands(); I != NumOps; ++I)
+        Stack.push_back((uintptr_t)N->getOperand(I));
+      continue;
+    }
+    const Expr *C;
+    switch (N->kind()) {
+    case ExprKind::Var:
+      C = Dst.getVar(N->varName());
+      break;
+    case ExprKind::Const:
+      C = Dst.getConst(N->constValue());
+      break;
+    default:
+      if (N->isUnary())
+        C = Dst.getUnary(N->kind(), Memo.at(N->operand()));
+      else
+        C = Dst.getBinary(N->kind(), Memo.at(N->lhs()), Memo.at(N->rhs()));
+      break;
+    }
+    Memo[N] = C;
+  }
+  return Memo.at(E);
+}

@@ -57,6 +57,14 @@ const Expr *
 rewriteBottomUp(Context &Ctx, const Expr *E,
                 const std::function<const Expr *(const Expr *)> &Fn);
 
+/// Deep-copies \p E (owned by any context of the same width) into \p Dst:
+/// variables map by name, constants by value (re-truncated to Dst's width),
+/// operators structurally. Interning in \p Dst preserves DAG sharing. This
+/// is how the parallel pipeline hands work to per-worker contexts — see the
+/// threading model in ast/Context.h. Iterative, so adversarially deep
+/// expressions don't overflow the stack.
+const Expr *cloneExpr(Context &Dst, const Expr *E);
+
 } // namespace mba
 
 #endif // MBA_AST_EXPRUTILS_H

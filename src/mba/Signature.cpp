@@ -6,7 +6,9 @@
 
 #include "mba/Signature.h"
 
+#include "ast/BitslicedEval.h"
 #include "ast/CompiledEval.h"
+#include "support/Bitslice.h"
 #include "ast/Evaluator.h"
 #include "ast/ExprUtils.h"
 #include "linalg/TruthTable.h"
@@ -20,6 +22,37 @@ using namespace mba;
 std::vector<uint64_t>
 mba::computeSignature(const Context &Ctx, const Expr *E,
                       std::span<const Expr *const> Vars) {
+  unsigned T = (unsigned)Vars.size();
+  assert(T <= 20 && "signature would be too large");
+  const size_t Rows = (size_t)1 << T;
+  std::vector<uint64_t> Sig(Rows);
+  // 2^t corner evaluations of the same DAG, 64 per block. The compiled
+  // program is cached on the context (pointer identity = structural
+  // identity), so re-signaturing a DAG the simplifier already saw costs no
+  // compile at all. Corner inputs are 0 or all-ones — the evaluator's
+  // Uniform fast path.
+  const BitslicedExpr &Compiled = Ctx.getBitsliced(E);
+  unsigned MaxIndex = 0;
+  for (const Expr *V : Vars)
+    MaxIndex = std::max(MaxIndex, V->varIndex());
+  std::vector<uint64_t> VarMasks(MaxIndex + 1);
+  // Lane j of block Base holds corner Base+j, whose variable-I truth bit is
+  // bit T-1-I of Base+j (truthBit's ordering) — O(T) mask setup per block.
+  for (size_t Base = 0; Base < Rows; Base += bitslice::LanesPerBlock) {
+    unsigned NumLanes =
+        (unsigned)std::min<size_t>(bitslice::LanesPerBlock, Rows - Base);
+    for (unsigned I = 0; I != T; ++I)
+      VarMasks[Vars[I]->varIndex()] = bitslice::cornerMask(T - 1 - I, Base);
+    Compiled.evaluateCorners(VarMasks, NumLanes, Sig.data() + Base);
+    for (unsigned J = 0; J != NumLanes; ++J)
+      Sig[Base + J] = (0 - Sig[Base + J]) & Ctx.mask();
+  }
+  return Sig;
+}
+
+std::vector<uint64_t>
+mba::computeSignatureScalar(const Context &Ctx, const Expr *E,
+                            std::span<const Expr *const> Vars) {
   unsigned T = (unsigned)Vars.size();
   assert(T <= 20 && "signature would be too large");
   std::vector<uint64_t> Sig(1u << T);

@@ -146,7 +146,7 @@ MBASolver::normalizedCombo(const std::vector<uint64_t> &Sig,
 
   if (!Opts.EnableCache)
     return Solve();
-  auto Key = std::make_tuple(Vars, Sig, AllowAuto && Opts.AutoBasis);
+  SigKey Key(Vars, Sig, AllowAuto && Opts.AutoBasis);
   auto It = Cache.find(Key);
   if (It != Cache.end()) {
     ++Stats.CacheHits;

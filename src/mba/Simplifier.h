@@ -42,7 +42,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -186,11 +185,44 @@ private:
   SimplifyOptions Opts;
   SimplifyStats Stats;
 
-  /// Lookup table (Section 4.5): (variable tuple, signature, auto-basis
-  /// flag) -> combination.
-  std::map<std::tuple<std::vector<const Expr *>, std::vector<uint64_t>, bool>,
-           LinearCombo>
-      Cache;
+  /// Lookup-table key (Section 4.5): (variable tuple, signature, auto-basis
+  /// flag). The hash is computed once at construction — a probe then costs
+  /// one table lookup instead of the lexicographic walk over the
+  /// 2^t-entry signature that the previous ordered-map key paid, and
+  /// equality checks the full contents so hash collisions stay correct.
+  struct SigKey {
+    std::vector<const Expr *> Vars;
+    std::vector<uint64_t> Sig;
+    bool AutoBasis;
+    size_t Hash;
+
+    SigKey(std::vector<const Expr *> Vars, std::vector<uint64_t> Sig,
+           bool AutoBasis)
+        : Vars(std::move(Vars)), Sig(std::move(Sig)), AutoBasis(AutoBasis) {
+      uint64_t H = AutoBasis ? 0x9e3779b97f4a7c15ULL : 0;
+      for (const Expr *V : this->Vars)
+        H = hashCombine(H, (uint64_t)(uintptr_t)V);
+      for (uint64_t S : this->Sig)
+        H = hashCombine(H, S);
+      Hash = (size_t)H;
+    }
+
+    static uint64_t hashCombine(uint64_t H, uint64_t V) {
+      return H ^ (V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2));
+    }
+
+    bool operator==(const SigKey &O) const {
+      return Hash == O.Hash && AutoBasis == O.AutoBasis && Vars == O.Vars &&
+             Sig == O.Sig;
+    }
+  };
+
+  struct SigKeyHash {
+    size_t operator()(const SigKey &K) const { return K.Hash; }
+  };
+
+  /// Lookup table (Section 4.5): SigKey -> combination.
+  std::unordered_map<SigKey, LinearCombo, SigKeyHash> Cache;
 
   /// Memo of completed top-level rewrites, keyed on input node.
   std::unordered_map<const Expr *, const Expr *> ResultMemo;

@@ -24,6 +24,7 @@
 #define MBA_MBA_SOLVER_H
 
 // Expressions: construction, parsing, printing, evaluation, visualization.
+#include "ast/BitslicedEval.h"
 #include "ast/CompiledEval.h"
 #include "ast/Context.h"
 #include "ast/DotPrinter.h"
@@ -65,5 +66,9 @@
 
 // Straight-line code traces.
 #include "ir/Trace.h"
+
+// Bulk-evaluation kernels and the worker pool behind parallel studies.
+#include "support/Bitslice.h"
+#include "support/ThreadPool.h"
 
 #endif // MBA_MBA_SOLVER_H

@@ -24,11 +24,12 @@
 
 #include "solvers/EquivalenceChecker.h"
 
-#include "ast/CompiledEval.h"
+#include "ast/BitslicedEval.h"
 #include "ast/ExprUtils.h"
 #include "mba/Classify.h"
 #include "mba/Signature.h"
 #include "mba/Simplifier.h"
+#include "support/Bitslice.h"
 #include "support/RNG.h"
 #include "support/Stopwatch.h"
 
@@ -73,24 +74,43 @@ private:
     for (const Expr *V : Vars)
       MaxIndex = std::max(MaxIndex, V->varIndex());
 
-    // Stage 1: sampling refutation (random + all corners for <= 12 vars).
-    CompiledExpr CA(Ctx, A), CB(Ctx, B);
+    // Stage 1: sampling refutation (random + all corners for <= 12 vars),
+    // batched 64 points per block through the bitsliced evaluator. The
+    // compiled programs are cached on the context, so re-checking either
+    // side against a new partner recompiles nothing.
+    const BitslicedExpr &CA = Ctx.getBitsliced(A);
+    const BitslicedExpr &CB = Ctx.getBitsliced(B);
     RNG Rng(0x516CAFE); // deterministic sampling
-    std::vector<uint64_t> Vals(MaxIndex + 1, 0);
-    for (int I = 0; I < 128; ++I) {
+    constexpr unsigned NumSamples = 128;
+    std::vector<uint64_t> Lanes((size_t)(MaxIndex + 1) * NumSamples);
+    std::vector<const uint64_t *> LanePtrs(MaxIndex + 1, nullptr);
+    for (const Expr *V : Vars)
+      LanePtrs[V->varIndex()] =
+          Lanes.data() + (size_t)V->varIndex() * NumSamples;
+    // Draw point-major, preserving the historical RNG stream order (each
+    // point consumes |Vars| draws in name-sorted variable order).
+    for (unsigned I = 0; I != NumSamples; ++I)
       for (const Expr *V : Vars)
-        Vals[V->varIndex()] = Rng.next();
-      if (CA.evaluate(Vals) != CB.evaluate(Vals))
-        return Verdict::NotEquivalent;
-    }
+        Lanes[(size_t)V->varIndex() * NumSamples + I] = Rng.next();
+    if (CA.evaluatePoints(LanePtrs, NumSamples) !=
+        CB.evaluatePoints(LanePtrs, NumSamples))
+      return Verdict::NotEquivalent;
     unsigned T = (unsigned)Vars.size();
     if (T <= 12) {
-      for (unsigned K = 0; K != (1u << T); ++K) {
-        std::fill(Vals.begin(), Vals.end(), 0);
+      // Corner k sets variable I to all-ones iff bit I of k is set (note:
+      // the opposite bit order from computeSignature's truthBit).
+      const size_t Corners = (size_t)1 << T;
+      std::vector<uint64_t> Masks(MaxIndex + 1, 0);
+      uint64_t CornA[bitslice::LanesPerBlock], CornB[bitslice::LanesPerBlock];
+      for (size_t Base = 0; Base < Corners;
+           Base += bitslice::LanesPerBlock) {
+        unsigned N = (unsigned)std::min<size_t>(bitslice::LanesPerBlock,
+                                                Corners - Base);
         for (unsigned I = 0; I != T; ++I)
-          if (K >> I & 1)
-            Vals[Vars[I]->varIndex()] = Ctx.mask();
-        if (CA.evaluate(Vals) != CB.evaluate(Vals))
+          Masks[Vars[I]->varIndex()] = bitslice::cornerMask(I, Base);
+        CA.evaluateCorners(Masks, N, CornA);
+        CB.evaluateCorners(Masks, N, CornB);
+        if (!std::equal(CornA, CornA + N, CornB))
           return Verdict::NotEquivalent;
       }
     }

@@ -1,0 +1,118 @@
+//===- support/Bitslice.h - Transposed 64-lane word kernels -----*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bitsliced (transposed) evaluation kernels: 64 evaluation points are packed
+/// one-per-bit into uint64_t "slice" words, so one word operation advances
+/// all 64 points at once. A w-bit value batch is stored as w slices, where
+/// bit j of Slices[b] is bit b of point j's value.
+///
+/// The kernels below are pure word arithmetic with no AST dependencies (this
+/// is the bottom of the library layering); the DAG compiler/evaluator that
+/// drives them lives in ast/BitslicedEval.h. Motivation and layout details
+/// are documented in docs/PERF.md.
+///
+/// Operation costs per 64-point batch at width w:
+///  * bitwise (&, |, ^, ~): w word ops — 1 op per point at w = 64, and
+///    w/64 ops per point below that (an 8x op-count win at w = 8);
+///  * add/sub/neg: a ripple-carry over the w slices, ~5w word ops (the
+///    carry chain is the only loop-carried dependency);
+///  * mul: schoolbook shift-and-add in slice space for small widths, or a
+///    transpose round-trip to lane space (64 scalar multiplies) above
+///    kSchoolbookMulMaxWidth, whichever is cheaper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SUPPORT_BITSLICE_H
+#define MBA_SUPPORT_BITSLICE_H
+
+#include <cstdint>
+
+namespace mba::bitslice {
+
+/// Points per slice block: one evaluation point per bit of a uint64_t.
+inline constexpr unsigned LanesPerBlock = 64;
+
+/// Widths up to this use the schoolbook slice-space multiplier; wider
+/// multiplies round-trip through lane space (see sliceMul).
+inline constexpr unsigned kSchoolbookMulMaxWidth = 16;
+
+/// Truth-table corner mask for a block of 64 consecutive corner indices
+/// starting at the 64-aligned \p Base: bit j of the result is bit \p Bit of
+/// corner index Base + j. Because j only varies the low 6 bits, this is a
+/// fixed periodic pattern for Bit < 6 and a constant otherwise — O(1) per
+/// variable per block, instead of assembling 64 lane bits one by one.
+inline uint64_t cornerMask(unsigned Bit, uint64_t Base) {
+  constexpr uint64_t Pattern[6] = {
+      0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+      0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+  return Bit < 6 ? Pattern[Bit] : ((Base >> Bit) & 1 ? ~0ull : 0);
+}
+
+/// In-place transpose of the 64x64 bit matrix \p M (row i, bit j) -> (row j,
+/// bit i). This is the lane<->slice conversion primitive: treating rows as
+/// lanes gives slices and vice versa.
+void transpose64(uint64_t M[64]);
+
+/// Transposes \p NumLanes lane values (each a \p Width-bit word) into
+/// \p Width slice words. Lanes beyond NumLanes read as 0; bits of Slices
+/// beyond NumLanes are zero.
+void lanesToSlices(const uint64_t *Lanes, unsigned NumLanes, unsigned Width,
+                   uint64_t *Slices);
+
+/// Inverse of lanesToSlices: expands \p Width slices back into \p NumLanes
+/// per-point values (masked to the width).
+void slicesToLanes(const uint64_t *Slices, unsigned Width, unsigned NumLanes,
+                   uint64_t *Lanes);
+
+/// Broadcasts the \p Width-bit constant \p Value to every lane: slice b is
+/// all-ones when bit b of Value is set, else zero.
+void sliceBroadcast(unsigned Width, uint64_t Value, uint64_t *Out);
+
+inline void sliceNot(unsigned Width, const uint64_t *A, uint64_t *Out) {
+  for (unsigned B = 0; B != Width; ++B)
+    Out[B] = ~A[B];
+}
+
+inline void sliceAnd(unsigned Width, const uint64_t *A, const uint64_t *B,
+                     uint64_t *Out) {
+  for (unsigned I = 0; I != Width; ++I)
+    Out[I] = A[I] & B[I];
+}
+
+inline void sliceOr(unsigned Width, const uint64_t *A, const uint64_t *B,
+                    uint64_t *Out) {
+  for (unsigned I = 0; I != Width; ++I)
+    Out[I] = A[I] | B[I];
+}
+
+inline void sliceXor(unsigned Width, const uint64_t *A, const uint64_t *B,
+                     uint64_t *Out) {
+  for (unsigned I = 0; I != Width; ++I)
+    Out[I] = A[I] ^ B[I];
+}
+
+/// Out = A + B per lane, mod 2^Width (ripple-carry across slices). Aliasing
+/// Out with A or B is allowed.
+void sliceAdd(unsigned Width, const uint64_t *A, const uint64_t *B,
+              uint64_t *Out);
+
+/// Out = A - B per lane, mod 2^Width. Aliasing allowed.
+void sliceSub(unsigned Width, const uint64_t *A, const uint64_t *B,
+              uint64_t *Out);
+
+/// Out = -A per lane, mod 2^Width. Aliasing allowed.
+void sliceNeg(unsigned Width, const uint64_t *A, uint64_t *Out);
+
+/// Out = A * B per lane, mod 2^Width. Uses the schoolbook slice-space
+/// method up to kSchoolbookMulMaxWidth and a lane-space round-trip above
+/// it. \p Out must not alias A or B.
+void sliceMul(unsigned Width, const uint64_t *A, const uint64_t *B,
+              uint64_t *Out);
+
+} // namespace mba::bitslice
+
+#endif // MBA_SUPPORT_BITSLICE_H

@@ -1,0 +1,164 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool -----------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mba;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Shards.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+PoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  return Stats;
+}
+
+bool ThreadPool::grabIndex(unsigned Ordinal, size_t &Index) {
+  // Fast path: the front of our own shard.
+  {
+    Shard &Own = *Shards[Ordinal];
+    std::lock_guard<std::mutex> Lock(Own.Mu);
+    if (Own.Lo < Own.Hi) {
+      Index = Own.Lo++;
+      return true;
+    }
+  }
+  // Steal: cut the back half of the fullest other shard, then adopt it.
+  // The victim's lock is never held while taking our own (no ordering
+  // cycle), at the cost of the stolen range being stealable again.
+  for (;;) {
+    unsigned Victim = numWorkers();
+    size_t Best = 0;
+    for (unsigned V = 0; V != numWorkers(); ++V) {
+      if (V == Ordinal)
+        continue;
+      Shard &S = *Shards[V];
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      if (S.Hi - S.Lo > Best) {
+        Best = S.Hi - S.Lo;
+        Victim = V;
+      }
+    }
+    if (Victim == numWorkers())
+      return false; // everything drained
+    size_t StolenLo = 0, StolenHi = 0;
+    {
+      Shard &S = *Shards[Victim];
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      size_t Remaining = S.Hi - S.Lo;
+      if (Remaining == 0)
+        continue; // lost the race; rescan
+      size_t Keep = Remaining / 2;
+      StolenLo = S.Lo + Keep;
+      StolenHi = S.Hi;
+      S.Hi = StolenLo;
+    }
+    {
+      Shard &Own = *Shards[Ordinal];
+      std::lock_guard<std::mutex> Lock(Own.Mu);
+      Own.Lo = StolenLo + 1;
+      Own.Hi = StolenHi;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Stats.Steals;
+    }
+    Index = StolenLo;
+    return true;
+  }
+}
+
+void ThreadPool::workerMain(unsigned Ordinal) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(size_t, unsigned)> *Fn = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkCv.wait(Lock, [&] {
+        return ShuttingDown || (Job && JobGeneration != SeenGeneration);
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = JobGeneration;
+      Fn = Job;
+    }
+
+    size_t LocalTasks = 0;
+    std::exception_ptr LocalError;
+    size_t Index;
+    while (grabIndex(Ordinal, Index)) {
+      ++LocalTasks;
+      if (LocalError)
+        continue; // drain without running more work after a failure
+      try {
+        (*Fn)(Index, Ordinal);
+      } catch (...) {
+        LocalError = std::current_exception();
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      Stats.Tasks += LocalTasks;
+      if (LocalTasks == 0)
+        ++Stats.IdleWaits;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (LocalError && !FirstError)
+        FirstError = LocalError;
+      if (--ActiveWorkers == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(
+    size_t N, const std::function<void(size_t, unsigned)> &Fn) {
+  if (N == 0)
+    return;
+  unsigned W = numWorkers();
+  // Seed one contiguous shard per worker.
+  size_t Chunk = (N + W - 1) / W;
+  for (unsigned I = 0; I != W; ++I) {
+    Shard &S = *Shards[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Lo = std::min(N, (size_t)I * Chunk);
+    S.Hi = std::min(N, S.Lo + Chunk);
+  }
+  std::unique_lock<std::mutex> Lock(Mu);
+  assert(!Job && "parallelFor is not reentrant");
+  Job = &Fn;
+  FirstError = nullptr;
+  ActiveWorkers = W;
+  ++JobGeneration;
+  WorkCv.notify_all();
+  DoneCv.wait(Lock, [&] { return ActiveWorkers == 0; });
+  Job = nullptr;
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}

@@ -319,4 +319,45 @@ TEST(ExprUtils, DeepExpressionDoesNotOverflowStack) {
   EXPECT_EQ(countDagNodes(E), 200002u);
 }
 
+TEST(ExprUtils, CloneExprPreservesStructureAcrossContexts) {
+  Context Src(32);
+  const Expr *E = parseOrDie(Src, "2*(x|y) - (~x&y) + (x^y)*(x^y) - 7");
+  Context Dst(32);
+  // Different interning history in the destination: x/y get new indices.
+  Dst.getVar("q");
+  const Expr *C = cloneExpr(Dst, E);
+  EXPECT_EQ(printExpr(Src, E), printExpr(Dst, C));
+  for (uint64_t X : {0ull, 1ull, 0xFFFFFFFFull, 0x1234ull})
+    for (uint64_t Y : {0ull, 7ull, 0x80000000ull}) {
+      std::vector<uint64_t> SrcVals(Src.numVars(), 0);
+      SrcVals[Src.getVar("x")->varIndex()] = X;
+      SrcVals[Src.getVar("y")->varIndex()] = Y;
+      std::vector<uint64_t> DstVals(Dst.numVars(), 0);
+      DstVals[Dst.getVar("x")->varIndex()] = X;
+      DstVals[Dst.getVar("y")->varIndex()] = Y;
+      EXPECT_EQ(evaluate(Src, E, SrcVals), evaluate(Dst, C, DstVals));
+    }
+}
+
+TEST(ExprUtils, CloneExprSharesClonedSubtrees) {
+  Context Src(64);
+  const Expr *X = Src.getVar("x");
+  const Expr *Shared = Src.getMul(X, X);
+  const Expr *E = Src.getAdd(Shared, Src.getNot(Shared));
+  Context Dst(64);
+  const Expr *C = cloneExpr(Dst, E);
+  // Interning in the destination re-establishes the sharing.
+  EXPECT_EQ(C->lhs(), C->rhs()->operand());
+  EXPECT_EQ(countDagNodes(C), countDagNodes(E));
+}
+
+TEST(ExprUtils, CloneExprDeepTowerDoesNotOverflowStack) {
+  Context Src(64);
+  const Expr *E = Src.getVar("x");
+  for (int I = 0; I < 200000; ++I)
+    E = Src.getAdd(E, Src.getOne());
+  Context Dst(64);
+  EXPECT_EQ(countDagNodes(cloneExpr(Dst, E)), 200002u);
+}
+
 } // namespace

@@ -21,6 +21,7 @@
 
 #include "analysis/Prover.h"
 #include "analysis/Verifier.h"
+#include "ast/BitslicedEval.h"
 #include "ast/Evaluator.h"
 #include "ast/ExprUtils.h"
 #include "ast/Parser.h"
@@ -29,6 +30,7 @@
 #include "mba/Metrics.h"
 #include "mba/Simplifier.h"
 #include "peer/PatternRewriter.h"
+#include "support/Bitslice.h"
 #include "support/RNG.h"
 
 #include <gtest/gtest.h>
@@ -94,20 +96,51 @@ void expectAgreement(const Context &Ctx, const Expr *A, const Expr *B,
   unsigned MaxIndex = 0;
   for (const Expr *V : Vars)
     MaxIndex = std::max(MaxIndex, V->varIndex());
+  // One bitsliced block of random points, with the scalar interpreter
+  // cross-checked on a prefix so the two evaluators pin each other down.
+  constexpr unsigned NumPoints = 64;
+  std::vector<std::vector<uint64_t>> Lanes(Vars.size());
+  for (auto &L : Lanes)
+    L.resize(NumPoints);
+  for (unsigned I = 0; I != NumPoints; ++I)
+    for (size_t V = 0; V != Vars.size(); ++V)
+      Lanes[V][I] = Rng.next();
+  std::vector<const uint64_t *> Ptrs(MaxIndex + 1, nullptr);
+  for (size_t V = 0; V != Vars.size(); ++V)
+    Ptrs[Vars[V]->varIndex()] = Lanes[V].data();
+  std::vector<uint64_t> OutA = Ctx.getBitsliced(A).evaluatePoints(Ptrs, NumPoints);
+  std::vector<uint64_t> OutB = Ctx.getBitsliced(B).evaluatePoints(Ptrs, NumPoints);
   std::vector<uint64_t> Vals(MaxIndex + 1, 0);
-  for (int I = 0; I < 64; ++I) {
-    for (const Expr *V : Vars)
-      Vals[V->varIndex()] = Rng.next();
-    ASSERT_EQ(evaluate(Ctx, A, Vals), evaluate(Ctx, B, Vals))
+  for (unsigned I = 0; I != NumPoints; ++I) {
+    if (I < 4) {
+      for (size_t V = 0; V != Vars.size(); ++V)
+        Vals[Vars[V]->varIndex()] = Lanes[V][I];
+      ASSERT_EQ(evaluate(Ctx, A, Vals), OutA[I])
+          << What << " (bitsliced vs scalar):\n  " << printExpr(Ctx, A);
+      ASSERT_EQ(evaluate(Ctx, B, Vals), OutB[I])
+          << What << " (bitsliced vs scalar):\n  " << printExpr(Ctx, B);
+    }
+    ASSERT_EQ(OutA[I], OutB[I])
         << What << ":\n  " << printExpr(Ctx, A) << "\n  "
         << printExpr(Ctx, B);
   }
   unsigned T = (unsigned)Vars.size();
   if (T <= 4) {
+    // All corners in one bitsliced call, every one cross-checked scalar
+    // (there are at most 16).
+    uint64_t CornA[16], CornB[16];
+    std::vector<uint64_t> Masks(MaxIndex + 1, 0);
+    for (unsigned I = 0; I != T; ++I)
+      Masks[Vars[I]->varIndex()] = bitslice::cornerMask(I, 0);
+    Ctx.getBitsliced(A).evaluateCorners(Masks, 1u << T, CornA);
+    Ctx.getBitsliced(B).evaluateCorners(Masks, 1u << T, CornB);
     for (unsigned K = 0; K != (1u << T); ++K) {
       for (unsigned I = 0; I != T; ++I)
         Vals[Vars[I]->varIndex()] = (K >> I & 1) ? Ctx.mask() : 0;
-      ASSERT_EQ(evaluate(Ctx, A, Vals), evaluate(Ctx, B, Vals))
+      ASSERT_EQ(evaluate(Ctx, A, Vals), CornA[K])
+          << What << " (corner, bitsliced vs scalar):\n  "
+          << printExpr(Ctx, A);
+      ASSERT_EQ(CornA[K], CornB[K])
           << What << " (corner):\n  " << printExpr(Ctx, A) << "\n  "
           << printExpr(Ctx, B);
     }
@@ -186,24 +219,48 @@ TEST(FuzzProver, AgreesWithConcreteEvaluator) {
                                              2 + (unsigned)Rng.below(3));
     ProveResult R = proveEquivalence(Ctx, A, B);
     Vals.resize(Ctx.numVars(), 0);
+    // Agreement sweeps run 64 points per bitsliced block; the scalar
+    // interpreter double-checks the first points of each batch.
+    auto batchEval = [&](size_t NumPoints, auto &&Check) {
+      std::vector<uint64_t> Lanes[3];
+      for (auto &L : Lanes)
+        L.resize(NumPoints);
+      for (size_t I = 0; I != NumPoints; ++I)
+        for (size_t V = 0; V != 3; ++V)
+          Lanes[V][I] = Rng.next();
+      std::vector<const uint64_t *> Ptrs(Ctx.numVars(), nullptr);
+      for (size_t V = 0; V != 3; ++V)
+        Ptrs[Vars[V]->varIndex()] = Lanes[V].data();
+      std::vector<uint64_t> OutA =
+          Ctx.getBitsliced(A).evaluatePoints(Ptrs, NumPoints);
+      std::vector<uint64_t> OutB =
+          Ctx.getBitsliced(B).evaluatePoints(Ptrs, NumPoints);
+      for (size_t I = 0; I != NumPoints; ++I) {
+        if (I < 8) {
+          for (size_t V = 0; V != 3; ++V)
+            Vals[Vars[V]->varIndex()] = Lanes[V][I];
+          ASSERT_EQ(evaluate(Ctx, A, Vals), OutA[I])
+              << "bitsliced vs scalar:\n  " << printExpr(Ctx, A);
+          ASSERT_EQ(evaluate(Ctx, B, Vals), OutB[I])
+              << "bitsliced vs scalar:\n  " << printExpr(Ctx, B);
+        }
+        Check(OutA[I], OutB[I]);
+      }
+    };
     if (R.Outcome == ProveOutcome::Proved) {
       ++NumProved;
-      for (int I = 0; I < 10000; ++I) {
-        for (const Expr *V : Vars)
-          Vals[V->varIndex()] = Rng.next();
-        ASSERT_EQ(evaluate(Ctx, A, Vals), evaluate(Ctx, B, Vals))
+      batchEval(10000, [&](uint64_t VA, uint64_t VB) {
+        ASSERT_EQ(VA, VB)
             << "proved but differs (" << R.Detail << "):\n  "
             << printExpr(Ctx, A) << "\n  " << printExpr(Ctx, B);
-      }
+      });
     } else if (R.Outcome == ProveOutcome::Refuted) {
       ++NumRefuted;
-      for (int I = 0; I < 1000; ++I) {
-        for (const Expr *V : Vars)
-          Vals[V->varIndex()] = Rng.next();
-        ASSERT_NE(evaluate(Ctx, A, Vals), evaluate(Ctx, B, Vals))
+      batchEval(1000, [&](uint64_t VA, uint64_t VB) {
+        ASSERT_NE(VA, VB)
             << "refuted but equal at a point (" << R.Detail << "):\n  "
             << printExpr(Ctx, A) << "\n  " << printExpr(Ctx, B);
-      }
+      });
     }
   }
   // The generator must exercise both sound verdicts, or this test is

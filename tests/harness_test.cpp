@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
 using namespace mba;
 using namespace mba::bench;
 
@@ -66,6 +70,103 @@ TEST(HarnessStudy, RunsRawAndSimplifiedStudies) {
     Solved += R.Outcome == Verdict::Equivalent;
   // After preprocessing at width 8, effectively everything solves.
   EXPECT_GE(Solved, Simplified.size() - 2);
+}
+
+TEST(HarnessArgs, JobsAndJsonOverrides) {
+  {
+    char Prog[] = "bench";
+    char *Argv[] = {Prog};
+    HarnessOptions Opts = parseHarnessArgs(1, Argv);
+    EXPECT_EQ(Opts.Jobs, 0u) << "default = hardware concurrency";
+    EXPECT_TRUE(Opts.JsonPath.empty());
+  }
+  {
+    char Prog[] = "bench";
+    char A1[] = "--jobs=4";
+    char A2[] = "--json=/tmp/out.json";
+    char *Argv[] = {Prog, A1, A2};
+    HarnessOptions Opts = parseHarnessArgs(3, Argv);
+    EXPECT_EQ(Opts.Jobs, 4u);
+    EXPECT_EQ(Opts.JsonPath, "/tmp/out.json");
+  }
+}
+
+TEST(HarnessStudy, ParallelVerdictsMatchSerial) {
+  // The determinism contract of runSolvingStudyParallel: for any job
+  // count, record order and verdicts are identical to the serial path.
+  Context Ctx(8);
+  CorpusOptions CorpusOpts;
+  CorpusOpts.LinearCount = 6;
+  CorpusOpts.PolyCount = 3;
+  CorpusOpts.NonPolyCount = 3;
+  CorpusOpts.IncludeSeedIdentities = false;
+  auto Corpus = generateCorpus(Ctx, CorpusOpts);
+
+  StudyConfig Config;
+  Config.TimeoutSeconds = 0.2;
+  Config.Simplify = true;
+  Config.StageZero = true;
+  auto Factory = [](Context &) { return makeAllCheckers(); };
+
+  Config.Jobs = 1;
+  StudyResult Serial = runSolvingStudyParallel(Ctx, Corpus, Factory, Config);
+  Config.Jobs = 4;
+  StudyResult Parallel =
+      runSolvingStudyParallel(Ctx, Corpus, Factory, Config);
+
+  ASSERT_EQ(Serial.Records.size(), Parallel.Records.size());
+  for (size_t I = 0; I != Serial.Records.size(); ++I) {
+    EXPECT_EQ(Serial.Records[I].Solver, Parallel.Records[I].Solver);
+    EXPECT_EQ(Serial.Records[I].Category, Parallel.Records[I].Category);
+    EXPECT_EQ(Serial.Records[I].EntryIndex, Parallel.Records[I].EntryIndex);
+    EXPECT_EQ(Serial.Records[I].Outcome, Parallel.Records[I].Outcome)
+        << "verdict diverged at record " << I << " (solver "
+        << Serial.Records[I].Solver << ", entry "
+        << Serial.Records[I].EntryIndex << ")";
+  }
+  // Both paths see the same query stream, so the stage-0 split matches.
+  EXPECT_EQ(Serial.StaticStats.Proved, Parallel.StaticStats.Proved);
+  EXPECT_EQ(Serial.StaticStats.Refuted, Parallel.StaticStats.Refuted);
+  EXPECT_EQ(Serial.StaticStats.Fallthrough,
+            Parallel.StaticStats.Fallthrough);
+  EXPECT_EQ(Parallel.Jobs, 4u);
+  EXPECT_EQ(Parallel.Pool.Tasks, Corpus.size());
+}
+
+TEST(HarnessStudy, JsonReportIsWellFormed) {
+  Context Ctx(8);
+  CorpusOptions CorpusOpts;
+  CorpusOpts.LinearCount = 2;
+  CorpusOpts.PolyCount = 1;
+  CorpusOpts.NonPolyCount = 1;
+  CorpusOpts.IncludeSeedIdentities = false;
+  auto Corpus = generateCorpus(Ctx, CorpusOpts);
+
+  StudyConfig Config;
+  Config.TimeoutSeconds = 0.2;
+  Config.Jobs = 2;
+  Config.StageZero = true;
+  StudyResult Result = runSolvingStudyParallel(
+      Ctx, Corpus, [](Context &) { return makeAllCheckers(); }, Config);
+
+  HarnessOptions Opts;
+  std::string Path = ::testing::TempDir() + "harness_study.json";
+  writeStudyJson(Path, "unit", Opts, Result);
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Json = Buf.str();
+  // Structural sanity: balanced braces/brackets and the documented keys.
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '['),
+            std::count(Json.begin(), Json.end(), ']'));
+  for (const char *Key :
+       {"\"table\"", "\"config\"", "\"timing\"", "\"pool\"",
+        "\"stage_zero\"", "\"solvers\"", "\"wall_seconds\"", "\"jobs\""})
+    EXPECT_NE(Json.find(Key), std::string::npos) << Key;
 }
 
 TEST(HarnessFormat, SecondsFormatting) {

@@ -1,0 +1,98 @@
+//===- tests/threadpool_test.cpp - Work-stealing pool tests ---------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+using namespace mba;
+
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numWorkers(), 4u);
+  for (size_t N : {(size_t)0, (size_t)1, (size_t)3, (size_t)4, (size_t)1000}) {
+    std::vector<std::atomic<unsigned>> Hits(N);
+    Pool.parallelFor(N, [&](size_t I, unsigned Worker) {
+      ASSERT_LT(I, N);
+      ASSERT_LT(Worker, Pool.numWorkers());
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t I = 0; I != N; ++I)
+      ASSERT_EQ(Hits[I].load(), 1u) << "index " << I << " of " << N;
+  }
+  PoolStats Stats = Pool.stats();
+  EXPECT_EQ(Stats.Tasks, 1008u);
+}
+
+TEST(ThreadPool, SingleWorkerCoversRange) {
+  ThreadPool Pool(1);
+  std::vector<unsigned> Hits(100, 0);
+  Pool.parallelFor(100, [&](size_t I, unsigned Worker) {
+    EXPECT_EQ(Worker, 0u);
+    ++Hits[I];
+  });
+  for (unsigned H : Hits)
+    EXPECT_EQ(H, 1u);
+  EXPECT_EQ(Pool.stats().Steals, 0u);
+}
+
+TEST(ThreadPool, StealingEngagesOnSkewedWork) {
+  ThreadPool Pool(4);
+  // A heavily skewed load: index 0 sleeps while the rest are free, so the
+  // other workers must steal from worker 0's shard to finish its range.
+  std::atomic<size_t> Done{0};
+  Pool.parallelFor(4000, [&](size_t I, unsigned) {
+    if (I == 0) {
+      // Busy-wait until most other indices completed (bounded).
+      for (int Spin = 0; Spin < 2000000 && Done.load() < 3000; ++Spin)
+        ;
+    }
+    Done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Done.load(), 4000u);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool Pool(3);
+  std::atomic<size_t> Ran{0};
+  bool Caught = false;
+  try {
+    Pool.parallelFor(50, [&](size_t I, unsigned) {
+      Ran.fetch_add(1);
+      if (I == 7)
+        throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error &E) {
+    Caught = true;
+    EXPECT_STREQ(E.what(), "boom");
+  }
+  EXPECT_TRUE(Caught);
+  // The pool stays usable after an exception.
+  std::atomic<size_t> After{0};
+  Pool.parallelFor(10, [&](size_t, unsigned) { After.fetch_add(1); });
+  EXPECT_EQ(After.load(), 10u);
+}
+
+TEST(ThreadPool, WorkerOrdinalsAreStable) {
+  ThreadPool Pool(2);
+  std::set<unsigned> Seen;
+  std::mutex Mu;
+  Pool.parallelFor(64, [&](size_t, unsigned Worker) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Seen.insert(Worker);
+  });
+  for (unsigned W : Seen)
+    EXPECT_LT(W, 2u);
+}
+
+} // namespace
