@@ -7,6 +7,7 @@
 #include "Harness.h"
 
 #include "ast/ExprUtils.h"
+#include "ast/Printer.h"
 #include "support/Stopwatch.h"
 
 #include <algorithm>
@@ -41,14 +42,112 @@ HarnessOptions mba::bench::parseHarnessArgs(int Argc, char **Argv) {
       Opts.Jobs = (unsigned)std::strtoul(V, nullptr, 10);
     else if (const char *V = Value("--json="))
       Opts.JsonPath = V;
-    else
+    else if (const char *V = Value("--cache="))
+      Opts.Cache = std::strtoul(V, nullptr, 10) != 0;
+    else if (const char *V = Value("--cache-file=")) {
+      Opts.CacheFile = V;
+      Opts.Cache = true;
+    } else
       std::fprintf(stderr,
                    "warning: unknown argument '%s' "
                    "(supported: --per-category= --timeout= --width= --seed= "
-                   "--static-prove= --jobs= --json=)\n",
+                   "--static-prove= --jobs= --json= --cache= "
+                   "--cache-file=)\n",
                    Arg);
   }
   return Opts;
+}
+
+bool PipelineCaches::loadFrom(const std::string &Path, std::string &Err) {
+  SnapshotReader R(Path, Width);
+  if (!R.ok()) {
+    Err = R.error();
+    return false;
+  }
+  std::string Name;
+  uint64_t Count = 0;
+  while (R.nextSection(Name, Count)) {
+    if (Simplify.loadSection(R, Name, Count))
+      continue;
+    if (Name == BasisCache::SectionName) {
+      Basis.loadSection(R, Count);
+      continue;
+    }
+    if (Name == VerdictCache::SectionName) {
+      Verdicts.loadSection(R, Count);
+      continue;
+    }
+    // Unknown section (written by a newer binary): skip its entries.
+    uint64_t Key = 0;
+    std::vector<uint8_t> Payload;
+    for (uint64_t I = 0; I != Count && R.entry(Key, Payload); ++I)
+      ;
+  }
+  if (!R.ok()) {
+    Err = R.error();
+    return false;
+  }
+  return true;
+}
+
+bool PipelineCaches::saveTo(const std::string &Path, std::string &Err) const {
+  SnapshotWriter W(Path, Width);
+  if (!W.ok()) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Simplify.save(W);
+  Basis.save(W);
+  Verdicts.save(W);
+  if (!W.finish()) {
+    Err = "short write to '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<PipelineCaches>
+mba::bench::makePipelineCaches(const HarnessOptions &Opts) {
+  if (!Opts.Cache)
+    return nullptr;
+  auto Caches = std::make_unique<PipelineCaches>(Opts.Width);
+  if (!Opts.CacheFile.empty()) {
+    std::string Err;
+    // A missing file is the normal cold-start case; only report loads
+    // that found a file but could not use it.
+    if (std::FILE *Probe = std::fopen(Opts.CacheFile.c_str(), "rb")) {
+      std::fclose(Probe);
+      if (!Caches->loadFrom(Opts.CacheFile, Err))
+        std::fprintf(stderr, "warning: ignoring cache snapshot: %s\n",
+                     Err.c_str());
+    }
+  }
+  return Caches;
+}
+
+void mba::bench::savePipelineCaches(const HarnessOptions &Opts,
+                                    const PipelineCaches *Caches) {
+  if (!Caches || Opts.CacheFile.empty())
+    return;
+  std::string Err;
+  if (!Caches->saveTo(Opts.CacheFile, Err))
+    std::fprintf(stderr, "warning: cache snapshot not saved: %s\n",
+                 Err.c_str());
+}
+
+void mba::bench::printCacheStats(const PipelineCaches &Caches) {
+  auto Line = [](const char *Name, const CacheStats &S) {
+    std::printf("  %-16s %8llu hits %8llu misses %8llu entries "
+                "(%llu evicted)\n",
+                Name, (unsigned long long)S.Hits, (unsigned long long)S.Misses,
+                (unsigned long long)S.Entries,
+                (unsigned long long)S.Evictions);
+  };
+  std::printf("Semantic caches:\n");
+  Line("simplify.result", Caches.Simplify.resultStats());
+  Line("simplify.linear", Caches.Simplify.linearStats());
+  Line("basis", Caches.Basis.stats());
+  Line("verdicts", Caches.Verdicts.stats());
 }
 
 std::vector<QueryRecord> mba::bench::runSolvingStudy(
@@ -81,6 +180,29 @@ std::vector<QueryRecord> mba::bench::runSolvingStudy(
 
 namespace {
 
+/// Copies the attached caches' counters into the result (no-op when the
+/// study ran uncached).
+void recordCacheStats(StudyResult &Out, const StudyConfig &Config) {
+  if (!Config.Caches)
+    return;
+  Out.CachesEnabled = true;
+  Out.SimplifyResultCache = Config.Caches->Simplify.resultStats();
+  Out.SimplifyLinearCache = Config.Caches->Simplify.linearStats();
+  Out.BasisCacheStats = Config.Caches->Basis.stats();
+  Out.VerdictCacheStats = Config.Caches->Verdicts.stats();
+}
+
+/// The simplifier configuration of one study worker, with the shared
+/// caches attached when the study runs cached.
+SimplifyOptions studySimplifyOptions(const StudyConfig &Config) {
+  SimplifyOptions Opts;
+  if (Config.Caches) {
+    Opts.SharedCache = &Config.Caches->Simplify;
+    Opts.SharedBasisCache = &Config.Caches->Basis;
+  }
+  return Opts;
+}
+
 void mergeStageZeroStats(StageZeroStats &Into, const StageZeroStats &From) {
   Into.Proved += From.Proved;
   Into.Refuted += From.Refuted;
@@ -101,22 +223,35 @@ StudyResult mba::bench::runSolvingStudyParallel(
   StudyResult Out;
   Out.Jobs = Config.Jobs ? Config.Jobs
                          : std::max(1u, std::thread::hardware_concurrency());
+  // Total covers preprocessing + simplification + solving — the
+  // end-to-end number WallSeconds (solve loop only) never included.
+  Stopwatch Total;
+  if (Config.RecordSimplified) {
+    Out.SimplifiedLhs.assign(Corpus.size(), std::string());
+    Out.SimplifiedRhs.assign(Corpus.size(), std::string());
+  }
 
   if (Out.Jobs == 1) {
     // Serial path, bit-identical to runSolvingStudy on the main context.
     std::vector<std::unique_ptr<EquivalenceChecker>> Checkers =
         MakeCheckers(Ctx);
     if (Config.StageZero)
-      addStageZeroProver(Ctx, Checkers, Out.StaticStats);
+      addStageZeroProver(Ctx, Checkers, Out.StaticStats,
+                         Config.Caches ? &Config.Caches->Verdicts : nullptr);
     std::unique_ptr<MBASolver> Simplifier;
     if (Config.Simplify)
-      Simplifier = std::make_unique<MBASolver>(Ctx);
+      Simplifier =
+          std::make_unique<MBASolver>(Ctx, studySimplifyOptions(Config));
     std::vector<const Expr *> Lhs(Corpus.size()), Rhs(Corpus.size());
     for (size_t I = 0; I != Corpus.size(); ++I) {
       Lhs[I] = Simplifier ? Simplifier->simplify(Corpus[I].Obfuscated)
                           : Corpus[I].Obfuscated;
       Rhs[I] = Simplifier ? Simplifier->simplify(Corpus[I].Ground)
                           : Corpus[I].Ground;
+      if (Config.RecordSimplified) {
+        Out.SimplifiedLhs[I] = printExpr(Ctx, Lhs[I]);
+        Out.SimplifiedRhs[I] = printExpr(Ctx, Rhs[I]);
+      }
     }
     // The wall clock starts after preprocessing (and there is no cloning
     // on the serial path): it measures the solve loop alone.
@@ -132,6 +267,8 @@ StudyResult mba::bench::runSolvingStudyParallel(
     Out.WallSeconds = Wall.seconds();
     if (Simplifier)
       Out.SimplifySeconds = Simplifier->stats().Seconds;
+    recordCacheStats(Out, Config);
+    Out.TotalSeconds = Total.seconds();
     return Out;
   }
 
@@ -159,10 +296,13 @@ StudyResult mba::bench::runSolvingStudyParallel(
       // thread, so the context's owner-thread guardrail holds.
       W.Ctx = std::make_unique<Context>(Ctx.width());
       if (Config.Simplify)
-        W.Simplifier = std::make_unique<MBASolver>(*W.Ctx);
+        W.Simplifier = std::make_unique<MBASolver>(
+            *W.Ctx, studySimplifyOptions(Config));
       W.Checkers = MakeCheckers(*W.Ctx);
       if (Config.StageZero)
-        addStageZeroProver(*W.Ctx, W.Checkers, W.Stats);
+        addStageZeroProver(*W.Ctx, W.Checkers, W.Stats,
+                           Config.Caches ? &Config.Caches->Verdicts
+                                         : nullptr);
     }
     Stopwatch CloneTimer;
     const Expr *Lhs = cloneExpr(*W.Ctx, Corpus[I].Obfuscated);
@@ -171,6 +311,11 @@ StudyResult mba::bench::runSolvingStudyParallel(
     if (W.Simplifier) {
       Lhs = W.Simplifier->simplify(Lhs);
       Rhs = W.Simplifier->simplify(Rhs);
+    }
+    if (Config.RecordSimplified) {
+      // Pre-assigned slots: no lock needed, no order dependence.
+      Out.SimplifiedLhs[I] = printExpr(*W.Ctx, Lhs);
+      Out.SimplifiedRhs[I] = printExpr(*W.Ctx, Rhs);
     }
     for (size_t C = 0; C != W.Checkers.size(); ++C) {
       CheckResult R =
@@ -188,14 +333,17 @@ StudyResult mba::bench::runSolvingStudyParallel(
       Out.SimplifySeconds += W.Simplifier->stats().Seconds;
     Out.CloneSeconds += W.CloneSeconds;
   }
+  recordCacheStats(Out, Config);
+  Out.TotalSeconds = Total.seconds();
   return Out;
 }
 
 void mba::bench::addStageZeroProver(
     Context &Ctx, std::vector<std::unique_ptr<EquivalenceChecker>> &Checkers,
-    StageZeroStats &Stats) {
+    StageZeroStats &Stats, VerdictCache *Verdicts) {
   for (auto &Checker : Checkers)
-    Checker = makeStagedChecker(Ctx, std::move(Checker), &Stats);
+    Checker = makeStagedChecker(Ctx, std::move(Checker), &Stats, ProveBudget(),
+                                Verdicts);
 }
 
 void mba::bench::printStageZeroStats(const StageZeroStats &Stats) {
@@ -236,10 +384,28 @@ void mba::bench::writeStudyJson(const std::string &Path,
                Result.StaticStats.queries() ? "true" : "false",
                Result.SimplifySeconds > 0 ? "true" : "false");
   std::fprintf(F,
-               "  \"timing\": {\"wall_seconds\": %.6f, \"clone_seconds\": "
-               "%.6f, \"simplify_seconds\": %.6f},\n",
-               Result.WallSeconds, Result.CloneSeconds,
+               "  \"timing\": {\"total_seconds\": %.6f, \"wall_seconds\": "
+               "%.6f, \"clone_seconds\": %.6f, \"simplify_seconds\": %.6f},\n",
+               Result.TotalSeconds, Result.WallSeconds, Result.CloneSeconds,
                Result.SimplifySeconds);
+  auto CacheJson = [&](const char *Name, const CacheStats &S,
+                       const char *Sep) {
+    std::fprintf(F,
+                 "    \"%s\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"inserts\": %llu, \"evictions\": %llu, \"entries\": "
+                 "%llu}%s\n",
+                 Name, (unsigned long long)S.Hits, (unsigned long long)S.Misses,
+                 (unsigned long long)S.Inserts,
+                 (unsigned long long)S.Evictions,
+                 (unsigned long long)S.Entries, Sep);
+  };
+  std::fprintf(F, "  \"caches\": {\n    \"enabled\": %s,\n",
+               Result.CachesEnabled ? "true" : "false");
+  CacheJson("simplify_result", Result.SimplifyResultCache, ",");
+  CacheJson("simplify_linear", Result.SimplifyLinearCache, ",");
+  CacheJson("basis", Result.BasisCacheStats, ",");
+  CacheJson("verdicts", Result.VerdictCacheStats, "");
+  std::fprintf(F, "  },\n");
   std::fprintf(F,
                "  \"pool\": {\"workers\": %u, \"tasks\": %llu, \"steals\": "
                "%llu, \"idle_waits\": %llu},\n",

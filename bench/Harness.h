@@ -25,6 +25,7 @@
 #include "ast/Context.h"
 #include "gen/Corpus.h"
 #include "mba/Simplifier.h"
+#include "mba/SimplifyCache.h"
 #include "solvers/EquivalenceChecker.h"
 #include "support/ThreadPool.h"
 
@@ -51,11 +52,54 @@ struct HarnessOptions {
   /// When non-empty, the study also writes a machine-readable JSON report
   /// here (writeStudyJson).
   std::string JsonPath;
+  /// Share the semantic memoization layer (simplify / basis / verdict
+  /// caches) across the whole study. Verdicts and simplified expressions
+  /// are bit-identical with caching on or off; only timing changes.
+  bool Cache = false;
+  /// Snapshot path: loaded (if present) before the study, saved after it.
+  /// Implies Cache.
+  std::string CacheFile;
 };
 
 /// Parses --per-category / --timeout / --width / --seed / --static-prove /
-/// --jobs / --json overrides.
+/// --jobs / --json / --cache / --cache-file overrides.
 HarnessOptions parseHarnessArgs(int Argc, char **Argv);
+
+/// The three shared caches of one study run, built at a fixed word width.
+/// All members are internally synchronized; one PipelineCaches can feed
+/// every worker of a parallel study and persist across runs via the
+/// snapshot format (support/Cache.h).
+struct PipelineCaches {
+  explicit PipelineCaches(unsigned Width)
+      : Width(Width), Simplify(Width) {}
+
+  unsigned Width;
+  SimplifyCache Simplify;
+  BasisCache Basis;
+  VerdictCache Verdicts;
+
+  /// Loads a snapshot written by saveTo(). Unknown sections are skipped;
+  /// a missing file, bad magic, version or width mismatch fails with
+  /// \p Err set and leaves the caches unchanged (partial corruption drops
+  /// the remainder of the file only).
+  bool loadFrom(const std::string &Path, std::string &Err);
+
+  /// Writes every cache as one snapshot file.
+  bool saveTo(const std::string &Path, std::string &Err) const;
+};
+
+/// Builds the cache set Opts asks for: null when caching is off, otherwise
+/// fresh caches pre-loaded from Opts.CacheFile when that file exists (a
+/// load failure warns on stderr and starts cold).
+std::unique_ptr<PipelineCaches> makePipelineCaches(const HarnessOptions &Opts);
+
+/// Persists \p Caches to Opts.CacheFile when one is configured (no-op
+/// otherwise); warns on stderr if the write fails.
+void savePipelineCaches(const HarnessOptions &Opts,
+                        const PipelineCaches *Caches);
+
+/// Prints the hit/miss/entry counters of every cache in \p Caches.
+void printCacheStats(const PipelineCaches &Caches);
 
 /// One solver query outcome.
 struct QueryRecord {
@@ -93,6 +137,15 @@ struct StudyConfig {
   /// Wrap every checker in the stage-0 static prover (addStageZeroProver);
   /// counters are merged across workers into StudyResult::StaticStats.
   bool StageZero = false;
+  /// Shared memoization layer: simplify/basis caches feed every worker's
+  /// MBASolver, the verdict cache short-circuits the staged checkers. Null
+  /// runs uncached. Either way the verdicts and simplified expressions are
+  /// bit-identical (pinned by tests/harness_test.cpp).
+  PipelineCaches *Caches = nullptr;
+  /// Record the printed simplified (or raw, when !Simplify) expressions
+  /// per corpus entry into StudyResult::SimplifiedLhs/Rhs — the hook the
+  /// determinism tests compare across job counts and cache configurations.
+  bool RecordSimplified = false;
 };
 
 /// Everything a study run produces: the per-query records (in the same
@@ -104,8 +157,19 @@ struct StudyResult {
   double SimplifySeconds = 0;  ///< preprocessing cost, summed over workers
   double CloneSeconds = 0;     ///< cross-context corpus cloning, summed
   double WallSeconds = 0;      ///< solve loop only; excludes corpus setup
+  /// End-to-end study time: preprocessing + simplify + solve (the number
+  /// "wall_seconds" historically missed — it starts after preprocessing).
+  double TotalSeconds = 0;
   PoolStats Pool;              ///< steal/idle counters (zero when Jobs == 1)
   unsigned Jobs = 1;           ///< resolved worker count
+  /// Printed per-entry expressions (Config.RecordSimplified), indexed by
+  /// corpus entry in corpus order for any job count.
+  std::vector<std::string> SimplifiedLhs, SimplifiedRhs;
+  bool CachesEnabled = false;  ///< a PipelineCaches was attached
+  CacheStats SimplifyResultCache; ///< whole-result layer counters
+  CacheStats SimplifyLinearCache; ///< linear-rebuild layer counters
+  CacheStats BasisCacheStats;     ///< basis-solve counters
+  CacheStats VerdictCacheStats;   ///< equivalence-verdict counters
 };
 
 /// The parallel solving study. Work is partitioned per corpus entry; each
@@ -144,10 +208,11 @@ std::string formatSeconds(double S);
 
 /// Wraps every checker in \p Checkers with the stage-0 static prover
 /// (makeStagedChecker), all feeding the shared \p Stats counters. \p Stats
-/// must outlive the checkers.
+/// must outlive the checkers. \p Verdicts optionally short-circuits
+/// repeated queries before stage 0 (see makeStagedChecker).
 void addStageZeroProver(
     Context &Ctx, std::vector<std::unique_ptr<EquivalenceChecker>> &Checkers,
-    StageZeroStats &Stats);
+    StageZeroStats &Stats, VerdictCache *Verdicts = nullptr);
 
 /// Prints the stage-0 counters accumulated by a staged run: the
 /// proved/refuted/fallthrough split (how many queries never reached a

@@ -16,6 +16,7 @@
 #include "ast/Printer.h"
 #include "gen/Corpus.h"
 #include "gen/Obfuscator.h"
+#include "linalg/TruthTable.h"
 #include "mba/Basis.h"
 #include "mba/Signature.h"
 #include "mba/Simplifier.h"
@@ -103,6 +104,42 @@ void BM_SimplifyColdCache(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SimplifyColdCache);
+
+/// A bitwise expression over \p T variables for the truth-table benches
+/// (deep enough that the column is not a single pattern fill).
+const Expr *truthBenchExpr(Context &Ctx, std::vector<const Expr *> &Vars,
+                           unsigned T) {
+  Vars.clear();
+  for (unsigned I = 0; I != T; ++I)
+    Vars.push_back(Ctx.getVar("v" + std::to_string(I)));
+  const Expr *E = Vars[0];
+  for (unsigned I = 1; I != T; ++I) {
+    const Expr *Term = I % 2 ? Ctx.getAnd(E, Vars[I])
+                             : Ctx.getOr(Ctx.getNot(E), Vars[I]);
+    E = Ctx.getXor(E, Term);
+  }
+  return E;
+}
+
+// Before/after pair for the word-packed truth-table kernel: the scalar
+// row-at-a-time evaluator vs the packed 64-rows-per-word one.
+void BM_TruthColumnScalar(benchmark::State &State) {
+  Context Ctx(64);
+  std::vector<const Expr *> Vars;
+  const Expr *E = truthBenchExpr(Ctx, Vars, (unsigned)State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(truthColumn(Ctx, E, Vars));
+}
+BENCHMARK(BM_TruthColumnScalar)->Arg(6)->Arg(10);
+
+void BM_TruthColumnPacked(benchmark::State &State) {
+  Context Ctx(64);
+  std::vector<const Expr *> Vars;
+  const Expr *E = truthBenchExpr(Ctx, Vars, (unsigned)State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(truthColumnPacked(Ctx, E, Vars));
+}
+BENCHMARK(BM_TruthColumnPacked)->Arg(6)->Arg(10);
 
 void BM_ObfuscateLinear(benchmark::State &State) {
   Context Ctx(64);

@@ -44,8 +44,11 @@ int main(int Argc, char **Argv) {
   StudyConfig Config;
   Config.TimeoutSeconds = Opts.TimeoutSeconds;
   Config.Jobs = Opts.Jobs;
+  std::unique_ptr<PipelineCaches> Caches = makePipelineCaches(Opts);
+  Config.Caches = Caches.get();
   StudyResult Result = runSolvingStudyParallel(
       Ctx, Corpus, [](Context &) { return makeAllCheckers(); }, Config);
+  savePipelineCaches(Opts, Caches.get());
   printSolverCategoryTable(
       Result.Records, Opts.PerCategory,
       "Table 2: solving RAW MBA identity equations (timeout " +

@@ -38,8 +38,14 @@ int main(int Argc, char **Argv) {
   Config.Jobs = Opts.Jobs;
   Config.Simplify = true;
   Config.StageZero = Opts.StageZeroProver;
+  // --cache=1 shares the semantic memoization layer across the study;
+  // --cache-file=PATH additionally loads/saves a snapshot, so a second run
+  // starts warm. Verdicts are bit-identical either way.
+  std::unique_ptr<PipelineCaches> Caches = makePipelineCaches(Opts);
+  Config.Caches = Caches.get();
   StudyResult Result = runSolvingStudyParallel(
       Ctx, Corpus, [](Context &) { return makeAllCheckers(); }, Config);
+  savePipelineCaches(Opts, Caches.get());
   printSolverCategoryTable(
       Result.Records, Opts.PerCategory,
       "Table 6: solving after MBA-Solver simplification (timeout " +
@@ -47,6 +53,8 @@ int main(int Argc, char **Argv) {
           std::to_string(Opts.Width) + ")");
   if (Opts.StageZeroProver)
     printStageZeroStats(Result.StaticStats);
+  if (Caches)
+    printCacheStats(*Caches);
 
   std::printf("Simplification preprocessing cost (Table 8 reports details): "
               "%.3f s total for %zu expressions\n",

@@ -57,6 +57,15 @@ const Expr *
 rewriteBottomUp(Context &Ctx, const Expr *E,
                 const std::function<const Expr *(const Expr *)> &Fn);
 
+/// Context-independent 64-bit structural fingerprint of \p E: hashes node
+/// kinds, variable names and constant values bottom-up, so two expressions
+/// (possibly from different contexts) get the same fingerprint iff they
+/// print identically. This is the cache key of the semantic memoization
+/// layer (support/Cache.h) — keyed by name/value, never by pointer, so
+/// fingerprints are stable across contexts, runs and snapshot reloads.
+/// DAG-memoized and iterative like every walk here.
+uint64_t exprFingerprint(const Expr *E);
+
 /// Deep-copies \p E (owned by any context of the same width) into \p Dst:
 /// variables map by name, constants by value (re-truncated to Dst's width),
 /// operators structurally. Interning in \p Dst preserves DAG sharing. This

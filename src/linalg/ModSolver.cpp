@@ -6,6 +6,7 @@
 
 #include "linalg/ModSolver.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace mba;
@@ -66,28 +67,43 @@ mba::solveInvertibleMod2N(SquareMatrix A, std::span<const uint64_t> B,
 }
 
 bool mba::isInvertibleMod2(const SquareMatrix &A) {
-  // Row-reduce a bit-packed copy over GF(2).
+  // Row-reduce a bit-packed copy over GF(2): each row is Words 64-bit
+  // blocks, so the inner elimination XORs whole words instead of walking
+  // columns (and N is no longer capped at 64).
   unsigned N = A.N;
-  assert(N <= 64 && "GF(2) check supports up to 64 columns");
-  std::vector<uint64_t> Rows(N, 0);
+  unsigned Words = (N + 63) / 64;
+  std::vector<uint64_t> Rows((size_t)N * Words, 0);
   for (unsigned R = 0; R != N; ++R)
     for (unsigned C = 0; C != N; ++C)
       if (A.at(R, C) & 1)
-        Rows[R] |= 1ULL << C;
+        Rows[(size_t)R * Words + C / 64] |= 1ULL << (C % 64);
+
+  auto Bit = [&](unsigned Row, unsigned Col) {
+    return Rows[(size_t)Row * Words + Col / 64] >> (Col % 64) & 1;
+  };
   for (unsigned Col = 0; Col != N; ++Col) {
     unsigned Pivot = N;
     for (unsigned Row = Col; Row != N; ++Row) {
-      if (Rows[Row] >> Col & 1) {
+      if (Bit(Row, Col)) {
         Pivot = Row;
         break;
       }
     }
     if (Pivot == N)
       return false;
-    std::swap(Rows[Pivot], Rows[Col]);
-    for (unsigned Row = 0; Row != N; ++Row)
-      if (Row != Col && (Rows[Row] >> Col & 1))
-        Rows[Row] ^= Rows[Col];
+    if (Pivot != Col)
+      std::swap_ranges(Rows.begin() + (size_t)Pivot * Words,
+                       Rows.begin() + (size_t)(Pivot + 1) * Words,
+                       Rows.begin() + (size_t)Col * Words);
+    for (unsigned Row = 0; Row != N; ++Row) {
+      if (Row == Col || !Bit(Row, Col))
+        continue;
+      // Elimination only needs to clear columns >= Col, but XORing the
+      // full word row is cheaper than masking and keeps the loop branch
+      // free.
+      for (unsigned W = 0; W != Words; ++W)
+        Rows[(size_t)Row * Words + W] ^= Rows[(size_t)Col * Words + W];
+    }
   }
   return true;
 }

@@ -45,7 +45,9 @@ solveInvertibleMod2N(SquareMatrix A, std::span<const uint64_t> B,
                      uint64_t Mask);
 
 /// Returns true if \p A has odd determinant, i.e. is invertible over Z/2^w
-/// for every w. (Determinant parity equals invertibility over GF(2).)
+/// for every w. (Determinant parity equals invertibility over GF(2).) Rows
+/// are bit-packed into 64-bit words internally, so any N is supported and
+/// elimination runs word-at-a-time.
 bool isInvertibleMod2(const SquareMatrix &A);
 
 } // namespace mba

@@ -8,6 +8,9 @@
 
 #include "ast/Evaluator.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 using namespace mba;
 
 std::vector<uint64_t> mba::cornerAssignment(const Context &Ctx, unsigned Row,
@@ -37,6 +40,111 @@ std::vector<uint8_t> mba::truthColumn(const Context &Ctx, const Expr *E,
   return Column;
 }
 
+namespace {
+
+/// Whether \p E can be evaluated 64 truth-table rows at a time: a DAG of
+/// And/Or/Xor/Not over variables from \p VarPos and 0 / all-ones
+/// constants. Arithmetic nodes (e.g. -x-1, semantically ~x) need the
+/// scalar word-level evaluator.
+bool isPackedEvaluable(
+    const Context &Ctx, const Expr *E,
+    const std::unordered_map<const Expr *, unsigned> &VarPos) {
+  switch (E->kind()) {
+  case ExprKind::Var:
+    return VarPos.count(E) != 0;
+  case ExprKind::Const:
+    return E->constValue() == 0 || E->constValue() == Ctx.mask();
+  case ExprKind::Not:
+    return isPackedEvaluable(Ctx, E->lhs(), VarPos);
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Xor:
+    return isPackedEvaluable(Ctx, E->lhs(), VarPos) &&
+           isPackedEvaluable(Ctx, E->rhs(), VarPos);
+  default:
+    return false;
+  }
+}
+
+/// Fills \p Out with the packed column of the variable whose truth bit is
+/// bit \p P of the row index. Within a 64-row block the low six row bits
+/// select the bit position, so P < 6 is a fixed per-word pattern and P >= 6
+/// selects whole blocks by bit P-6 of the block index.
+void packedVarColumn(unsigned P, std::vector<uint64_t> &Out) {
+  static const uint64_t Pattern[6] = {
+      0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+      0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+  if (P < 6) {
+    std::fill(Out.begin(), Out.end(), Pattern[P]);
+    return;
+  }
+  for (size_t Block = 0; Block != Out.size(); ++Block)
+    Out[Block] = (Block >> (P - 6)) & 1 ? ~0ULL : 0;
+}
+
+void evalPacked(const Context &Ctx, const Expr *E, unsigned T,
+                const std::unordered_map<const Expr *, unsigned> &VarPos,
+                std::unordered_map<const Expr *, std::vector<uint64_t>> &Memo,
+                std::vector<uint64_t> &Out) {
+  auto It = Memo.find(E);
+  if (It != Memo.end()) {
+    Out = It->second;
+    return;
+  }
+  switch (E->kind()) {
+  case ExprKind::Var:
+    packedVarColumn(T - 1 - VarPos.at(E), Out);
+    break;
+  case ExprKind::Const:
+    std::fill(Out.begin(), Out.end(), E->constValue() ? ~0ULL : 0);
+    break;
+  case ExprKind::Not:
+    evalPacked(Ctx, E->lhs(), T, VarPos, Memo, Out);
+    for (uint64_t &Block : Out)
+      Block = ~Block;
+    break;
+  default: {
+    std::vector<uint64_t> Rhs(Out.size());
+    evalPacked(Ctx, E->lhs(), T, VarPos, Memo, Out);
+    evalPacked(Ctx, E->rhs(), T, VarPos, Memo, Rhs);
+    for (size_t I = 0; I != Out.size(); ++I)
+      Out[I] = E->kind() == ExprKind::And   ? Out[I] & Rhs[I]
+               : E->kind() == ExprKind::Or  ? Out[I] | Rhs[I]
+                                            : Out[I] ^ Rhs[I];
+    break;
+  }
+  }
+  Memo.emplace(E, Out);
+}
+
+} // namespace
+
+std::vector<uint64_t>
+mba::truthColumnPacked(const Context &Ctx, const Expr *E,
+                       std::span<const Expr *const> Vars) {
+  unsigned T = (unsigned)Vars.size();
+  assert(T <= 20 && "truth table would be too large");
+  size_t Rows = (size_t)1 << T;
+  std::vector<uint64_t> Packed((Rows + 63) / 64, 0);
+
+  std::unordered_map<const Expr *, unsigned> VarPos;
+  for (unsigned I = 0; I != T; ++I)
+    VarPos.emplace(Vars[I], I);
+
+  if (isPackedEvaluable(Ctx, E, VarPos)) {
+    std::unordered_map<const Expr *, std::vector<uint64_t>> Memo;
+    evalPacked(Ctx, E, T, VarPos, Memo, Packed);
+  } else {
+    std::vector<uint8_t> Column = truthColumn(Ctx, E, Vars);
+    for (size_t Row = 0; Row != Rows; ++Row)
+      if (Column[Row])
+        Packed[Row >> 6] |= 1ULL << (Row & 63);
+  }
+  if (Rows < 64)
+    Packed[0] &= ((uint64_t)1 << Rows) - 1; // zero the unused tail
+  return Packed;
+}
+
 std::vector<uint8_t>
 mba::truthTableMatrix(const Context &Ctx, std::span<const Expr *const> Exprs,
                       std::span<const Expr *const> Vars) {
@@ -45,9 +153,9 @@ mba::truthTableMatrix(const Context &Ctx, std::span<const Expr *const> Exprs,
   unsigned Cols = (unsigned)Exprs.size();
   std::vector<uint8_t> Matrix(Rows * Cols);
   for (unsigned Col = 0; Col != Cols; ++Col) {
-    std::vector<uint8_t> Column = truthColumn(Ctx, Exprs[Col], Vars);
+    std::vector<uint64_t> Column = truthColumnPacked(Ctx, Exprs[Col], Vars);
     for (unsigned Row = 0; Row != Rows; ++Row)
-      Matrix[Row * Cols + Col] = Column[Row];
+      Matrix[Row * Cols + Col] = Column[Row >> 6] >> (Row & 63) & 1;
   }
   return Matrix;
 }

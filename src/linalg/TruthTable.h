@@ -52,6 +52,15 @@ std::vector<uint64_t> cornerAssignment(const Context &Ctx, unsigned Row,
 std::vector<uint8_t> truthColumn(const Context &Ctx, const Expr *E,
                                  std::span<const Expr *const> Vars);
 
+/// The same column word-packed: bit Row of block Row/64 holds the truth
+/// value of row Row, (2^|Vars| + 63) / 64 blocks total, unused tail bits
+/// zero. Structurally bitwise expressions (And/Or/Xor/Not over \p Vars and
+/// 0 / all-ones constants) are evaluated 64 rows at a time with word
+/// operations; anything else falls back to the scalar row loop. Always
+/// agrees with truthColumn bit for bit.
+std::vector<uint64_t> truthColumnPacked(const Context &Ctx, const Expr *E,
+                                        std::span<const Expr *const> Vars);
+
 /// The full truth-table matrix of \p Exprs (one column per expression),
 /// stored row-major: Matrix[Row * Exprs.size() + Col].
 std::vector<uint8_t> truthTableMatrix(const Context &Ctx,

@@ -69,26 +69,23 @@ std::vector<uint64_t> solveDisjunction(std::span<const uint64_t> Sig,
 
 } // namespace
 
-LinearCombo mba::solveBasis(Context &Ctx, BasisKind Kind,
-                            std::span<const uint64_t> Sig,
-                            std::span<const Expr *const> Vars) {
-  unsigned T = (unsigned)Vars.size();
-  assert(Sig.size() == (1u << T) && "signature size mismatch");
-  uint64_t Mask = Ctx.mask();
-
+BasisSolution mba::solveBasisRaw(BasisKind Kind, std::span<const uint64_t> Sig,
+                                 unsigned NumVars, uint64_t Mask) {
+  assert(Sig.size() == (1u << NumVars) && "signature size mismatch");
   std::vector<uint64_t> C = Kind == BasisKind::Conjunction
                                 ? solveConjunction(Sig, Mask)
-                                : solveDisjunction(Sig, T, Mask);
+                                : solveDisjunction(Sig, NumVars, Mask);
 
-  LinearCombo Combo;
+  BasisSolution Solution;
+  Solution.Kind = Kind;
   // Subset 0 is the constant -1 with coefficient C[0]; fold the sign into
   // the combination's constant term.
-  Combo.Constant = (0 - C[0]) & Mask;
+  Solution.Constant = (0 - C[0]) & Mask;
   // Emit singletons first, then pairs, etc.; within one size, descending
   // subset index puts earlier-named variables first (variable i occupies
   // bit t-1-i), so the printed form reads x + y + (x&y) + ...
   std::vector<unsigned> Order;
-  for (unsigned S = 1; S != (1u << T); ++S)
+  for (unsigned S = 1; S != (1u << NumVars); ++S)
     if (C[S])
       Order.push_back(S);
   std::sort(Order.begin(), Order.end(), [](unsigned A, unsigned B) {
@@ -99,6 +96,70 @@ LinearCombo mba::solveBasis(Context &Ctx, BasisKind Kind,
     return A > B;
   });
   for (unsigned S : Order)
-    Combo.Terms.push_back({C[S], basisExpr(Ctx, Kind, S, Vars)});
+    Solution.Terms.push_back({S, C[S]});
+  return Solution;
+}
+
+LinearCombo mba::comboFromSolution(Context &Ctx, const BasisSolution &Solution,
+                                   std::span<const Expr *const> Vars) {
+  LinearCombo Combo;
+  Combo.Constant = Solution.Constant;
+  Combo.Terms.reserve(Solution.Terms.size());
+  for (const auto &[Subset, Coeff] : Solution.Terms)
+    Combo.Terms.push_back(
+        {Coeff, basisExpr(Ctx, Solution.Kind, Subset, Vars)});
   return Combo;
+}
+
+LinearCombo mba::solveBasis(Context &Ctx, BasisKind Kind,
+                            std::span<const uint64_t> Sig,
+                            std::span<const Expr *const> Vars) {
+  return comboFromSolution(
+      Ctx, solveBasisRaw(Kind, Sig, (unsigned)Vars.size(), Ctx.mask()), Vars);
+}
+
+//===----------------------------------------------------------------------===//
+// BasisCache snapshot codec
+//===----------------------------------------------------------------------===//
+//
+// Payload: u8 kind, u64 constant, u32 term count, then (u32 subset,
+// u64 coefficient) per term, in emission order.
+
+void BasisCache::save(SnapshotWriter &W) const {
+  saveCacheSection(W, SectionName, Cache,
+                   [](const BasisSolution &S, std::vector<uint8_t> &Out) {
+                     putU8(Out, (uint8_t)S.Kind);
+                     putU64(Out, S.Constant);
+                     putU32(Out, (uint32_t)S.Terms.size());
+                     for (const auto &[Subset, Coeff] : S.Terms) {
+                       putU32(Out, Subset);
+                       putU64(Out, Coeff);
+                     }
+                   });
+}
+
+size_t BasisCache::loadSection(SnapshotReader &R, uint64_t Count) {
+  return loadCacheSection(
+      R, Count, Cache,
+      [](const std::vector<uint8_t> &Buf) -> std::optional<BasisSolution> {
+        ByteCursor Cur(Buf);
+        BasisSolution S;
+        uint8_t Kind = Cur.u8();
+        if (Kind > (uint8_t)BasisKind::Disjunction)
+          return std::nullopt;
+        S.Kind = (BasisKind)Kind;
+        S.Constant = Cur.u64();
+        uint32_t NumTerms = Cur.u32();
+        if (Cur.failed() || NumTerms > (1u << 20))
+          return std::nullopt;
+        S.Terms.reserve(NumTerms);
+        for (uint32_t I = 0; I != NumTerms; ++I) {
+          unsigned Subset = Cur.u32();
+          uint64_t Coeff = Cur.u64();
+          S.Terms.push_back({Subset, Coeff});
+        }
+        if (Cur.failed() || !Cur.atEnd())
+          return std::nullopt;
+        return S;
+      });
 }

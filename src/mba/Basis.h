@@ -28,6 +28,7 @@
 
 #include "ast/Context.h"
 #include "ast/Expr.h"
+#include "support/Cache.h"
 
 #include <cstdint>
 #include <span>
@@ -60,12 +61,66 @@ struct LinearCombo {
 const Expr *basisExpr(Context &Ctx, BasisKind Kind, unsigned Subset,
                       std::span<const Expr *const> Vars);
 
+/// Expression-free form of a basis solve: the chosen basis, the folded
+/// constant, and the nonzero coefficients by variable-subset index, in the
+/// exact order solveBasis emits them. Because it references variables only
+/// by position, a solution is shareable across variable sets, contexts and
+/// processes — it is what the basis cache stores and snapshots.
+struct BasisSolution {
+  BasisKind Kind = BasisKind::Conjunction;
+  uint64_t Constant = 0;
+  /// (subset index, coefficient) pairs in emission order (singletons first,
+  /// then pairs, ...; see solveBasis).
+  std::vector<std::pair<unsigned, uint64_t>> Terms;
+};
+
+/// The solve itself, without building expressions: expresses \p Sig
+/// (2^NumVars entries) in basis \p Kind over Z/2^w (width selected by
+/// \p Mask). A pure function of its arguments.
+BasisSolution solveBasisRaw(BasisKind Kind, std::span<const uint64_t> Sig,
+                            unsigned NumVars, uint64_t Mask);
+
+/// Instantiates \p Solution over \p Vars: builds the basis expression of
+/// every term's subset and returns the combination. Bit-identical to the
+/// combination a direct solveBasis call would return.
+LinearCombo comboFromSolution(Context &Ctx, const BasisSolution &Solution,
+                              std::span<const Expr *const> Vars);
+
 /// Expresses the signature vector \p Sig (2^|Vars| entries) in the chosen
 /// basis: the returned combination is the normalized linear MBA with
-/// signature \p Sig. Exact over Z/2^w.
+/// signature \p Sig. Exact over Z/2^w. Equivalent to
+/// comboFromSolution(solveBasisRaw(...)).
 LinearCombo solveBasis(Context &Ctx, BasisKind Kind,
                        std::span<const uint64_t> Sig,
                        std::span<const Expr *const> Vars);
+
+/// Thread-safe memo of basis solves (the Section 4.5 lookup table, made
+/// cross-call and cross-thread): a ShardedCache of BasisSolutions keyed on
+/// hash(width, basis mode, signature[, variable names — AutoBasis only;
+/// see MBASolver::normalizedCombo]). Snapshots as one section of the cache
+/// persistence format.
+class BasisCache {
+public:
+  explicit BasisCache(size_t Capacity = 1 << 16) : Cache(Capacity) {}
+
+  bool lookup(uint64_t Key, BasisSolution &Out) {
+    return Cache.lookup(Key, Out);
+  }
+  void insert(uint64_t Key, const BasisSolution &S) { Cache.insert(Key, S); }
+
+  CacheStats stats() const { return Cache.stats(); }
+  void clear() { Cache.clear(); }
+
+  void save(SnapshotWriter &W) const;
+  /// Loads one snapshot section (header already consumed by the caller's
+  /// nextSection loop). Returns the number of entries loaded.
+  size_t loadSection(SnapshotReader &R, uint64_t Count);
+
+  static constexpr const char *SectionName = "basis.solutions";
+
+private:
+  ShardedCache<BasisSolution> Cache;
+};
 
 } // namespace mba
 

@@ -15,19 +15,82 @@
 #include "mba/Classify.h"
 #include "mba/Metrics.h"
 #include "mba/Signature.h"
+#include "mba/SimplifyCache.h"
 #include "poly/PolyExpr.h"
 #include "support/Stopwatch.h"
 
+#include <cstdio>
 #include <functional>
 
 using namespace mba;
 
+namespace {
+
+/// Folds every option that can change the simplifier's output into one
+/// word, so differently-configured solvers sharing a SimplifyCache can
+/// never alias each other's result-layer entries.
+uint64_t optionsFingerprint(const SimplifyOptions &O) {
+  uint64_t H = hashMix64(0x51312c1f1e5ULL);
+  auto Add = [&H](uint64_t V) { H = hashCombine64(H, V); };
+  Add((uint64_t)O.Basis);
+  Add(O.AutoBasis);
+  Add(O.MaxSignatureVars);
+  Add(O.EnableCSE);
+  Add(O.EnableFinalOpt);
+  Add(O.EnableKnownBits);
+  Add(O.EnableSaturation);
+  Add(O.SaturationBudget.MaxIterations);
+  Add(O.SaturationBudget.MaxENodes);
+  Add(O.SaturationBudget.MaxMatchesPerRule);
+  Add(O.MaxFinalOptVars);
+  Add(O.MaxDepth);
+  return H;
+}
+
+} // namespace
+
 MBASolver::MBASolver(Context &Ctx, SimplifyOptions Opts)
-    : Ctx(Ctx), Opts(Opts) {}
+    : Ctx(Ctx), Opts(Opts), OptionsFp(optionsFingerprint(this->Opts)) {}
 
 const Expr *MBASolver::simplify(const Expr *E) {
   Stopwatch Timer;
   size_t BytesBefore = Ctx.bytesUsed();
+
+  // Per-call state: temp numbering restarts at zero and may only avoid the
+  // *input's* variable names, and the rewrite memo is scoped to this call.
+  // Both make the output a function of the input expression alone — a
+  // solver that processed other expressions first (a reused serial solver,
+  // a thread-pool worker with its private memo) produces the same form a
+  // fresh solver would, which is what lets the parallel study and the
+  // shared caches promise bit-identical expressions, not just verdicts.
+  // (Cross-call reuse isn't lost: the schedule-independent semantic caches
+  // below replace what the cross-call memo used to provide.)
+  NextTempId = 0;
+  ReservedNames.clear();
+  for (const Expr *V : collectVariables(E))
+    ReservedNames.insert(V->varName());
+  ResultMemo.clear();
+
+  // Structural result layer of the shared cache: keyed on the input's
+  // fingerprint (not its semantics — the alternation guard below makes the
+  // output depend on the input's *form*, so semantic keying would break
+  // bit-identity). Suspended while a trail or experimental rule is
+  // attached: a hit would skip the steps they are meant to observe.
+  SimplifyCache *SC = Opts.EnableCache && Opts.SharedCache && !Opts.Trail &&
+                              !Opts.ExperimentalRule
+                          ? Opts.SharedCache
+                          : nullptr;
+  uint64_t ResultKey = 0;
+  if (SC) {
+    ResultKey = hashCombine64(hashCombine64(hashMix64(Ctx.mask()), OptionsFp),
+                              exprFingerprint(E));
+    if (const Expr *Hit = SC->lookupResult(ResultKey, Ctx)) {
+      ++Stats.CacheHits;
+      Stats.Seconds += Timer.seconds();
+      Stats.ArenaBytesDelta += Ctx.bytesUsed() - BytesBefore;
+      return Hit;
+    }
+  }
 
   const Expr *R = E;
   if (Opts.EnableKnownBits) {
@@ -62,6 +125,8 @@ const Expr *MBASolver::simplify(const Expr *E) {
   if (mbaAlternation(R) > mbaAlternation(E))
     R = E;
 
+  if (SC)
+    SC->insertResult(ResultKey, R);
   Stats.Seconds += Timer.seconds();
   Stats.ArenaBytesDelta += Ctx.bytesUsed() - BytesBefore;
   return R;
@@ -118,44 +183,100 @@ const Expr *MBASolver::simplifyLinear(const Expr *E,
   ++Stats.LinearRuns;
   std::vector<uint64_t> Sig = computeSignature(Ctx, E, Vars);
   Stats.TransientBytes += Sig.size() * sizeof(uint64_t);
+
+  // Semantic layer of the shared cache: by Theorem 1 the signature (with
+  // the variable names and basis options) fully determines the normalized
+  // rebuild, so the cached value is a pure function of the key and the hit
+  // path is bit-identical to the computing path.
+  SimplifyCache *SC = Opts.EnableCache ? Opts.SharedCache : nullptr;
+  uint64_t Key = 0;
+  if (SC) {
+    Key = linearCacheKey(Sig, Vars);
+    if (const Expr *Hit = SC->lookupLinear(Key, Ctx)) {
+      ++Stats.CacheHits;
+      return Hit;
+    }
+  }
   LinearCombo Combo = normalizedCombo(Sig, Vars, /*AllowAuto=*/true);
-  return buildLinearCombination(Ctx, Combo.Terms, Combo.Constant);
+  const Expr *R = buildLinearCombination(Ctx, Combo.Terms, Combo.Constant);
+  if (SC)
+    SC->insertLinear(Key, R);
+  return R;
+}
+
+uint64_t MBASolver::basisCacheKey(const std::vector<uint64_t> &Sig,
+                                  const std::vector<const Expr *> &Vars,
+                                  bool Auto) const {
+  // Mode tag 0/1 = fixed conjunction/disjunction basis, 2 = auto selection.
+  uint64_t H = hashMix64(Ctx.mask());
+  H = hashCombine64(H, Auto ? 2 : (uint64_t)Opts.Basis);
+  H = hashCombine64(H, Vars.size());
+  for (uint64_t S : Sig)
+    H = hashCombine64(H, S);
+  // A fixed-basis solution references variables only by subset index, so
+  // it is shareable across variable sets of the same arity. AutoBasis
+  // breaks print-length ties with the rebuilt expression, which depends on
+  // the names — they join the key so the pick stays a pure function of it.
+  if (Auto)
+    for (const Expr *V : Vars)
+      H = hashCombine64(H, hashString64(V->varName()));
+  return H;
+}
+
+uint64_t MBASolver::linearCacheKey(const std::vector<uint64_t> &Sig,
+                                   const std::vector<const Expr *> &Vars) const {
+  // The linear layer stores rebuilt expressions, which always reference
+  // the variables by name — extend the basis key (domain-separated) with
+  // the full name tuple.
+  uint64_t H = basisCacheKey(Sig, Vars, Opts.AutoBasis);
+  H = hashCombine64(H, 0x11ea7ULL);
+  for (const Expr *V : Vars)
+    H = hashCombine64(H, hashString64(V->varName()));
+  return H;
 }
 
 LinearCombo
 MBASolver::normalizedCombo(const std::vector<uint64_t> &Sig,
                            const std::vector<const Expr *> &Vars,
                            bool AllowAuto) {
-  auto Solve = [&]() -> LinearCombo {
-    if (!Opts.AutoBasis || !AllowAuto)
-      return solveBasis(Ctx, Opts.Basis, Sig, Vars);
+  bool Auto = Opts.AutoBasis && AllowAuto;
+  uint64_t Mask = Ctx.mask();
+  unsigned T = (unsigned)Vars.size();
+
+  auto Solve = [&]() -> BasisSolution {
+    if (!Auto)
+      return solveBasisRaw(Opts.Basis, Sig, T, Mask);
     // Input-dependent basis selection (Section 7): keep the combination
     // with fewer terms; break ties toward the shorter rebuilt expression.
-    LinearCombo Conj = solveBasis(Ctx, BasisKind::Conjunction, Sig, Vars);
-    LinearCombo Disj = solveBasis(Ctx, BasisKind::Disjunction, Sig, Vars);
-    if (Conj.numExprTerms() != Disj.numExprTerms())
-      return Conj.numExprTerms() < Disj.numExprTerms() ? Conj : Disj;
-    size_t LenC = printExpr(Ctx, buildLinearCombination(Ctx, Conj.Terms,
-                                                        Conj.Constant))
-                      .size();
-    size_t LenD = printExpr(Ctx, buildLinearCombination(Ctx, Disj.Terms,
-                                                        Disj.Constant))
-                      .size();
+    BasisSolution Conj = solveBasisRaw(BasisKind::Conjunction, Sig, T, Mask);
+    BasisSolution Disj = solveBasisRaw(BasisKind::Disjunction, Sig, T, Mask);
+    if (Conj.Terms.size() != Disj.Terms.size())
+      return Conj.Terms.size() < Disj.Terms.size() ? Conj : Disj;
+    LinearCombo ConjCombo = comboFromSolution(Ctx, Conj, Vars);
+    LinearCombo DisjCombo = comboFromSolution(Ctx, Disj, Vars);
+    size_t LenC =
+        printExpr(Ctx, buildLinearCombination(Ctx, ConjCombo.Terms,
+                                              ConjCombo.Constant))
+            .size();
+    size_t LenD =
+        printExpr(Ctx, buildLinearCombination(Ctx, DisjCombo.Terms,
+                                              DisjCombo.Constant))
+            .size();
     return LenD < LenC ? Disj : Conj;
   };
 
   if (!Opts.EnableCache)
-    return Solve();
-  SigKey Key(Vars, Sig, AllowAuto && Opts.AutoBasis);
-  auto It = Cache.find(Key);
-  if (It != Cache.end()) {
+    return comboFromSolution(Ctx, Solve(), Vars);
+  uint64_t Key = basisCacheKey(Sig, Vars, Auto);
+  BasisSolution Solution;
+  if (basisCache().lookup(Key, Solution)) {
     ++Stats.CacheHits;
-    return It->second;
+  } else {
+    ++Stats.CacheMisses;
+    Solution = Solve();
+    basisCache().insert(Key, Solution);
   }
-  ++Stats.CacheMisses;
-  LinearCombo Combo = Solve();
-  Cache.emplace(std::move(Key), Combo);
-  return Combo;
+  return comboFromSolution(Ctx, Solution, Vars);
 }
 
 const Expr *MBASolver::simplifyPoly(const Expr *E, unsigned Depth) {
@@ -208,6 +329,7 @@ const Expr *MBASolver::simplifyNonPoly(const Expr *E, unsigned Depth) {
   //   ((x&~y - ~x&y)|z) + ((x&~y - ~x&y)&z)
   //     -> (t|z) + (t&z) with t = x - y  ->  t + z  ->  x - y + z
   std::unordered_map<const Expr *, const Expr *> TempFor;   // subexpr -> temp
+  std::vector<const Expr *> TempOrder; // TempFor keys in creation order
   std::unordered_map<const Expr *, const Expr *> BackSubst; // temp -> subexpr
   bool AbstractionFailed = false;
 
@@ -253,9 +375,12 @@ const Expr *MBASolver::simplifyNonPoly(const Expr *E, unsigned Depth) {
           // (semantically) linear operands.
           if (classifyMBA(Ctx, S) == MBAKind::Linear &&
               collectVariables(S).size() <= Opts.MaxSignatureVars) {
-            for (const auto &[Prev, Temp] : TempFor) {
-              if (Prev == S || !Temp)
-                continue;
+            // Walk candidates in creation order, not map order: when S is
+            // the complement of several previous operands the first one
+            // must win deterministically, or the rebuilt form would vary
+            // run to run.
+            for (const Expr *Prev : TempOrder) {
+              const Expr *Temp = TempFor.at(Prev);
               if (classifyMBA(Ctx, Prev) != MBAKind::Linear)
                 continue;
               if (collectVariables(Prev).size() > Opts.MaxSignatureVars)
@@ -269,6 +394,7 @@ const Expr *MBASolver::simplifyNonPoly(const Expr *E, unsigned Depth) {
           }
           const Expr *T = freshTempVar();
           TIt->second = T;
+          TempOrder.push_back(S);
           BackSubst.emplace(T, S);
         }
         return TIt->second;
@@ -461,9 +587,16 @@ const Expr *MBASolver::pickBetter(const Expr *A, const Expr *B) const {
 }
 
 const Expr *MBASolver::freshTempVar() {
+  // Zero-padded so lexicographic name order equals creation order: the
+  // canonical variable sort (collectVariables) would otherwise place _t10
+  // before _t9 and reshuffle terms depending on how many temps a call
+  // needed. Collisions are checked against the input's variables only —
+  // probing the whole context (hasVar) would tie the numbering to which
+  // expressions the context happened to see earlier.
   for (;;) {
-    std::string Name = "_t" + std::to_string(NextTempId++);
-    if (!Ctx.hasVar(Name))
+    char Name[16];
+    std::snprintf(Name, sizeof(Name), "_t%04u", NextTempId++);
+    if (!ReservedNames.count(Name))
       return Ctx.getVar(Name);
   }
 }

@@ -42,10 +42,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace mba {
+
+class SimplifyCache;
 
 /// Tuning knobs of the simplifier.
 struct SimplifyOptions {
@@ -104,6 +108,19 @@ struct SimplifyOptions {
   /// Memoize signature -> normalized combination (the look-up table of
   /// Section 4.5).
   bool EnableCache = true;
+
+  /// Cross-call, cross-thread simplification cache (mba/SimplifyCache.h):
+  /// a semantic layer at the linear rebuild plus a structural whole-result
+  /// layer. Shared between solver instances; null keeps the solver
+  /// self-contained. Cached and uncached runs produce bit-identical
+  /// output. The result layer is suspended while Trail or ExperimentalRule
+  /// is set (a cache hit would skip the recorded/extended pipeline).
+  SimplifyCache *SharedCache = nullptr;
+
+  /// Cross-call, cross-thread basis-solve cache (mba/Basis.h). When null,
+  /// the solver uses a private BasisCache, preserving the per-instance
+  /// lookup-table behaviour. Only consulted when EnableCache is set.
+  BasisCache *SharedBasisCache = nullptr;
 
   /// Maximum variable count for the final-step optimization (function
   /// enumeration is exponential in 2^t).
@@ -181,52 +198,44 @@ private:
       Opts.Trail->record(Rule, Before, After);
   }
 
+  /// Semantic key of a basis solve: hash(width, basis mode, signature) —
+  /// plus the variable names in AutoBasis mode, whose print-length
+  /// tie-break depends on them. \p Auto selects the mode tag.
+  uint64_t basisCacheKey(const std::vector<uint64_t> &Sig,
+                         const std::vector<const Expr *> &Vars,
+                         bool Auto) const;
+
+  /// Semantic key of a full linear rebuild: the basis key extended with
+  /// the variable names (the rebuilt expression references them).
+  uint64_t linearCacheKey(const std::vector<uint64_t> &Sig,
+                          const std::vector<const Expr *> &Vars) const;
+
+  BasisCache &basisCache() {
+    return Opts.SharedBasisCache ? *Opts.SharedBasisCache : OwnBasisCache;
+  }
+
   Context &Ctx;
   SimplifyOptions Opts;
   SimplifyStats Stats;
 
-  /// Lookup-table key (Section 4.5): (variable tuple, signature, auto-basis
-  /// flag). The hash is computed once at construction — a probe then costs
-  /// one table lookup instead of the lexicographic walk over the
-  /// 2^t-entry signature that the previous ordered-map key paid, and
-  /// equality checks the full contents so hash collisions stay correct.
-  struct SigKey {
-    std::vector<const Expr *> Vars;
-    std::vector<uint64_t> Sig;
-    bool AutoBasis;
-    size_t Hash;
+  /// Fingerprint of every option that affects output, folded into the
+  /// structural result-layer key so solvers with different configurations
+  /// can share one SimplifyCache.
+  uint64_t OptionsFp = 0;
 
-    SigKey(std::vector<const Expr *> Vars, std::vector<uint64_t> Sig,
-           bool AutoBasis)
-        : Vars(std::move(Vars)), Sig(std::move(Sig)), AutoBasis(AutoBasis) {
-      uint64_t H = AutoBasis ? 0x9e3779b97f4a7c15ULL : 0;
-      for (const Expr *V : this->Vars)
-        H = hashCombine(H, (uint64_t)(uintptr_t)V);
-      for (uint64_t S : this->Sig)
-        H = hashCombine(H, S);
-      Hash = (size_t)H;
-    }
-
-    static uint64_t hashCombine(uint64_t H, uint64_t V) {
-      return H ^ (V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2));
-    }
-
-    bool operator==(const SigKey &O) const {
-      return Hash == O.Hash && AutoBasis == O.AutoBasis && Vars == O.Vars &&
-             Sig == O.Sig;
-    }
-  };
-
-  struct SigKeyHash {
-    size_t operator()(const SigKey &K) const { return K.Hash; }
-  };
-
-  /// Lookup table (Section 4.5): SigKey -> combination.
-  std::unordered_map<SigKey, LinearCombo, SigKeyHash> Cache;
+  /// Private basis-solve memo (Section 4.5 lookup table) used when no
+  /// shared BasisCache is configured.
+  BasisCache OwnBasisCache;
 
   /// Memo of completed top-level rewrites, keyed on input node.
   std::unordered_map<const Expr *, const Expr *> ResultMemo;
 
+  /// Temp-name state, reset at each public simplify() entry so temporary
+  /// numbering depends only on the input expression — never on what else
+  /// the context or other corpus entries have allocated. That makes
+  /// simplified *expressions* (not just verdicts) identical across job
+  /// counts and cache configurations.
+  std::unordered_set<std::string> ReservedNames; ///< input variable names
   unsigned NextTempId = 0;
 };
 

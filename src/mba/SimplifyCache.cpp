@@ -1,0 +1,74 @@
+//===- mba/SimplifyCache.cpp - Cross-call simplification cache ------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mba/SimplifyCache.h"
+
+#include "ast/ExprUtils.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+
+#include <cassert>
+
+using namespace mba;
+
+const Expr *SimplifyCache::lookup(ShardedCache<const Expr *> &Layer,
+                                  uint64_t Key, Context &Dst) {
+  assert(Dst.width() == Store.width() &&
+         "simplify cache used with a context of a different width");
+  const Expr *Stored = nullptr;
+  if (!Layer.lookup(Key, Stored))
+    return nullptr;
+  // No store lock: Stored and everything it references were fully built
+  // before the inserting thread released the shard mutex, and this thread
+  // acquired that mutex inside Layer.lookup — the nodes are immutable and
+  // safely published. cloneExpr only reads node fields.
+  return cloneExpr(Dst, Stored);
+}
+
+const Expr *SimplifyCache::intern(const Expr *E) {
+  assert(E && "caching a null expression");
+  std::lock_guard<std::mutex> Lock(StoreMu);
+  // The store context is touched by whichever thread inserts; re-adopt so
+  // its owner-thread guardrail (debug builds) accepts serialized
+  // multi-thread use.
+  Store.adoptByCurrentThread();
+  return cloneExpr(Store, E);
+}
+
+void SimplifyCache::save(SnapshotWriter &W) const {
+  std::lock_guard<std::mutex> Lock(StoreMu);
+  const_cast<Context &>(Store).adoptByCurrentThread();
+  auto Encode = [this](const Expr *E, std::vector<uint8_t> &Out) {
+    std::string S = printExpr(Store, E);
+    Out.insert(Out.end(), S.begin(), S.end());
+  };
+  saveCacheSection(W, ResultSection, Results, Encode);
+  saveCacheSection(W, LinearSection, Linear, Encode);
+}
+
+bool SimplifyCache::loadSection(SnapshotReader &R, std::string_view Name,
+                                uint64_t Count) {
+  ShardedCache<const Expr *> *Layer = nullptr;
+  if (Name == ResultSection)
+    Layer = &Results;
+  else if (Name == LinearSection)
+    Layer = &Linear;
+  else
+    return false;
+
+  std::lock_guard<std::mutex> Lock(StoreMu);
+  Store.adoptByCurrentThread();
+  loadCacheSection(
+      R, Count, *Layer,
+      [this](const std::vector<uint8_t> &Buf) -> std::optional<const Expr *> {
+        std::string_view Text((const char *)Buf.data(), Buf.size());
+        ParseResult P = parseExpr(Store, Text);
+        if (!P.ok())
+          return std::nullopt; // unparseable payload: drop the entry
+        return P.E;
+      });
+  return true;
+}

@@ -27,6 +27,7 @@
 #include "analysis/Prover.h"
 #include "ast/Context.h"
 #include "ast/Expr.h"
+#include "support/Cache.h"
 
 #include <memory>
 #include <string>
@@ -97,6 +98,70 @@ struct StageZeroStats {
   size_t discharged() const { return Proved + Refuted; }
 };
 
+//===----------------------------------------------------------------------===//
+// Verdict cache
+//===----------------------------------------------------------------------===//
+
+/// One memoized equivalence verdict. Decided outcomes are final; an
+/// Unknown entry records the largest budget that failed to decide the
+/// query, so a repeat with an equal-or-smaller timeout can return Timeout
+/// immediately while a repeat with more budget still runs.
+struct VerdictEntry {
+  enum Kind : uint8_t { Equivalent, NotEquivalent, Unknown };
+  uint8_t Outcome = Unknown;
+  double BudgetSeconds = 0; ///< exhausted budget (Unknown only)
+};
+
+/// Thread-safe memo of equivalence queries, keyed on the ordered pair of
+/// the operands' canonical fingerprints plus width and backend name (a
+/// timeout under BlastBV says nothing about Z3 — sharing entries across
+/// backends would change verdicts relative to an uncached run). Used as a
+/// short-circuit in front of makeStagedChecker's stage 0; snapshots as one
+/// section of the cache persistence format (support/Cache.h).
+class VerdictCache {
+public:
+  explicit VerdictCache(size_t Capacity = 1 << 17) : Cache(Capacity) {}
+
+  /// The cache key of query (A, B) against backend \p CheckerName. A and B
+  /// are fingerprinted in order — the checkers are symmetric but callers
+  /// present pairs in a stable order, and keeping the pair ordered costs
+  /// at most a duplicate entry, never a wrong answer.
+  static uint64_t queryKey(const Context &Ctx, const Expr *A, const Expr *B,
+                           const std::string &CheckerName);
+
+  bool lookup(uint64_t Key, VerdictEntry &Out) {
+    return Cache.lookup(Key, Out);
+  }
+
+  /// Records \p E, merging with an existing entry: a decided verdict is
+  /// never overwritten (it remains valid at any budget), and Unknown
+  /// entries keep the maximum exhausted budget.
+  void insert(uint64_t Key, const VerdictEntry &E) {
+    Cache.insertMerge(Key, E,
+                      [](VerdictEntry &Existing, const VerdictEntry &New) {
+                        if (Existing.Outcome != VerdictEntry::Unknown)
+                          return;
+                        if (New.Outcome != VerdictEntry::Unknown) {
+                          Existing = New;
+                          return;
+                        }
+                        if (New.BudgetSeconds > Existing.BudgetSeconds)
+                          Existing.BudgetSeconds = New.BudgetSeconds;
+                      });
+  }
+
+  CacheStats stats() const { return Cache.stats(); }
+  void clear() { Cache.clear(); }
+
+  void save(SnapshotWriter &W) const;
+  size_t loadSection(SnapshotReader &R, uint64_t Count);
+
+  static constexpr const char *SectionName = "solver.verdicts";
+
+private:
+  ShardedCache<VerdictEntry> Cache;
+};
+
 /// Wraps \p Inner with the static equivalence prover as stage 0: each query
 /// first runs congruence closure + bounded equality saturation with the
 /// certified rule table (and abstract-domain refutation); only queries the
@@ -106,12 +171,17 @@ struct StageZeroStats {
 /// cheaper. The wrapper keeps the inner backend's name (tables stay
 /// comparable) and reports its counters through \p Stats when given.
 ///
+/// When \p Verdicts is given, it short-circuits repeated queries before
+/// stage 0 even runs; cache hits do not touch the \p Stats counters (those
+/// report work actually performed).
+///
 /// \p Ctx must be the context later passed to check() — the prover builds
 /// e-nodes against its width and variable numbering.
 std::unique_ptr<EquivalenceChecker>
 makeStagedChecker(Context &Ctx, std::unique_ptr<EquivalenceChecker> Inner,
                   StageZeroStats *Stats = nullptr,
-                  const ProveBudget &Budget = ProveBudget());
+                  const ProveBudget &Budget = ProveBudget(),
+                  VerdictCache *Verdicts = nullptr);
 
 } // namespace mba
 

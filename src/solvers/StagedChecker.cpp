@@ -11,9 +11,16 @@
 /// Both static answers are sound, so wrapping never changes verdicts — it
 /// only removes solver work (the Table 6/8 counters report how much).
 ///
+/// With a VerdictCache attached, a repeated query short-circuits before
+/// stage 0: a decided entry returns immediately, and an Unknown entry whose
+/// recorded budget covers the current timeout returns Timeout without
+/// re-running the solver (re-running an exhausted budget cannot decide
+/// more). Hits bypass the StageZeroStats counters — those report work done.
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Prover.h"
+#include "ast/ExprUtils.h"
 #include "solvers/EquivalenceChecker.h"
 #include "support/Stopwatch.h"
 
@@ -22,13 +29,50 @@
 
 using namespace mba;
 
+uint64_t VerdictCache::queryKey(const Context &Ctx, const Expr *A,
+                                const Expr *B,
+                                const std::string &CheckerName) {
+  uint64_t H = hashMix64(Ctx.mask());
+  H = hashCombine64(H, exprFingerprint(A));
+  H = hashCombine64(H, exprFingerprint(B));
+  H = hashCombine64(H, hashString64(CheckerName));
+  return H;
+}
+
+void VerdictCache::save(SnapshotWriter &W) const {
+  saveCacheSection(W, SectionName, Cache,
+                   [](const VerdictEntry &E, std::vector<uint8_t> &Out) {
+                     putU8(Out, E.Outcome);
+                     // Budgets are wall-clock seconds; microsecond fixed
+                     // point survives the round-trip exactly enough for the
+                     // coverage test (stored >= queried).
+                     putU64(Out, (uint64_t)(E.BudgetSeconds * 1e6));
+                   });
+}
+
+size_t VerdictCache::loadSection(SnapshotReader &R, uint64_t Count) {
+  return loadCacheSection(
+      R, Count, Cache,
+      [](const std::vector<uint8_t> &Buf) -> std::optional<VerdictEntry> {
+        ByteCursor C(Buf);
+        VerdictEntry E;
+        E.Outcome = C.u8();
+        E.BudgetSeconds = (double)C.u64() / 1e6;
+        if (C.failed() || !C.atEnd() || E.Outcome > VerdictEntry::Unknown)
+          return std::nullopt;
+        return E;
+      });
+}
+
 namespace {
 
 class StagedChecker final : public EquivalenceChecker {
 public:
   StagedChecker(Context &Ctx, std::unique_ptr<EquivalenceChecker> Inner,
-                StageZeroStats *Stats, const ProveBudget &Budget)
-      : Ctx(Ctx), Inner(std::move(Inner)), Stats(Stats), Budget(Budget) {}
+                StageZeroStats *Stats, const ProveBudget &Budget,
+                VerdictCache *Verdicts)
+      : Ctx(Ctx), Inner(std::move(Inner)), Stats(Stats), Budget(Budget),
+        Verdicts(Verdicts) {}
 
   // The inner backend's name: Table 2/6 rows keep their solver labels and
   // the stage-0 effect shows up purely in the counters and times.
@@ -39,6 +83,52 @@ public:
     assert(&CheckCtx == &Ctx &&
            "staged checker bound to a different context than the query");
     (void)CheckCtx;
+    Stopwatch Timer;
+
+    uint64_t Key = 0;
+    if (Verdicts) {
+      Key = VerdictCache::queryKey(Ctx, A, B, Inner->name());
+      VerdictEntry Hit;
+      if (Verdicts->lookup(Key, Hit)) {
+        switch (Hit.Outcome) {
+        case VerdictEntry::Equivalent:
+          return {Verdict::Equivalent, Timer.seconds()};
+        case VerdictEntry::NotEquivalent:
+          return {Verdict::NotEquivalent, Timer.seconds()};
+        case VerdictEntry::Unknown:
+          // Usable only when the failed budget covers this query's budget;
+          // a larger timeout might still decide it, so fall through and
+          // actually run. The epsilon absorbs snapshot rounding.
+          if (TimeoutSeconds <= Hit.BudgetSeconds + 1e-9)
+            return {Verdict::Timeout, Timer.seconds()};
+          break;
+        }
+      }
+    }
+
+    CheckResult R = checkUncached(A, B, TimeoutSeconds);
+    if (Verdicts) {
+      VerdictEntry E;
+      switch (R.Outcome) {
+      case Verdict::Equivalent:
+        E.Outcome = VerdictEntry::Equivalent;
+        break;
+      case Verdict::NotEquivalent:
+        E.Outcome = VerdictEntry::NotEquivalent;
+        break;
+      case Verdict::Timeout:
+        E.Outcome = VerdictEntry::Unknown;
+        E.BudgetSeconds = TimeoutSeconds;
+        break;
+      }
+      Verdicts->insert(Key, E);
+    }
+    return R;
+  }
+
+private:
+  CheckResult checkUncached(const Expr *A, const Expr *B,
+                            double TimeoutSeconds) {
     Stopwatch Timer;
     ProveResult Static = Prover(Ctx).prove(A, B, Budget);
     double StaticSeconds = Timer.seconds();
@@ -74,17 +164,19 @@ public:
     return R;
   }
 
-private:
   Context &Ctx;
   std::unique_ptr<EquivalenceChecker> Inner;
   StageZeroStats *Stats;
   ProveBudget Budget;
+  VerdictCache *Verdicts;
 };
 
 } // namespace
 
 std::unique_ptr<EquivalenceChecker>
 mba::makeStagedChecker(Context &Ctx, std::unique_ptr<EquivalenceChecker> Inner,
-                       StageZeroStats *Stats, const ProveBudget &Budget) {
-  return std::make_unique<StagedChecker>(Ctx, std::move(Inner), Stats, Budget);
+                       StageZeroStats *Stats, const ProveBudget &Budget,
+                       VerdictCache *Verdicts) {
+  return std::make_unique<StagedChecker>(Ctx, std::move(Inner), Stats, Budget,
+                                         Verdicts);
 }

@@ -1,0 +1,190 @@
+//===- support/Cache.cpp - Snapshot reader/writer -------------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cache.h"
+
+#include <cstdio>
+
+using namespace mba;
+
+// Sanity caps against corrupted length fields: no section name is longer
+// than a path component, and no payload (a printed expression or a small
+// coefficient list) comes anywhere near 256 MiB.
+static constexpr uint32_t MaxSectionNameLen = 4096;
+static constexpr uint32_t MaxPayloadLen = 1u << 28;
+
+//===----------------------------------------------------------------------===//
+// SnapshotWriter
+//===----------------------------------------------------------------------===//
+
+SnapshotWriter::SnapshotWriter(const std::string &Path, uint32_t Width) {
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    Healthy = false;
+    return;
+  }
+  writeBytes(SnapshotMagic, sizeof(SnapshotMagic));
+  writeU32(SnapshotVersion);
+  writeU32(Width);
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  if (File)
+    std::fclose(static_cast<std::FILE *>(File));
+}
+
+void SnapshotWriter::writeBytes(const void *P, size_t N) {
+  if (!File || !Healthy)
+    return;
+  if (std::fwrite(P, 1, N, static_cast<std::FILE *>(File)) != N)
+    Healthy = false;
+}
+
+void SnapshotWriter::writeU32(uint32_t V) {
+  uint8_t B[4];
+  for (int I = 0; I != 4; ++I)
+    B[I] = (uint8_t)(V >> (8 * I));
+  writeBytes(B, 4);
+}
+
+void SnapshotWriter::writeU64(uint64_t V) {
+  uint8_t B[8];
+  for (int I = 0; I != 8; ++I)
+    B[I] = (uint8_t)(V >> (8 * I));
+  writeBytes(B, 8);
+}
+
+void SnapshotWriter::beginSection(std::string_view Name, uint64_t Count) {
+  writeU32((uint32_t)Name.size());
+  writeBytes(Name.data(), Name.size());
+  writeU64(Count);
+}
+
+void SnapshotWriter::entry(uint64_t Key, const std::vector<uint8_t> &Payload) {
+  writeU64(Key);
+  writeU32((uint32_t)Payload.size());
+  writeBytes(Payload.data(), Payload.size());
+}
+
+bool SnapshotWriter::finish() {
+  if (!File)
+    return false;
+  if (std::fflush(static_cast<std::FILE *>(File)) != 0)
+    Healthy = false;
+  if (std::fclose(static_cast<std::FILE *>(File)) != 0)
+    Healthy = false;
+  File = nullptr;
+  return Healthy;
+}
+
+//===----------------------------------------------------------------------===//
+// SnapshotReader
+//===----------------------------------------------------------------------===//
+
+SnapshotReader::SnapshotReader(const std::string &Path, uint32_t ExpectWidth) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Err = "cannot open snapshot '" + Path + "'";
+    return;
+  }
+  // Slurp the whole file; snapshots are modest (printed expressions and
+  // coefficient lists) and whole-buffer parsing makes truncation explicit.
+  uint8_t Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.insert(Data.end(), Buf, Buf + N);
+  std::fclose(F);
+
+  char Magic[sizeof(SnapshotMagic)];
+  if (!take(Magic, sizeof(Magic)) ||
+      std::memcmp(Magic, SnapshotMagic, sizeof(Magic)) != 0) {
+    Err = "'" + Path + "' is not a cache snapshot (bad magic)";
+    return;
+  }
+  uint32_t Version = 0, Width = 0;
+  if (!takeU32(Version) || !takeU32(Width)) {
+    Err = "'" + Path + "' is truncated";
+    return;
+  }
+  if (Version != SnapshotVersion) {
+    Err = "snapshot '" + Path + "' has schema version " +
+          std::to_string(Version) + ", expected " +
+          std::to_string(SnapshotVersion);
+    return;
+  }
+  if (Width != ExpectWidth) {
+    Err = "snapshot '" + Path + "' was built at width " +
+          std::to_string(Width) + ", this run uses width " +
+          std::to_string(ExpectWidth);
+    return;
+  }
+}
+
+bool SnapshotReader::take(void *P, size_t N) {
+  if (Pos + N > Data.size())
+    return false;
+  std::memcpy(P, Data.data() + Pos, N);
+  Pos += N;
+  return true;
+}
+
+bool SnapshotReader::takeU32(uint32_t &V) {
+  uint8_t B[4];
+  if (!take(B, 4))
+    return false;
+  V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= (uint32_t)B[I] << (8 * I);
+  return true;
+}
+
+bool SnapshotReader::takeU64(uint64_t &V) {
+  uint8_t B[8];
+  if (!take(B, 8))
+    return false;
+  V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= (uint64_t)B[I] << (8 * I);
+  return true;
+}
+
+bool SnapshotReader::nextSection(std::string &Name, uint64_t &Count) {
+  if (!ok())
+    return false;
+  if (Pos == Data.size())
+    return false; // clean end of file
+  uint32_t NameLen = 0;
+  if (!takeU32(NameLen) || NameLen > MaxSectionNameLen) {
+    Err = "corrupted snapshot: bad section header";
+    return false;
+  }
+  Name.resize(NameLen);
+  if (NameLen && !take(Name.data(), NameLen)) {
+    Err = "corrupted snapshot: truncated section name";
+    return false;
+  }
+  if (!takeU64(Count)) {
+    Err = "corrupted snapshot: truncated section count";
+    return false;
+  }
+  return true;
+}
+
+bool SnapshotReader::entry(uint64_t &Key, std::vector<uint8_t> &Payload) {
+  if (!ok())
+    return false;
+  uint32_t Len = 0;
+  if (!takeU64(Key) || !takeU32(Len) || Len > MaxPayloadLen) {
+    Err = "corrupted snapshot: bad entry header";
+    return false;
+  }
+  Payload.resize(Len);
+  if (Len && !take(Payload.data(), Len)) {
+    Err = "corrupted snapshot: truncated entry payload";
+    return false;
+  }
+  return true;
+}

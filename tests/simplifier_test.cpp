@@ -12,6 +12,7 @@
 #include "ast/Printer.h"
 #include "mba/Classify.h"
 #include "mba/Metrics.h"
+#include "mba/SimplifyCache.h"
 #include "support/RNG.h"
 
 #include <gtest/gtest.h>
@@ -422,6 +423,57 @@ TEST(SimplifyRobustness, RandomLinearFuzz) {
     expectEquivalent(Ctx, E, R, Rng.next());
     EXPECT_LE(mbaAlternation(R), mbaAlternation(E));
   }
+}
+
+TEST(SharedCacheTest, CachedRunsAreBitIdentical) {
+  // The memoization contract: attaching the shared caches never changes
+  // output, not even its printed form — cold pass, warm pass and uncached
+  // run all agree character for character.
+  const char *Inputs[] = {
+      "2*(x|y) - (~x&y) - (x&~y) + 4*(x^y) - 3*(x&y)",
+      "(x&~y)*(~x&y) + (x&y)*(x|y)",
+      "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)",
+      "x + y - 2*(x&y)",
+      "(x^y) + 2*(x&y)",
+      "2*(x|y) - (~x&y) - (x&~y) + 4*(x^y) - 3*(x&y)", // repeat: result hit
+  };
+  std::vector<std::string> Expected;
+  {
+    Context Ctx(64);
+    MBASolver Solver(Ctx);
+    for (const char *S : Inputs)
+      Expected.push_back(printExpr(Ctx, Solver.simplify(parseOrDie(Ctx, S))));
+  }
+
+  SimplifyCache Shared(64);
+  BasisCache Basis;
+  SimplifyOptions Opts;
+  Opts.SharedCache = &Shared;
+  Opts.SharedBasisCache = &Basis;
+  for (int Round = 0; Round != 2; ++Round) {
+    Context Ctx(64); // fresh context per round: hits must clone correctly
+    MBASolver Solver(Ctx, Opts);
+    for (size_t I = 0; I != std::size(Inputs); ++I)
+      EXPECT_EQ(printExpr(Ctx, Solver.simplify(parseOrDie(Ctx, Inputs[I]))),
+                Expected[I])
+          << "round " << Round << ", input " << Inputs[I];
+  }
+  EXPECT_GT(Shared.resultStats().Hits, 0u) << "warm round must hit";
+  EXPECT_GT(Shared.resultStats().Inserts, 0u);
+}
+
+TEST(SharedCacheTest, DisabledCacheOptionBypassesSharedCaches) {
+  SimplifyCache Shared(64);
+  BasisCache Basis;
+  SimplifyOptions Opts;
+  Opts.SharedCache = &Shared;
+  Opts.SharedBasisCache = &Basis;
+  Opts.EnableCache = false;
+  Context Ctx(64);
+  MBASolver Solver(Ctx, Opts);
+  Solver.simplify(parseOrDie(Ctx, "x + y - 2*(x&y)"));
+  EXPECT_EQ(Shared.resultStats().Hits + Shared.resultStats().Misses, 0u);
+  EXPECT_EQ(Basis.stats().Hits + Basis.stats().Misses, 0u);
 }
 
 } // namespace

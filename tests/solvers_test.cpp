@@ -127,4 +127,74 @@ TEST(BlastBackend, RewritingNoWorseOnEqualSyntax) {
   EXPECT_LT(R.Seconds, 1.0);
 }
 
+/// Inner backend that returns a fixed verdict and counts invocations — the
+/// observable for the verdict-cache short-circuit tests.
+class CountingChecker final : public EquivalenceChecker {
+public:
+  CountingChecker(unsigned &Calls, Verdict Result)
+      : Calls(Calls), Result(Result) {}
+  std::string name() const override { return "Counting"; }
+  CheckResult check(const Context &, const Expr *, const Expr *,
+                    double) override {
+    ++Calls;
+    return {Result, 0.0001};
+  }
+
+private:
+  unsigned &Calls;
+  Verdict Result;
+};
+
+TEST(VerdictCacheStaged, RepeatQueriesSkipStageZeroAndInner) {
+  Context Ctx(8);
+  StageZeroStats Stats;
+  VerdictCache Cache;
+  unsigned InnerCalls = 0;
+  auto Staged = makeStagedChecker(
+      Ctx, std::make_unique<CountingChecker>(InnerCalls, Verdict::Equivalent),
+      &Stats, ProveBudget(), &Cache);
+  const Expr *A = parseOrDie(Ctx, "(x&~y) + y");
+  const Expr *B = parseOrDie(Ctx, "x|y");
+
+  CheckResult First = Staged->check(Ctx, A, B, 1.0);
+  ASSERT_EQ(Stats.queries(), 1u);
+  unsigned InnerAfterFirst = InnerCalls;
+
+  CheckResult Second = Staged->check(Ctx, A, B, 1.0);
+  EXPECT_EQ(Second.Outcome, First.Outcome);
+  EXPECT_EQ(Stats.queries(), 1u)
+      << "a cache hit must not re-run stage 0 or bump its counters";
+  EXPECT_EQ(InnerCalls, InnerAfterFirst);
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+}
+
+TEST(VerdictCacheStaged, UnknownEntriesRespectBudgets) {
+  Context Ctx(8);
+  VerdictCache Cache;
+  unsigned InnerCalls = 0;
+  // A zero-iteration prover budget keeps this equivalent-but-dissimilar
+  // pair undecided in stage 0, so every uncached query reaches the inner
+  // backend — which always times out.
+  ProveBudget Budget;
+  Budget.MaxIterations = 0;
+  auto Staged = makeStagedChecker(
+      Ctx, std::make_unique<CountingChecker>(InnerCalls, Verdict::Timeout),
+      nullptr, Budget, &Cache);
+  const Expr *A = parseOrDie(Ctx, "x*x + 2*x");
+  const Expr *B = parseOrDie(Ctx, "x*(x + 2)");
+
+  EXPECT_EQ(Staged->check(Ctx, A, B, 1.0).Outcome, Verdict::Timeout);
+  ASSERT_EQ(InnerCalls, 1u) << "expected a stage-0 fallthrough";
+
+  // Equal or smaller budget: the recorded failure covers it.
+  EXPECT_EQ(Staged->check(Ctx, A, B, 0.5).Outcome, Verdict::Timeout);
+  EXPECT_EQ(InnerCalls, 1u);
+
+  // Larger budget: the query must actually run again, widening the entry.
+  EXPECT_EQ(Staged->check(Ctx, A, B, 2.0).Outcome, Verdict::Timeout);
+  EXPECT_EQ(InnerCalls, 2u);
+  EXPECT_EQ(Staged->check(Ctx, A, B, 1.5).Outcome, Verdict::Timeout);
+  EXPECT_EQ(InnerCalls, 2u);
+}
+
 } // namespace
