@@ -47,15 +47,61 @@ HarnessOptions mba::bench::parseHarnessArgs(int Argc, char **Argv) {
     else if (const char *V = Value("--cache-file=")) {
       Opts.CacheFile = V;
       Opts.Cache = true;
-    } else
+    } else if (const char *V = Value("--trace="))
+      Opts.TracePath = V;
+    else if (const char *V = Value("--metrics="))
+      Opts.MetricsPath = V;
+    else
       std::fprintf(stderr,
                    "warning: unknown argument '%s' "
                    "(supported: --per-category= --timeout= --width= --seed= "
                    "--static-prove= --jobs= --json= --cache= "
-                   "--cache-file=)\n",
+                   "--cache-file= --trace= --metrics=)\n",
                    Arg);
   }
   return Opts;
+}
+
+PipelineCaches::PipelineCaches(unsigned Width)
+    : Width(Width), Simplify(Width),
+      Telemetry(telemetry::registerSource([this](telemetry::MetricsSink &S) {
+        auto Emit = [&S](const char *Layer, const CacheStats &Stats) {
+          std::string P = std::string("cache.") + Layer + ".";
+          S.value(P + "hits", Stats.Hits);
+          S.value(P + "misses", Stats.Misses);
+          S.value(P + "inserts", Stats.Inserts);
+          S.value(P + "evictions", Stats.Evictions);
+          S.value(P + "entries", Stats.Entries);
+        };
+        Emit("simplify_result", Simplify.resultStats());
+        Emit("simplify_linear", Simplify.linearStats());
+        Emit("basis", Basis.stats());
+        Emit("verdicts", Verdicts.stats());
+      })) {}
+
+void mba::bench::enableTelemetry(const HarnessOptions &Opts) {
+  bool Trace = !Opts.TracePath.empty();
+  bool Metrics = Trace || !Opts.MetricsPath.empty() || !Opts.JsonPath.empty();
+  if (Metrics)
+    telemetry::setMetricsEnabled(true);
+  if (Trace) {
+    telemetry::clearTrace();
+    telemetry::setThreadLabel("main");
+    telemetry::setTracingEnabled(true);
+  }
+}
+
+void mba::bench::exportTelemetry(const HarnessOptions &Opts) {
+  if (!Opts.TracePath.empty()) {
+    telemetry::setTracingEnabled(false);
+    if (!telemetry::writeChromeTrace(Opts.TracePath))
+      std::fprintf(stderr, "warning: cannot write trace to '%s'\n",
+                   Opts.TracePath.c_str());
+  }
+  if (!Opts.MetricsPath.empty() &&
+      !telemetry::writeMetricsText(Opts.MetricsPath))
+    std::fprintf(stderr, "warning: cannot write metrics to '%s'\n",
+                 Opts.MetricsPath.c_str());
 }
 
 bool PipelineCaches::loadFrom(const std::string &Path, std::string &Err) {
@@ -293,7 +339,9 @@ StudyResult mba::bench::runSolvingStudyParallel(
     Worker &W = Workers[Ordinal];
     if (!W.Ctx) {
       // First task on this worker: build its context here, on the worker
-      // thread, so the context's owner-thread guardrail holds.
+      // thread, so the context's owner-thread guardrail holds. The label
+      // keys trace rows by the stable worker ordinal, not the OS thread.
+      telemetry::setThreadLabel("worker-" + std::to_string(Ordinal));
       W.Ctx = std::make_unique<Context>(Ctx.width());
       if (Config.Simplify)
         W.Simplifier = std::make_unique<MBASolver>(
@@ -420,6 +468,30 @@ void mba::bench::writeStudyJson(const std::string &Path,
                Result.StaticStats.Fallthrough,
                Result.StaticStats.StaticSeconds,
                Result.StaticStats.SolverSeconds);
+
+  // The unified telemetry registry, flattened. Counters and gauges are
+  // plain numbers; histograms report count/sum (buckets live in the
+  // --metrics text dump). Empty when telemetry never ran this process.
+  std::vector<telemetry::MetricValue> Metrics = telemetry::snapshotMetrics();
+  std::fprintf(F, "  \"metrics\": {");
+  for (size_t I = 0; I != Metrics.size(); ++I) {
+    const telemetry::MetricValue &M = Metrics[I];
+    std::fprintf(F, "%s\n    \"%s\": ", I ? "," : "", M.Name.c_str());
+    switch (M.Which) {
+    case telemetry::MetricValue::KCounter:
+      std::fprintf(F, "%llu", (unsigned long long)M.Value);
+      break;
+    case telemetry::MetricValue::KGauge:
+      std::fprintf(F, "%lld", (long long)M.GaugeValue);
+      break;
+    case telemetry::MetricValue::KHistogram:
+      std::fprintf(F, "{\"count\": %llu, \"sum\": %llu}",
+                   (unsigned long long)M.Hist.Count,
+                   (unsigned long long)M.Hist.Sum);
+      break;
+    }
+  }
+  std::fprintf(F, "%s},\n", Metrics.empty() ? "" : "\n  ");
 
   // Per-solver, per-category aggregation (the printed table's cells).
   struct Agg {

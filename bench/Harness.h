@@ -27,6 +27,7 @@
 #include "mba/Simplifier.h"
 #include "mba/SimplifyCache.h"
 #include "solvers/EquivalenceChecker.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <functional>
@@ -59,24 +60,44 @@ struct HarnessOptions {
   /// Snapshot path: loaded (if present) before the study, saved after it.
   /// Implies Cache.
   std::string CacheFile;
+  /// When non-empty, tracing spans are enabled for the study and a Chrome
+  /// trace-event JSON (chrome://tracing / Perfetto loadable) is written
+  /// here afterwards.
+  std::string TracePath;
+  /// When non-empty, metrics are enabled and a Prometheus-style text dump
+  /// of the unified telemetry registry is written here after the study.
+  /// Metrics are also enabled (and embedded in the report) with --json.
+  std::string MetricsPath;
 };
 
 /// Parses --per-category / --timeout / --width / --seed / --static-prove /
-/// --jobs / --json / --cache / --cache-file overrides.
+/// --jobs / --json / --cache / --cache-file / --trace / --metrics
+/// overrides.
 HarnessOptions parseHarnessArgs(int Argc, char **Argv);
+
+/// Turns telemetry on as Opts asks (tracing for --trace, metrics for
+/// --trace/--metrics/--json) and clears any stale trace events. Call once
+/// before the study; pair with exportTelemetry after it.
+void enableTelemetry(const HarnessOptions &Opts);
+
+/// Writes the trace / metrics files Opts configured (warning on stderr on
+/// I/O failure). No-op for paths left empty.
+void exportTelemetry(const HarnessOptions &Opts);
 
 /// The three shared caches of one study run, built at a fixed word width.
 /// All members are internally synchronized; one PipelineCaches can feed
 /// every worker of a parallel study and persist across runs via the
 /// snapshot format (support/Cache.h).
 struct PipelineCaches {
-  explicit PipelineCaches(unsigned Width)
-      : Width(Width), Simplify(Width) {}
+  explicit PipelineCaches(unsigned Width);
 
   unsigned Width;
   SimplifyCache Simplify;
   BasisCache Basis;
   VerdictCache Verdicts;
+  /// Publishes every cache's hit/miss/entry counters into the telemetry
+  /// registry (cache.<layer>.<counter>) for the lifetime of this object.
+  telemetry::SourceHandle Telemetry;
 
   /// Loads a snapshot written by saveTo(). Unknown sections are skipped;
   /// a missing file, bad magic, version or width mismatch fails with

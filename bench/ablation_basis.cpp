@@ -34,6 +34,7 @@ struct AblationRow {
 
 int main(int Argc, char **Argv) {
   HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  enableTelemetry(Opts);
 
   Context Ctx(Opts.Width);
   CorpusOptions CorpusOpts;
@@ -89,5 +90,6 @@ int main(int Argc, char **Argv) {
               "disjunction basis, and the\n");
   std::printf("final-step optimization recovers single-bitwise-operator "
               "forms either way.\n");
+  exportTelemetry(Opts);
   return 0;
 }

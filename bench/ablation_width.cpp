@@ -21,6 +21,7 @@ using namespace mba::bench;
 
 int main(int Argc, char **Argv) {
   HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  enableTelemetry(Opts);
   if (Opts.PerCategory == 40)
     Opts.PerCategory = 10;
   if (Opts.TimeoutSeconds == 1.0)
@@ -76,5 +77,6 @@ int main(int Argc, char **Argv) {
   std::printf("\nExpected shape: raw solve rates fall as width grows (the\n"
               "search space explodes); simplified rates stay ~100%% at every\n"
               "width because the preprocessing is width-uniform.\n");
+  exportTelemetry(Opts);
   return 0;
 }

@@ -70,6 +70,7 @@ void printMetric(const char *Name, const std::vector<double> &Values,
 
 int main(int Argc, char **Argv) {
   HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  enableTelemetry(Opts);
   if (Opts.PerCategory == 40)
     Opts.PerCategory = 25;
   if (Opts.TimeoutSeconds == 1.0)
@@ -119,5 +120,6 @@ int main(int Argc, char **Argv) {
   std::printf("\nPaper reference (Figure 3): solving time grows drastically "
               "with MBA alternation;\n");
   std::printf("other metrics show much weaker correlation.\n");
+  exportTelemetry(Opts);
   return 0;
 }

@@ -19,6 +19,7 @@ using namespace mba::bench;
 
 int main(int Argc, char **Argv) {
   HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  enableTelemetry(Opts);
   if (Opts.PerCategory == 40)
     Opts.PerCategory = 25;
   if (Opts.TimeoutSeconds == 1.0)
@@ -46,5 +47,6 @@ int main(int Argc, char **Argv) {
               "for the majority\n");
   std::printf("of queries within the 1h threshold; solved times span the "
               "full range.\n");
+  exportTelemetry(Opts);
   return 0;
 }

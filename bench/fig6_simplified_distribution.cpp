@@ -20,6 +20,7 @@ using namespace mba::bench;
 
 int main(int Argc, char **Argv) {
   HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  enableTelemetry(Opts);
 
   Context Ctx(Opts.Width);
   CorpusOptions CorpusOpts;
@@ -39,5 +40,6 @@ int main(int Argc, char **Argv) {
   std::printf("Paper reference (Figure 6): with simplification, Z3 solves "
               "96.5%% of the corpus,\n");
   std::printf("almost all of it in under 0.1 s.\n");
+  exportTelemetry(Opts);
   return 0;
 }

@@ -1,0 +1,148 @@
+//===- bench/micro_telemetry.cpp - Telemetry overhead micro-benchmarks ----===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the per-operation cost of the unified telemetry layer
+/// (support/Telemetry.h) in both states. The contract numbers
+/// docs/OBSERVABILITY.md quotes come from here:
+///
+///  * **disabled** (the default): a counter add, histogram record, or
+///    trace span is one relaxed atomic load — within noise of the empty
+///    baseline loop, and the reason instrumentation is allowed to live in
+///    per-expression hot paths (end-to-end: micro_core regresses < 2% with
+///    the instrumented build, since the disabled checks are a few
+///    sub-nanosecond loads per simplify call);
+///  * **enabled metrics**: a counter add is one striped relaxed fetch_add
+///    (~a few ns, no contention across threads by construction);
+///  * **enabled tracing**: a span costs two clock reads plus one push into
+///    a per-thread buffer.
+///
+/// BM_SimplifyInstrumented shows the end-to-end effect on a real pipeline
+/// pass with everything off, metrics on, and metrics+tracing on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "ast/ExprUtils.h"
+#include "gen/Corpus.h"
+#include "mba/Simplifier.h"
+#include "support/Telemetry.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mba;
+using namespace mba::telemetry;
+
+namespace {
+
+/// Baseline: the measurement loop with no telemetry call at all.
+void BM_BaselineLoop(benchmark::State &State) {
+  uint64_t X = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(++X);
+  }
+}
+BENCHMARK(BM_BaselineLoop);
+
+void BM_CounterAddDisabled(benchmark::State &State) {
+  setMetricsEnabled(false);
+  Counter &C = counter("micro.counter_disabled");
+  for (auto _ : State)
+    C.add();
+  benchmark::DoNotOptimize(C.value());
+}
+BENCHMARK(BM_CounterAddDisabled);
+
+void BM_CounterAddEnabled(benchmark::State &State) {
+  setMetricsEnabled(true);
+  Counter &C = counter("micro.counter_enabled");
+  for (auto _ : State)
+    C.add();
+  setMetricsEnabled(false);
+  benchmark::DoNotOptimize(C.value());
+}
+BENCHMARK(BM_CounterAddEnabled);
+
+/// The multithreaded enabled case: stripes keep workers off each other's
+/// cache lines, so per-op cost should stay flat as threads are added.
+void BM_CounterAddEnabledMT(benchmark::State &State) {
+  if (State.thread_index() == 0)
+    setMetricsEnabled(true);
+  Counter &C = counter("micro.counter_enabled_mt");
+  for (auto _ : State)
+    C.add();
+  if (State.thread_index() == 0)
+    setMetricsEnabled(false);
+}
+BENCHMARK(BM_CounterAddEnabledMT)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_HistogramRecordDisabled(benchmark::State &State) {
+  setMetricsEnabled(false);
+  Histogram &H = histogram("micro.hist_disabled");
+  uint64_t V = 0;
+  for (auto _ : State)
+    H.record(V++);
+}
+BENCHMARK(BM_HistogramRecordDisabled);
+
+void BM_HistogramRecordEnabled(benchmark::State &State) {
+  setMetricsEnabled(true);
+  Histogram &H = histogram("micro.hist_enabled");
+  uint64_t V = 0;
+  for (auto _ : State)
+    H.record(V++);
+  setMetricsEnabled(false);
+}
+BENCHMARK(BM_HistogramRecordEnabled);
+
+void BM_SpanDisabled(benchmark::State &State) {
+  setTracingEnabled(false);
+  for (auto _ : State) {
+    MBA_TRACE_SPAN("micro.span_disabled");
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State &State) {
+  setTracingEnabled(true);
+  clearTrace();
+  for (auto _ : State) {
+    MBA_TRACE_SPAN("micro.span_enabled");
+  }
+  setTracingEnabled(false);
+  clearTrace();
+}
+BENCHMARK(BM_SpanEnabled);
+
+/// End-to-end: one instrumented simplification pass over a small corpus.
+/// Arg 0 = all off, 1 = metrics, 2 = metrics + tracing. The 0-vs-baseline
+/// delta is the "disabled overhead < 2%" number the docs cite.
+void BM_SimplifyInstrumented(benchmark::State &State) {
+  Context Master(64);
+  CorpusOptions Opts;
+  Opts.LinearCount = Opts.PolyCount = Opts.NonPolyCount = 4;
+  std::vector<const Expr *> Exprs;
+  for (const CorpusEntry &E : generateCorpus(Master, Opts))
+    Exprs.push_back(E.Obfuscated);
+
+  setMetricsEnabled(State.range(0) >= 1);
+  setTracingEnabled(State.range(0) >= 2);
+  for (auto _ : State) {
+    Context Ctx(64);
+    MBASolver Solver(Ctx);
+    for (const Expr *E : Exprs)
+      benchmark::DoNotOptimize(Solver.simplify(cloneExpr(Ctx, E)));
+    // Cap trace memory: the span stream of one pass is enough to measure.
+    if (State.range(0) >= 2)
+      clearTrace();
+  }
+  setMetricsEnabled(false);
+  setTracingEnabled(false);
+  clearTrace();
+}
+BENCHMARK(BM_SimplifyInstrumented)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -24,6 +24,7 @@ using namespace mba::bench;
 
 int main(int Argc, char **Argv) {
   HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  enableTelemetry(Opts);
   if (Opts.PerCategory == 40)
     Opts.PerCategory = 25; // study default; raw queries mostly time out
   if (Opts.TimeoutSeconds == 1.0)
@@ -61,6 +62,7 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Result.Pool.IdleWaits);
   if (!Opts.JsonPath.empty())
     writeStudyJson(Opts.JsonPath, "table2", Opts, Result);
+  exportTelemetry(Opts);
 
   std::printf("Paper reference (Table 2, 1h timeout, 1000/category):\n");
   std::printf("  Z3 84 (2.8%%), STP 98 (3.3%%), Boolector 496 (16.5%%) "

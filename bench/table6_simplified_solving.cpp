@@ -20,6 +20,7 @@ using namespace mba::bench;
 
 int main(int Argc, char **Argv) {
   HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  enableTelemetry(Opts);
 
   Context Ctx(Opts.Width);
   CorpusOptions CorpusOpts;
@@ -67,6 +68,7 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Result.Pool.IdleWaits);
   if (!Opts.JsonPath.empty())
     writeStudyJson(Opts.JsonPath, "table6", Opts, Result);
+  exportTelemetry(Opts);
   std::printf("\nPaper reference (Table 6): all solvers 2894/3000 (96.5%%) "
               "solved;\n");
   std::printf("  linear/poly averages 0.01-0.02 s; non-poly 894/1000 with "

@@ -61,6 +61,7 @@ struct ToolRow {
 
 int main(int Argc, char **Argv) {
   HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  enableTelemetry(Opts);
   if (Opts.TimeoutSeconds == 1.0)
     Opts.TimeoutSeconds = 0.25;
 
@@ -140,5 +141,6 @@ int main(int Argc, char **Argv) {
               "0.4 (12.1%%)\n");
   std::printf("  MBA-Solver Y=2894 N=0    O=106  ratio 96.5%% | alt 11.9 -> "
               "2.8 (23.5%%)\n");
+  exportTelemetry(Opts);
   return 0;
 }

@@ -12,7 +12,9 @@
 ///   mba_cli sig '<expr>'                 signature vector (linear MBA)
 ///   mba_cli certify                      certify the shipped rewrite rules
 ///
-/// Options: --width=N (default 64), --timeout=SECONDS (check; default 5).
+/// Options: --width=N (default 64), --timeout=SECONDS (check; default 5),
+/// --stats (print the telemetry registry summary — span timings and
+/// pipeline counters — to stdout after the command).
 ///
 /// `certify` re-proves every shipped equality-saturation rule sound for all
 /// bit widths and exits non-zero if any rule fails — CI runs it so an
@@ -30,6 +32,7 @@
 #include "mba/Signature.h"
 #include "mba/Simplifier.h"
 #include "solvers/EquivalenceChecker.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -42,7 +45,7 @@ namespace {
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
-               "usage: %s [--width=N] [--timeout=S] "
+               "usage: %s [--width=N] [--timeout=S] [--stats] "
                "simplify|classify|check|sig|certify [<expr>] [<expr2>]\n",
                Prog);
   return 2;
@@ -60,11 +63,33 @@ const Expr *parseArg(Context &Ctx, const char *Text) {
 
 } // namespace
 
+int run(int Argc, char **Argv);
+
 int main(int Argc, char **Argv) {
+  bool Stats = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--stats") == 0)
+      Stats = true;
+  if (Stats) {
+    telemetry::setMetricsEnabled(true);
+    telemetry::setTracingEnabled(true);
+    telemetry::setThreadLabel("main");
+  }
+  int Exit = run(Argc, Argv);
+  if (Stats) {
+    telemetry::setTracingEnabled(false);
+    telemetry::printSummary(stdout);
+  }
+  return Exit;
+}
+
+int run(int Argc, char **Argv) {
   unsigned Width = 64;
   double Timeout = 5.0;
   std::vector<const char *> Positional;
   for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--stats") == 0)
+      continue;
     if (std::sscanf(Argv[I], "--width=%u", &Width) == 1)
       continue;
     if (std::sscanf(Argv[I], "--timeout=%lf", &Timeout) == 1)

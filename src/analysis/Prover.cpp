@@ -8,6 +8,7 @@
 
 #include "analysis/AbstractInterp.h"
 #include "analysis/EGraph.h"
+#include "support/Telemetry.h"
 
 #include <vector>
 
@@ -156,6 +157,9 @@ Prover::Prover(Context &Ctx, const RuleSet *Rules)
 
 ProveResult Prover::prove(const Expr *A, const Expr *B,
                           const ProveBudget &Budget) {
+  MBA_TRACE_SPAN("prover.prove");
+  static telemetry::Counter &Proves = telemetry::counter("prover.queries");
+  Proves.add();
   ProveResult Result;
   if (A == B) { // hash-consing: pointer equality is structural equality
     Result.Outcome = ProveOutcome::Proved;
@@ -198,6 +202,7 @@ ProveResult Prover::prove(const Expr *A, const Expr *B,
 
 const Expr *Prover::saturateAndExtract(const Expr *E,
                                        const ProveBudget &Budget) {
+  MBA_TRACE_SPAN("prover.saturate");
   EGraph G(Ctx);
   EClassId Root = G.addExpr(E);
   G.rebuild();

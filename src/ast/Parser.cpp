@@ -6,6 +6,8 @@
 
 #include "ast/Parser.h"
 
+#include "support/Telemetry.h"
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -248,6 +250,9 @@ private:
 } // namespace
 
 ParseResult mba::parseExpr(Context &Ctx, std::string_view Text) {
+  MBA_TRACE_SPAN("ast.parse");
+  static telemetry::Counter &Parses = telemetry::counter("ast.parses");
+  Parses.add();
   return ParserImpl(Ctx, Text).run();
 }
 

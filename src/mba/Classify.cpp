@@ -7,6 +7,7 @@
 #include "mba/Classify.h"
 
 #include "ast/ExprUtils.h"
+#include "support/Telemetry.h"
 
 #include <unordered_map>
 
@@ -135,6 +136,7 @@ bool mba::isPureBitwise(const Context &Ctx, const Expr *E) {
 }
 
 MBAKind mba::classifyMBA(const Context &Ctx, const Expr *E) {
+  MBA_TRACE_SPAN("mba.classify");
   Facts F = computeFacts(Ctx, E);
   if (F.Linear)
     return MBAKind::Linear;

@@ -12,6 +12,7 @@
 #include "ast/Evaluator.h"
 #include "ast/ExprUtils.h"
 #include "linalg/TruthTable.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cstring>
@@ -22,6 +23,10 @@ using namespace mba;
 std::vector<uint64_t>
 mba::computeSignature(const Context &Ctx, const Expr *E,
                       std::span<const Expr *const> Vars) {
+  MBA_TRACE_SPAN("mba.signature");
+  static telemetry::Counter &Signatures =
+      telemetry::counter("signature.computed");
+  Signatures.add();
   unsigned T = (unsigned)Vars.size();
   assert(T <= 20 && "signature would be too large");
   const size_t Rows = (size_t)1 << T;

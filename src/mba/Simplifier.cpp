@@ -18,6 +18,7 @@
 #include "mba/SimplifyCache.h"
 #include "poly/PolyExpr.h"
 #include "support/Stopwatch.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <functional>
@@ -53,6 +54,11 @@ MBASolver::MBASolver(Context &Ctx, SimplifyOptions Opts)
     : Ctx(Ctx), Opts(Opts), OptionsFp(optionsFingerprint(this->Opts)) {}
 
 const Expr *MBASolver::simplify(const Expr *E) {
+  MBA_TRACE_SPAN("simplify");
+  static telemetry::Counter &Calls = telemetry::counter("simplify.calls");
+  static telemetry::Histogram &DurationNs =
+      telemetry::histogram("simplify.duration_ns");
+  Calls.add();
   Stopwatch Timer;
   size_t BytesBefore = Ctx.bytesUsed();
 
@@ -86,8 +92,10 @@ const Expr *MBASolver::simplify(const Expr *E) {
                               exprFingerprint(E));
     if (const Expr *Hit = SC->lookupResult(ResultKey, Ctx)) {
       ++Stats.CacheHits;
-      Stats.Seconds += Timer.seconds();
+      double Elapsed = Timer.seconds();
+      Stats.Seconds += Elapsed;
       Stats.ArenaBytesDelta += Ctx.bytesUsed() - BytesBefore;
+      DurationNs.record((uint64_t)(Elapsed * 1e9));
       return Hit;
     }
   }
@@ -127,8 +135,10 @@ const Expr *MBASolver::simplify(const Expr *E) {
 
   if (SC)
     SC->insertResult(ResultKey, R);
-  Stats.Seconds += Timer.seconds();
+  double Elapsed = Timer.seconds();
+  Stats.Seconds += Elapsed;
   Stats.ArenaBytesDelta += Ctx.bytesUsed() - BytesBefore;
+  DurationNs.record((uint64_t)(Elapsed * 1e9));
   return R;
 }
 
@@ -181,6 +191,9 @@ const Expr *MBASolver::simplifyLinear(const Expr *E,
     // No variables: a constant expression; evaluate it.
     return Ctx.getConst(evaluate(Ctx, E, std::span<const uint64_t>()));
   ++Stats.LinearRuns;
+  MBA_TRACE_SPAN("simplify.linear");
+  static telemetry::Counter &Runs = telemetry::counter("simplify.linear_runs");
+  Runs.add();
   std::vector<uint64_t> Sig = computeSignature(Ctx, E, Vars);
   Stats.TransientBytes += Sig.size() * sizeof(uint64_t);
 
@@ -281,6 +294,9 @@ MBASolver::normalizedCombo(const std::vector<uint64_t> &Sig,
 
 const Expr *MBASolver::simplifyPoly(const Expr *E, unsigned Depth) {
   ++Stats.PolyRuns;
+  MBA_TRACE_SPAN("simplify.poly");
+  static telemetry::Counter &Runs = telemetry::counter("simplify.poly_runs");
+  Runs.add();
   AtomMap Atoms;
   uint64_t Mask = Ctx.mask();
 
@@ -321,6 +337,10 @@ const Expr *MBASolver::simplifyPoly(const Expr *E, unsigned Depth) {
 
 const Expr *MBASolver::simplifyNonPoly(const Expr *E, unsigned Depth) {
   ++Stats.NonPolyRuns;
+  MBA_TRACE_SPAN("simplify.nonpoly");
+  static telemetry::Counter &Runs =
+      telemetry::counter("simplify.nonpoly_runs");
+  Runs.add();
 
   // Abstract every arithmetic sub-expression that sits directly under a
   // bitwise operator as a fresh temporary variable, recursively simplifying
@@ -514,6 +534,7 @@ const Expr *MBASolver::arithReduceOpaque(const Expr *E) {
 const Expr *MBASolver::finalOptimize(const Expr *E) {
   if (E->isConst())
     return E;
+  MBA_TRACE_SPAN("simplify.finalopt");
   if (classifyMBA(Ctx, E) != MBAKind::Linear)
     return E;
   std::vector<const Expr *> Vars = collectVariables(E);

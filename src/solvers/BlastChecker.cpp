@@ -9,6 +9,7 @@
 #include "bitblast/BitBlaster.h"
 #include "bitblast/ExprBlaster.h"
 #include "support/Stopwatch.h"
+#include "support/Telemetry.h"
 
 using namespace mba;
 
@@ -38,6 +39,8 @@ public:
 
   CheckResult check(const Context &Ctx, const Expr *A, const Expr *B,
                     double TimeoutSeconds) override {
+    MBA_TRACE_SPAN(Rewriting ? "solve.backend.BlastBV+RW"
+                             : "solve.backend.BlastBV");
     Stopwatch Timer;
     sat::SatSolver Solver;
     BitBlaster Blaster(Solver, Ctx.width(), Rewriting);

@@ -23,6 +23,7 @@
 #include "ast/ExprUtils.h"
 #include "solvers/EquivalenceChecker.h"
 #include "support/Stopwatch.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <utility>
@@ -83,6 +84,9 @@ public:
     assert(&CheckCtx == &Ctx &&
            "staged checker bound to a different context than the query");
     (void)CheckCtx;
+    MBA_TRACE_SPAN("solve.query");
+    static telemetry::Counter &Queries = telemetry::counter("solve.queries");
+    Queries.add();
     Stopwatch Timer;
 
     uint64_t Key = 0;
@@ -90,17 +94,23 @@ public:
       Key = VerdictCache::queryKey(Ctx, A, B, Inner->name());
       VerdictEntry Hit;
       if (Verdicts->lookup(Key, Hit)) {
+        static telemetry::Counter &VerdictHits =
+            telemetry::counter("solve.verdict_cache_hits");
         switch (Hit.Outcome) {
         case VerdictEntry::Equivalent:
+          VerdictHits.add();
           return {Verdict::Equivalent, Timer.seconds()};
         case VerdictEntry::NotEquivalent:
+          VerdictHits.add();
           return {Verdict::NotEquivalent, Timer.seconds()};
         case VerdictEntry::Unknown:
           // Usable only when the failed budget covers this query's budget;
           // a larger timeout might still decide it, so fall through and
           // actually run. The epsilon absorbs snapshot rounding.
-          if (TimeoutSeconds <= Hit.BudgetSeconds + 1e-9)
+          if (TimeoutSeconds <= Hit.BudgetSeconds + 1e-9) {
+            VerdictHits.add();
             return {Verdict::Timeout, Timer.seconds()};
+          }
           break;
         }
       }
@@ -130,7 +140,10 @@ private:
   CheckResult checkUncached(const Expr *A, const Expr *B,
                             double TimeoutSeconds) {
     Stopwatch Timer;
-    ProveResult Static = Prover(Ctx).prove(A, B, Budget);
+    ProveResult Static = [&] {
+      MBA_TRACE_SPAN("solve.stage0");
+      return Prover(Ctx).prove(A, B, Budget);
+    }();
     double StaticSeconds = Timer.seconds();
     if (Stats) {
       Stats->StaticSeconds += StaticSeconds;
@@ -140,18 +153,25 @@ private:
       Stats->Saturation.Merges += Static.Stats.Merges;
       Stats->Saturation.Matches += Static.Stats.Matches;
     }
+    static telemetry::Counter &Proved = telemetry::counter("stage0.proved");
+    static telemetry::Counter &Refuted = telemetry::counter("stage0.refuted");
+    static telemetry::Counter &Fallthrough =
+        telemetry::counter("stage0.fallthrough");
     switch (Static.Outcome) {
     case ProveOutcome::Proved:
+      Proved.add();
       if (Stats)
         ++Stats->Proved;
       return {Verdict::Equivalent, StaticSeconds};
     case ProveOutcome::Refuted:
+      Refuted.add();
       if (Stats)
         ++Stats->Refuted;
       return {Verdict::NotEquivalent, StaticSeconds};
     case ProveOutcome::Unknown:
       break;
     }
+    Fallthrough.add();
     if (Stats)
       ++Stats->Fallthrough;
     double Remaining = TimeoutSeconds - StaticSeconds;

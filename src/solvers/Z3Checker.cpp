@@ -11,6 +11,7 @@
 
 #include "ast/ExprUtils.h"
 #include "support/Stopwatch.h"
+#include "support/Telemetry.h"
 
 #include <z3++.h>
 
@@ -28,6 +29,7 @@ public:
 
   CheckResult check(const Context &Ctx, const Expr *A, const Expr *B,
                     double TimeoutSeconds) override {
+    MBA_TRACE_SPAN("solve.backend.Z3");
     Stopwatch Timer;
     CheckResult Result;
     try {

@@ -31,6 +31,7 @@
 #ifndef MBA_SUPPORT_CACHE_H
 #define MBA_SUPPORT_CACHE_H
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -128,10 +129,10 @@ public:
     std::lock_guard<std::mutex> Lock(S.Mu);
     auto It = S.Map.find(Key);
     if (It == S.Map.end()) {
-      ++S.Misses;
+      S.Misses.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    ++S.Hits;
+    S.Hits.fetch_add(1, std::memory_order_relaxed);
     touch(S, &It->second);
     Out = It->second.Value;
     return true;
@@ -158,13 +159,13 @@ public:
       touch(S, N);
       return;
     }
-    ++S.Inserts;
+    S.Inserts.fetch_add(1, std::memory_order_relaxed);
     pushFront(S, N);
     if (S.Map.size() > ShardCapacity) {
       Node *Victim = S.Tail;
       detach(S, Victim);
       S.Map.erase(Victim->Key);
-      ++S.Evictions;
+      S.Evictions.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -179,15 +180,17 @@ public:
     return Out;
   }
 
-  /// Rolled-up counters over all shards.
+  /// Rolled-up counters over all shards. The rate counters are relaxed
+  /// atomics (never torn under --jobs=N; audited for the telemetry layer),
+  /// so only the population read takes each shard's lock.
   CacheStats stats() const {
     CacheStats Out;
     for (const auto &SP : Shards_) {
+      Out.Hits += SP->Hits.load(std::memory_order_relaxed);
+      Out.Misses += SP->Misses.load(std::memory_order_relaxed);
+      Out.Inserts += SP->Inserts.load(std::memory_order_relaxed);
+      Out.Evictions += SP->Evictions.load(std::memory_order_relaxed);
       std::lock_guard<std::mutex> Lock(SP->Mu);
-      Out.Hits += SP->Hits;
-      Out.Misses += SP->Misses;
-      Out.Inserts += SP->Inserts;
-      Out.Evictions += SP->Evictions;
       Out.Entries += SP->Map.size();
     }
     return Out;
@@ -220,7 +223,9 @@ private:
     std::unordered_map<uint64_t, Node> Map;
     Node *Head = nullptr; ///< most recently used
     Node *Tail = nullptr; ///< least recently used
-    uint64_t Hits = 0, Misses = 0, Inserts = 0, Evictions = 0;
+    // Relaxed atomics: written under Mu (the map/LRU updates need it
+    // anyway) but readable lock-free by stats() and telemetry snapshots.
+    std::atomic<uint64_t> Hits{0}, Misses{0}, Inserts{0}, Evictions{0};
   };
 
   Shard &shardFor(uint64_t Key) {

@@ -1,0 +1,520 @@
+//===- support/Telemetry.cpp - Unified metrics + tracing layer ------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace mba;
+using namespace mba::telemetry;
+
+std::atomic<bool> mba::telemetry::detail::MetricsOn{false};
+std::atomic<bool> mba::telemetry::detail::TracingOn{false};
+
+void mba::telemetry::setMetricsEnabled(bool On) {
+  detail::MetricsOn.store(On, std::memory_order_relaxed);
+}
+
+void mba::telemetry::setTracingEnabled(bool On) {
+  detail::TracingOn.store(On, std::memory_order_relaxed);
+}
+
+unsigned mba::telemetry::threadStripe() {
+  static std::atomic<unsigned> NextStripe{0};
+  thread_local unsigned Stripe =
+      NextStripe.fetch_add(1, std::memory_order_relaxed) % NumStripes;
+  return Stripe;
+}
+
+//===----------------------------------------------------------------------===//
+// Metric registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct MetricSlot {
+  MetricValue::Kind Which = MetricValue::KCounter;
+  // Exactly one is set, according to Which. unique_ptr keeps addresses
+  // stable across registry rehashes (metrics hand out references).
+  std::unique_ptr<Counter> C;
+  std::unique_ptr<Gauge> G;
+  std::unique_ptr<Histogram> H;
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::unordered_map<std::string, MetricSlot> Metrics;
+
+  std::mutex SourcesMu;
+  uint64_t NextSourceId = 1;
+  std::unordered_map<uint64_t, std::function<void(MetricsSink &)>> Sources;
+};
+
+// Leaked on purpose: metrics are process-lifetime and instrumented code may
+// run during static destruction.
+Registry &registry() {
+  static Registry *R = new Registry();
+  return *R;
+}
+
+MetricSlot &findOrCreate(std::string_view Name, MetricValue::Kind Which) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto [It, Inserted] = R.Metrics.try_emplace(std::string(Name));
+  MetricSlot &S = It->second;
+  if (Inserted) {
+    S.Which = Which;
+    switch (Which) {
+    case MetricValue::KCounter:
+      S.C = std::make_unique<Counter>();
+      break;
+    case MetricValue::KGauge:
+      S.G = std::make_unique<Gauge>();
+      break;
+    case MetricValue::KHistogram:
+      S.H = std::make_unique<Histogram>();
+      break;
+    }
+  } else if (S.Which != Which) {
+    std::fprintf(stderr,
+                 "telemetry: metric '%.*s' requested as two different "
+                 "kinds\n",
+                 (int)Name.size(), Name.data());
+    std::abort();
+  }
+  return S;
+}
+
+} // namespace
+
+Counter &mba::telemetry::counter(std::string_view Name) {
+  return *findOrCreate(Name, MetricValue::KCounter).C;
+}
+
+Gauge &mba::telemetry::gauge(std::string_view Name) {
+  return *findOrCreate(Name, MetricValue::KGauge).G;
+}
+
+Histogram &mba::telemetry::histogram(std::string_view Name) {
+  return *findOrCreate(Name, MetricValue::KHistogram).H;
+}
+
+SourceHandle &SourceHandle::operator=(SourceHandle &&O) noexcept {
+  if (this != &O) {
+    reset();
+    Id = O.Id;
+    O.Id = 0;
+  }
+  return *this;
+}
+
+void SourceHandle::reset() {
+  if (!Id)
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.SourcesMu);
+  R.Sources.erase(Id);
+  Id = 0;
+}
+
+SourceHandle
+mba::telemetry::registerSource(std::function<void(MetricsSink &)> Fn) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.SourcesMu);
+  uint64_t Id = R.NextSourceId++;
+  R.Sources.emplace(Id, std::move(Fn));
+  return SourceHandle(Id);
+}
+
+std::vector<MetricValue> mba::telemetry::snapshotMetrics() {
+  Registry &R = registry();
+  // Source values first, summed by name (two pools both emitting
+  // "pool.steals" roll up into one line).
+  std::map<std::string, uint64_t> SourceValues;
+  struct Sink final : MetricsSink {
+    std::map<std::string, uint64_t> &Values;
+    explicit Sink(std::map<std::string, uint64_t> &Values) : Values(Values) {}
+    void value(std::string_view Name, uint64_t V) override {
+      Values[std::string(Name)] += V;
+    }
+  } S(SourceValues);
+  {
+    std::lock_guard<std::mutex> Lock(R.SourcesMu);
+    for (auto &[Id, Fn] : R.Sources)
+      Fn(S);
+  }
+
+  std::vector<MetricValue> Out;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Out.reserve(R.Metrics.size() + SourceValues.size());
+    for (const auto &[Name, Slot] : R.Metrics) {
+      MetricValue V;
+      V.Name = Name;
+      V.Which = Slot.Which;
+      switch (Slot.Which) {
+      case MetricValue::KCounter:
+        V.Value = Slot.C->value();
+        break;
+      case MetricValue::KGauge:
+        V.GaugeValue = Slot.G->value();
+        break;
+      case MetricValue::KHistogram:
+        V.Hist = Slot.H->snapshot();
+        V.Value = V.Hist.Count;
+        break;
+      }
+      Out.push_back(std::move(V));
+    }
+  }
+  for (const auto &[Name, Value] : SourceValues) {
+    MetricValue V;
+    V.Name = Name;
+    V.Which = MetricValue::KCounter;
+    V.Value = Value;
+    Out.push_back(std::move(V));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const MetricValue &A, const MetricValue &B) {
+              return A.Name < B.Name;
+            });
+  // Registered metric and same-named source sum into one entry.
+  std::vector<MetricValue> Merged;
+  for (MetricValue &V : Out) {
+    if (!Merged.empty() && Merged.back().Name == V.Name &&
+        Merged.back().Which == MetricValue::KCounter &&
+        V.Which == MetricValue::KCounter)
+      Merged.back().Value += V.Value;
+    else
+      Merged.push_back(std::move(V));
+  }
+  return Merged;
+}
+
+//===----------------------------------------------------------------------===//
+// Text exporters
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "simplify.linear runs" -> "mba_simplify_linear_runs".
+std::string promName(const std::string &Name) {
+  std::string Out = "mba_";
+  for (char C : Name)
+    Out += (std::isalnum((unsigned char)C) ? C : '_');
+  return Out;
+}
+
+} // namespace
+
+void mba::telemetry::printMetricsText(std::FILE *Out) {
+  for (const MetricValue &V : snapshotMetrics()) {
+    std::string P = promName(V.Name);
+    switch (V.Which) {
+    case MetricValue::KCounter:
+      std::fprintf(Out, "# TYPE %s counter\n%s %llu\n", P.c_str(), P.c_str(),
+                   (unsigned long long)V.Value);
+      break;
+    case MetricValue::KGauge:
+      std::fprintf(Out, "# TYPE %s gauge\n%s %lld\n", P.c_str(), P.c_str(),
+                   (long long)V.GaugeValue);
+      break;
+    case MetricValue::KHistogram: {
+      std::fprintf(Out, "# TYPE %s histogram\n", P.c_str());
+      uint64_t Cum = 0;
+      for (unsigned B = 0; B != HistogramBuckets; ++B) {
+        if (!V.Hist.Buckets[B])
+          continue; // sparse output: only populated buckets
+        Cum += V.Hist.Buckets[B];
+        std::fprintf(Out, "%s_bucket{le=\"%llu\"} %llu\n", P.c_str(),
+                     (unsigned long long)histogramBucketMax(B),
+                     (unsigned long long)Cum);
+      }
+      std::fprintf(Out, "%s_bucket{le=\"+Inf\"} %llu\n", P.c_str(),
+                   (unsigned long long)V.Hist.Count);
+      std::fprintf(Out, "%s_sum %llu\n%s_count %llu\n", P.c_str(),
+                   (unsigned long long)V.Hist.Sum, P.c_str(),
+                   (unsigned long long)V.Hist.Count);
+      break;
+    }
+    }
+  }
+}
+
+bool mba::telemetry::writeMetricsText(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  printMetricsText(F);
+  bool Ok = std::fclose(F) == 0;
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+
+uint64_t mba::telemetry::nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now() - Epoch)
+      .count();
+}
+
+const char *mba::telemetry::internName(std::string_view Name) {
+  static std::mutex Mu;
+  // Node-based set: element addresses are stable for the process lifetime.
+  static std::unordered_set<std::string> *Names =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Names->emplace(Name).first->c_str();
+}
+
+namespace {
+
+/// Per-thread buffer cap — ~2M spans ≈ 64 MB. Beyond it spans are counted
+/// as dropped rather than growing without bound.
+constexpr size_t MaxEventsPerThread = 2u << 20;
+
+struct ThreadBuf {
+  std::mutex Mu;
+  std::vector<TraceEvent> Events;
+  uint32_t Tid = 0;
+  std::string Label;
+  uint64_t Dropped = 0;
+};
+
+struct TraceState {
+  std::mutex Mu; // guards Buffers and NextTid
+  std::vector<std::shared_ptr<ThreadBuf>> Buffers;
+  uint32_t NextTid = 0;
+};
+
+TraceState &traceState() {
+  static TraceState *S = new TraceState();
+  return *S;
+}
+
+ThreadBuf &threadBuf() {
+  thread_local std::shared_ptr<ThreadBuf> Buf = [] {
+    auto B = std::make_shared<ThreadBuf>();
+    TraceState &S = traceState();
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    B->Tid = S.NextTid++;
+    B->Label = B->Tid == 0 ? "main" : "thread-" + std::to_string(B->Tid);
+    S.Buffers.push_back(B);
+    return B;
+  }();
+  return *Buf;
+}
+
+} // namespace
+
+void mba::telemetry::detail::endSpan(const char *Name, uint64_t StartNs) {
+  uint64_t EndNs = nowNs();
+  ThreadBuf &B = threadBuf();
+  std::lock_guard<std::mutex> Lock(B.Mu);
+  if (B.Events.size() >= MaxEventsPerThread) {
+    ++B.Dropped;
+    return;
+  }
+  B.Events.push_back({Name, StartNs, EndNs - StartNs, B.Tid});
+}
+
+void mba::telemetry::setThreadLabel(std::string_view Label, int Tid) {
+  ThreadBuf &B = threadBuf();
+  std::lock_guard<std::mutex> Lock(B.Mu);
+  B.Label = std::string(Label);
+  if (Tid >= 0)
+    B.Tid = (uint32_t)Tid;
+}
+
+std::vector<TraceEvent> mba::telemetry::collectTrace() {
+  TraceState &S = traceState();
+  std::vector<std::shared_ptr<ThreadBuf>> Buffers;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Buffers = S.Buffers;
+  }
+  std::vector<TraceEvent> Out;
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    // The tid may have been relabelled after events were recorded; stamp
+    // the current one so exports stay consistent.
+    for (TraceEvent E : B->Events) {
+      E.Tid = B->Tid;
+      Out.push_back(E);
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              return A.DurNs > B.DurNs; // parents before children
+            });
+  return Out;
+}
+
+std::vector<std::pair<uint32_t, std::string>> mba::telemetry::traceThreads() {
+  TraceState &S = traceState();
+  std::vector<std::pair<uint32_t, std::string>> Out;
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  for (const auto &B : S.Buffers) {
+    std::lock_guard<std::mutex> BLock(B->Mu);
+    Out.push_back({B->Tid, B->Label});
+  }
+  return Out;
+}
+
+uint64_t mba::telemetry::traceDropped() {
+  TraceState &S = traceState();
+  uint64_t Dropped = 0;
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  for (const auto &B : S.Buffers) {
+    std::lock_guard<std::mutex> BLock(B->Mu);
+    Dropped += B->Dropped;
+  }
+  return Dropped;
+}
+
+void mba::telemetry::clearTrace() {
+  TraceState &S = traceState();
+  std::vector<std::shared_ptr<ThreadBuf>> Buffers;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Buffers = S.Buffers;
+  }
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    B->Events.clear();
+    B->Dropped = 0;
+  }
+}
+
+namespace {
+
+/// JSON string escaping for names/labels (ASCII control chars, quote,
+/// backslash).
+std::string jsonEscape(std::string_view In) {
+  std::string Out;
+  for (char C : In) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if ((unsigned char)C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+bool mba::telemetry::writeChromeTrace(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "{\"traceEvents\":[\n");
+  std::fprintf(F, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"args\":{\"name\":\"mba-solver\"}}");
+  for (const auto &[Tid, Label] : traceThreads())
+    std::fprintf(F,
+                 ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                 Tid, jsonEscape(Label).c_str());
+  for (const TraceEvent &E : collectTrace())
+    std::fprintf(F,
+                 ",\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                 "\"ts\":%.3f,\"dur\":%.3f}",
+                 jsonEscape(E.Name).c_str(), E.Tid, (double)E.StartNs / 1e3,
+                 (double)E.DurNs / 1e3);
+  std::fprintf(F, "\n],\"displayTimeUnit\":\"ms\"}\n");
+  return std::fclose(F) == 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Human-readable summary (mba_cli --stats)
+//===----------------------------------------------------------------------===//
+
+void mba::telemetry::printSummary(std::FILE *Out) {
+  // Span aggregation: per name, call count / total / mean.
+  struct Agg {
+    uint64_t Calls = 0;
+    uint64_t TotalNs = 0;
+  };
+  std::map<std::string, Agg> Spans;
+  for (const TraceEvent &E : collectTrace()) {
+    Agg &A = Spans[E.Name];
+    ++A.Calls;
+    A.TotalNs += E.DurNs;
+  }
+  if (!Spans.empty()) {
+    std::fprintf(Out, "Pipeline spans:\n");
+    std::fprintf(Out, "  %-28s %10s %12s %12s\n", "span", "calls",
+                 "total ms", "mean us");
+    for (const auto &[Name, A] : Spans)
+      std::fprintf(Out, "  %-28s %10llu %12.3f %12.3f\n", Name.c_str(),
+                   (unsigned long long)A.Calls, (double)A.TotalNs / 1e6,
+                   (double)A.TotalNs / 1e3 / (double)A.Calls);
+  }
+  std::vector<MetricValue> Metrics = snapshotMetrics();
+  if (!Metrics.empty()) {
+    std::fprintf(Out, "Metrics:\n");
+    for (const MetricValue &V : Metrics) {
+      switch (V.Which) {
+      case MetricValue::KCounter:
+        std::fprintf(Out, "  %-40s %llu\n", V.Name.c_str(),
+                     (unsigned long long)V.Value);
+        break;
+      case MetricValue::KGauge:
+        std::fprintf(Out, "  %-40s %lld\n", V.Name.c_str(),
+                     (long long)V.GaugeValue);
+        break;
+      case MetricValue::KHistogram:
+        std::fprintf(Out, "  %-40s count %llu, mean %.1f\n", V.Name.c_str(),
+                     (unsigned long long)V.Hist.Count,
+                     V.Hist.Count ? (double)V.Hist.Sum / (double)V.Hist.Count
+                                  : 0.0);
+        break;
+      }
+    }
+  }
+  uint64_t Dropped = traceDropped();
+  if (Dropped)
+    std::fprintf(Out, "(%llu spans dropped: thread buffer cap)\n",
+                 (unsigned long long)Dropped);
+}

@@ -33,8 +33,11 @@ ThreadPool::~ThreadPool() {
 }
 
 PoolStats ThreadPool::stats() const {
-  std::lock_guard<std::mutex> Lock(StatsMu);
-  return Stats;
+  PoolStats Out;
+  Out.Steals = Steals.load(std::memory_order_relaxed);
+  Out.IdleWaits = IdleWaits.load(std::memory_order_relaxed);
+  Out.Tasks = Tasks.load(std::memory_order_relaxed);
+  return Out;
 }
 
 bool ThreadPool::grabIndex(unsigned Ordinal, size_t &Index) {
@@ -83,10 +86,11 @@ bool ThreadPool::grabIndex(unsigned Ordinal, size_t &Index) {
       Own.Lo = StolenLo + 1;
       Own.Hi = StolenHi;
     }
-    {
-      std::lock_guard<std::mutex> Lock(StatsMu);
-      ++Stats.Steals;
-    }
+    Steals.fetch_add(1, std::memory_order_relaxed);
+    // The registry counter outlives this pool — a metrics dump written
+    // after the study (and its pool) still reports the totals.
+    static telemetry::Counter &StealsC = telemetry::counter("pool.steals");
+    StealsC.add();
     Index = StolenLo;
     return true;
   }
@@ -115,17 +119,21 @@ void ThreadPool::workerMain(unsigned Ordinal) {
       if (LocalError)
         continue; // drain without running more work after a failure
       try {
+        MBA_TRACE_SPAN("pool.task");
         (*Fn)(Index, Ordinal);
       } catch (...) {
         LocalError = std::current_exception();
       }
     }
 
-    {
-      std::lock_guard<std::mutex> Lock(StatsMu);
-      Stats.Tasks += LocalTasks;
-      if (LocalTasks == 0)
-        ++Stats.IdleWaits;
+    Tasks.fetch_add(LocalTasks, std::memory_order_relaxed);
+    static telemetry::Counter &TasksC = telemetry::counter("pool.tasks");
+    TasksC.add(LocalTasks);
+    if (LocalTasks == 0) {
+      IdleWaits.fetch_add(1, std::memory_order_relaxed);
+      static telemetry::Counter &IdleC =
+          telemetry::counter("pool.idle_waits");
+      IdleC.add();
     }
     {
       std::lock_guard<std::mutex> Lock(Mu);

@@ -17,7 +17,12 @@
 ///    granularity (thousands of entries, each milliseconds of work) lock
 ///    traffic is noise, and the simple scheme is easy to audit under TSAN;
 ///  * steal and idle-wait counters are exported (PoolStats) so the bench
-///    harness can report scheduler health next to its timing tables;
+///    harness can report scheduler health next to its timing tables; they
+///    are relaxed atomics (no torn reads under --jobs=N) and the pool
+///    mirrors them into the global telemetry counters pool.tasks /
+///    pool.steals / pool.idle_waits (support/Telemetry.h), which outlive
+///    the pool, so a metrics dump written after a study still covers the
+///    scheduler alongside the caches and pipeline counters;
 ///  * the callback receives (index, worker) — the worker ordinal lets
 ///    callers keep per-worker state (e.g. one expression Context per
 ///    worker, see ast/Context.h's threading rule) without sharing.
@@ -27,6 +32,9 @@
 #ifndef MBA_SUPPORT_THREADPOOL_H
 #define MBA_SUPPORT_THREADPOOL_H
 
+#include "support/Telemetry.h"
+
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -37,7 +45,9 @@
 
 namespace mba {
 
-/// Cumulative scheduler counters across parallelFor() calls.
+/// Snapshot of the scheduler counters across parallelFor() calls. The live
+/// counters are relaxed atomics inside the pool; this is the consistent-read
+/// copy stats() hands out.
 struct PoolStats {
   size_t Steals = 0;    ///< shard halves taken from another worker
   size_t IdleWaits = 0; ///< times a worker found every shard empty
@@ -88,8 +98,11 @@ private:
   bool ShuttingDown = false;
   std::exception_ptr FirstError;
 
-  mutable std::mutex StatsMu;
-  PoolStats Stats;
+  // Scheduler counters: relaxed atomics, so concurrent workers never tear
+  // a read and stats() / the telemetry source need no lock.
+  std::atomic<size_t> Steals{0};
+  std::atomic<size_t> IdleWaits{0};
+  std::atomic<size_t> Tasks{0};
 };
 
 } // namespace mba

@@ -306,6 +306,79 @@ TEST(HarnessStudy, CacheSnapshotWarmsSecondStudy) {
   EXPECT_NE(Err.find("width"), std::string::npos) << Err;
 }
 
+TEST(HarnessArgs, TraceAndMetricsOverrides) {
+  {
+    char Prog[] = "bench";
+    char *Argv[] = {Prog};
+    HarnessOptions Opts = parseHarnessArgs(1, Argv);
+    EXPECT_TRUE(Opts.TracePath.empty());
+    EXPECT_TRUE(Opts.MetricsPath.empty());
+  }
+  {
+    char Prog[] = "bench";
+    char A1[] = "--trace=/tmp/t.json";
+    char A2[] = "--metrics=/tmp/m.txt";
+    char *Argv[] = {Prog, A1, A2};
+    HarnessOptions Opts = parseHarnessArgs(3, Argv);
+    EXPECT_EQ(Opts.TracePath, "/tmp/t.json");
+    EXPECT_EQ(Opts.MetricsPath, "/tmp/m.txt");
+  }
+}
+
+TEST(HarnessStudy, TracedParallelMatchesUntraced) {
+  // Observation must not perturb the pipeline: a fully traced + metered
+  // 4-worker run produces bit-identical verdicts and simplified text to an
+  // untraced one.
+  Context Ctx(8);
+  CorpusOptions CorpusOpts;
+  CorpusOpts.LinearCount = 10;
+  CorpusOpts.PolyCount = 5;
+  CorpusOpts.NonPolyCount = 5;
+  CorpusOpts.IncludeSeedIdentities = false;
+  auto Corpus = generateCorpus(Ctx, CorpusOpts);
+
+  auto Factory = [](Context &) { return makeAllCheckers(); };
+  StudyConfig Config;
+  Config.TimeoutSeconds = 0.2;
+  Config.Jobs = 4;
+  Config.Simplify = true;
+  Config.StageZero = true;
+  Config.RecordSimplified = true;
+
+  StudyResult Plain = runSolvingStudyParallel(Ctx, Corpus, Factory, Config);
+
+  telemetry::setMetricsEnabled(true);
+  telemetry::clearTrace();
+  telemetry::setTracingEnabled(true);
+  StudyResult Traced = runSolvingStudyParallel(Ctx, Corpus, Factory, Config);
+  telemetry::setTracingEnabled(false);
+  telemetry::setMetricsEnabled(false);
+
+  ASSERT_EQ(Plain.Records.size(), Traced.Records.size());
+  for (size_t I = 0; I != Plain.Records.size(); ++I) {
+    EXPECT_EQ(Plain.Records[I].Solver, Traced.Records[I].Solver);
+    EXPECT_EQ(Plain.Records[I].Outcome, Traced.Records[I].Outcome)
+        << "tracing changed the verdict at record " << I;
+  }
+  for (size_t I = 0; I != Corpus.size(); ++I) {
+    EXPECT_EQ(Plain.SimplifiedLhs[I], Traced.SimplifiedLhs[I]);
+    EXPECT_EQ(Plain.SimplifiedRhs[I], Traced.SimplifiedRhs[I]);
+  }
+
+  // The traced run actually recorded: per-worker task spans exist and the
+  // workers carry their stable labels.
+  std::vector<telemetry::TraceEvent> Trace = telemetry::collectTrace();
+  size_t TaskSpans = 0;
+  for (const telemetry::TraceEvent &E : Trace)
+    TaskSpans += std::string_view(E.Name) == "pool.task";
+  EXPECT_EQ(TaskSpans, Corpus.size());
+  size_t WorkerLabels = 0;
+  for (auto &[Tid, Label] : telemetry::traceThreads())
+    WorkerLabels += Label.rfind("worker-", 0) == 0;
+  EXPECT_GE(WorkerLabels, 1u);
+  telemetry::clearTrace();
+}
+
 TEST(HarnessFormat, SecondsFormatting) {
   EXPECT_EQ(formatSeconds(0.0), "0.000");
   EXPECT_EQ(formatSeconds(1.2345), "1.234");

@@ -1,0 +1,580 @@
+//===- tests/telemetry_test.cpp - Unified telemetry layer tests -----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers the metrics registry (counters/gauges/histograms, striped storage
+/// merged across threads, callback sources, the Prometheus-style text
+/// dump) and the tracing-span layer (nesting/ordering, thread labels, the
+/// Chrome trace-event JSON exporter — parsed back by a minimal JSON reader
+/// to pin well-formedness).
+///
+/// The registry is process-global, so every test uses metric names unique
+/// to this file and trace tests clear the span buffers up front.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mba;
+using namespace mba::telemetry;
+
+namespace {
+
+/// Turns metrics (and optionally tracing) on for one test body and restores
+/// the disabled default afterwards, so test order never matters.
+struct TelemetryOn {
+  explicit TelemetryOn(bool Tracing = false) {
+    setMetricsEnabled(true);
+    if (Tracing) {
+      clearTrace();
+      setTracingEnabled(true);
+    }
+  }
+  ~TelemetryOn() {
+    setMetricsEnabled(false);
+    setTracingEnabled(false);
+  }
+};
+
+TEST(TelemetryMetrics, CounterDisabledRecordsNothing) {
+  Counter &C = counter("test.disabled_counter");
+  ASSERT_FALSE(metricsEnabled());
+  C.add(17);
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(TelemetryMetrics, CounterAccumulatesAndRegistryIsStable) {
+  TelemetryOn On;
+  Counter &C = counter("test.counter");
+  EXPECT_EQ(&C, &counter("test.counter")) << "same name, same object";
+  uint64_t Before = C.value();
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), Before + 42);
+}
+
+TEST(TelemetryMetrics, CounterMergesAcrossThreads) {
+  TelemetryOn On;
+  Counter &C = counter("test.mt_counter");
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&C] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        C.add();
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(C.value(), (uint64_t)Threads * PerThread);
+}
+
+TEST(TelemetryMetrics, GaugeSetAndAdd) {
+  TelemetryOn On;
+  Gauge &G = gauge("test.gauge");
+  G.set(7);
+  EXPECT_EQ(G.value(), 7);
+  G.add(-10);
+  EXPECT_EQ(G.value(), -3);
+}
+
+TEST(TelemetryMetrics, HistogramBucketBoundaries) {
+  // Bucket 0 holds only the value 0; bucket i (i >= 1) holds [2^(i-1), 2^i).
+  EXPECT_EQ(histogramBucket(0), 0u);
+  EXPECT_EQ(histogramBucket(1), 1u);
+  EXPECT_EQ(histogramBucket(2), 2u);
+  EXPECT_EQ(histogramBucket(3), 2u);
+  EXPECT_EQ(histogramBucket(4), 3u);
+  EXPECT_EQ(histogramBucket(1023), 10u);
+  EXPECT_EQ(histogramBucket(1024), 11u);
+  EXPECT_EQ(histogramBucket(~0ULL), 64u);
+  for (unsigned B = 1; B != HistogramBuckets; ++B) {
+    // Every bucket's inclusive max lands in that bucket, and max+1 in the
+    // next (except the last, which absorbs the top of the range).
+    EXPECT_EQ(histogramBucket(histogramBucketMax(B)), B);
+    if (B + 1 != HistogramBuckets)
+      EXPECT_EQ(histogramBucket(histogramBucketMax(B) + 1), B + 1);
+  }
+  EXPECT_EQ(histogramBucketMax(0), 0u);
+  EXPECT_EQ(histogramBucketMax(1), 1u);
+  EXPECT_EQ(histogramBucketMax(10), 1023u);
+  EXPECT_EQ(histogramBucketMax(64), ~0ULL);
+}
+
+TEST(TelemetryMetrics, HistogramRecordAndSnapshot) {
+  TelemetryOn On;
+  Histogram &H = histogram("test.hist");
+  const uint64_t Samples[] = {0, 1, 1, 3, 100, 1 << 20};
+  for (uint64_t S : Samples)
+    H.record(S);
+  Histogram::Snapshot Snap = H.snapshot();
+  EXPECT_EQ(Snap.Count, 6u);
+  EXPECT_EQ(Snap.Sum, 0u + 1 + 1 + 3 + 100 + (1 << 20));
+  EXPECT_EQ(Snap.Buckets[0], 1u);                       // the 0
+  EXPECT_EQ(Snap.Buckets[1], 2u);                       // the two 1s
+  EXPECT_EQ(Snap.Buckets[2], 1u);                       // 3
+  EXPECT_EQ(Snap.Buckets[histogramBucket(100)], 1u);
+  EXPECT_EQ(Snap.Buckets[histogramBucket(1 << 20)], 1u);
+}
+
+TEST(TelemetryMetrics, HistogramMergesAcrossThreads) {
+  TelemetryOn On;
+  Histogram &H = histogram("test.mt_hist");
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 4096;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&H, T] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        H.record(T); // thread T records the constant T
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  Histogram::Snapshot Snap = H.snapshot();
+  EXPECT_EQ(Snap.Count, (uint64_t)Threads * PerThread);
+  uint64_t ExpectedSum = 0;
+  for (unsigned T = 0; T != Threads; ++T)
+    ExpectedSum += (uint64_t)T * PerThread;
+  EXPECT_EQ(Snap.Sum, ExpectedSum);
+  // Values 0..7 land in buckets 0,1,2,2,3,3,3,3.
+  EXPECT_EQ(Snap.Buckets[0], (uint64_t)PerThread);
+  EXPECT_EQ(Snap.Buckets[1], (uint64_t)PerThread);
+  EXPECT_EQ(Snap.Buckets[2], (uint64_t)2 * PerThread);
+  EXPECT_EQ(Snap.Buckets[3], (uint64_t)4 * PerThread);
+}
+
+TEST(TelemetryMetrics, SnapshotContainsRegisteredMetrics) {
+  TelemetryOn On;
+  counter("test.snap_counter").add(5);
+  gauge("test.snap_gauge").set(-2);
+  histogram("test.snap_hist").record(9);
+  std::map<std::string, MetricValue> ByName;
+  for (MetricValue &M : snapshotMetrics())
+    ByName[M.Name] = M;
+  ASSERT_TRUE(ByName.count("test.snap_counter"));
+  EXPECT_EQ(ByName["test.snap_counter"].Which, MetricValue::KCounter);
+  EXPECT_GE(ByName["test.snap_counter"].Value, 5u);
+  ASSERT_TRUE(ByName.count("test.snap_gauge"));
+  EXPECT_EQ(ByName["test.snap_gauge"].GaugeValue, -2);
+  ASSERT_TRUE(ByName.count("test.snap_hist"));
+  EXPECT_GE(ByName["test.snap_hist"].Hist.Count, 1u);
+  // Sorted by name.
+  std::vector<MetricValue> All = snapshotMetrics();
+  for (size_t I = 1; I < All.size(); ++I)
+    EXPECT_LT(All[I - 1].Name, All[I].Name);
+}
+
+TEST(TelemetryMetrics, SourcesPolledAndUnregistered) {
+  TelemetryOn On;
+  uint64_t Live = 123;
+  SourceHandle H = registerSource([&Live](MetricsSink &S) {
+    S.value("test.source_value", Live);
+  });
+  EXPECT_TRUE(H.active());
+  auto Find = [](const char *Name) -> const MetricValue * {
+    static std::vector<MetricValue> Snap;
+    Snap = snapshotMetrics();
+    for (const MetricValue &M : Snap)
+      if (M.Name == Name)
+        return &M;
+    return nullptr;
+  };
+  const MetricValue *M = Find("test.source_value");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Value, 123u);
+  Live = 124; // sources are pulled fresh each snapshot
+  M = Find("test.source_value");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Value, 124u);
+  H.reset();
+  EXPECT_FALSE(H.active());
+  EXPECT_EQ(Find("test.source_value"), nullptr);
+}
+
+TEST(TelemetryMetrics, TwoSourcesSameNameAreSummed) {
+  TelemetryOn On;
+  SourceHandle A = registerSource(
+      [](MetricsSink &S) { S.value("test.summed_source", 10); });
+  SourceHandle B = registerSource(
+      [](MetricsSink &S) { S.value("test.summed_source", 32); });
+  for (const MetricValue &M : snapshotMetrics())
+    if (M.Name == "test.summed_source")
+      EXPECT_EQ(M.Value, 42u);
+}
+
+TEST(TelemetryMetrics, TextDumpFormat) {
+  TelemetryOn On;
+  counter("test.dump_counter").add(3);
+  histogram("test.dump_hist").record(5);
+  std::string Path = testing::TempDir() + "telemetry_dump.txt";
+  ASSERT_TRUE(writeMetricsText(Path));
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path.c_str());
+
+  EXPECT_NE(Text.find("# TYPE mba_test_dump_counter counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mba_test_dump_counter 3"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE mba_test_dump_hist histogram"),
+            std::string::npos);
+  // Cumulative buckets end with the catch-all.
+  EXPECT_NE(Text.find("mba_test_dump_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mba_test_dump_hist_sum 5"), std::string::npos);
+  EXPECT_NE(Text.find("mba_test_dump_hist_count 1"), std::string::npos);
+  // Every non-comment line is "name value".
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    EXPECT_EQ(Line.compare(0, 4, "mba_"), 0) << Line;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTrace, DisabledRecordsNothing) {
+  clearTrace();
+  ASSERT_FALSE(tracingEnabled());
+  { MBA_TRACE_SPAN("test.invisible"); }
+  for (const TraceEvent &E : collectTrace())
+    EXPECT_STRNE(E.Name, "test.invisible");
+}
+
+TEST(TelemetryTrace, SpanNestingAndOrdering) {
+  TelemetryOn On(/*Tracing=*/true);
+  {
+    MBA_TRACE_SPAN("test.outer");
+    { MBA_TRACE_SPAN("test.inner1"); }
+    { MBA_TRACE_SPAN("test.inner2"); }
+  }
+  setTracingEnabled(false);
+  std::vector<TraceEvent> Trace = collectTrace();
+  const TraceEvent *Outer = nullptr, *Inner1 = nullptr, *Inner2 = nullptr;
+  for (const TraceEvent &E : Trace) {
+    if (std::string_view(E.Name) == "test.outer")
+      Outer = &E;
+    else if (std::string_view(E.Name) == "test.inner1")
+      Inner1 = &E;
+    else if (std::string_view(E.Name) == "test.inner2")
+      Inner2 = &E;
+  }
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner1, nullptr);
+  ASSERT_NE(Inner2, nullptr);
+  // All on this thread, nested inside the outer window, in start order.
+  EXPECT_EQ(Outer->Tid, Inner1->Tid);
+  EXPECT_EQ(Outer->Tid, Inner2->Tid);
+  EXPECT_LE(Outer->StartNs, Inner1->StartNs);
+  EXPECT_LE(Inner1->StartNs + Inner1->DurNs, Inner2->StartNs);
+  EXPECT_LE(Inner2->StartNs + Inner2->DurNs,
+            Outer->StartNs + Outer->DurNs);
+  // collectTrace sorts by (Tid, StartNs): enclosing spans come first.
+  ptrdiff_t OuterIdx = Outer - Trace.data();
+  ptrdiff_t Inner1Idx = Inner1 - Trace.data();
+  ptrdiff_t Inner2Idx = Inner2 - Trace.data();
+  EXPECT_LT(OuterIdx, Inner1Idx);
+  EXPECT_LT(Inner1Idx, Inner2Idx);
+}
+
+TEST(TelemetryTrace, ThreadsGetStableIdsAndLabels) {
+  TelemetryOn On(/*Tracing=*/true);
+  setThreadLabel("unit-main");
+  { MBA_TRACE_SPAN("test.main_span"); }
+  std::thread([&] {
+    setThreadLabel("unit-worker");
+    MBA_TRACE_SPAN("test.worker_span");
+  }).join();
+  setTracingEnabled(false);
+
+  uint32_t MainTid = ~0u, WorkerTid = ~0u;
+  for (const TraceEvent &E : collectTrace()) {
+    if (std::string_view(E.Name) == "test.main_span")
+      MainTid = E.Tid;
+    else if (std::string_view(E.Name) == "test.worker_span")
+      WorkerTid = E.Tid;
+  }
+  ASSERT_NE(MainTid, ~0u);
+  ASSERT_NE(WorkerTid, ~0u);
+  EXPECT_NE(MainTid, WorkerTid);
+  bool SawMain = false, SawWorker = false;
+  for (auto &[Tid, Label] : traceThreads()) {
+    if (Tid == MainTid && Label == "unit-main")
+      SawMain = true;
+    if (Tid == WorkerTid && Label == "unit-worker")
+      SawWorker = true;
+  }
+  EXPECT_TRUE(SawMain);
+  EXPECT_TRUE(SawWorker);
+}
+
+TEST(TelemetryTrace, InternNameIsStable) {
+  std::string A = "test.dynamic.";
+  A += "name";
+  const char *P1 = internName(A);
+  const char *P2 = internName("test.dynamic.name");
+  EXPECT_EQ(P1, P2);
+  EXPECT_STREQ(P1, "test.dynamic.name");
+}
+
+/// A minimal recursive-descent JSON reader — just enough to check the
+/// Chrome trace export is well-formed and to pull out the events. Throws
+/// std::runtime_error on malformed input.
+struct JsonValue {
+  enum Kind { Null, Bool, Number, String, Array, Object } Which = Null;
+  double Num = 0;
+  bool B = false;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::map<std::string, JsonValue> Fields;
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : Text(Text) {}
+
+  JsonValue parse() {
+    JsonValue V = value();
+    skipWs();
+    if (Pos != Text.size())
+      fail("trailing garbage");
+    return V;
+  }
+
+private:
+  [[noreturn]] void fail(const char *Why) {
+    throw std::runtime_error(std::string(Why) + " at offset " +
+                             std::to_string(Pos));
+  }
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace((unsigned char)Text[Pos]))
+      ++Pos;
+  }
+  char peek() {
+    if (Pos >= Text.size())
+      fail("unexpected end");
+    return Text[Pos];
+  }
+  void expect(char C) {
+    if (peek() != C)
+      fail("unexpected character");
+    ++Pos;
+  }
+  JsonValue value() {
+    skipWs();
+    switch (peek()) {
+    case '{': return object();
+    case '[': return array();
+    case '"': { JsonValue V; V.Which = JsonValue::String; V.Str = string(); return V; }
+    case 't': literal("true"); { JsonValue V; V.Which = JsonValue::Bool; V.B = true; return V; }
+    case 'f': literal("false"); { JsonValue V; V.Which = JsonValue::Bool; return V; }
+    case 'n': literal("null"); return {};
+    default: return number();
+    }
+  }
+  void literal(const char *Lit) {
+    for (; *Lit; ++Lit)
+      expect(*Lit);
+  }
+  JsonValue number() {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit((unsigned char)Text[Pos]) || Text[Pos] == '-' ||
+            Text[Pos] == '+' || Text[Pos] == '.' || Text[Pos] == 'e' ||
+            Text[Pos] == 'E'))
+      ++Pos;
+    if (Pos == Start)
+      fail("expected number");
+    JsonValue V;
+    V.Which = JsonValue::Number;
+    V.Num = std::stod(Text.substr(Start, Pos - Start));
+    return V;
+  }
+  std::string string() {
+    expect('"');
+    std::string Out;
+    while (peek() != '"') {
+      char C = Text[Pos++];
+      if (C == '\\') {
+        char E = peek();
+        ++Pos;
+        switch (E) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case '/': Out += '/'; break;
+        case 'n': Out += '\n'; break;
+        case 't': Out += '\t'; break;
+        case 'r': Out += '\r'; break;
+        case 'b': Out += '\b'; break;
+        case 'f': Out += '\f'; break;
+        case 'u':
+          if (Pos + 4 > Text.size())
+            fail("bad \\u escape");
+          Pos += 4; // decoded value not needed for these tests
+          Out += '?';
+          break;
+        default: fail("bad escape");
+        }
+      } else if ((unsigned char)C < 0x20) {
+        fail("raw control character in string");
+      } else {
+        Out += C;
+      }
+    }
+    ++Pos;
+    return Out;
+  }
+  JsonValue array() {
+    expect('[');
+    JsonValue V;
+    V.Which = JsonValue::Array;
+    skipWs();
+    if (peek() == ']') { ++Pos; return V; }
+    for (;;) {
+      V.Elems.push_back(value());
+      skipWs();
+      if (peek() == ',') { ++Pos; continue; }
+      expect(']');
+      return V;
+    }
+  }
+  JsonValue object() {
+    expect('{');
+    JsonValue V;
+    V.Which = JsonValue::Object;
+    skipWs();
+    if (peek() == '}') { ++Pos; return V; }
+    for (;;) {
+      skipWs();
+      std::string Key = string();
+      skipWs();
+      expect(':');
+      V.Fields[Key] = value();
+      skipWs();
+      if (peek() == ',') { ++Pos; continue; }
+      expect('}');
+      return V;
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+TEST(TelemetryTrace, ChromeTraceExportParsesBack) {
+  TelemetryOn On(/*Tracing=*/true);
+  setThreadLabel("json-main");
+  {
+    MBA_TRACE_SPAN("test.chrome \"quoted\\name\""); // exercises escaping
+    MBA_TRACE_SPAN("test.chrome.inner");
+  }
+  setTracingEnabled(false);
+
+  std::string Path = testing::TempDir() + "telemetry_trace.json";
+  ASSERT_TRUE(writeChromeTrace(Path));
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path.c_str());
+
+  JsonValue Root;
+  ASSERT_NO_THROW(Root = JsonParser(Text).parse()) << Text;
+  ASSERT_EQ(Root.Which, JsonValue::Object);
+  ASSERT_TRUE(Root.Fields.count("traceEvents"));
+  const JsonValue &Events = Root.Fields["traceEvents"];
+  ASSERT_EQ(Events.Which, JsonValue::Array);
+
+  bool SawEscaped = false, SawInner = false, SawThreadName = false;
+  for (const JsonValue &E : Events.Elems) {
+    ASSERT_EQ(E.Which, JsonValue::Object);
+    ASSERT_TRUE(E.Fields.count("ph"));
+    std::string Ph = E.Fields.at("ph").Str;
+    if (Ph == "X") {
+      // Complete events carry name/ts/dur/pid/tid.
+      EXPECT_TRUE(E.Fields.count("name"));
+      EXPECT_EQ(E.Fields.at("ts").Which, JsonValue::Number);
+      EXPECT_EQ(E.Fields.at("dur").Which, JsonValue::Number);
+      EXPECT_TRUE(E.Fields.count("pid"));
+      EXPECT_TRUE(E.Fields.count("tid"));
+      std::string Name = E.Fields.at("name").Str;
+      if (Name == "test.chrome \"quoted\\name\"")
+        SawEscaped = true;
+      if (Name == "test.chrome.inner")
+        SawInner = true;
+    } else if (Ph == "M") {
+      if (E.Fields.at("name").Str == "thread_name" &&
+          E.Fields.count("args") &&
+          E.Fields.at("args").Fields.count("name") &&
+          E.Fields.at("args").Fields.at("name").Str == "json-main")
+        SawThreadName = true;
+    }
+  }
+  EXPECT_TRUE(SawEscaped) << "escaped span name must round-trip";
+  EXPECT_TRUE(SawInner);
+  EXPECT_TRUE(SawThreadName) << "thread_name metadata for labelled thread";
+}
+
+TEST(TelemetryTrace, ClearTraceDropsEvents) {
+  TelemetryOn On(/*Tracing=*/true);
+  { MBA_TRACE_SPAN("test.cleared"); }
+  setTracingEnabled(false);
+  clearTrace();
+  for (const TraceEvent &E : collectTrace())
+    EXPECT_STRNE(E.Name, "test.cleared");
+  EXPECT_EQ(traceDropped(), 0u);
+}
+
+TEST(TelemetryOverhead, DisabledOpsAreCheap) {
+  // The contract instrumented hot paths rely on: with telemetry off, a
+  // counter add / histogram record / span is a relaxed load and nothing
+  // else. Bound it loosely (hundreds of ns per op would mean a lock or an
+  // allocation snuck in); bench/micro_telemetry measures the real numbers.
+  ASSERT_FALSE(metricsEnabled());
+  ASSERT_FALSE(tracingEnabled());
+  Counter &C = counter("test.overhead_counter");
+  Histogram &H = histogram("test.overhead_hist");
+  constexpr unsigned N = 200000;
+  uint64_t Start = nowNs();
+  for (unsigned I = 0; I != N; ++I) {
+    C.add();
+    H.record(I);
+    MBA_TRACE_SPAN("test.overhead_span");
+  }
+  uint64_t PerIter = (nowNs() - Start) / N;
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(H.snapshot().Count, 0u);
+  EXPECT_LT(PerIter, 1000u) << "disabled telemetry cost exploded";
+}
+
+} // namespace
