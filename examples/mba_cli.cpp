@@ -11,8 +11,14 @@
 ///   mba_cli check '<a>' '<b>'            equivalence via all backends
 ///   mba_cli sig '<expr>'                 signature vector (linear MBA)
 ///   mba_cli certify                      certify the shipped rewrite rules
+///   mba_cli deobfuscate-ir <file>        run the IR deobfuscation pipeline
+///                                        on a program and print the report
+///   mba_cli dot '<expr>'                 expression DAG as Graphviz DOT
+///   mba_cli dot --ir <file> [--def-use]  CFG (or def-use graph) as DOT
 ///
-/// Options: --width=N (default 64), --timeout=SECONDS (check; default 5),
+/// Options: --width=N (default 64), --timeout=SECONDS (check /
+/// deobfuscate-ir verification; default 5), --no-verify (skip equivalence
+/// verification of IR rewrites), --quiet (report only, no program dump),
 /// --stats (print the telemetry registry summary — span timings and
 /// pipeline counters — to stdout after the command).
 ///
@@ -24,9 +30,13 @@
 
 #include "analysis/Rules.h"
 #include "ast/Context.h"
+#include "ast/DotPrinter.h"
 #include "ast/ExprUtils.h"
 #include "ast/Parser.h"
 #include "ast/Printer.h"
+#include "ir/IRDot.h"
+#include "ir/Passes.h"
+#include "ir/Program.h"
 #include "mba/Classify.h"
 #include "mba/Metrics.h"
 #include "mba/Signature.h"
@@ -36,6 +46,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,9 +59,28 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--width=N] [--timeout=S] [--stats] "
-               "simplify|classify|check|sig|certify [<expr>] [<expr2>]\n",
-               Prog);
+               "simplify|classify|check|sig|certify|deobfuscate-ir|dot "
+               "[<expr>|<file>] [<expr2>]\n"
+               "       %s deobfuscate-ir [--no-verify] [--quiet] <file>\n"
+               "       %s dot '<expr>' | dot --ir <file> [--def-use]\n",
+               Prog, Prog, Prog);
   return 2;
+}
+
+/// Reads a whole file (or stdin for "-"). Exits with a message on failure.
+std::string readFileOrDie(const char *Path) {
+  std::ostringstream Buf;
+  if (std::strcmp(Path, "-") == 0) {
+    Buf << std::cin.rdbuf();
+    return Buf.str();
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    std::exit(1);
+  }
+  Buf << In.rdbuf();
+  return Buf.str();
 }
 
 const Expr *parseArg(Context &Ctx, const char *Text) {
@@ -86,10 +118,30 @@ int main(int Argc, char **Argv) {
 int run(int Argc, char **Argv) {
   unsigned Width = 64;
   double Timeout = 5.0;
+  bool NoVerify = false;
+  bool DefUse = false;
+  bool IRFile = false;
+  bool Quiet = false;
   std::vector<const char *> Positional;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--stats") == 0)
       continue;
+    if (std::strcmp(Argv[I], "--no-verify") == 0) {
+      NoVerify = true;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--def-use") == 0) {
+      DefUse = true;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--ir") == 0) {
+      IRFile = true;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--quiet") == 0) {
+      Quiet = true;
+      continue;
+    }
     if (std::sscanf(Argv[I], "--width=%u", &Width) == 1)
       continue;
     if (std::sscanf(Argv[I], "--timeout=%lf", &Timeout) == 1)
@@ -162,6 +214,52 @@ int run(int Argc, char **Argv) {
         Exit = 1;
     }
     return Exit;
+  }
+
+  if (Command == "deobfuscate-ir") {
+    std::string Text = readFileOrDie(Positional[1]);
+    Diag D;
+    auto P = Program::parse(Ctx, Text, &D);
+    if (!P) {
+      std::fprintf(stderr, "%s: %s\n", Positional[1], D.str().c_str());
+      return 1;
+    }
+    PassOptions Opts;
+    Opts.Verify = !NoVerify;
+    Opts.VerifyTimeout = Timeout;
+    ProgramReport Report = deobfuscateProgram(Ctx, *P, Opts);
+    std::printf("%s", Report.str().c_str());
+    if (Report.totalUnsoundBlocked() > 0)
+      std::fprintf(stderr,
+                   "warning: %zu candidate rewrite(s) failed verification "
+                   "and were blocked\n",
+                   Report.totalUnsoundBlocked());
+    if (!Quiet) {
+      std::printf("\n");
+      std::printf("%s", P->print(Ctx).c_str());
+    }
+    return 0;
+  }
+
+  if (Command == "dot") {
+    if (!IRFile) {
+      const Expr *E = parseArg(Ctx, Positional[1]);
+      std::printf("%s", toDot(Ctx, E).c_str());
+      return 0;
+    }
+    std::string Text = readFileOrDie(Positional[1]);
+    Diag D;
+    auto P = Program::parse(Ctx, Text, &D);
+    if (!P) {
+      std::fprintf(stderr, "%s: %s\n", Positional[1], D.str().c_str());
+      return 1;
+    }
+    for (const Function &F : P->Functions) {
+      std::string Name = (DefUse ? "defuse_" : "cfg_") + F.Name;
+      std::printf("%s", DefUse ? defUseToDot(Ctx, F, Name).c_str()
+                               : cfgToDot(Ctx, F, Name).c_str());
+    }
+    return 0;
   }
 
   if (Command == "sig") {

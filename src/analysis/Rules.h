@@ -45,6 +45,7 @@
 #include "ast/Context.h"
 #include "ast/Expr.h"
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -53,7 +54,7 @@
 namespace mba {
 
 /// How a rule was proved sound for all widths.
-enum class CertMethod {
+enum class CertMethod : uint8_t {
   Uncertified, ///< not (yet) certified; the prover must ignore the rule
   Polynomial,  ///< formal-ℤ polynomial identity over atoms
   LinearCorner ///< per-bit linear decomposition, integer corner sums

@@ -1,0 +1,246 @@
+//===- gen/ProgramGen.cpp - Obfuscated program-IR generator ---------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/ProgramGen.h"
+
+#include "ast/ExprUtils.h"
+#include "ast/Printer.h"
+
+#include <unordered_map>
+
+using namespace mba;
+
+namespace {
+
+/// Emits the three-address split of \p E: one `tN = ...` line per internal
+/// DAG node (shared nodes split once), appended to \p Lines. Returns the
+/// operand string naming \p E (a temp, a variable, or a literal).
+class ThreeAddressSplitter {
+public:
+  ThreeAddressSplitter(const Context &Ctx, unsigned &NextTemp,
+                       std::vector<std::string> &Lines)
+      : Ctx(Ctx), NextTemp(NextTemp), Lines(Lines) {}
+
+  std::string split(const Expr *E) {
+    if (auto It = NameOf.find(E); It != NameOf.end())
+      return It->second;
+    std::string Name;
+    switch (E->kind()) {
+    case ExprKind::Var:
+      Name = E->varName();
+      break;
+    case ExprKind::Const:
+      Name = std::to_string(Ctx.toSigned(E->constValue()));
+      break;
+    case ExprKind::Not:
+    case ExprKind::Neg: {
+      std::string Op = split(E->operand());
+      Name = fresh();
+      Lines.push_back(Name + " = " +
+                      (E->is(ExprKind::Not) ? "~" : "-") + Op);
+      break;
+    }
+    default: {
+      std::string L = split(E->lhs());
+      std::string R = split(E->rhs());
+      const char *Op = "+";
+      switch (E->kind()) {
+      case ExprKind::Add: Op = "+"; break;
+      case ExprKind::Sub: Op = "-"; break;
+      case ExprKind::Mul: Op = "*"; break;
+      case ExprKind::And: Op = "&"; break;
+      case ExprKind::Or:  Op = "|"; break;
+      case ExprKind::Xor: Op = "^"; break;
+      default: break;
+      }
+      Name = fresh();
+      Lines.push_back(Name + " = " + L + " " + Op + " " + R);
+      break;
+    }
+    }
+    NameOf.emplace(E, Name);
+    return Name;
+  }
+
+private:
+  std::string fresh() {
+    // Built via append (not `"t" + to_string(...)`) to dodge a GCC 12
+    // -Wrestrict false positive on the prepend path.
+    std::string Name = "t";
+    Name += std::to_string(++NextTemp);
+    return Name;
+  }
+
+  const Context &Ctx;
+  unsigned &NextTemp;
+  std::vector<std::string> &Lines;
+  std::unordered_map<const Expr *, std::string> NameOf;
+};
+
+/// A random ground expression: a small linear MBA over \p Vars with small
+/// coefficients and at most one bitwise term — the kind of expression an
+/// obfuscator starts from.
+const Expr *randomGround(Context &Ctx, Obfuscator &O,
+                         std::span<const Expr *const> Vars) {
+  RNG &R = O.rng();
+  const Expr *E = nullptr;
+  auto AddTerm = [&](const Expr *T) { E = E ? Ctx.getAdd(E, T) : T; };
+  for (const Expr *V : Vars) {
+    uint64_t C = 1 + R.below(5);
+    AddTerm(C == 1 ? V : Ctx.getMul(Ctx.getConst(C), V));
+  }
+  if (Vars.size() >= 2 && R.chance(1, 2))
+    AddTerm(O.randomBitwise(Vars, 1));
+  if (R.chance(1, 2))
+    AddTerm(Ctx.getConst(1 + R.below(17)));
+  return E;
+}
+
+/// Chunks \p Lines into \p NumBlocks consecutive groups. Returns the block
+/// bodies (possibly fewer groups when there are fewer lines).
+std::vector<std::vector<std::string>>
+chunkLines(const std::vector<std::string> &Lines, unsigned NumBlocks) {
+  NumBlocks = std::max(1U, NumBlocks);
+  std::vector<std::vector<std::string>> Chunks;
+  size_t Per = (Lines.size() + NumBlocks - 1) / std::max<size_t>(NumBlocks, 1);
+  Per = std::max<size_t>(Per, 1);
+  for (size_t I = 0; I < Lines.size(); I += Per) {
+    Chunks.emplace_back(Lines.begin() + (long)I,
+                        Lines.begin() +
+                            (long)std::min(Lines.size(), I + Per));
+  }
+  if (Chunks.empty())
+    Chunks.emplace_back();
+  return Chunks;
+}
+
+const char *const ParamNames[] = {"x", "y", "z", "w"};
+
+} // namespace
+
+GeneratedProgram mba::generateObfuscatedProgram(Context &Ctx, uint64_t Seed,
+                                                const ProgramGenOptions &O) {
+  Obfuscator Obf(Ctx, Seed);
+  unsigned NumVars = std::min(std::max(O.NumVars, 1U), 4U);
+  std::vector<const Expr *> Vars;
+  for (unsigned I = 0; I != NumVars; ++I)
+    Vars.push_back(Ctx.getVar(ParamNames[I]));
+
+  GeneratedProgram Out;
+  Out.Branchy = O.Branchy;
+  unsigned NextTemp = 0;
+
+  std::string Params;
+  for (unsigned I = 0; I != NumVars; ++I) {
+    if (I)
+      Params += ", ";
+    Params += ParamNames[I];
+  }
+
+  auto Obfuscate = [&](const Expr *E) {
+    const Expr *R = Obf.obfuscateLinear(E, O.Obf);
+    if (O.NonPoly)
+      R = Obf.obfuscateNonPoly(R, Vars, 1);
+    return R;
+  };
+
+  std::string Text = "func @f(" + Params + ") {\n";
+  auto EmitBlock = [&](const std::string &Label,
+                       const std::vector<std::string> &Lines,
+                       const std::string &Term) {
+    Text += Label + ":\n";
+    for (const std::string &L : Lines)
+      Text += "  " + L + "\n";
+    Text += "  " + Term + "\n";
+  };
+
+  if (!O.Branchy) {
+    const Expr *Ground = randomGround(Ctx, Obf, Vars);
+    const Expr *Obfuscated = Obfuscate(Ground);
+    std::vector<std::string> Lines;
+    ThreeAddressSplitter S(Ctx, NextTemp, Lines);
+    std::string Root = S.split(Obfuscated);
+    Out.NumInsts = Lines.size();
+    auto Chunks = chunkLines(Lines, O.NumBlocks);
+    for (size_t I = 0; I != Chunks.size(); ++I) {
+      bool Last = I + 1 == Chunks.size();
+      EmitBlock(I == 0 ? "entry" : "b" + std::to_string(I), Chunks[I],
+                Last ? "ret " + Root : "jmp b" + std::to_string(I + 1));
+    }
+    Text += "}\n";
+    Out.Ground = Ground;
+    Out.GroundText = printExpr(Ctx, Ground);
+    Out.Text = std::move(Text);
+    return Out;
+  }
+
+  // Branchy shape: ground = A + B.
+  //   entry: split(obf(A)) ... p = split(obf(1)); br p, cont, junk
+  //   junk:  decoy instructions; jmp cont
+  //   cont:  br x, arm_a, arm_b                     (a genuine branch)
+  //   arm_a: split(obf_1(B)) -> ra; jmp join
+  //   arm_b: split(obf_2(B)) -> rb; jmp join
+  //   join:  m = phi [arm_a: ra], [arm_b: rb]; out = tA + m; ret out
+  const Expr *A = randomGround(Ctx, Obf, Vars);
+  const Expr *B = randomGround(Ctx, Obf, Vars);
+  const Expr *Ground = Ctx.getAdd(A, B);
+
+  std::vector<std::string> EntryLines;
+  ThreeAddressSplitter SEntry(Ctx, NextTemp, EntryLines);
+  std::string RootA = SEntry.split(Obfuscate(A));
+  // The opaque predicate: an obfuscation of the constant 1 — never zero,
+  // so the junk arm is statically dead (and provably so).
+  std::string Pred = SEntry.split(Obfuscate(Ctx.getOne()));
+  Out.NumInsts += EntryLines.size();
+  EmitBlock("entry", EntryLines, "br " + Pred + ", cont, junk");
+
+  std::vector<std::string> JunkLines;
+  ThreeAddressSplitter SJunk(Ctx, NextTemp, JunkLines);
+  SJunk.split(Obf.randomBitwise(Vars, 2));
+  Out.NumInsts += JunkLines.size();
+  EmitBlock("junk", JunkLines, "jmp cont");
+
+  EmitBlock("cont", {}, "br " + std::string(ParamNames[0]) +
+                            ", arm_a, arm_b");
+
+  std::vector<std::string> ArmALines;
+  ThreeAddressSplitter SA(Ctx, NextTemp, ArmALines);
+  std::string RootB1 = SA.split(Obfuscate(B));
+  Out.NumInsts += ArmALines.size();
+  EmitBlock("arm_a", ArmALines, "jmp join");
+
+  std::vector<std::string> ArmBLines;
+  ThreeAddressSplitter SB(Ctx, NextTemp, ArmBLines);
+  std::string RootB2 = SB.split(Obfuscate(B));
+  Out.NumInsts += ArmBLines.size();
+  EmitBlock("arm_b", ArmBLines, "jmp join");
+
+  Text += "join:\n";
+  Text += "  m1 = phi [arm_a: " + RootB1 + "], [arm_b: " + RootB2 + "]\n";
+  Text += "  out = " + RootA + " + m1\n";
+  Text += "  ret out\n";
+  Text += "}\n";
+  Out.NumInsts += 1; // out
+  Out.Ground = Ground;
+  Out.GroundText = printExpr(Ctx, Ground);
+  Out.Text = std::move(Text);
+  return Out;
+}
+
+std::vector<GeneratedProgram>
+mba::generateProgramCorpus(Context &Ctx, size_t Count, uint64_t Seed,
+                           const ProgramGenOptions &Opts, bool MixBranchy) {
+  std::vector<GeneratedProgram> Out;
+  Out.reserve(Count);
+  RNG Seeder(Seed);
+  for (size_t I = 0; I != Count; ++I) {
+    ProgramGenOptions O = Opts;
+    if (MixBranchy)
+      O.Branchy = (I % 2) == 1;
+    Out.push_back(generateObfuscatedProgram(Ctx, Seeder.next(), O));
+  }
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- gen/ProgramGen.h - Obfuscated program-IR generator -------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generation of whole obfuscated *programs* in the ir/Program.h textual
+/// grammar — the benchmark workload of the static MBA-region detection
+/// pass (ir/Passes.h). Each generated function is semantically equal to a
+/// small ground expression over its parameters; the obfuscations layered on
+/// top are exactly what real MBA obfuscators emit behind a lifter:
+///
+///  * the ground expression is obfuscated with the linear null-space
+///    construction (gen/Obfuscator.h) and split into three-address
+///    instructions spread over a chain of basic blocks;
+///  * *branchy* programs additionally guard the computation with an opaque
+///    predicate (`br obf(1), real, junk` — an obfuscated constant 1, so the
+///    junk arm never runs) and route part of the computation through a
+///    diamond whose two arms compute different obfuscations of the same
+///    sub-expression, joined by a phi.
+///
+/// Every program is emitted as text (the generator has no dependency on the
+/// IR library); the ground expression rides along so harnesses can check
+/// `interpret(parse(Text)) == evaluate(Ground)` and drive before/after
+/// solver studies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_GEN_PROGRAMGEN_H
+#define MBA_GEN_PROGRAMGEN_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+#include "gen/Obfuscator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mba {
+
+/// Knobs of the program generator.
+struct ProgramGenOptions {
+  unsigned NumVars = 2;   ///< function parameters (2..4 supported names)
+  unsigned NumBlocks = 3; ///< straight-line block-chain length
+  /// Obfuscation strength of each linear obfuscation layer.
+  ObfuscationOptions Obf;
+  /// Add one non-polynomial rewrite layer on top of the linear
+  /// obfuscation (makes regions non-linear MBA).
+  bool NonPoly = false;
+  /// Emit the branchy shape (opaque predicate + diamond with phi).
+  bool Branchy = false;
+};
+
+/// One generated program with its ground truth.
+struct GeneratedProgram {
+  std::string Text;       ///< the program in the ir/Program.h grammar
+  std::string GroundText; ///< printExpr of the ground expression
+  const Expr *Ground = nullptr; ///< ground expression (owned by the Context)
+  bool Branchy = false;
+  size_t NumInsts = 0; ///< emitted instructions (not counting phis)
+};
+
+/// Generates one obfuscated program (function "f") deterministically from
+/// \p Seed.
+GeneratedProgram generateObfuscatedProgram(Context &Ctx, uint64_t Seed,
+                                           const ProgramGenOptions &Opts);
+
+/// Generates \p Count programs with per-index seeds derived from \p Seed.
+/// When \p MixBranchy is true, every second program uses the branchy shape
+/// (overriding Opts.Branchy); otherwise Opts.Branchy applies to all.
+std::vector<GeneratedProgram>
+generateProgramCorpus(Context &Ctx, size_t Count, uint64_t Seed,
+                      const ProgramGenOptions &Opts, bool MixBranchy = true);
+
+} // namespace mba
+
+#endif // MBA_GEN_PROGRAMGEN_H

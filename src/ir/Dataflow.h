@@ -1,0 +1,412 @@
+//===- ir/Dataflow.h - Dataflow analyses over the program IR ----*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reusable dataflow-analysis framework over ir/Program.h: CFG
+/// construction, reverse post-order, dominator tree (Cooper-Harvey-Kennedy),
+/// def-use chains, liveness, and a flow-sensitive lifting of the
+/// analysis/AbstractInterp.h abstract domains across block edges with
+/// widening at phi joins.
+///
+/// Everything here is per-function and rebuilt on demand — functions are
+/// small (a lifted routine, not a translation unit), so O(blocks^2) corner
+/// cases are acceptable and the implementations stay auditable against the
+/// brute-force validators in the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_IR_DATAFLOW_H
+#define MBA_IR_DATAFLOW_H
+
+#include "analysis/AbstractInterp.h"
+#include "ast/Context.h"
+#include "ast/Expr.h"
+#include "ast/ExprUtils.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mba {
+
+//===----------------------------------------------------------------------===//
+// CFG + orders
+//===----------------------------------------------------------------------===//
+
+/// Successor/predecessor lists by block id. Parallel edges (a branch with
+/// both targets equal) are kept — phi semantics never depend on edge
+/// multiplicity here because both slots carry the same incoming value.
+struct CFG {
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+
+  static CFG build(const Function &F);
+
+  unsigned numBlocks() const { return (unsigned)Succs.size(); }
+};
+
+/// Blocks reachable from the entry.
+std::vector<bool> reachableBlocks(const CFG &G);
+
+/// Reverse post-order of the reachable blocks, starting at the entry.
+/// If A dominates B then A precedes B in this order, so one forward pass
+/// sees every non-phi operand's definition before its uses.
+std::vector<unsigned> reversePostOrder(const CFG &G);
+
+//===----------------------------------------------------------------------===//
+// Dominator tree
+//===----------------------------------------------------------------------===//
+
+/// Immediate-dominator tree of the reachable subgraph, built with the
+/// Cooper-Harvey-Kennedy iterative algorithm over the reverse post-order.
+class DominatorTree {
+public:
+  static DominatorTree build(const CFG &G);
+
+  bool reachable(unsigned B) const { return Idom[B] >= 0; }
+
+  /// Immediate dominator of \p B (the entry's idom is itself).
+  unsigned idom(unsigned B) const {
+    assert(reachable(B) && "idom of unreachable block");
+    return (unsigned)Idom[B];
+  }
+
+  /// True iff \p A dominates \p B (reflexive). Unreachable blocks are
+  /// dominated by nothing and dominate nothing.
+  bool dominates(unsigned A, unsigned B) const;
+
+private:
+  std::vector<int> Idom;       ///< -1 for unreachable blocks
+  std::vector<unsigned> Level; ///< tree depth, entry = 0
+};
+
+//===----------------------------------------------------------------------===//
+// Def-use chains
+//===----------------------------------------------------------------------===//
+
+/// Where an SSA value is defined.
+struct DefSite {
+  enum SiteKind : uint8_t { Param, Phi, Inst } Kind = Param;
+  unsigned Block = 0; ///< Phi/Inst
+  unsigned Index = 0; ///< param index / phi index / inst index
+};
+
+/// One use of an SSA value.
+struct UseSite {
+  enum SiteKind : uint8_t { InstOp, PhiIn, TermCond, TermRet } Kind = InstOp;
+  unsigned Block = 0;
+  unsigned Index = 0;   ///< inst/phi index within the block
+  unsigned PhiPred = 0; ///< PhiIn: the incoming predecessor block id
+};
+
+/// Definition sites and use lists of every SSA value of one function.
+/// Values are Var nodes; constants never appear.
+class DefUseInfo {
+public:
+  static DefUseInfo build(const Function &F);
+
+  /// Def site of value \p V, or null when \p V is not defined in the
+  /// function (a verifier error if it is used anyway).
+  const DefSite *defOf(const Expr *V) const {
+    auto It = Defs.find(V);
+    return It == Defs.end() ? nullptr : &It->second;
+  }
+
+  /// All uses of \p V (empty for dead values).
+  std::span<const UseSite> usesOf(const Expr *V) const {
+    auto It = Uses.find(V);
+    if (It == Uses.end())
+      return {};
+    return It->second;
+  }
+
+  size_t numUses(const Expr *V) const { return usesOf(V).size(); }
+
+  const std::unordered_map<const Expr *, DefSite> &defs() const {
+    return Defs;
+  }
+
+private:
+  std::unordered_map<const Expr *, DefSite> Defs;
+  std::unordered_map<const Expr *, std::vector<UseSite>> Uses;
+};
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+/// Backward liveness over SSA values. A phi's incoming value is a use on
+/// the corresponding predecessor edge (live-out of the predecessor, not
+/// live-in of the phi's block).
+struct Liveness {
+  std::vector<std::unordered_set<const Expr *>> LiveIn;
+  std::vector<std::unordered_set<const Expr *>> LiveOut;
+
+  static Liveness build(const Function &F, const CFG &G);
+};
+
+//===----------------------------------------------------------------------===//
+// SSA verification
+//===----------------------------------------------------------------------===//
+
+/// Structural + SSA validation of \p F: single assignment, every used
+/// value defined, every use dominated by its definition (use-before-def),
+/// phi incoming lists matching the CFG predecessors, terminator targets in
+/// range. Unreachable blocks are checked structurally but not for
+/// dominance. Returns false and fills \p D (when given) on the first
+/// violation.
+bool verifyFunction(const Context &Ctx, const Function &F, Diag *D = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Flow-sensitive abstract interpretation
+//===----------------------------------------------------------------------===//
+//
+// The analysis/AbstractInterp.h domains are input-independent DAG analyses:
+// every Var is top. Lifting them over a function means tracking one
+// abstract value per SSA value, joining at phis over incoming block edges,
+// and iterating to a fixpoint when the CFG has cycles — with widening so
+// the infinite-ascending-chain interval domain terminates.
+//
+// Domain join/widen operations live here (not in AbstractInterp.h) because
+// only flow-sensitive analysis needs them.
+
+inline KnownBits joinAbstract(const KnownBitsDomain &, const KnownBits &A,
+                              const KnownBits &B) {
+  return KnownBits{A.Zero & B.Zero, A.One & B.One};
+}
+
+inline bool equalAbstract(const KnownBits &A, const KnownBits &B) {
+  return A.Zero == B.Zero && A.One == B.One;
+}
+
+inline bool equalAbstract(const Parity &A, const Parity &B) {
+  return A.KnownLow == B.KnownLow && A.Residue == B.Residue;
+}
+
+inline bool equalAbstract(const Interval &A, const Interval &B) {
+  return A.Lo == B.Lo && A.Hi == B.Hi;
+}
+
+/// Finite-height lattice: widening is the plain join.
+inline KnownBits widenAbstract(const KnownBitsDomain &D, const KnownBits &A,
+                               const KnownBits &B) {
+  return joinAbstract(D, A, B);
+}
+
+inline Parity joinAbstract(const ParityDomain &, const Parity &A,
+                           const Parity &B) {
+  unsigned K = std::min(A.KnownLow, B.KnownLow);
+  uint64_t Diff = (A.Residue ^ B.Residue) & lowBitsMask(K);
+  if (Diff != 0) {
+    unsigned Tz = 0;
+    while (!(Diff & (1ULL << Tz)))
+      ++Tz;
+    K = Tz;
+  }
+  return Parity{K, A.Residue & lowBitsMask(K)};
+}
+
+inline Parity widenAbstract(const ParityDomain &D, const Parity &A,
+                            const Parity &B) {
+  return joinAbstract(D, A, B);
+}
+
+inline Interval joinAbstract(const IntervalDomain &, const Interval &A,
+                             const Interval &B) {
+  return Interval{std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi)};
+}
+
+/// Intervals ascend through 2^w states; widening jumps a moving bound to
+/// the extreme so loop analysis terminates in two visits per phi.
+inline Interval widenAbstract(const IntervalDomain &D, const Interval &Old,
+                              const Interval &New) {
+  Interval Top = D.top();
+  return Interval{New.Lo < Old.Lo ? Top.Lo : Old.Lo,
+                  New.Hi > Old.Hi ? Top.Hi : Old.Hi};
+}
+
+/// Abstract value of expression \p E where Var nodes take their value from
+/// \p Env (top when absent) instead of being unconditionally top. The
+/// flow-sensitive analogue of computeAbstract().
+template <class Domain>
+typename Domain::Value evalAbstract(
+    const Domain &D, const Expr *E,
+    const std::unordered_map<const Expr *, typename Domain::Value> &Env) {
+  std::unordered_map<const Expr *, typename Domain::Value> Memo;
+  forEachNodePostOrder(E, [&](const Expr *N) {
+    typename Domain::Value V;
+    switch (N->kind()) {
+    case ExprKind::Var: {
+      auto It = Env.find(N);
+      V = It == Env.end() ? D.top() : It->second;
+      break;
+    }
+    case ExprKind::Const:
+      V = D.constant(N->constValue());
+      break;
+    case ExprKind::Not:
+    case ExprKind::Neg:
+      V = D.unary(N->kind(), Memo.at(N->operand()));
+      break;
+    default:
+      V = D.binary(N->kind(), Memo.at(N->lhs()), Memo.at(N->rhs()),
+                   N->lhs() == N->rhs());
+      break;
+    }
+    Memo.emplace(N, V);
+  });
+  return Memo.at(E);
+}
+
+/// Flow-sensitive analysis of one function in one domain. Runs a worklist
+/// over reverse post-order to a fixpoint; phi joins apply widening after
+/// \p WidenAfter updates of the same phi. Branch-edge refinement: on the
+/// not-taken edge of `br v, T, F` where the condition is the bare value v,
+/// the incoming value is met with constant 0 (the only fact `v == 0`
+/// expresses in every domain).
+template <class Domain> class FlowAnalysis {
+public:
+  using Value = typename Domain::Value;
+
+  FlowAnalysis(const Domain &D, const Function &F, const CFG &G,
+               unsigned WidenAfter = 3)
+      : D(D), F(F), G(G), WidenAfter(WidenAfter) {
+    run();
+  }
+
+  /// Abstract value of SSA value \p V (top for unknown / unreachable).
+  Value valueOf(const Expr *V) const {
+    auto It = Val.find(V);
+    return It == Val.end() ? D.top() : It->second;
+  }
+
+  /// Abstract value of an arbitrary expression over the analyzed values.
+  Value valueOfExpr(const Expr *E) const { return evalAbstract(D, E, Val); }
+
+  std::optional<uint64_t> constantOf(const Expr *E) const {
+    return D.asConstant(valueOfExpr(E));
+  }
+
+  const std::unordered_map<const Expr *, Value> &values() const {
+    return Val;
+  }
+
+private:
+  /// The incoming value of one phi edge, or nullopt while the source value
+  /// is still optimistically undefined (a loop phi not yet computed —
+  /// skipping it keeps loop-carried values precise instead of collapsing
+  /// them to top on the first visit). Branch-edge refinement: entering
+  /// block \p To from \p From on the not-taken side of `br v, ...` pins
+  /// the bare value v to 0.
+  std::optional<Value> incomingValue(unsigned From, unsigned To,
+                                     const Expr *In, bool IsParam) const {
+    Value V;
+    if (In->isConst()) {
+      V = D.constant(In->constValue());
+    } else if (auto It = Val.find(In); It != Val.end()) {
+      V = It->second;
+    } else if (IsParam) {
+      V = D.top();
+    } else {
+      return std::nullopt;
+    }
+    const Terminator &T = F.Blocks[From].Term;
+    if (T.Kind == TermKind::Branch && T.Cond == In && In->isVar() &&
+        T.Succs[1] == To && T.Succs[0] != To) {
+      Value Zero = D.constant(0);
+      // `v == 0` holds on this edge. Lacking a meet operator, adopt the
+      // stronger constant unless it contradicts V (then the edge is dead
+      // and keeping V is still sound).
+      if (!D.disjoint(V, Zero))
+        V = Zero;
+    }
+    return V;
+  }
+
+  void run() {
+    std::vector<unsigned> RPO = reversePostOrder(G);
+    std::vector<bool> Reach(G.numBlocks(), false);
+    for (unsigned B : RPO)
+      Reach[B] = true;
+    std::unordered_set<const Expr *> ParamSet(F.Params.begin(),
+                                              F.Params.end());
+
+    std::unordered_map<const Expr *, unsigned> PhiUpdates;
+    bool Changed = true;
+    unsigned Rounds = 0;
+    // Bound the rounds defensively; widening makes each phi stabilize in
+    // O(WidenAfter + lattice height of the widened lattice) rounds.
+    unsigned MaxRounds = 4 * (unsigned)RPO.size() + 4 * WidenAfter + 8;
+    while (Changed && Rounds++ < MaxRounds) {
+      Changed = false;
+      for (unsigned B : RPO) {
+        const BasicBlock &BB = F.Blocks[B];
+        for (const PhiNode &P : BB.Phis) {
+          bool Any = false;
+          Value V{};
+          for (const auto &[Pred, In] : P.Incoming) {
+            if (!Reach[Pred])
+              continue; // unreachable predecessor contributes nothing
+            std::optional<Value> IV =
+                incomingValue(Pred, B, In, ParamSet.count(In) != 0);
+            if (!IV)
+              continue;
+            V = Any ? joinAbstract(D, V, *IV) : *IV;
+            Any = true;
+          }
+          if (!Any)
+            continue; // every incoming still undefined — stay optimistic
+          auto It = Val.find(P.Dest);
+          if (It == Val.end()) {
+            Val.emplace(P.Dest, V);
+            Changed = true;
+          } else if (!sameValue(It->second, V)) {
+            unsigned &N = PhiUpdates[P.Dest];
+            ++N;
+            It->second = N > WidenAfter ? widenAbstract(D, It->second, V)
+                                        : joinAbstract(D, It->second, V);
+            Changed = true;
+          }
+        }
+        for (const IRInst &I : BB.Insts) {
+          Value V = evalAbstract(D, I.Rhs, Val);
+          auto It = Val.find(I.Dest);
+          if (It == Val.end()) {
+            Val.emplace(I.Dest, V);
+            Changed = true;
+          } else if (!sameValue(It->second, V)) {
+            It->second = V;
+            Changed = true;
+          }
+        }
+      }
+    }
+    // The defensive round bound should never trip (widening guarantees
+    // convergence), but if it does, drop to all-top rather than expose a
+    // possibly-unstable assignment.
+    if (Changed)
+      Val.clear();
+  }
+
+  static bool sameValue(const Value &A, const Value &B) {
+    return equalAbstract(A, B);
+  }
+
+  // The domain is stored by value (domains are a word or two of masks) so
+  // constructing the analysis from a temporary domain is safe.
+  Domain D;
+  const Function &F;
+  const CFG &G;
+  unsigned WidenAfter;
+  std::unordered_map<const Expr *, Value> Val;
+};
+
+} // namespace mba
+
+#endif // MBA_IR_DATAFLOW_H

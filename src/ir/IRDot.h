@@ -1,0 +1,38 @@
+//===- ir/IRDot.h - Graphviz export of CFGs and def-use graphs --*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DOT rendering of a function's control-flow graph (blocks with their
+/// instructions as record labels, branch edges annotated taken/not-taken)
+/// and of its SSA def-use graph (one node per value, one edge per use).
+/// Companion of ast/DotPrinter.h, surfaced through `mba_cli dot --ir`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_IR_IRDOT_H
+#define MBA_IR_IRDOT_H
+
+#include "ast/Context.h"
+#include "ir/Program.h"
+
+#include <string>
+
+namespace mba {
+
+/// Renders the CFG of \p F as a DOT digraph: one box per block listing its
+/// phis/instructions/terminator, edges labeled "T"/"F" for branches.
+std::string cfgToDot(const Context &Ctx, const Function &F,
+                     const std::string &GraphName = "cfg");
+
+/// Renders the def-use graph of \p F: one ellipse per SSA value (boxes for
+/// parameters), an edge from each value to every value whose definition
+/// uses it.
+std::string defUseToDot(const Context &Ctx, const Function &F,
+                        const std::string &GraphName = "defuse");
+
+} // namespace mba
+
+#endif // MBA_IR_IRDOT_H

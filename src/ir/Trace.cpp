@@ -18,62 +18,128 @@
 
 using namespace mba;
 
+namespace {
+
+/// The token starting at offset \p At of \p Line: an identifier/number run
+/// or a single punctuation character; empty at end of line.
+std::string tokenAt(std::string_view Line, size_t At) {
+  while (At < Line.size() && std::isspace((unsigned char)Line[At]))
+    ++At;
+  if (At >= Line.size())
+    return "";
+  size_t End = At;
+  if (std::isalnum((unsigned char)Line[End]) || Line[End] == '_') {
+    while (End < Line.size() &&
+           (std::isalnum((unsigned char)Line[End]) || Line[End] == '_'))
+      ++End;
+  } else {
+    ++End;
+  }
+  return std::string(Line.substr(At, End - At));
+}
+
+} // namespace
+
 std::optional<Trace> Trace::parse(Context &Ctx, std::string_view Text,
                                   std::string *Error) {
   Trace T;
   size_t LineNo = 0;
   size_t Pos = 0;
-  auto Fail = [&](const std::string &Msg) {
-    if (Error)
-      *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+  std::string_view Line; // current line with the comment stripped
+  // Diagnostics carry the 1-based column and the offending token:
+  //   "line 3, col 9: bad expression: ... (near '+')"
+  auto FailAt = [&](size_t Col0, const std::string &Msg) {
+    if (Error) {
+      *Error = "line " + std::to_string(LineNo) + ", col " +
+               std::to_string(Col0 + 1) + ": " + Msg;
+      if (std::string Tok = tokenAt(Line, Col0); !Tok.empty())
+        *Error += " (near '" + Tok + "')";
+    }
     return std::nullopt;
   };
+
+  // Destination lines (for the use-before-def diagnostic) and each
+  // instruction's source position.
+  std::unordered_map<const Expr *, size_t> DefLine;
+  struct InstPos {
+    size_t Line;
+    size_t ExprCol; ///< 0-based column where the expression text starts
+    std::string LineText;
+  };
+  std::vector<InstPos> Positions;
+
   while (Pos < Text.size()) {
     size_t End = Text.find('\n', Pos);
     if (End == std::string_view::npos)
       End = Text.size();
-    std::string_view Line = Text.substr(Pos, End - Pos);
+    Line = Text.substr(Pos, End - Pos);
     Pos = End + 1;
     ++LineNo;
 
-    // Strip comments and whitespace.
+    // Strip comments; keep leading whitespace so columns match the source.
     size_t Hash = Line.find('#');
     if (Hash != std::string_view::npos)
       Line = Line.substr(0, Hash);
-    while (!Line.empty() && std::isspace((unsigned char)Line.front()))
-      Line.remove_prefix(1);
-    while (!Line.empty() && std::isspace((unsigned char)Line.back()))
-      Line.remove_suffix(1);
-    if (Line.empty())
+    size_t First = 0;
+    while (First < Line.size() && std::isspace((unsigned char)Line[First]))
+      ++First;
+    if (First == Line.size())
       continue;
 
     // name = expr  — find the '=' that is an assignment, not part of an
     // operator (the expression grammar has no '=', so the first one wins).
     size_t Eq = Line.find('=');
     if (Eq == std::string_view::npos)
-      return Fail("expected 'name = expr'");
-    std::string_view Name = Line.substr(0, Eq);
-    while (!Name.empty() && std::isspace((unsigned char)Name.back()))
-      Name.remove_suffix(1);
+      return FailAt(First, "expected 'name = expr'");
+    size_t NameEnd = Eq;
+    while (NameEnd > First && std::isspace((unsigned char)Line[NameEnd - 1]))
+      --NameEnd;
+    std::string_view Name = Line.substr(First, NameEnd - First);
     if (Name.empty())
-      return Fail("empty destination name");
-    for (char C : Name)
-      if (!std::isalnum((unsigned char)C) && C != '_')
-        return Fail("invalid destination name '" + std::string(Name) + "'");
+      return FailAt(Eq, "empty destination name");
+    for (size_t I = 0; I != Name.size(); ++I)
+      if (!std::isalnum((unsigned char)Name[I]) && Name[I] != '_')
+        return FailAt(First + I,
+                      "invalid destination name '" + std::string(Name) + "'");
     if (std::isdigit((unsigned char)Name.front()))
-      return Fail("destination cannot start with a digit");
+      return FailAt(First, "destination cannot start with a digit");
 
     const Expr *Dest = Ctx.getVar(Name);
     if (T.Defs.count(Dest))
-      return Fail("re-assignment of '" + std::string(Name) +
-                  "' (traces are single-assignment)");
+      return FailAt(First, "re-assignment of '" + std::string(Name) +
+                               "' (traces are single-assignment)");
 
     ParseResult R = parseExpr(Ctx, Line.substr(Eq + 1));
     if (!R.ok())
-      return Fail("bad expression: " + R.Error);
-    if (containsSubExpr(R.E, Dest))
-      return Fail("'" + std::string(Name) + "' used in its own definition");
+      return FailAt(Eq + 1 + R.ErrorPos, "bad expression: " + R.Error);
+    if (containsSubExpr(R.E, Dest)) {
+      size_t Col = Line.find(Name, Eq + 1);
+      std::string Msg = "'";
+      Msg += Name;
+      Msg += "' used in its own definition";
+      return FailAt(Col == std::string_view::npos ? Eq + 1 : Col, Msg);
+    }
     T.append(Dest, R.E);
+    DefLine.emplace(Dest, LineNo);
+    Positions.push_back({LineNo, Eq + 1, std::string(Line)});
+  }
+
+  // Use-before-def: a name referenced before its (later) assignment would
+  // silently become a trace input of the same name — reject it instead.
+  for (size_t I = 0; I != T.Insts.size(); ++I) {
+    for (const Expr *V : collectVariables(T.Insts[I].Rhs)) {
+      auto It = DefLine.find(V);
+      if (It == DefLine.end() || It->second <= Positions[I].Line)
+        continue;
+      LineNo = Positions[I].Line;
+      Line = Positions[I].LineText;
+      size_t Col = Line.find(V->varName(), Positions[I].ExprCol);
+      return FailAt(Col == std::string_view::npos ? Positions[I].ExprCol
+                                                  : Col,
+                    "use of '" + std::string(V->varName()) +
+                        "' before its definition at line " +
+                        std::to_string(It->second));
+    }
   }
   return T;
 }

@@ -38,7 +38,7 @@ struct Budget {
 };
 
 /// Outcome of a solve() call.
-enum class SatResult { Sat, Unsat, Unknown };
+enum class SatResult : uint8_t { Sat, Unsat, Unknown };
 
 /// Counters exposed for the benchmark harness.
 struct SolverStats {

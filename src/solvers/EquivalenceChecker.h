@@ -29,6 +29,7 @@
 #include "ast/Expr.h"
 #include "support/Cache.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,7 +37,7 @@
 namespace mba {
 
 /// Outcome of one equivalence query.
-enum class Verdict {
+enum class Verdict : uint8_t {
   Equivalent,    ///< lhs != rhs refuted (UNSAT)
   NotEquivalent, ///< witness found (SAT)
   Timeout        ///< budget exhausted (the paper's "O" outcome)

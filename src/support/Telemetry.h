@@ -250,7 +250,7 @@ SourceHandle registerSource(std::function<void(MetricsSink &)> Fn);
 
 /// One metric in a registry snapshot.
 struct MetricValue {
-  enum Kind { KCounter, KGauge, KHistogram };
+  enum Kind : uint8_t { KCounter, KGauge, KHistogram };
   std::string Name;
   Kind Which = KCounter;
   uint64_t Value = 0;     ///< counter sum / source value

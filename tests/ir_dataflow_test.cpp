@@ -1,0 +1,361 @@
+//===- tests/ir_dataflow_test.cpp - Dataflow-framework tests --------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+// The analyses are validated against brute force: dominance by per-node
+// graph deletion and reachability, the abstract domains by exhaustive
+// width-4 interpretation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace mba;
+
+namespace {
+
+Function parseOne(Context &Ctx, const char *Text) {
+  Diag D;
+  auto P = Program::parse(Ctx, Text, &D);
+  EXPECT_TRUE(P.has_value()) << D.str();
+  return std::move(P->Functions.front());
+}
+
+const char *DiamondText = R"(
+func @f(x, y) {
+entry:
+  p = x & 1
+  br p, left, right
+left:
+  a = x + y
+  jmp join
+right:
+  b = x - y
+  jmp join
+join:
+  m = phi [left: a], [right: b]
+  ret m
+}
+)";
+
+const char *LoopText = R"(
+func @loop(n) {
+entry:
+  jmp head
+head:
+  i = phi [entry: 0], [body: i2]
+  c = i - n
+  br c, body, done
+body:
+  i2 = i + 1
+  jmp head
+done:
+  ret i
+}
+)";
+
+const char *UnreachableText = R"(
+func @u(x) {
+entry:
+  jmp exit
+dead:
+  jmp exit
+exit:
+  ret x
+}
+)";
+
+/// Brute-force dominance: A dominates B iff both are reachable and B is no
+/// longer reachable from the entry once every path is forbidden to visit A
+/// (reflexively, A dominates itself).
+std::vector<std::vector<bool>> bruteDominators(const CFG &G) {
+  unsigned N = G.numBlocks();
+  auto ReachAvoiding = [&](int Avoid) {
+    std::vector<bool> R(N, false);
+    if (Avoid == 0)
+      return R;
+    std::vector<unsigned> Work{0};
+    R[0] = true;
+    while (!Work.empty()) {
+      unsigned B = Work.back();
+      Work.pop_back();
+      for (unsigned S : G.Succs[B])
+        if ((int)S != Avoid && !R[S]) {
+          R[S] = true;
+          Work.push_back(S);
+        }
+    }
+    return R;
+  };
+  std::vector<bool> Reach = ReachAvoiding(-1);
+  std::vector<std::vector<bool>> Dom(N, std::vector<bool>(N, false));
+  for (unsigned A = 0; A != N; ++A) {
+    std::vector<bool> RA = ReachAvoiding((int)A);
+    for (unsigned B = 0; B != N; ++B)
+      Dom[A][B] = Reach[A] && Reach[B] && (A == B || !RA[B]);
+  }
+  return Dom;
+}
+
+void checkDominatorsAgainstBruteForce(const Function &F) {
+  CFG G = CFG::build(F);
+  DominatorTree DT = DominatorTree::build(G);
+  std::vector<std::vector<bool>> Want = bruteDominators(G);
+  for (unsigned A = 0; A != G.numBlocks(); ++A)
+    for (unsigned B = 0; B != G.numBlocks(); ++B)
+      EXPECT_EQ(DT.dominates(A, B), Want[A][B])
+          << F.Name << ": dominates(" << F.Blocks[A].Name << ", "
+          << F.Blocks[B].Name << ")";
+}
+
+TEST(IRCfg, BuildsEdges) {
+  Context Ctx(64);
+  Function F = parseOne(Ctx, DiamondText);
+  CFG G = CFG::build(F);
+  ASSERT_EQ(G.numBlocks(), 4u);
+  EXPECT_EQ(G.Succs[0], (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(G.Succs[1], (std::vector<unsigned>{3}));
+  EXPECT_EQ(G.Preds[3], (std::vector<unsigned>{1, 2}));
+  EXPECT_TRUE(G.Succs[3].empty());
+  EXPECT_TRUE(G.Preds[0].empty());
+}
+
+TEST(IRDom, MatchesBruteForce) {
+  Context Ctx(64);
+  checkDominatorsAgainstBruteForce(parseOne(Ctx, DiamondText));
+  checkDominatorsAgainstBruteForce(parseOne(Ctx, LoopText));
+  checkDominatorsAgainstBruteForce(parseOne(Ctx, UnreachableText));
+}
+
+TEST(IRDom, LoopShape) {
+  Context Ctx(64);
+  Function F = parseOne(Ctx, LoopText);
+  CFG G = CFG::build(F);
+  DominatorTree DT = DominatorTree::build(G);
+  // entry -> head -> {body, done}; head dominates body and done.
+  EXPECT_EQ(DT.idom(1), 0u);
+  EXPECT_EQ(DT.idom(2), 1u);
+  EXPECT_EQ(DT.idom(3), 1u);
+  EXPECT_TRUE(DT.dominates(1, 3));
+  EXPECT_FALSE(DT.dominates(2, 3)); // the body does not dominate the exit
+}
+
+TEST(IRDom, UnreachableBlocksAreOutside) {
+  Context Ctx(64);
+  Function F = parseOne(Ctx, UnreachableText);
+  CFG G = CFG::build(F);
+  DominatorTree DT = DominatorTree::build(G);
+  EXPECT_FALSE(DT.reachable(1));
+  EXPECT_FALSE(DT.dominates(1, 2));
+  EXPECT_FALSE(DT.dominates(2, 1));
+  EXPECT_FALSE(DT.dominates(1, 1));
+}
+
+TEST(IRRpo, PermutationRespectingDominance) {
+  Context Ctx(64);
+  for (const char *Text : {DiamondText, LoopText, UnreachableText}) {
+    Function F = parseOne(Ctx, Text);
+    CFG G = CFG::build(F);
+    std::vector<unsigned> RPO = reversePostOrder(G);
+    std::vector<bool> Reach = reachableBlocks(G);
+    size_t NumReach = (size_t)std::count(Reach.begin(), Reach.end(), true);
+    ASSERT_EQ(RPO.size(), NumReach);
+    ASSERT_FALSE(RPO.empty());
+    EXPECT_EQ(RPO.front(), 0u);
+    std::vector<int> Pos(G.numBlocks(), -1);
+    for (size_t I = 0; I != RPO.size(); ++I) {
+      EXPECT_TRUE(Reach[RPO[I]]);
+      EXPECT_EQ(Pos[RPO[I]], -1) << "duplicate block in RPO";
+      Pos[RPO[I]] = (int)I;
+    }
+    DominatorTree DT = DominatorTree::build(G);
+    for (unsigned A = 0; A != G.numBlocks(); ++A)
+      for (unsigned B = 0; B != G.numBlocks(); ++B)
+        if (A != B && DT.dominates(A, B)) {
+          EXPECT_LT(Pos[A], Pos[B])
+              << F.Name << ": dominator must precede in RPO";
+        }
+  }
+}
+
+TEST(IRDefUse, SitesAndCounts) {
+  Context Ctx(64);
+  Function F = parseOne(Ctx, DiamondText);
+  DefUseInfo DU = DefUseInfo::build(F);
+
+  const DefSite *DX = DU.defOf(Ctx.getVar("x"));
+  ASSERT_NE(DX, nullptr);
+  EXPECT_EQ(DX->Kind, DefSite::Param);
+  EXPECT_EQ(DX->Index, 0u);
+  EXPECT_EQ(DU.numUses(Ctx.getVar("x")), 3u); // p, a, b right-hand sides
+
+  const DefSite *DP = DU.defOf(Ctx.getVar("p"));
+  ASSERT_NE(DP, nullptr);
+  EXPECT_EQ(DP->Kind, DefSite::Inst);
+  EXPECT_EQ(DP->Block, 0u);
+  EXPECT_EQ(DP->Index, 0u);
+  std::span<const UseSite> PU = DU.usesOf(Ctx.getVar("p"));
+  ASSERT_EQ(PU.size(), 1u);
+  EXPECT_EQ(PU[0].Kind, UseSite::TermCond);
+  EXPECT_EQ(PU[0].Block, 0u);
+
+  const DefSite *DM = DU.defOf(Ctx.getVar("m"));
+  ASSERT_NE(DM, nullptr);
+  EXPECT_EQ(DM->Kind, DefSite::Phi);
+  EXPECT_EQ(DM->Block, 3u);
+  std::span<const UseSite> MU = DU.usesOf(Ctx.getVar("m"));
+  ASSERT_EQ(MU.size(), 1u);
+  EXPECT_EQ(MU[0].Kind, UseSite::TermRet);
+
+  std::span<const UseSite> AU = DU.usesOf(Ctx.getVar("a"));
+  ASSERT_EQ(AU.size(), 1u);
+  EXPECT_EQ(AU[0].Kind, UseSite::PhiIn);
+  EXPECT_EQ(AU[0].Block, 3u);
+  EXPECT_EQ(AU[0].PhiPred, 1u); // flows in over the 'left' edge
+
+  EXPECT_EQ(DU.defOf(Ctx.getVar("nosuch")), nullptr);
+  EXPECT_EQ(DU.numUses(Ctx.getVar("nosuch")), 0u);
+}
+
+TEST(IRLiveness, DiamondByHand) {
+  Context Ctx(64);
+  Function F = parseOne(Ctx, DiamondText);
+  CFG G = CFG::build(F);
+  Liveness L = Liveness::build(F, G);
+  const Expr *X = Ctx.getVar("x");
+  const Expr *Y = Ctx.getVar("y");
+  const Expr *A = Ctx.getVar("a");
+  const Expr *M = Ctx.getVar("m");
+
+  // x and y cross the branch into both arms.
+  EXPECT_TRUE(L.LiveOut[0].count(X));
+  EXPECT_TRUE(L.LiveOut[0].count(Y));
+  EXPECT_TRUE(L.LiveIn[1].count(X));
+  EXPECT_TRUE(L.LiveIn[2].count(Y));
+  // A phi incoming is live-out of its predecessor, not live-in of the join.
+  EXPECT_TRUE(L.LiveOut[1].count(A));
+  EXPECT_FALSE(L.LiveIn[3].count(A));
+  // m is defined by the join's own phi.
+  EXPECT_FALSE(L.LiveIn[3].count(M));
+  // Nothing is live into the entry: parameters are defs, not live-ins.
+  EXPECT_FALSE(L.LiveIn[0].count(A));
+  EXPECT_TRUE(L.LiveOut[3].empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Flow-sensitive abstract interpretation
+//===----------------------------------------------------------------------===//
+
+/// Concrete value \p V must be described by the abstract value the domain
+/// assigned — soundness, checked exhaustively at width 4.
+void expectConsistent(uint64_t Mask, const KnownBits &K, uint64_t V) {
+  EXPECT_EQ(V & K.Zero & Mask, 0u);
+  EXPECT_EQ(K.One & Mask & ~V, 0u);
+}
+void expectConsistent(uint64_t, const Parity &P, uint64_t V) {
+  EXPECT_EQ((V ^ P.Residue) & lowBitsMask(P.KnownLow), 0u);
+}
+void expectConsistent(uint64_t, const Interval &I, uint64_t V) {
+  EXPECT_TRUE(I.contains(V)) << "[" << I.Lo << ", " << I.Hi << "] " << V;
+}
+
+const char *MixedText = R"(
+func @s(x) {
+entry:
+  a = (x | 3) & 12
+  br a, t, f
+t:
+  b = a * 2 + 1
+  jmp join
+f:
+  b2 = x ^ 5
+  jmp join
+join:
+  m = phi [t: b], [f: b2]
+  r = m + (m & 6)
+  ret r
+}
+)";
+
+template <class Domain>
+void checkSoundnessExhaustively(Context &Ctx, const Function &F,
+                                const Domain &D) {
+  CFG G = CFG::build(F);
+  FlowAnalysis<Domain> FA(D, F, G);
+  const Expr *Ret = nullptr;
+  for (const BasicBlock &B : F.Blocks)
+    if (B.Term.Kind == TermKind::Ret)
+      Ret = B.Term.Value;
+  ASSERT_NE(Ret, nullptr);
+  typename Domain::Value AV = FA.valueOfExpr(Ret);
+  for (uint64_t X = 0; X <= Ctx.mask(); ++X) {
+    uint64_t Args[] = {X};
+    std::optional<uint64_t> R = interpretFunction(Ctx, F, Args);
+    ASSERT_TRUE(R.has_value());
+    expectConsistent(Ctx.mask(), AV, *R);
+  }
+}
+
+TEST(IRFlow, SoundAgainstExhaustiveInterpretation) {
+  Context Ctx(4);
+  Function F = parseOne(Ctx, MixedText);
+  checkSoundnessExhaustively(Ctx, F, KnownBitsDomain(Ctx.mask()));
+  checkSoundnessExhaustively(Ctx, F, ParityDomain(Ctx.width()));
+  checkSoundnessExhaustively(Ctx, F, IntervalDomain(Ctx.mask()));
+}
+
+TEST(IRFlow, ConstantThroughDiamond) {
+  // Both arms feed the same constant into the phi: the join must keep it.
+  Context Ctx(64);
+  Function F = parseOne(Ctx,
+                        "func @c(x) {\nentry:\n  br x, t, f\n"
+                        "t:\n  jmp join\nf:\n  jmp join\n"
+                        "join:\n  m = phi [t: 3], [f: 3]\n  ret m\n}\n");
+  CFG G = CFG::build(F);
+  FlowAnalysis<KnownBitsDomain> FA(KnownBitsDomain(Ctx.mask()), F, G);
+  const Expr *M = Ctx.getVar("m");
+  EXPECT_EQ(FA.constantOf(M), std::optional<uint64_t>(3));
+}
+
+TEST(IRFlow, BranchEdgeRefinementPinsConditionToZero) {
+  // On the not-taken edge of `br v, t, join` the value v is known 0, so
+  // the phi join is {5, 0} and bits 1 and 3 of m are known zero.
+  Context Ctx(4);
+  Function F = parseOne(Ctx,
+                        "func @g(x) {\nentry:\n  v = x & 7\n"
+                        "  br v, t, join\n"
+                        "t:\n  jmp join\n"
+                        "join:\n  m = phi [t: 5], [entry: v]\n"
+                        "  r = m & 10\n  ret r\n}\n");
+  CFG G = CFG::build(F);
+  FlowAnalysis<KnownBitsDomain> FA(KnownBitsDomain(Ctx.mask()), F, G);
+  EXPECT_EQ(FA.constantOf(Ctx.getVar("r")), std::optional<uint64_t>(0));
+  // And the exhaustive cross-check, for good measure.
+  for (uint64_t X = 0; X <= Ctx.mask(); ++X) {
+    uint64_t Args[] = {X};
+    auto R = interpretFunction(Ctx, F, Args);
+    ASSERT_TRUE(R.has_value());
+    EXPECT_EQ(*R, 0u);
+  }
+}
+
+TEST(IRFlow, WideningTerminatesOnCountingLoop) {
+  // The interval of a loop counter ascends 2^64 states without widening;
+  // the constructor finishing at all is the termination test.
+  Context Ctx(64);
+  Function F = parseOne(Ctx, LoopText);
+  CFG G = CFG::build(F);
+  FlowAnalysis<IntervalDomain> FA(IntervalDomain(Ctx.mask()), F, G);
+  EXPECT_FALSE(FA.values().empty()) << "analysis hit the round bound";
+  // Soundness: every concrete value the counter takes for n = 5 lies in
+  // its abstract interval.
+  Interval I = FA.valueOf(Ctx.getVar("i"));
+  for (uint64_t V = 0; V <= 5; ++V)
+    EXPECT_TRUE(I.contains(V)) << V;
+}
+
+} // namespace

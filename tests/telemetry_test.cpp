@@ -103,8 +103,9 @@ TEST(TelemetryMetrics, HistogramBucketBoundaries) {
     // Every bucket's inclusive max lands in that bucket, and max+1 in the
     // next (except the last, which absorbs the top of the range).
     EXPECT_EQ(histogramBucket(histogramBucketMax(B)), B);
-    if (B + 1 != HistogramBuckets)
+    if (B + 1 != HistogramBuckets) {
       EXPECT_EQ(histogramBucket(histogramBucketMax(B) + 1), B + 1);
+    }
   }
   EXPECT_EQ(histogramBucketMax(0), 0u);
   EXPECT_EQ(histogramBucketMax(1), 1u);
@@ -208,9 +209,11 @@ TEST(TelemetryMetrics, TwoSourcesSameNameAreSummed) {
       [](MetricsSink &S) { S.value("test.summed_source", 10); });
   SourceHandle B = registerSource(
       [](MetricsSink &S) { S.value("test.summed_source", 32); });
-  for (const MetricValue &M : snapshotMetrics())
-    if (M.Name == "test.summed_source")
+  for (const MetricValue &M : snapshotMetrics()) {
+    if (M.Name == "test.summed_source") {
       EXPECT_EQ(M.Value, 42u);
+    }
+  }
 }
 
 TEST(TelemetryMetrics, TextDumpFormat) {

@@ -56,6 +56,40 @@ TEST(TraceParse, RejectsMalformedInput) {
   EXPECT_FALSE(Trace::parse(Ctx, "a = a + 1", &Error).has_value());
 }
 
+TEST(TraceParse, DiagnosticsCarryColumnAndToken) {
+  Context Ctx(64);
+  std::string Error;
+  // The '=' is missing: the diagnostic points at the first token.
+  EXPECT_FALSE(Trace::parse(Ctx, "just text", &Error).has_value());
+  EXPECT_NE(Error.find("line 1, col 1"), std::string::npos);
+  EXPECT_NE(Error.find("near 'just'"), std::string::npos);
+  // A bad expression points into the expression text.
+  EXPECT_FALSE(Trace::parse(Ctx, "a = x + + y", &Error).has_value());
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+  EXPECT_NE(Error.find("bad expression"), std::string::npos);
+  EXPECT_NE(Error.find("near '+'"), std::string::npos);
+  // A bad destination points at the offending character.
+  EXPECT_FALSE(Trace::parse(Ctx, "1bad = x", &Error).has_value());
+  EXPECT_NE(Error.find("col 1"), std::string::npos);
+  EXPECT_NE(Error.find("digit"), std::string::npos);
+  // Self-use names the variable.
+  EXPECT_FALSE(Trace::parse(Ctx, "a = a + 1", &Error).has_value());
+  EXPECT_NE(Error.find("used in its own definition"), std::string::npos);
+  EXPECT_NE(Error.find("near 'a'"), std::string::npos);
+}
+
+TEST(TraceParse, RejectsUseBeforeDef) {
+  // 'b' is assigned later in the trace: referencing it earlier would
+  // silently read an unrelated input named 'b'.
+  Context Ctx(64);
+  std::string Error;
+  EXPECT_FALSE(Trace::parse(Ctx, "a = b + 1\nb = 2", &Error).has_value());
+  EXPECT_NE(Error.find("line 1, col 5"), std::string::npos);
+  EXPECT_NE(Error.find("use of 'b' before its definition at line 2"),
+            std::string::npos);
+  EXPECT_NE(Error.find("near 'b'"), std::string::npos);
+}
+
 TEST(TraceParse, EmptyTextIsEmptyTrace) {
   Context Ctx(64);
   auto T = Trace::parse(Ctx, "\n# only a comment\n\n");
