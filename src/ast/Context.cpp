@@ -92,6 +92,10 @@ const Expr *Context::getBinary(ExprKind K, const Expr *A, const Expr *B) {
 
 const Expr *Context::findInterned(ExprKind K, const Expr *L, const Expr *R,
                                   uint64_t Aux) const {
+  // Latent gap surfaced by the owner-thread capability annotations: this
+  // read-only lookup touched the interning tables without the guardrail
+  // (reads are unsafe too — the class is not safe for concurrent readers).
+  assertOwnedByCurrentThread();
   if (K == ExprKind::Var)
     return Aux < Vars.size() ? Vars[Aux] : nullptr;
   NodeKey Key{K, L, R, Aux};
@@ -101,6 +105,7 @@ const Expr *Context::findInterned(ExprKind K, const Expr *L, const Expr *R,
 
 void Context::forEachOwnedNode(
     const std::function<void(const Expr *)> &Fn) const {
+  assertOwnedByCurrentThread(); // same latent gap as findInterned
   for (const Expr *V : Vars)
     Fn(V);
   for (const auto &[Key, Node] : Interned)

@@ -17,6 +17,7 @@
 
 #include "ast/Expr.h"
 #include "support/Arena.h"
+#include "support/ThreadSafety.h"
 
 #include <cstdint>
 #include <functional>
@@ -30,6 +31,17 @@
 namespace mba {
 
 class BitslicedExpr;
+
+/// Capability standing for "the calling thread is the owner of this
+/// Context" (see Context's threading model). It is not a lock — nothing is
+/// ever blocked on it — but Clang's thread-safety analysis treats it like
+/// one: the interning tables and evaluation caches are MBA_GUARDED_BY this
+/// role, and the only way to satisfy the analysis is to pass through
+/// Context::assertOwnedByCurrentThread() (the runtime guardrail, annotated
+/// MBA_ASSERT_CAPABILITY) or adoptByCurrentThread(). Touching the mutable
+/// state on a path that skips the guardrail is a compile-time diagnostic
+/// under -DMBA_THREAD_SAFETY=ON and a runtime assert elsewhere.
+class MBA_CAPABILITY("context-owner") ContextOwnerRole {};
 
 /// Owns and interns Expr nodes for one bit width.
 ///
@@ -60,8 +72,11 @@ public:
   /// Re-homes the context onto the calling thread (see the class comment's
   /// threading model). Needed when a Context is constructed on one thread
   /// and handed off to another — e.g. built up front, then used by a pool
-  /// worker. The handoff itself must be externally synchronized.
-  void adoptByCurrentThread() { Owner = std::this_thread::get_id(); }
+  /// worker. The handoff itself must be externally synchronized. After the
+  /// call the calling thread holds the owner capability.
+  void adoptByCurrentThread() MBA_ASSERT_CAPABILITY(OwnerRole) {
+    Owner = std::this_thread::get_id();
+  }
 
   /// The word width in bits.
   unsigned width() const { return Width; }
@@ -88,15 +103,20 @@ public:
 
   /// Returns the variable with dense index \p Index, which must exist.
   const Expr *getVarByIndex(unsigned Index) const {
+    assertOwnedByCurrentThread();
     assert(Index < Vars.size() && "variable index out of range");
     return Vars[Index];
   }
 
   /// Number of distinct variables created in this context.
-  unsigned numVars() const { return (unsigned)Vars.size(); }
+  unsigned numVars() const {
+    assertOwnedByCurrentThread();
+    return (unsigned)Vars.size();
+  }
 
   /// Returns true if a variable named \p Name already exists.
   bool hasVar(std::string_view Name) const {
+    assertOwnedByCurrentThread();
     return VarsByName.contains(Name);
   }
 
@@ -167,7 +187,10 @@ public:
   uint64_t *evalScratch(size_t Words) const;
 
   /// Total number of distinct nodes interned so far.
-  size_t numNodes() const { return NumNodes; }
+  size_t numNodes() const {
+    assertOwnedByCurrentThread();
+    return NumNodes;
+  }
 
   /// Bytes of node/name storage handed out by the arena. This is the memory
   /// metric reported in the Table 8 reproduction.
@@ -204,8 +227,12 @@ private:
     }
   };
 
-  /// Debug guardrail for the one-thread-per-context rule (class comment).
-  void assertOwnedByCurrentThread() const {
+  /// Guardrail for the one-thread-per-context rule (class comment): a
+  /// runtime assert in every build, and under Clang the annotation tells
+  /// the thread-safety analysis the owner capability is held on return —
+  /// so the OwnerRole-guarded tables below are only reachable through this
+  /// check (or adoptByCurrentThread).
+  void assertOwnedByCurrentThread() const MBA_ASSERT_CAPABILITY(OwnerRole) {
     assert(std::this_thread::get_id() == Owner &&
            "Context used from a thread other than its owner; create one "
            "Context per worker (or call adoptByCurrentThread after a "
@@ -215,15 +242,18 @@ private:
   unsigned Width;
   uint64_t Mask;
   Arena Alloc;
-  size_t NumNodes = 0;
-  std::unordered_map<NodeKey, const Expr *, NodeKeyHash> Interned;
+  /// The owner-thread capability (never blocked on; see ContextOwnerRole).
+  mutable ContextOwnerRole OwnerRole;
+  size_t NumNodes MBA_GUARDED_BY(OwnerRole) = 0;
+  std::unordered_map<NodeKey, const Expr *, NodeKeyHash>
+      Interned MBA_GUARDED_BY(OwnerRole);
   std::unordered_map<std::string, const Expr *, StringHash, std::equal_to<>>
-      VarsByName;
-  std::vector<const Expr *> Vars;
+      VarsByName MBA_GUARDED_BY(OwnerRole);
+  std::vector<const Expr *> Vars MBA_GUARDED_BY(OwnerRole);
   std::thread::id Owner = std::this_thread::get_id();
   mutable std::unordered_map<const Expr *, std::unique_ptr<BitslicedExpr>>
-      BitslicedCache;
-  mutable std::vector<uint64_t> EvalScratch;
+      BitslicedCache MBA_GUARDED_BY(OwnerRole);
+  mutable std::vector<uint64_t> EvalScratch MBA_GUARDED_BY(OwnerRole);
 };
 
 } // namespace mba

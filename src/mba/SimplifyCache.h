@@ -38,8 +38,7 @@
 #include "ast/Context.h"
 #include "ast/Expr.h"
 #include "support/Cache.h"
-
-#include <mutex>
+#include "support/ThreadSafety.h"
 
 namespace mba {
 
@@ -49,9 +48,14 @@ public:
   /// requires equal widths; enforced by assertion on lookup/insert).
   explicit SimplifyCache(unsigned Width, size_t ResultCapacity = 1 << 16,
                          size_t LinearCapacity = 1 << 16)
-      : Store(Width), Results(ResultCapacity), Linear(LinearCapacity) {}
+      : Width(Width), Store(Width), Results(ResultCapacity),
+        Linear(LinearCapacity) {}
 
-  unsigned width() const { return Store.width(); }
+  /// Lock-discipline fix surfaced by the annotations: this used to read
+  /// Store.width() without StoreMu. The width is immutable, so the race was
+  /// benign, but the analysis cannot know that — and a separate const copy
+  /// states the invariant instead of relying on it.
+  unsigned width() const { return Width; }
 
   /// Returns the cached result cloned into \p Dst, or nullptr on miss.
   const Expr *lookupResult(uint64_t Key, Context &Dst) {
@@ -75,11 +79,12 @@ public:
 
   /// Writes both layers as snapshot sections (values as printed
   /// expressions, re-parsed on load).
-  void save(SnapshotWriter &W) const;
+  void save(SnapshotWriter &W) const MBA_EXCLUDES(StoreMu);
 
   /// Loads one section by name if it belongs to this cache; returns false
   /// for foreign section names (caller skips those entries itself).
-  bool loadSection(SnapshotReader &R, std::string_view Name, uint64_t Count);
+  bool loadSection(SnapshotReader &R, std::string_view Name, uint64_t Count)
+      MBA_EXCLUDES(StoreMu);
 
   static constexpr const char *ResultSection = "simplify.result";
   static constexpr const char *LinearSection = "simplify.linear";
@@ -87,12 +92,13 @@ public:
 private:
   const Expr *lookup(ShardedCache<const Expr *> &Layer, uint64_t Key,
                      Context &Dst);
-  const Expr *intern(const Expr *E);
+  const Expr *intern(const Expr *E) MBA_EXCLUDES(StoreMu);
 
+  const unsigned Width;
   /// Guards Store (interning is not thread-safe); the cached Expr pointers
   /// themselves are immutable once published through a shard mutex.
-  mutable std::mutex StoreMu;
-  Context Store;
+  mutable Mutex StoreMu;
+  Context Store MBA_GUARDED_BY(StoreMu);
   ShardedCache<const Expr *> Results;
   ShardedCache<const Expr *> Linear;
 };

@@ -31,11 +31,12 @@
 #ifndef MBA_SUPPORT_CACHE_H
 #define MBA_SUPPORT_CACHE_H
 
+#include "support/ThreadSafety.h"
+
 #include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -126,7 +127,7 @@ public:
   /// most-recently-used. Counts a hit or a miss.
   bool lookup(uint64_t Key, V &Out) {
     Shard &S = shardFor(Key);
-    std::lock_guard<std::mutex> Lock(S.Mu);
+    MutexLock Lock(S.Mu);
     auto It = S.Map.find(Key);
     if (It == S.Map.end()) {
       S.Misses.fetch_add(1, std::memory_order_relaxed);
@@ -151,7 +152,7 @@ public:
   template <typename MergeFn>
   void insertMerge(uint64_t Key, const V &Value, MergeFn Merge) {
     Shard &S = shardFor(Key);
-    std::lock_guard<std::mutex> Lock(S.Mu);
+    MutexLock Lock(S.Mu);
     auto [It, Inserted] = S.Map.try_emplace(Key, Node{Key, Value});
     Node *N = &It->second;
     if (!Inserted) {
@@ -173,7 +174,7 @@ public:
   std::vector<std::pair<uint64_t, V>> entries() const {
     std::vector<std::pair<uint64_t, V>> Out;
     for (const auto &SP : Shards_) {
-      std::lock_guard<std::mutex> Lock(SP->Mu);
+      MutexLock Lock(SP->Mu);
       for (const auto &[Key, N] : SP->Map)
         Out.push_back({Key, N.Value});
     }
@@ -190,7 +191,7 @@ public:
       Out.Misses += SP->Misses.load(std::memory_order_relaxed);
       Out.Inserts += SP->Inserts.load(std::memory_order_relaxed);
       Out.Evictions += SP->Evictions.load(std::memory_order_relaxed);
-      std::lock_guard<std::mutex> Lock(SP->Mu);
+      MutexLock Lock(SP->Mu);
       Out.Entries += SP->Map.size();
     }
     return Out;
@@ -201,7 +202,7 @@ public:
   /// Drops every entry; hit/miss counters are preserved.
   void clear() {
     for (const auto &SP : Shards_) {
-      std::lock_guard<std::mutex> Lock(SP->Mu);
+      MutexLock Lock(SP->Mu);
       SP->Map.clear();
       SP->Head = SP->Tail = nullptr;
     }
@@ -219,10 +220,10 @@ private:
   };
 
   struct Shard {
-    mutable std::mutex Mu;
-    std::unordered_map<uint64_t, Node> Map;
-    Node *Head = nullptr; ///< most recently used
-    Node *Tail = nullptr; ///< least recently used
+    mutable Mutex Mu;
+    std::unordered_map<uint64_t, Node> Map MBA_GUARDED_BY(Mu);
+    Node *Head MBA_GUARDED_BY(Mu) = nullptr; ///< most recently used
+    Node *Tail MBA_GUARDED_BY(Mu) = nullptr; ///< least recently used
     // Relaxed atomics: written under Mu (the map/LRU updates need it
     // anyway) but readable lock-free by stats() and telemetry snapshots.
     std::atomic<uint64_t> Hits{0}, Misses{0}, Inserts{0}, Evictions{0};
@@ -233,13 +234,13 @@ private:
     return *Shards_[Index];
   }
 
-  static void detach(Shard &S, Node *N) {
+  static void detach(Shard &S, Node *N) MBA_REQUIRES(S.Mu) {
     (N->Prev ? N->Prev->Next : S.Head) = N->Next;
     (N->Next ? N->Next->Prev : S.Tail) = N->Prev;
     N->Prev = N->Next = nullptr;
   }
 
-  static void pushFront(Shard &S, Node *N) {
+  static void pushFront(Shard &S, Node *N) MBA_REQUIRES(S.Mu) {
     N->Prev = nullptr;
     N->Next = S.Head;
     if (S.Head)
@@ -249,7 +250,7 @@ private:
       S.Tail = N;
   }
 
-  static void touch(Shard &S, Node *N) {
+  static void touch(Shard &S, Node *N) MBA_REQUIRES(S.Mu) {
     if (S.Head == N)
       return;
     detach(S, N);

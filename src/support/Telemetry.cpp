@@ -6,6 +6,8 @@
 
 #include "support/Telemetry.h"
 
+#include "support/ThreadSafety.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cctype>
@@ -54,12 +56,13 @@ struct MetricSlot {
 };
 
 struct Registry {
-  std::mutex Mu;
-  std::unordered_map<std::string, MetricSlot> Metrics;
+  Mutex Mu;
+  std::unordered_map<std::string, MetricSlot> Metrics MBA_GUARDED_BY(Mu);
 
-  std::mutex SourcesMu;
-  uint64_t NextSourceId = 1;
-  std::unordered_map<uint64_t, std::function<void(MetricsSink &)>> Sources;
+  Mutex SourcesMu;
+  uint64_t NextSourceId MBA_GUARDED_BY(SourcesMu) = 1;
+  std::unordered_map<uint64_t, std::function<void(MetricsSink &)>>
+      Sources MBA_GUARDED_BY(SourcesMu);
 };
 
 // Leaked on purpose: metrics are process-lifetime and instrumented code may
@@ -71,7 +74,7 @@ Registry &registry() {
 
 MetricSlot &findOrCreate(std::string_view Name, MetricValue::Kind Which) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
+  MutexLock Lock(R.Mu);
   auto [It, Inserted] = R.Metrics.try_emplace(std::string(Name));
   MetricSlot &S = It->second;
   if (Inserted) {
@@ -124,7 +127,7 @@ void SourceHandle::reset() {
   if (!Id)
     return;
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.SourcesMu);
+  MutexLock Lock(R.SourcesMu);
   R.Sources.erase(Id);
   Id = 0;
 }
@@ -132,7 +135,7 @@ void SourceHandle::reset() {
 SourceHandle
 mba::telemetry::registerSource(std::function<void(MetricsSink &)> Fn) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.SourcesMu);
+  MutexLock Lock(R.SourcesMu);
   uint64_t Id = R.NextSourceId++;
   R.Sources.emplace(Id, std::move(Fn));
   return SourceHandle(Id);
@@ -151,14 +154,14 @@ std::vector<MetricValue> mba::telemetry::snapshotMetrics() {
     }
   } S(SourceValues);
   {
-    std::lock_guard<std::mutex> Lock(R.SourcesMu);
+    MutexLock Lock(R.SourcesMu);
     for (auto &[Id, Fn] : R.Sources)
       Fn(S);
   }
 
   std::vector<MetricValue> Out;
   {
-    std::lock_guard<std::mutex> Lock(R.Mu);
+    MutexLock Lock(R.Mu);
     Out.reserve(R.Metrics.size() + SourceValues.size());
     for (const auto &[Name, Slot] : R.Metrics) {
       MetricValue V;
@@ -275,11 +278,11 @@ uint64_t mba::telemetry::nowNs() {
 }
 
 const char *mba::telemetry::internName(std::string_view Name) {
-  static std::mutex Mu;
+  static Mutex Mu;
   // Node-based set: element addresses are stable for the process lifetime.
   static std::unordered_set<std::string> *Names =
       new std::unordered_set<std::string>();
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Names->emplace(Name).first->c_str();
 }
 
@@ -290,17 +293,17 @@ namespace {
 constexpr size_t MaxEventsPerThread = 2u << 20;
 
 struct ThreadBuf {
-  std::mutex Mu;
-  std::vector<TraceEvent> Events;
-  uint32_t Tid = 0;
-  std::string Label;
-  uint64_t Dropped = 0;
+  Mutex Mu;
+  std::vector<TraceEvent> Events MBA_GUARDED_BY(Mu);
+  uint32_t Tid MBA_GUARDED_BY(Mu) = 0;
+  std::string Label MBA_GUARDED_BY(Mu);
+  uint64_t Dropped MBA_GUARDED_BY(Mu) = 0;
 };
 
 struct TraceState {
-  std::mutex Mu; // guards Buffers and NextTid
-  std::vector<std::shared_ptr<ThreadBuf>> Buffers;
-  uint32_t NextTid = 0;
+  Mutex Mu; // guards Buffers and NextTid
+  std::vector<std::shared_ptr<ThreadBuf>> Buffers MBA_GUARDED_BY(Mu);
+  uint32_t NextTid MBA_GUARDED_BY(Mu) = 0;
 };
 
 TraceState &traceState() {
@@ -312,9 +315,17 @@ ThreadBuf &threadBuf() {
   thread_local std::shared_ptr<ThreadBuf> Buf = [] {
     auto B = std::make_shared<ThreadBuf>();
     TraceState &S = traceState();
-    std::lock_guard<std::mutex> Lock(S.Mu);
-    B->Tid = S.NextTid++;
-    B->Label = B->Tid == 0 ? "main" : "thread-" + std::to_string(B->Tid);
+    MutexLock Lock(S.Mu);
+    // Fix surfaced by the annotations: Tid/Label are guarded by B->Mu, but
+    // were initialized holding only S.Mu. Unreachable by other threads
+    // until the push_back publishes B, so benign in practice — but the
+    // static analysis (rightly) cannot prove that, and the uncontended
+    // lock is free. Lock order S.Mu -> B->Mu matches collectTrace().
+    {
+      MutexLock BLock(B->Mu);
+      B->Tid = S.NextTid++;
+      B->Label = B->Tid == 0 ? "main" : "thread-" + std::to_string(B->Tid);
+    }
     S.Buffers.push_back(B);
     return B;
   }();
@@ -326,7 +337,7 @@ ThreadBuf &threadBuf() {
 void mba::telemetry::detail::endSpan(const char *Name, uint64_t StartNs) {
   uint64_t EndNs = nowNs();
   ThreadBuf &B = threadBuf();
-  std::lock_guard<std::mutex> Lock(B.Mu);
+  MutexLock Lock(B.Mu);
   if (B.Events.size() >= MaxEventsPerThread) {
     ++B.Dropped;
     return;
@@ -336,7 +347,7 @@ void mba::telemetry::detail::endSpan(const char *Name, uint64_t StartNs) {
 
 void mba::telemetry::setThreadLabel(std::string_view Label, int Tid) {
   ThreadBuf &B = threadBuf();
-  std::lock_guard<std::mutex> Lock(B.Mu);
+  MutexLock Lock(B.Mu);
   B.Label = std::string(Label);
   if (Tid >= 0)
     B.Tid = (uint32_t)Tid;
@@ -346,12 +357,12 @@ std::vector<TraceEvent> mba::telemetry::collectTrace() {
   TraceState &S = traceState();
   std::vector<std::shared_ptr<ThreadBuf>> Buffers;
   {
-    std::lock_guard<std::mutex> Lock(S.Mu);
+    MutexLock Lock(S.Mu);
     Buffers = S.Buffers;
   }
   std::vector<TraceEvent> Out;
   for (const auto &B : Buffers) {
-    std::lock_guard<std::mutex> Lock(B->Mu);
+    MutexLock Lock(B->Mu);
     // The tid may have been relabelled after events were recorded; stamp
     // the current one so exports stay consistent.
     for (TraceEvent E : B->Events) {
@@ -373,9 +384,9 @@ std::vector<TraceEvent> mba::telemetry::collectTrace() {
 std::vector<std::pair<uint32_t, std::string>> mba::telemetry::traceThreads() {
   TraceState &S = traceState();
   std::vector<std::pair<uint32_t, std::string>> Out;
-  std::lock_guard<std::mutex> Lock(S.Mu);
+  MutexLock Lock(S.Mu);
   for (const auto &B : S.Buffers) {
-    std::lock_guard<std::mutex> BLock(B->Mu);
+    MutexLock BLock(B->Mu);
     Out.push_back({B->Tid, B->Label});
   }
   return Out;
@@ -384,9 +395,9 @@ std::vector<std::pair<uint32_t, std::string>> mba::telemetry::traceThreads() {
 uint64_t mba::telemetry::traceDropped() {
   TraceState &S = traceState();
   uint64_t Dropped = 0;
-  std::lock_guard<std::mutex> Lock(S.Mu);
+  MutexLock Lock(S.Mu);
   for (const auto &B : S.Buffers) {
-    std::lock_guard<std::mutex> BLock(B->Mu);
+    MutexLock BLock(B->Mu);
     Dropped += B->Dropped;
   }
   return Dropped;
@@ -396,11 +407,11 @@ void mba::telemetry::clearTrace() {
   TraceState &S = traceState();
   std::vector<std::shared_ptr<ThreadBuf>> Buffers;
   {
-    std::lock_guard<std::mutex> Lock(S.Mu);
+    MutexLock Lock(S.Mu);
     Buffers = S.Buffers;
   }
   for (const auto &B : Buffers) {
-    std::lock_guard<std::mutex> Lock(B->Mu);
+    MutexLock Lock(B->Mu);
     B->Events.clear();
     B->Dropped = 0;
   }

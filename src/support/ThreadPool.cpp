@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(unsigned Threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     ShuttingDown = true;
   }
   WorkCv.notify_all();
@@ -44,7 +44,7 @@ bool ThreadPool::grabIndex(unsigned Ordinal, size_t &Index) {
   // Fast path: the front of our own shard.
   {
     Shard &Own = *Shards[Ordinal];
-    std::lock_guard<std::mutex> Lock(Own.Mu);
+    MutexLock Lock(Own.Mu);
     if (Own.Lo < Own.Hi) {
       Index = Own.Lo++;
       return true;
@@ -60,7 +60,7 @@ bool ThreadPool::grabIndex(unsigned Ordinal, size_t &Index) {
       if (V == Ordinal)
         continue;
       Shard &S = *Shards[V];
-      std::lock_guard<std::mutex> Lock(S.Mu);
+      MutexLock Lock(S.Mu);
       if (S.Hi - S.Lo > Best) {
         Best = S.Hi - S.Lo;
         Victim = V;
@@ -71,7 +71,7 @@ bool ThreadPool::grabIndex(unsigned Ordinal, size_t &Index) {
     size_t StolenLo = 0, StolenHi = 0;
     {
       Shard &S = *Shards[Victim];
-      std::lock_guard<std::mutex> Lock(S.Mu);
+      MutexLock Lock(S.Mu);
       size_t Remaining = S.Hi - S.Lo;
       if (Remaining == 0)
         continue; // lost the race; rescan
@@ -82,7 +82,7 @@ bool ThreadPool::grabIndex(unsigned Ordinal, size_t &Index) {
     }
     {
       Shard &Own = *Shards[Ordinal];
-      std::lock_guard<std::mutex> Lock(Own.Mu);
+      MutexLock Lock(Own.Mu);
       Own.Lo = StolenLo + 1;
       Own.Hi = StolenHi;
     }
@@ -101,10 +101,13 @@ void ThreadPool::workerMain(unsigned Ordinal) {
   for (;;) {
     const std::function<void(size_t, unsigned)> *Fn = nullptr;
     {
-      std::unique_lock<std::mutex> Lock(Mu);
-      WorkCv.wait(Lock, [&] {
-        return ShuttingDown || (Job && JobGeneration != SeenGeneration);
-      });
+      UniqueMutexLock Lock(Mu);
+      // Explicit predicate loop rather than the wait(lock, pred) overload:
+      // the thread-safety analysis cannot look into a predicate lambda, but
+      // it does see these guarded reads happen with Mu held. Same condition
+      // variable semantics (re-check after every wakeup).
+      while (!(ShuttingDown || (Job && JobGeneration != SeenGeneration)))
+        WorkCv.wait(Lock.native());
       if (ShuttingDown)
         return;
       SeenGeneration = JobGeneration;
@@ -136,7 +139,7 @@ void ThreadPool::workerMain(unsigned Ordinal) {
       IdleC.add();
     }
     {
-      std::lock_guard<std::mutex> Lock(Mu);
+      MutexLock Lock(Mu);
       if (LocalError && !FirstError)
         FirstError = LocalError;
       if (--ActiveWorkers == 0)
@@ -154,19 +157,25 @@ void ThreadPool::parallelFor(
   size_t Chunk = (N + W - 1) / W;
   for (unsigned I = 0; I != W; ++I) {
     Shard &S = *Shards[I];
-    std::lock_guard<std::mutex> Lock(S.Mu);
+    MutexLock Lock(S.Mu);
     S.Lo = std::min(N, (size_t)I * Chunk);
     S.Hi = std::min(N, S.Lo + Chunk);
   }
-  std::unique_lock<std::mutex> Lock(Mu);
+  UniqueMutexLock Lock(Mu);
   assert(!Job && "parallelFor is not reentrant");
   Job = &Fn;
   FirstError = nullptr;
   ActiveWorkers = W;
   ++JobGeneration;
   WorkCv.notify_all();
-  DoneCv.wait(Lock, [&] { return ActiveWorkers == 0; });
+  // Explicit predicate loop for the thread-safety analysis (see workerMain).
+  while (ActiveWorkers != 0)
+    DoneCv.wait(Lock.native());
   Job = nullptr;
-  if (FirstError)
-    std::rethrow_exception(FirstError);
+  // Move the error out before rethrowing: the throw unwinds Lock, and no
+  // guarded field may be touched after that.
+  std::exception_ptr Error = FirstError;
+  FirstError = nullptr;
+  if (Error)
+    std::rethrow_exception(Error);
 }

@@ -33,13 +33,13 @@
 #define MBA_SUPPORT_THREADPOOL_H
 
 #include "support/Telemetry.h"
+#include "support/ThreadSafety.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -73,30 +73,34 @@ public:
   /// Worker ordinals are in [0, numWorkers()). If any invocation throws,
   /// the first exception is rethrown here after the loop drains.
   void parallelFor(size_t N,
-                   const std::function<void(size_t, unsigned)> &Fn);
+                   const std::function<void(size_t, unsigned)> &Fn)
+      MBA_EXCLUDES(Mu);
 
   PoolStats stats() const;
 
 private:
   struct Shard {
-    std::mutex Mu;
-    size_t Lo = 0, Hi = 0; // remaining [Lo, Hi)
+    Mutex Mu;
+    // Remaining [Lo, Hi). Guarded: both ends move under steals, so even a
+    // racy read of one end is meaningless.
+    size_t Lo MBA_GUARDED_BY(Mu) = 0;
+    size_t Hi MBA_GUARDED_BY(Mu) = 0;
   };
 
-  void workerMain(unsigned Ordinal);
+  void workerMain(unsigned Ordinal) MBA_EXCLUDES(Mu);
   bool grabIndex(unsigned Ordinal, size_t &Index);
 
   std::vector<std::thread> Workers;
   std::vector<std::unique_ptr<Shard>> Shards; // one per worker
 
-  std::mutex Mu; // guards the job state below
+  Mutex Mu; // guards the job state below
   std::condition_variable WorkCv;   // workers wait for a job
   std::condition_variable DoneCv;   // parallelFor waits for completion
-  const std::function<void(size_t, unsigned)> *Job = nullptr;
-  uint64_t JobGeneration = 0;
-  unsigned ActiveWorkers = 0;
-  bool ShuttingDown = false;
-  std::exception_ptr FirstError;
+  const std::function<void(size_t, unsigned)> *Job MBA_GUARDED_BY(Mu) = nullptr;
+  uint64_t JobGeneration MBA_GUARDED_BY(Mu) = 0;
+  unsigned ActiveWorkers MBA_GUARDED_BY(Mu) = 0;
+  bool ShuttingDown MBA_GUARDED_BY(Mu) = false;
+  std::exception_ptr FirstError MBA_GUARDED_BY(Mu);
 
   // Scheduler counters: relaxed atomics, so concurrent workers never tear
   // a read and stats() / the telemetry source need no lock.

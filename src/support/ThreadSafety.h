@@ -1,0 +1,172 @@
+//===- support/ThreadSafety.h - Clang thread-safety capabilities -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time concurrency checking: macro wrappers over Clang's
+/// thread-safety-analysis attributes, plus capability-annotated mutex types
+/// the concurrent components (support/ThreadPool, support/Cache,
+/// support/Telemetry, mba/SimplifyCache) are written against.
+///
+/// The runtime story is unchanged — `mba::Mutex` is a `std::mutex` and
+/// `MutexLock` is a `std::lock_guard` — but under Clang with
+/// `-DMBA_THREAD_SAFETY=ON` (which adds `-Werror=thread-safety`) every
+/// access to a field marked MBA_GUARDED_BY outside its mutex, every
+/// forgotten unlock, and every call to an MBA_REQUIRES function without the
+/// capability is a hard compile error. Under GCC (or with the option off)
+/// every macro expands to nothing, so the annotations cost nothing and the
+/// TSan job stays the dynamic backstop for what the static analysis cannot
+/// see (docs/STATIC_ANALYSIS.md relates the two layers).
+///
+/// Why wrapper types instead of annotating `std::mutex` uses directly:
+/// Clang's analysis only tracks types that carry the `capability`
+/// attribute. libc++ annotates its `std::mutex`, libstdc++ does not, so a
+/// tree that locks `std::mutex` directly gets no checking on the toolchain
+/// most Linux CI uses. The wrappers pin the annotations into our own types,
+/// independent of the standard library flavor.
+///
+/// Capabilities are also used for non-mutex invariants: `ast/Context.h`
+/// models its owner-thread rule as a capability asserted by the runtime
+/// owner check (MBA_ASSERT_CAPABILITY), so touching the interning tables
+/// without going through the guardrail is a compile-time diagnostic under
+/// Clang and a runtime assert elsewhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SUPPORT_THREADSAFETY_H
+#define MBA_SUPPORT_THREADSAFETY_H
+
+#include <mutex>
+
+// Attribute dispatch: real attributes only under Clang (the only compiler
+// implementing -Wthread-safety); no-ops everywhere else so GCC builds are
+// untouched.
+#if defined(__clang__) && defined(__has_attribute)
+#define MBA_TSA_HAS(x) __has_attribute(x)
+#else
+#define MBA_TSA_HAS(x) 0
+#endif
+
+#if MBA_TSA_HAS(capability)
+#define MBA_TSA(x) __attribute__((x))
+#else
+#define MBA_TSA(x)
+#endif
+
+/// Marks a type as a capability (a lock, or an abstract resource like
+/// "ownership of this Context"). \p Name appears in diagnostics.
+#define MBA_CAPABILITY(Name) MBA_TSA(capability(Name))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (lock_guard-shaped types).
+#define MBA_SCOPED_CAPABILITY MBA_TSA(scoped_lockable)
+
+/// Field annotation: reads and writes require holding \p x.
+#define MBA_GUARDED_BY(x) MBA_TSA(guarded_by(x))
+
+/// Pointer-field annotation: the *pointee* is protected by \p x (the
+/// pointer itself may be read freely).
+#define MBA_PT_GUARDED_BY(x) MBA_TSA(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the listed capabilities
+/// exclusively (and still holds them on return).
+#define MBA_REQUIRES(...) MBA_TSA(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must hold the listed capabilities at
+/// least shared.
+#define MBA_REQUIRES_SHARED(...) MBA_TSA(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the listed capabilities (caller must not
+/// already hold them).
+#define MBA_ACQUIRE(...) MBA_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the listed capabilities.
+#define MBA_RELEASE(...) MBA_TSA(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability when the function returns
+/// the given value — MBA_TRY_ACQUIRE(true) or MBA_TRY_ACQUIRE(true, Mu).
+#define MBA_TRY_ACQUIRE(...) MBA_TSA(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the listed capabilities
+/// (deadlock prevention on self-locking entry points).
+#define MBA_EXCLUDES(...) MBA_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: a runtime check that the capability is held; after
+/// the call the analysis treats it as held. This is the bridge between
+/// runtime guardrails (asserts) and the static model.
+#define MBA_ASSERT_CAPABILITY(x) MBA_TSA(assert_capability(x))
+
+/// Function annotation: returns a reference to the named capability
+/// (accessor functions handing out a mutex).
+#define MBA_RETURN_CAPABILITY(x) MBA_TSA(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant
+/// (enforced by review; see docs/STATIC_ANALYSIS.md).
+#define MBA_NO_THREAD_SAFETY_ANALYSIS MBA_TSA(no_thread_safety_analysis)
+
+namespace mba {
+
+/// A std::mutex carrying the capability attribute so Clang tracks it.
+/// BasicLockable, so standard guards work where annotation is not needed;
+/// annotated code should prefer MutexLock / UniqueMutexLock below, which
+/// the analysis understands as scoped acquire/release.
+class MBA_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() MBA_ACQUIRE() { M.lock(); }
+  void unlock() MBA_RELEASE() { M.unlock(); }
+  bool tryLock() MBA_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+  /// The wrapped mutex, for condition-variable waits
+  /// (`Cv.wait(Lock.native())`). Handing out the raw mutex does not leak
+  /// the capability: the analysis still attributes it to this object via
+  /// the guard that owns it.
+  std::mutex &native() { return M; }
+
+private:
+  std::mutex M;
+};
+
+/// Scoped lock over Mutex — the annotated `std::lock_guard`.
+class MBA_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) MBA_ACQUIRE(M) : Mu(M) { Mu.lock(); }
+  ~MutexLock() MBA_RELEASE() { Mu.unlock(); }
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  Mutex &Mu;
+};
+
+/// Scoped lock that exposes the underlying std::unique_lock for
+/// condition-variable waits. The capability is held for the guard's whole
+/// lifetime from the analysis' point of view; a `Cv.wait(Lock.native())`
+/// releases and reacquires the OS lock inside one annotated region, which
+/// is exactly the standard condition-variable contract (the guarded state
+/// must be re-checked after wait returns — the explicit predicate loops in
+/// ThreadPool.cpp do that under the analysis' eyes).
+class MBA_SCOPED_CAPABILITY UniqueMutexLock {
+public:
+  explicit UniqueMutexLock(Mutex &M) MBA_ACQUIRE(M) : Lock(M.native()) {}
+  ~UniqueMutexLock() MBA_RELEASE() = default;
+
+  UniqueMutexLock(const UniqueMutexLock &) = delete;
+  UniqueMutexLock &operator=(const UniqueMutexLock &) = delete;
+
+  std::unique_lock<std::mutex> &native() { return Lock; }
+
+private:
+  std::unique_lock<std::mutex> Lock;
+};
+
+} // namespace mba
+
+#endif // MBA_SUPPORT_THREADSAFETY_H

@@ -1,0 +1,59 @@
+// mba-tidy corpus: the positive case. Everything in this file follows the
+// repo's concurrency and caching idioms, so every check must stay silent —
+// a finding here is a false positive and a test failure.
+#include <cstdint>
+#include <mutex>
+
+#include "ast/Context.h"
+#include "ast/ExprUtils.h"
+#include "support/Cache.h"
+#include "support/ThreadPool.h"
+#include "support/ThreadSafety.h"
+#include "support/Telemetry.h"
+
+using namespace mba;
+
+// RAII guards with names live to the end of the scope.
+void namedGuards(support::Mutex &Mu, std::mutex &Raw, int &Counter) {
+  MBA_TRACE_SPAN("clean.namedGuards");
+  support::MutexLock Lock(Mu);
+  std::lock_guard<std::mutex> Other(Raw);
+  ++Counter;
+}
+
+// Constructor declarations look like `Type(...);` but must not be flagged.
+class GuardLike {
+public:
+  explicit GuardLike(support::Mutex &M);
+  GuardLike(const GuardLike &) = delete;
+  GuardLike &operator=(const GuardLike &) = delete;
+
+private:
+  support::Mutex &Mu;
+};
+
+// Crossing contexts through cloneExpr is the sanctioned path.
+const Expr *cloneThenUse(Context &A, Context &B) {
+  const Expr *X = A.getVar("x");
+  const Expr *Moved = cloneExpr(B, X);
+  return B.getAdd(Moved, B.getOne());
+}
+
+// Workers own their Contexts; the shared one is only read for config.
+void perWorkerContexts(support::ThreadPool &Pool, Context &Shared,
+                       uint64_t *Out) {
+  Pool.parallelFor(16, [&](size_t I, unsigned) {
+    Context Mine(Shared.width());
+    const Expr *E = Mine.getConst(I);
+    Out[I] = E->constValue() & Shared.mask();
+  });
+}
+
+// Cache keys from structural fingerprints, never addresses. Reading bytes
+// *through* a pointer is fine; hashing the pointer value is not.
+uint64_t goodKey(const Expr *E, std::string_view Name) {
+  uint64_t H = support::hashMix64(exprFingerprint(E));
+  H = support::hashCombine64(H, support::hashString64(Name));
+  H = support::hashCombine64(H, support::hashBytes64(Name.data(), Name.size()));
+  return H;
+}

@@ -1,0 +1,28 @@
+// mba-tidy corpus: a shared Context captured into parallelFor workers.
+// The interner is single-owner; workers must build into per-worker
+// Contexts (bench/Harness.cpp shows the sanctioned pattern).
+#include "ast/Context.h"
+#include "support/ThreadPool.h"
+
+using namespace mba;
+
+void defaultRefCapture(support::ThreadPool &Pool, Context &Ctx) {
+  Pool.parallelFor(64, [&](size_t I, unsigned) {
+    const Expr *E = Ctx.getConst(I); // EXPECT: mba-context-captured-by-pool
+    (void)E;
+  });
+}
+
+void explicitCapture(support::ThreadPool &Pool, Context &Shared) {
+  Pool.parallelFor(8, [&Shared](size_t I, unsigned) {
+    Shared.getVar("x"); // EXPECT: mba-context-captured-by-pool
+    (void)I;
+  });
+}
+
+void readOnlyUseIsFine(support::ThreadPool &Pool, Context &Ctx,
+                       uint64_t *Sums) {
+  Pool.parallelFor(8, [&](size_t I, unsigned) {
+    Sums[I] = Ctx.mask() & Ctx.truncate(I); // width/mask family: allowed
+  });
+}

@@ -1,0 +1,28 @@
+// mba-tidy corpus: Expr* crossing Context boundaries without cloneExpr.
+// Lines carrying an expectation marker must be flagged by exactly the named
+// check; every other line must stay silent. Corpus files are lexed, never
+// compiled.
+#include "ast/Context.h"
+#include "ast/ExprUtils.h"
+
+using namespace mba;
+
+const Expr *leakAcrossContexts(Context &A, Context &B) {
+  const Expr *X = A.getVar("x");
+  const Expr *Y = A.getAdd(X, A.getOne()); // same context: fine
+  return B.getNot(Y); // EXPECT: mba-cross-context-expr
+}
+
+const Expr *leakViaRebuild(Context &Src, Context &Dst) {
+  const Expr *E = Src.getVar("x");
+  const Expr *L = cloneExpr(Dst, Src.getConst(1)); // sanctioned crossing
+  return Dst.rebuild(E, L, L); // EXPECT: mba-cross-context-expr
+}
+
+const Expr *staleAfterReassign(Context &A, Context &B) {
+  const Expr *E = cloneExpr(B, A.getVar("x")); // origin becomes B
+  const Expr *Ok = B.getNeg(E);                // fine: E lives in B now
+  E = A.getVar("y");                           // origin back to A
+  (void)Ok;
+  return B.getNeg(E); // EXPECT: mba-cross-context-expr
+}

@@ -1,0 +1,32 @@
+// mba-tidy corpus: NOLINT suppression semantics. Every pattern below is a
+// true positive, but each carries a suppression that must silence it, so
+// the whole file is expected to produce zero findings.
+#include <cstdint>
+#include <mutex>
+
+#include "ast/Context.h"
+#include "support/Cache.h"
+
+using namespace mba;
+
+void suppressedAll(std::mutex &Mu, int &Counter) {
+  std::lock_guard<std::mutex>(Mu); // NOLINT
+  ++Counter;
+}
+
+void suppressedByName(std::mutex &Mu, int &Counter) {
+  std::lock_guard<std::mutex>(Mu); // NOLINT(mba-unnamed-raii)
+  ++Counter;
+}
+
+uint64_t suppressedNextLine(const Expr *E) {
+  // NOLINTNEXTLINE(mba-raw-pointer-in-cache-key)
+  return support::hashMix64((uintptr_t)E);
+}
+
+const Expr *suppressedCross(Context &A, Context &B) {
+  const Expr *X = A.getVar("x");
+  // This crossing is deliberate in this snippet; a real one would need a
+  // justification comment just like MBA_NO_THREAD_SAFETY_ANALYSIS does.
+  return B.getNot(X); // NOLINT(mba-cross-context-expr)
+}

@@ -1,0 +1,19 @@
+// mba-tidy corpus: pointer values folded into semantic cache keys.
+// Interned Expr addresses are process-local; a key derived from one can
+// never match after a snapshot save/load, silently zeroing the hit rate.
+#include <cstdint>
+
+#include "ast/Expr.h"
+#include "support/Cache.h"
+
+using namespace mba;
+
+uint64_t keyFromAddress(const Expr *E, uint64_t Salt) {
+  uint64_t H = support::hashMix64(Salt);
+  H = support::hashCombine64(H, (uintptr_t)E); // EXPECT: mba-raw-pointer-in-cache-key
+  return H;
+}
+
+uint64_t keyFromCast(const Expr *E) {
+  return support::hashMix64(reinterpret_cast<uintptr_t>(E)); // EXPECT: mba-raw-pointer-in-cache-key
+}

@@ -1,0 +1,99 @@
+//===- tests/static_analysis_cli_test.cpp - mba-tidy CLI tests ------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Spawns the real mba-tidy binary (path injected by CMake) against the
+// corpus and asserts exit codes plus the clang-tidy diagnostic format that
+// CI annotators parse. Subprocess-per-case makes this the slow tier; the
+// in-process logic lives in static_analysis_test.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Output;
+};
+
+RunResult runTidy(const std::string &Args) {
+  RunResult R;
+  std::string Cmd = std::string(MBA_TIDY_BIN) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr) << Cmd;
+  if (!Pipe)
+    return R;
+  char Buf[4096];
+  while (size_t N = fread(Buf, 1, sizeof(Buf), Pipe))
+    R.Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string corpus(const std::string &File) {
+  return std::string(MBA_TIDY_CORPUS_DIR) + "/" + File;
+}
+
+TEST(MbaTidyCli, FindingsExitOneWithClangTidyFormat) {
+  RunResult R = runTidy(corpus("unnamed_raii.cpp"));
+  EXPECT_EQ(R.ExitCode, 1);
+  // file:line:col: warning: ... [check-name]
+  EXPECT_NE(R.Output.find("unnamed_raii.cpp:"), std::string::npos);
+  EXPECT_NE(R.Output.find(": warning: "), std::string::npos);
+  EXPECT_NE(R.Output.find("[mba-unnamed-raii]"), std::string::npos);
+  EXPECT_NE(R.Output.find("warnings generated."), std::string::npos);
+}
+
+TEST(MbaTidyCli, CleanFileExitsZeroSilently) {
+  RunResult R = runTidy(corpus("clean.cpp"));
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_TRUE(R.Output.empty()) << R.Output;
+}
+
+TEST(MbaTidyCli, NolintSuppressionsHoldThroughTheCli) {
+  RunResult R = runTidy(corpus("nolint.cpp"));
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_TRUE(R.Output.empty()) << R.Output;
+}
+
+TEST(MbaTidyCli, ChecksFlagRestrictsToNamedCheck) {
+  RunResult R = runTidy("--checks=mba-cross-context-expr " +
+                        corpus("unnamed_raii.cpp"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+
+  R = runTidy("--checks=mba-unnamed-raii " + corpus("unnamed_raii.cpp"));
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+TEST(MbaTidyCli, ListChecksNamesAllFour) {
+  RunResult R = runTidy("--list-checks");
+  EXPECT_EQ(R.ExitCode, 0);
+  for (const char *Name :
+       {"mba-cross-context-expr", "mba-context-captured-by-pool",
+        "mba-unnamed-raii", "mba-raw-pointer-in-cache-key"})
+    EXPECT_NE(R.Output.find(Name), std::string::npos) << Name;
+}
+
+TEST(MbaTidyCli, UnknownCheckOrMissingFileIsAUsageError) {
+  EXPECT_EQ(runTidy("--checks=mba-no-such-check " + corpus("clean.cpp"))
+                .ExitCode,
+            2);
+  EXPECT_EQ(runTidy(corpus("does_not_exist.cpp")).ExitCode, 2);
+  EXPECT_EQ(runTidy("").ExitCode, 2); // no files at all
+}
+
+TEST(MbaTidyCli, QuietSuppressesOutputNotExitCode) {
+  RunResult R = runTidy("--quiet " + corpus("raw_pointer_in_cache_key.cpp"));
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_TRUE(R.Output.empty()) << R.Output;
+}
+
+} // namespace

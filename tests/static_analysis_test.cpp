@@ -1,0 +1,257 @@
+//===- tests/static_analysis_test.cpp - mba-tidy check tests --------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the mba-tidy checks in-process over the negative-snippet corpus in
+// tests/static_analysis/. Each corpus line carrying `EXPECT: <check>` must
+// be flagged by exactly that check on exactly that line; every other line
+// (including all of clean.cpp and the NOLINT-suppressed nolint.cpp) must be
+// silent. The CLI binary itself is exercised by static_analysis_cli_test
+// (labelled slow).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Checks.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+using namespace mba::tidy;
+
+namespace {
+
+SourceFile lexString(std::string Text) {
+  return lexFile("<snippet>", std::move(Text));
+}
+
+std::vector<Diagnostic> runAll(const SourceFile &SF,
+                               const std::set<std::string> &Enabled = {}) {
+  static auto Checks = createAllChecks();
+  return runChecks(SF, Checks, Enabled);
+}
+
+/// (line, check-name) pairs, sorted — the comparison currency for the
+/// corpus tests.
+using Findings = std::vector<std::pair<unsigned, std::string>>;
+
+Findings expectedFindings(const std::string &Text) {
+  Findings Out;
+  std::istringstream In(Text);
+  std::string LineText;
+  for (unsigned Line = 1; std::getline(In, LineText); ++Line) {
+    size_t At = LineText.find("EXPECT: ");
+    if (At == std::string::npos)
+      continue;
+    size_t Start = At + 8;
+    size_t End = LineText.find_first_of(" \t\r", Start);
+    Out.emplace_back(Line, LineText.substr(Start, End == std::string::npos
+                                                      ? std::string::npos
+                                                      : End - Start));
+  }
+  return Out;
+}
+
+Findings actualFindings(const std::vector<Diagnostic> &Diags) {
+  Findings Out;
+  for (const Diagnostic &D : Diags)
+    Out.emplace_back(D.Line, D.CheckName);
+  return Out;
+}
+
+std::string readFile(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot read corpus file " << P;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus: every EXPECT fires, nothing else does.
+//===----------------------------------------------------------------------===//
+
+TEST(StaticAnalysisCorpus, EveryMarkerFiresAndNothingElse) {
+  std::filesystem::path Dir(MBA_TIDY_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(Dir)) << Dir;
+  unsigned FilesSeen = 0, MarkersSeen = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".cpp")
+      continue;
+    ++FilesSeen;
+    std::string Text = readFile(Entry.path());
+    Findings Expected = expectedFindings(Text);
+    MarkersSeen += Expected.size();
+    SourceFile SF = lexFile(Entry.path().string(), std::move(Text));
+    Findings Actual = actualFindings(runAll(SF));
+    std::sort(Expected.begin(), Expected.end());
+    std::sort(Actual.begin(), Actual.end());
+    EXPECT_EQ(Expected, Actual) << "in corpus file " << Entry.path();
+  }
+  // Guard against the corpus silently vanishing: one negative file per
+  // check plus clean.cpp and nolint.cpp, and at least one marker per check.
+  EXPECT_GE(FilesSeen, 6u);
+  EXPECT_GE(MarkersSeen, 7u);
+}
+
+TEST(StaticAnalysisCorpus, CleanFileHasNoFindings) {
+  std::filesystem::path P =
+      std::filesystem::path(MBA_TIDY_CORPUS_DIR) / "clean.cpp";
+  SourceFile SF = lexFile(P.string(), readFile(P));
+  EXPECT_TRUE(runAll(SF).empty());
+}
+
+TEST(StaticAnalysisCorpus, EveryCheckHasANegativeSnippet) {
+  std::set<std::string> Flagged;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(MBA_TIDY_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".cpp")
+      continue;
+    for (const auto &[Line, Check] : expectedFindings(readFile(Entry.path())))
+      Flagged.insert(Check);
+  }
+  for (const auto &C : createAllChecks())
+    EXPECT_TRUE(Flagged.count(std::string(C->name())))
+        << "no corpus snippet exercises " << C->name();
+}
+
+//===----------------------------------------------------------------------===//
+// Check registry and filtering.
+//===----------------------------------------------------------------------===//
+
+TEST(StaticAnalysisChecks, RegistryIsStableAndNamed) {
+  auto Checks = createAllChecks();
+  ASSERT_EQ(Checks.size(), 4u);
+  std::vector<std::string> Names;
+  for (const auto &C : Checks) {
+    Names.emplace_back(C->name());
+    EXPECT_FALSE(C->description().empty());
+    EXPECT_EQ(C->name().substr(0, 4), "mba-");
+  }
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
+}
+
+TEST(StaticAnalysisChecks, EnabledSetFiltersChecks) {
+  SourceFile SF = lexString("#include <mutex>\n"
+                            "void f(std::mutex &Mu) {\n"
+                            "  std::lock_guard<std::mutex>(Mu);\n"
+                            "}\n");
+  EXPECT_EQ(runAll(SF).size(), 1u);
+  EXPECT_EQ(runAll(SF, {"mba-unnamed-raii"}).size(), 1u);
+  EXPECT_TRUE(runAll(SF, {"mba-cross-context-expr"}).empty());
+}
+
+TEST(StaticAnalysisChecks, DiagnosticsCarryPreciseLocations) {
+  SourceFile SF = lexString("void f(mba::Context &A, mba::Context &B) {\n"
+                            "  const mba::Expr *X = A.getVar(\"x\");\n"
+                            "  B.getNot(X);\n"
+                            "}\n");
+  auto Diags = runAll(SF);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].CheckName, "mba-cross-context-expr");
+  EXPECT_EQ(Diags[0].Line, 3u);
+  EXPECT_EQ(Diags[0].Col, 12u);
+  EXPECT_NE(Diags[0].Message.find("cloneExpr"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer behaviour the checks rely on.
+//===----------------------------------------------------------------------===//
+
+TEST(StaticAnalysisLexer, LiteralsNeverLookLikeCode) {
+  // A parallelFor spelled inside a string or comment must not trip the
+  // pool check.
+  SourceFile SF = lexString(
+      "const char *Doc = \"Pool.parallelFor(8, [&]{ Ctx.getVar(); })\";\n"
+      "// Pool.parallelFor(8, [&]{ Ctx.getConst(1); })\n"
+      "/* Ctx.getAdd(X, Y) inside B */\n");
+  EXPECT_TRUE(runAll(SF).empty());
+  ASSERT_EQ(SF.Tokens.size(), 7u); // const char * Doc = "..." ;
+  EXPECT_EQ(SF.Tokens[5].Kind, TokenKind::String);
+}
+
+TEST(StaticAnalysisLexer, RawStringsAndOperatorsTokenize) {
+  SourceFile SF = lexString("auto S = R\"(no \"code\" here; })\";\n"
+                            "x <<= y >> z; a->b::c;\n");
+  bool SawRaw = false;
+  for (const Token &T : SF.Tokens)
+    SawRaw |= T.Kind == TokenKind::String &&
+              T.Text.find("no \"code\" here") != std::string::npos;
+  EXPECT_TRUE(SawRaw);
+  unsigned Multi = 0;
+  for (const Token &T : SF.Tokens)
+    if (T.is("<<=") || T.is(">>") || T.is("->") || T.is("::"))
+      ++Multi;
+  EXPECT_EQ(Multi, 4u);
+}
+
+TEST(StaticAnalysisLexer, NolintGranularity) {
+  SourceFile SF = lexString("int A; // NOLINT\n"
+                            "int B; // NOLINT(check-a, check-b)\n"
+                            "// NOLINTNEXTLINE(check-c)\n"
+                            "int C;\n");
+  EXPECT_TRUE(SF.Nolint.suppressed(1, "anything"));
+  EXPECT_TRUE(SF.Nolint.suppressed(2, "check-a"));
+  EXPECT_TRUE(SF.Nolint.suppressed(2, "check-b"));
+  EXPECT_FALSE(SF.Nolint.suppressed(2, "check-c"));
+  EXPECT_TRUE(SF.Nolint.suppressed(4, "check-c"));
+  EXPECT_FALSE(SF.Nolint.suppressed(3, "check-c"));
+  EXPECT_FALSE(SF.Nolint.suppressed(5, "check-c"));
+}
+
+//===----------------------------------------------------------------------===//
+// Targeted check edges not covered by the corpus files.
+//===----------------------------------------------------------------------===//
+
+TEST(StaticAnalysisChecks, ValueCapturedLambdaWithoutContextIsSilent) {
+  SourceFile SF =
+      lexString("void f(mba::support::ThreadPool &Pool, int *Out) {\n"
+                "  Pool.parallelFor(8, [Out](size_t I, unsigned) {\n"
+                "    Out[I] = 1;\n"
+                "  });\n"
+                "}\n");
+  EXPECT_TRUE(runAll(SF).empty());
+}
+
+TEST(StaticAnalysisChecks, UncapturedContextIsSilent) {
+  // Explicit capture list that does not include the Context: the lambda
+  // cannot touch it, so no finding even though the name appears outside.
+  SourceFile SF =
+      lexString("void f(mba::support::ThreadPool &Pool, mba::Context &Ctx,\n"
+                "       int *Out) {\n"
+                "  Out[0] = Ctx.width();\n"
+                "  Pool.parallelFor(8, [Out](size_t I, unsigned) {\n"
+                "    Out[I] = 2;\n"
+                "  });\n"
+                "}\n");
+  EXPECT_TRUE(runAll(SF).empty());
+}
+
+TEST(StaticAnalysisChecks, ScopeExitForgetsLocals) {
+  // The Expr from the inner scope dies with it; the later use of an
+  // unrelated same-named variable must not inherit its origin.
+  SourceFile SF = lexString("void f(mba::Context &A, mba::Context &B) {\n"
+                            "  {\n"
+                            "    const mba::Expr *E = A.getVar(\"x\");\n"
+                            "    A.getNot(E);\n"
+                            "  }\n"
+                            "  const mba::Expr *E = getSomewhere();\n"
+                            "  B.getNot(E);\n"
+                            "}\n");
+  EXPECT_TRUE(runAll(SF).empty());
+}
+
+TEST(StaticAnalysisChecks, HashingThroughPointerIsSilent) {
+  SourceFile SF = lexString(
+      "uint64_t f(const char *P, size_t N) {\n"
+      "  return mba::support::hashBytes64(reinterpret_cast<const void *>(P),"
+      " N);\n"
+      "}\n");
+  EXPECT_TRUE(runAll(SF).empty());
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- tools/mba-tidy/Lexer.cpp - Lightweight C++ lexer -------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Lexer.h"
+
+#include <cctype>
+
+using namespace mba::tidy;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha((unsigned char)C) || C == '_';
+}
+bool isIdentChar(char C) {
+  return std::isalnum((unsigned char)C) || C == '_';
+}
+
+/// Longest-match punctuator table (3-char first, then 2-char). Single
+/// characters fall through to a one-byte token.
+constexpr const char *Punct3[] = {"<<=", ">>=", "...", "->*"};
+constexpr const char *Punct2[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                                  "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                                  "%=", "&=", "|=", "^=", "++", "--"};
+
+/// Parses a NOLINT-style marker out of comment text, recording it into
+/// \p Out for \p Line (or Line+1 for the NEXTLINE variants).
+void harvestNolint(std::string_view Comment, unsigned Line, NolintMap &Out) {
+  for (const auto &[Marker, Offset] :
+       {std::pair<std::string_view, unsigned>{"NOLINTNEXTLINE", 1},
+        std::pair<std::string_view, unsigned>{"NOLINT", 0}}) {
+    size_t At = Comment.find(Marker);
+    if (At == std::string_view::npos)
+      continue;
+    // "NOLINT" is a prefix of "NOLINTNEXTLINE": make sure we match the
+    // exact marker (the NEXTLINE pass runs first and returns below).
+    std::set<std::string> &Checks = Out.Lines[Line + Offset];
+    size_t After = At + Marker.size();
+    if (After < Comment.size() && Comment[After] == '(') {
+      size_t Close = Comment.find(')', After);
+      std::string_view List = Comment.substr(
+          After + 1,
+          (Close == std::string_view::npos ? Comment.size() : Close) - After -
+              1);
+      // Split on commas, trim spaces.
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        std::string_view Item = List.substr(
+            Pos, (Comma == std::string_view::npos ? List.size() : Comma) - Pos);
+        while (!Item.empty() && Item.front() == ' ')
+          Item.remove_prefix(1);
+        while (!Item.empty() && Item.back() == ' ')
+          Item.remove_suffix(1);
+        if (!Item.empty())
+          Checks.insert(std::string(Item));
+        if (Comma == std::string_view::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    }
+    // else: bare NOLINT — the (possibly fresh) empty set means "all".
+    return;
+  }
+}
+
+} // namespace
+
+SourceFile mba::tidy::lexFile(std::string Path, std::string Text) {
+  SourceFile SF;
+  SF.Path = std::move(Path);
+  SF.Text = std::move(Text);
+  const std::string &S = SF.Text;
+
+  size_t I = 0;
+  unsigned Line = 1, Col = 1;
+  auto advance = [&](size_t N) {
+    for (size_t K = 0; K != N; ++K) {
+      if (S[I + K] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    I += N;
+  };
+
+  while (I < S.size()) {
+    char C = S[I];
+    // Whitespace.
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n' || C == '\f' ||
+        C == '\v') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (C == '/' && I + 1 < S.size() && S[I + 1] == '/') {
+      size_t End = S.find('\n', I);
+      if (End == std::string::npos)
+        End = S.size();
+      harvestNolint(std::string_view(S).substr(I, End - I), Line, SF.Nolint);
+      advance(End - I);
+      continue;
+    }
+    // Block comment.
+    if (C == '/' && I + 1 < S.size() && S[I + 1] == '*') {
+      size_t End = S.find("*/", I + 2);
+      if (End == std::string::npos)
+        End = S.size();
+      else
+        End += 2;
+      harvestNolint(std::string_view(S).substr(I, End - I), Line, SF.Nolint);
+      advance(End - I);
+      continue;
+    }
+    // Raw string literal: R"tag( ... )tag".
+    if (C == 'R' && I + 1 < S.size() && S[I + 1] == '"') {
+      size_t TagStart = I + 2;
+      size_t Open = S.find('(', TagStart);
+      if (Open != std::string::npos && Open - TagStart <= 16) {
+        std::string Close = ")" + S.substr(TagStart, Open - TagStart) + "\"";
+        size_t End = S.find(Close, Open + 1);
+        size_t Stop = End == std::string::npos ? S.size() : End + Close.size();
+        SF.Tokens.push_back({TokenKind::String,
+                             S.substr(Open + 1,
+                                      (End == std::string::npos ? S.size()
+                                                                : End) -
+                                          Open - 1),
+                             Line, Col});
+        advance(Stop - I);
+        continue;
+      }
+    }
+    // String / char literal.
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      size_t J = I + 1;
+      while (J < S.size() && S[J] != Quote) {
+        if (S[J] == '\\' && J + 1 < S.size())
+          ++J;
+        else if (S[J] == '\n')
+          break; // unterminated; stop at EOL rather than eating the file
+        ++J;
+      }
+      size_t Stop = J < S.size() && S[J] == Quote ? J + 1 : J;
+      SF.Tokens.push_back(
+          {TokenKind::String, S.substr(I + 1, J - I - 1), Line, Col});
+      advance(Stop - I);
+      continue;
+    }
+    // Identifier.
+    if (isIdentStart(C)) {
+      size_t J = I + 1;
+      while (J < S.size() && isIdentChar(S[J]))
+        ++J;
+      SF.Tokens.push_back(
+          {TokenKind::Identifier, S.substr(I, J - I), Line, Col});
+      advance(J - I);
+      continue;
+    }
+    // Number (greedy over pp-number-ish characters; exact grammar is not
+    // needed for matching).
+    if (std::isdigit((unsigned char)C) ||
+        (C == '.' && I + 1 < S.size() &&
+         std::isdigit((unsigned char)S[I + 1]))) {
+      size_t J = I + 1;
+      while (J < S.size() &&
+             (isIdentChar(S[J]) || S[J] == '.' || S[J] == '\'')) {
+        // Exponent signs: 1e-3, 0x1p+2.
+        if ((S[J] == 'e' || S[J] == 'E' || S[J] == 'p' || S[J] == 'P') &&
+            J + 1 < S.size() && (S[J + 1] == '+' || S[J + 1] == '-'))
+          ++J;
+        ++J;
+      }
+      SF.Tokens.push_back({TokenKind::Number, S.substr(I, J - I), Line, Col});
+      advance(J - I);
+      continue;
+    }
+    // Punctuators, longest match first.
+    std::string_view Rest = std::string_view(S).substr(I);
+    std::string Matched;
+    for (const char *P : Punct3)
+      if (Rest.substr(0, 3) == P) {
+        Matched = P;
+        break;
+      }
+    if (Matched.empty())
+      for (const char *P : Punct2)
+        if (Rest.substr(0, 2) == P) {
+          Matched = P;
+          break;
+        }
+    if (Matched.empty())
+      Matched = std::string(1, C);
+    SF.Tokens.push_back({TokenKind::Punct, Matched, Line, Col});
+    advance(Matched.size());
+  }
+  return SF;
+}

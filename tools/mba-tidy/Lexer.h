@@ -1,0 +1,80 @@
+//===- tools/mba-tidy/Lexer.h - Lightweight C++ lexer -----------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free C++ tokenizer for mba-tidy. It understands just
+/// enough of the language for reliable token-level matching: identifiers,
+/// numbers, string/char/raw-string literals (so nothing inside a literal is
+/// ever mistaken for code), multi-character operators, and comments —
+/// which are consumed but mined for `NOLINT` suppressions, clang-tidy
+/// style.
+///
+/// This is not a parser and mba-tidy's checks are explicitly *matchers over
+/// tokens*, tuned to this repository's idioms (tools/mba-tidy/README.md
+/// discusses the trade against a real clang-tidy plugin, which needs the
+/// LLVM/Clang dev headers this tool deliberately avoids).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_TOOLS_MBATIDY_LEXER_H
+#define MBA_TOOLS_MBATIDY_LEXER_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mba::tidy {
+
+enum class TokenKind : uint8_t {
+  Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+  Number,     ///< numeric literal (integer or floating, any base/suffix)
+  String,     ///< string, char, or raw-string literal (text excludes quotes)
+  Punct,      ///< operator or punctuator, longest-match ("::", "->", ...)
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Punct;
+  std::string Text;
+  unsigned Line = 0; ///< 1-based
+  unsigned Col = 0;  ///< 1-based, byte offset
+
+  bool is(std::string_view S) const { return Text == S; }
+  bool isIdent() const { return Kind == TokenKind::Identifier; }
+};
+
+/// Per-line lint suppressions harvested from comments while lexing.
+/// `// NOLINT` suppresses every check on its line, `// NOLINT(check-a,
+/// check-b)` only the named ones; `NOLINTNEXTLINE` variants apply to the
+/// following line. An entry with an empty set means "all checks".
+struct NolintMap {
+  std::map<unsigned, std::set<std::string>> Lines;
+
+  /// True if \p CheckName is suppressed on \p Line.
+  bool suppressed(unsigned Line, std::string_view CheckName) const {
+    auto It = Lines.find(Line);
+    if (It == Lines.end())
+      return false;
+    return It->second.empty() || It->second.count(std::string(CheckName)) > 0;
+  }
+};
+
+/// One lexed source file.
+struct SourceFile {
+  std::string Path;
+  std::string Text;
+  std::vector<Token> Tokens;
+  NolintMap Nolint;
+};
+
+/// Tokenizes \p Text (file contents) into \p SF. Never fails: bytes that
+/// fit no token class are emitted as single-character Punct tokens.
+SourceFile lexFile(std::string Path, std::string Text);
+
+} // namespace mba::tidy
+
+#endif // MBA_TOOLS_MBATIDY_LEXER_H
