@@ -40,6 +40,10 @@ HarnessOptions mba::bench::parseHarnessArgs(int Argc, char **Argv) {
       Opts.StageZeroProver = std::strtoul(V, nullptr, 10) != 0;
     else if (const char *V = Value("--jobs="))
       Opts.Jobs = (unsigned)std::strtoul(V, nullptr, 10);
+    else if (const char *V = Value("--incremental="))
+      Opts.IncrementalAig = std::strtoul(V, nullptr, 10) != 0;
+    else if (const char *V = Value("--simplify="))
+      Opts.Simplify = std::strtoul(V, nullptr, 10) != 0;
     else if (const char *V = Value("--json="))
       Opts.JsonPath = V;
     else if (const char *V = Value("--cache="))
@@ -55,8 +59,8 @@ HarnessOptions mba::bench::parseHarnessArgs(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "warning: unknown argument '%s' "
                    "(supported: --per-category= --timeout= --width= --seed= "
-                   "--static-prove= --jobs= --json= --cache= "
-                   "--cache-file= --trace= --metrics=)\n",
+                   "--static-prove= --jobs= --incremental= --simplify= "
+                   "--json= --cache= --cache-file= --trace= --metrics=)\n",
                    Arg);
   }
   return Opts;
@@ -426,11 +430,12 @@ void mba::bench::writeStudyJson(const std::string &Path,
   std::fprintf(F,
                "  \"config\": {\"per_category\": %u, \"timeout_seconds\": "
                "%.6f, \"width\": %u, \"seed\": %llu, \"jobs\": %u, "
-               "\"stage_zero\": %s, \"simplify\": %s},\n",
+               "\"stage_zero\": %s, \"simplify\": %s, \"incremental\": %s},\n",
                Opts.PerCategory, Opts.TimeoutSeconds, Opts.Width,
                (unsigned long long)Opts.Seed, Result.Jobs,
                Result.StaticStats.queries() ? "true" : "false",
-               Result.SimplifySeconds > 0 ? "true" : "false");
+               Result.SimplifySeconds > 0 ? "true" : "false",
+               Opts.IncrementalAig ? "true" : "false");
   std::fprintf(F,
                "  \"timing\": {\"total_seconds\": %.6f, \"wall_seconds\": "
                "%.6f, \"clone_seconds\": %.6f, \"simplify_seconds\": %.6f},\n",
@@ -473,6 +478,19 @@ void mba::bench::writeStudyJson(const std::string &Path,
   // plain numbers; histograms report count/sum (buckets live in the
   // --metrics text dump). Empty when telemetry never ran this process.
   std::vector<telemetry::MetricValue> Metrics = telemetry::snapshotMetrics();
+
+  // CNF footprint of the run: variables/clauses the SAT backends actually
+  // encoded (the sat.encode.* counters, summed over every worker). Zero
+  // when every query was discharged before bit-blasting.
+  auto MetricCounter = [&Metrics](const char *Name) -> unsigned long long {
+    for (const telemetry::MetricValue &M : Metrics)
+      if (M.Which == telemetry::MetricValue::KCounter && M.Name == Name)
+        return M.Value;
+    return 0;
+  };
+  std::fprintf(F, "  \"cnf\": {\"vars\": %llu, \"clauses\": %llu},\n",
+               MetricCounter("sat.encode.vars"),
+               MetricCounter("sat.encode.clauses"));
   std::fprintf(F, "  \"metrics\": {");
   for (size_t I = 0; I != Metrics.size(); ++I) {
     const telemetry::MetricValue &M = Metrics[I];

@@ -50,6 +50,18 @@ struct HarnessOptions {
   /// Worker threads for the solving loop: 0 = hardware concurrency,
   /// 1 = the exact serial path on the main context.
   unsigned Jobs = 0;
+  /// Run the BlastBV+AIG backend incrementally (one persistent guarded
+  /// SAT instance per worker, recycled on its reset window) instead of a
+  /// fresh solver per query. Verdicts are identical either way; only
+  /// timing and the sat.incremental.* counters change.
+  bool IncrementalAig = true;
+  /// MBA-Solver preprocessing for the benches that default to it
+  /// (table6/fig6). --simplify=0 feeds the raw corpus to the same solver
+  /// matrix — the ablation that shows the paper's before/after in one
+  /// binary, and the config CI uses to drive the incremental SAT path
+  /// (simplified queries collapse structurally on the AIG and never
+  /// reach a solver).
+  bool Simplify = true;
   /// When non-empty, the study also writes a machine-readable JSON report
   /// here (writeStudyJson).
   std::string JsonPath;
@@ -71,8 +83,8 @@ struct HarnessOptions {
 };
 
 /// Parses --per-category / --timeout / --width / --seed / --static-prove /
-/// --jobs / --json / --cache / --cache-file / --trace / --metrics
-/// overrides.
+/// --jobs / --incremental / --simplify / --json / --cache / --cache-file /
+/// --trace / --metrics overrides.
 HarnessOptions parseHarnessArgs(int Argc, char **Argv);
 
 /// Turns telemetry on as Opts asks (tracing for --trace, metrics for

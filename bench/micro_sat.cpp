@@ -19,21 +19,31 @@ namespace {
 
 void BM_BlastAdder(benchmark::State &State) {
   unsigned Width = (unsigned)State.range(0);
+  uint64_t Vars = 0, Clauses = 0;
   for (auto _ : State) {
     SatSolver S;
     BitBlaster B(S, Width, true);
     benchmark::DoNotOptimize(B.bvAdd(B.freshWord(), B.freshWord()));
+    Vars = S.numVars();
+    Clauses = S.stats().ClausesAdded;
   }
+  State.counters["vars"] = (double)Vars;
+  State.counters["clauses"] = (double)Clauses;
 }
 BENCHMARK(BM_BlastAdder)->Arg(8)->Arg(32)->Arg(64);
 
 void BM_BlastMultiplier(benchmark::State &State) {
   unsigned Width = (unsigned)State.range(0);
+  uint64_t Vars = 0, Clauses = 0;
   for (auto _ : State) {
     SatSolver S;
     BitBlaster B(S, Width, true);
     benchmark::DoNotOptimize(B.bvMul(B.freshWord(), B.freshWord()));
+    Vars = S.numVars();
+    Clauses = S.stats().ClausesAdded;
   }
+  State.counters["vars"] = (double)Vars;
+  State.counters["clauses"] = (double)Clauses;
 }
 BENCHMARK(BM_BlastMultiplier)->Arg(8)->Arg(16)->Arg(32);
 
@@ -43,13 +53,18 @@ void BM_AdderEquivalenceUnsat(benchmark::State &State) {
   Context Ctx(Width);
   const Expr *L = parseOrDie(Ctx, "x + y");
   const Expr *R = parseOrDie(Ctx, "y + x");
+  uint64_t Vars = 0, Clauses = 0;
   for (auto _ : State) {
     SatSolver S;
     BitBlaster B(S, Width, true);
     ExprBlaster EB(B);
     B.assertLit(B.disequal(EB.blast(L), EB.blast(R)));
     benchmark::DoNotOptimize(S.solve());
+    Vars = S.numVars();
+    Clauses = S.stats().ClausesAdded;
   }
+  State.counters["vars"] = (double)Vars;
+  State.counters["clauses"] = (double)Clauses;
 }
 BENCHMARK(BM_AdderEquivalenceUnsat)->Arg(8)->Arg(16)->Arg(32);
 
@@ -58,13 +73,18 @@ void BM_LinearMBAEquivalenceUnsat(benchmark::State &State) {
   Context Ctx(Width);
   const Expr *L = parseOrDie(Ctx, "(x&~y) + y");
   const Expr *R = parseOrDie(Ctx, "x|y");
+  uint64_t Vars = 0, Clauses = 0;
   for (auto _ : State) {
     SatSolver S;
     BitBlaster B(S, Width, true);
     ExprBlaster EB(B);
     B.assertLit(B.disequal(EB.blast(L), EB.blast(R)));
     benchmark::DoNotOptimize(S.solve());
+    Vars = S.numVars();
+    Clauses = S.stats().ClausesAdded;
   }
+  State.counters["vars"] = (double)Vars;
+  State.counters["clauses"] = (double)Clauses;
 }
 BENCHMARK(BM_LinearMBAEquivalenceUnsat)->Arg(8)->Arg(16)->Arg(32);
 

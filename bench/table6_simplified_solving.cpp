@@ -37,7 +37,11 @@ int main(int Argc, char **Argv) {
   StudyConfig Config;
   Config.TimeoutSeconds = Opts.TimeoutSeconds;
   Config.Jobs = Opts.Jobs;
-  Config.Simplify = true;
+  // --simplify=0 skips the paper's preprocessing and feeds the raw corpus
+  // to the same solver matrix — the one-binary before/after ablation, and
+  // the configuration that actually exercises the incremental SAT path
+  // (simplified queries collapse structurally on the shared AIG).
+  Config.Simplify = Opts.Simplify;
   Config.StageZero = Opts.StageZeroProver;
   // --cache=1 shares the semantic memoization layer across the study;
   // --cache-file=PATH additionally loads/saves a snapshot, so a second run
@@ -45,7 +49,9 @@ int main(int Argc, char **Argv) {
   std::unique_ptr<PipelineCaches> Caches = makePipelineCaches(Opts);
   Config.Caches = Caches.get();
   StudyResult Result = runSolvingStudyParallel(
-      Ctx, Corpus, [](Context &) { return makeAllCheckers(); }, Config);
+      Ctx, Corpus,
+      [&Opts](Context &) { return makeAllCheckers(Opts.IncrementalAig); },
+      Config);
   savePipelineCaches(Opts, Caches.get());
   printSolverCategoryTable(
       Result.Records, Opts.PerCategory,

@@ -1,0 +1,300 @@
+//===- aig/Aig.cpp - And-Inverter Graph with structural hashing -----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aig/Aig.h"
+
+#include "support/Telemetry.h"
+
+using namespace mba;
+using namespace mba::aig;
+
+namespace {
+telemetry::Counter &ctrNodes() {
+  static telemetry::Counter &C = telemetry::counter("aig.nodes");
+  return C;
+}
+telemetry::Counter &ctrStrashHits() {
+  static telemetry::Counter &C = telemetry::counter("aig.strash_hits");
+  return C;
+}
+telemetry::Counter &ctrRewrites() {
+  static telemetry::Counter &C = telemetry::counter("aig.rewrites");
+  return C;
+}
+telemetry::Counter &ctrConstFolds() {
+  static telemetry::Counter &C = telemetry::counter("aig.const_folds");
+  return C;
+}
+} // namespace
+
+AigLit Aig::mkAnd(AigLit A, AigLit B) {
+  // Level 1: constants and trivial sharing.
+  if (A == falseLit() || B == falseLit() || A == ~B) {
+    ++St.ConstFolds;
+    ctrConstFolds().add();
+    return falseLit();
+  }
+  if (A == trueLit())
+    return B;
+  if (B == trueLit())
+    return A;
+  if (A == B)
+    return A;
+
+  // Level 2: one level of fanin lookahead (Brummayer & Biere's rules).
+  // and(and(x,y), b): contradiction and idempotence/absorption.
+  for (int Side = 0; Side != 2; ++Side) {
+    AigLit P = Side ? B : A, Other = Side ? A : B;
+    if (!isPosAnd(P))
+      continue;
+    AigLit X = fanin0(P.node()), Y = fanin1(P.node());
+    if (Other == ~X || Other == ~Y) {
+      ++St.Rewrites;
+      ++St.ConstFolds;
+      ctrRewrites().add();
+      ctrConstFolds().add();
+      return falseLit();
+    }
+    if (Other == X || Other == Y) {
+      ++St.Rewrites;
+      ctrRewrites().add();
+      return P;
+    }
+  }
+  // and(~and(x,y), b): subsumption and substitution.
+  for (int Side = 0; Side != 2; ++Side) {
+    AigLit P = Side ? B : A, Other = Side ? A : B;
+    if (!isNegAnd(P))
+      continue;
+    AigLit X = fanin0(P.node()), Y = fanin1(P.node());
+    if (Other == ~X || Other == ~Y) {
+      // b implies ~and(x,y) already.
+      ++St.Rewrites;
+      ctrRewrites().add();
+      return Other;
+    }
+    if (Other == X) {
+      // ~(x&y) & x == x & ~y.
+      ++St.Rewrites;
+      ctrRewrites().add();
+      return mkAnd(X, ~Y);
+    }
+    if (Other == Y) {
+      ++St.Rewrites;
+      ctrRewrites().add();
+      return mkAnd(Y, ~X);
+    }
+  }
+  // and(and(x,y), and(u,v)): contradiction across the grandchildren.
+  if (isPosAnd(A) && isPosAnd(B)) {
+    AigLit X = fanin0(A.node()), Y = fanin1(A.node());
+    AigLit U = fanin0(B.node()), V = fanin1(B.node());
+    if (X == ~U || X == ~V || Y == ~U || Y == ~V) {
+      ++St.Rewrites;
+      ++St.ConstFolds;
+      ctrRewrites().add();
+      ctrConstFolds().add();
+      return falseLit();
+    }
+  }
+  // and(~and(x,y), ~and(u,v)): resolution — ~(x&y) & ~(x&~y) == ~x.
+  if (isNegAnd(A) && isNegAnd(B)) {
+    AigLit X = fanin0(A.node()), Y = fanin1(A.node());
+    AigLit U = fanin0(B.node()), V = fanin1(B.node());
+    if ((X == U && Y == ~V) || (X == V && Y == ~U)) {
+      ++St.Rewrites;
+      ctrRewrites().add();
+      return ~X;
+    }
+    if ((Y == U && X == ~V) || (Y == V && X == ~U)) {
+      ++St.Rewrites;
+      ctrRewrites().add();
+      return ~Y;
+    }
+  }
+
+  // Canonical operand order, then the structural hash.
+  if (B < A)
+    std::swap(A, B);
+  uint64_t Key = (uint64_t)A.code() << 32 | B.code();
+  auto [It, Inserted] = Strash.try_emplace(Key, 0);
+  if (!Inserted) {
+    ++St.StrashHits;
+    ctrStrashHits().add();
+    return AigLit(It->second, false);
+  }
+  uint32_t N = (uint32_t)Nodes.size();
+  Nodes.push_back(Node{A.code(), B.code()});
+  It->second = N;
+  ++St.AndNodes;
+  ctrNodes().add();
+  return AigLit(N, false);
+}
+
+XorMux Aig::matchXorMux(uint32_t N) const {
+  if (!isAnd(N))
+    return XorMux();
+  AigLit L = fanin0(N), R = fanin1(N);
+  if (!isNegAnd(L) || !isNegAnd(R))
+    return XorMux();
+  AigLit A0 = fanin0(L.node()), A1 = fanin1(L.node());
+  AigLit B0 = fanin0(R.node()), B1 = fanin1(R.node());
+  // N = ~(a&b) & ~(~a&~b) == a ^ b. (Check before MUX: the XOR shape also
+  // matches the MUX shape.)
+  if ((B0 == ~A0 && B1 == ~A1) || (B0 == ~A1 && B1 == ~A0))
+    return XorMux{XorMux::Xor, A0, A1, AigLit()};
+  // N = ~(s&t) & ~(~s&e) == ~(s ? t : e), for a selector shared in
+  // opposite polarity.
+  if (B0 == ~A0)
+    return XorMux{XorMux::Mux, A0, A1, B1};
+  if (B1 == ~A0)
+    return XorMux{XorMux::Mux, A0, A1, B0};
+  if (B0 == ~A1)
+    return XorMux{XorMux::Mux, A1, A0, B1};
+  if (B1 == ~A1)
+    return XorMux{XorMux::Mux, A1, A0, B0};
+  return XorMux();
+}
+
+void Aig::simulate(std::span<const uint64_t> InputPatterns,
+                   std::vector<uint64_t> &Values) const {
+  assert(InputPatterns.size() >= NumInputs && "pattern per input required");
+  Values.assign(Nodes.size(), 0);
+  for (uint32_t N = 1; N != Nodes.size(); ++N) {
+    const Node &Nd = Nodes[N];
+    if (Nd.F0 == InvalidCode) {
+      Values[N] = InputPatterns[Nd.F1];
+      continue;
+    }
+    AigLit F0 = AigLit::fromCode(Nd.F0), F1 = AigLit::fromCode(Nd.F1);
+    uint64_t V0 = Values[F0.node()], V1 = Values[F1.node()];
+    if (F0.complemented())
+      V0 = ~V0;
+    if (F1.complemented())
+      V1 = ~V1;
+    Values[N] = V0 & V1;
+  }
+}
+
+sat::Lit CnfEmitter::emit(AigLit L) {
+  static telemetry::Counter &CtrXor = telemetry::counter("aig.xor_detected");
+  static telemetry::Counter &CtrMux = telemetry::counter("aig.mux_detected");
+
+  if (NodeLit.size() < G.numNodes())
+    NodeLit.resize(G.numNodes(), sat::Lit());
+  if (NodeLit[L.node()].valid()) {
+    ++Hits;
+    return litOf(L);
+  }
+
+  Stack.clear();
+  Stack.push_back(L.node());
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    if (NodeLit[N].valid()) { // duplicate stack entry
+      Stack.pop_back();
+      continue;
+    }
+    if (G.isConst(N)) {
+      sat::Var V = S.newVar();
+      S.addClause({sat::Lit(V, true)});
+      NodeLit[N] = sat::Lit(V, false); // constrained false
+      Stack.pop_back();
+      continue;
+    }
+    if (G.isInput(N)) {
+      NodeLit[N] = sat::Lit(S.newVar(), false);
+      Stack.pop_back();
+      continue;
+    }
+
+    XorMux M = G.matchXorMux(N);
+    bool Pending = false;
+    auto Need = [&](AigLit X) {
+      if (!NodeLit[X.node()].valid()) {
+        Stack.push_back(X.node());
+        Pending = true;
+      }
+    };
+    if (M.K == XorMux::Xor) {
+      Need(M.A);
+      Need(M.B);
+    } else if (M.K == XorMux::Mux) {
+      Need(M.A);
+      Need(M.B);
+      Need(M.C);
+    } else {
+      Need(G.fanin0(N));
+      Need(G.fanin1(N));
+    }
+    if (Pending)
+      continue;
+
+    sat::Lit NL(S.newVar(), false);
+    if (M.K == XorMux::Xor) {
+      CtrXor.add();
+      sat::Lit A = litOf(M.A), B = litOf(M.B);
+      // NL <-> A ^ B in four clauses (vs 9 for the 3-AND cone).
+      S.addClause({~A, ~B, ~NL});
+      S.addClause({A, B, ~NL});
+      S.addClause({A, ~B, NL});
+      S.addClause({~A, B, NL});
+    } else if (M.K == XorMux::Mux) {
+      CtrMux.add();
+      sat::Lit Sel = litOf(M.A), T = litOf(M.B), E = litOf(M.C);
+      // NL <-> ~(Sel ? T : E).
+      S.addClause({~Sel, ~T, ~NL});
+      S.addClause({~Sel, T, NL});
+      S.addClause({Sel, ~E, ~NL});
+      S.addClause({Sel, E, NL});
+    } else {
+      sat::Lit A = litOf(G.fanin0(N)), B = litOf(G.fanin1(N));
+      // NL <-> A & B.
+      S.addClause({~NL, A});
+      S.addClause({~NL, B});
+      S.addClause({NL, ~A, ~B});
+    }
+    NodeLit[N] = NL;
+    Stack.pop_back();
+  }
+  return litOf(L);
+}
+
+void CnfEmitter::appendConeVars(AigLit Root, std::vector<sat::Var> &Out) {
+  // Unlike emit(), this descends through already-encoded nodes: the live
+  // cone of a query includes structure shared with earlier queries, and
+  // those variables need re-seeding just as much as the new ones.
+  SeenEpoch.resize(G.numNodes(), 0);
+  ++Epoch;
+  Stack.clear();
+  Stack.push_back(Root.node());
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (SeenEpoch[N] == Epoch)
+      continue;
+    SeenEpoch[N] = Epoch;
+    assert(N < NodeLit.size() && NodeLit[N].valid() &&
+           "appendConeVars before emit");
+    Out.push_back(NodeLit[N].var());
+    if (!G.isAnd(N))
+      continue;
+    // Mirror emit()'s shape detection (a pure function of the node): the
+    // inner ANDs of an XOR/MUX encoding never received variables.
+    XorMux M = G.matchXorMux(N);
+    if (M.K == XorMux::Xor) {
+      Stack.push_back(M.A.node());
+      Stack.push_back(M.B.node());
+    } else if (M.K == XorMux::Mux) {
+      Stack.push_back(M.A.node());
+      Stack.push_back(M.B.node());
+      Stack.push_back(M.C.node());
+    } else {
+      Stack.push_back(G.fanin0(N).node());
+      Stack.push_back(G.fanin1(N).node());
+    }
+  }
+}

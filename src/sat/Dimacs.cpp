@@ -25,13 +25,21 @@ std::optional<CnfFormula> mba::sat::parseDimacs(std::string_view Text) {
   };
   std::vector<Lit> Current;
   bool SawHeader = false;
+  bool InLearnt = false;
   while (true) {
     SkipSpace();
     if (Pos >= Text.size())
       break;
     char C = Text[Pos];
     if (C == 'c') {
+      size_t LineStart = Pos;
       SkipLine();
+      std::string_view Line = Text.substr(LineStart, Pos - LineStart);
+      // Trailing \r (and any other whitespace) is insignificant.
+      while (!Line.empty() && std::isspace((unsigned char)Line.back()))
+        Line.remove_suffix(1);
+      if (Line == "c learnt")
+        InLearnt = true;
       continue;
     }
     if (C == 'p') {
@@ -54,7 +62,7 @@ std::optional<CnfFormula> mba::sat::parseDimacs(std::string_view Text) {
       ++Pos;
     }
     if (V == 0) {
-      F.Clauses.push_back(Current);
+      (InLearnt ? F.LearntClauses : F.Clauses).push_back(Current);
       Current.clear();
       continue;
     }
@@ -69,16 +77,23 @@ std::optional<CnfFormula> mba::sat::parseDimacs(std::string_view Text) {
   return F;
 }
 
-std::string mba::sat::writeDimacs(const CnfFormula &F) {
+std::string mba::sat::writeDimacs(const CnfFormula &F, bool IncludeLearnt) {
   std::string Out = "p cnf " + std::to_string(F.NumVars) + ' ' +
                     std::to_string(F.Clauses.size()) + '\n';
-  for (const auto &Clause : F.Clauses) {
+  auto AppendClause = [&Out](const std::vector<Lit> &Clause) {
     for (Lit L : Clause) {
       Out += L.negated() ? "-" : "";
       Out += std::to_string(L.var() + 1);
       Out += ' ';
     }
     Out += "0\n";
+  };
+  for (const auto &Clause : F.Clauses)
+    AppendClause(Clause);
+  if (IncludeLearnt && !F.LearntClauses.empty()) {
+    Out += "c learnt\n";
+    for (const auto &Clause : F.LearntClauses)
+      AppendClause(Clause);
   }
   return Out;
 }

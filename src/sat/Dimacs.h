@@ -23,19 +23,28 @@
 
 namespace mba::sat {
 
-/// A parsed CNF: clause list over variables 0..NumVars-1.
+/// A parsed CNF: clause list over variables 0..NumVars-1. Learnt clauses
+/// (implied by Clauses; exported from an incremental solver for debugging)
+/// are kept separate so consumers can ignore or inspect them.
 struct CnfFormula {
   unsigned NumVars = 0;
   std::vector<std::vector<Lit>> Clauses;
+  std::vector<std::vector<Lit>> LearntClauses;
 };
 
 /// Parses DIMACS text ("p cnf V C" header, clauses of nonzero integers
 /// terminated by 0, 'c' comment lines). Returns std::nullopt on malformed
-/// input. Variables beyond the header count grow the formula.
+/// input. Variables beyond the header count grow the formula. A
+/// "c learnt" comment line switches subsequent clauses into
+/// CnfFormula::LearntClauses (the writeDimacs IncludeLearnt round-trip).
 std::optional<CnfFormula> parseDimacs(std::string_view Text);
 
-/// Renders \p F as DIMACS text.
-std::string writeDimacs(const CnfFormula &F);
+/// Renders \p F as DIMACS text. With \p IncludeLearnt, the learnt-clause
+/// DB follows the problem clauses behind a "c learnt" marker line —
+/// standard DIMACS consumers skip the comment and read the learnt clauses
+/// as (sound, implied) extra clauses, while parseDimacs restores them into
+/// LearntClauses. The header counts problem clauses only.
+std::string writeDimacs(const CnfFormula &F, bool IncludeLearnt = false);
 
 } // namespace mba::sat
 

@@ -6,6 +6,7 @@
 
 #include "sat/Solver.h"
 
+#include "sat/Dimacs.h"
 #include "support/Stopwatch.h"
 
 #include <algorithm>
@@ -33,6 +34,7 @@ bool SatSolver::addClause(std::span<const Lit> Lits) {
   assert(decisionLevel() == 0 && "clauses are added at the root level");
   if (ProvenUnsat)
     return false;
+  ++Stats.ClausesAdded;
 
   // Simplify: sort, dedupe, drop root-false literals, detect tautologies
   // and root-satisfied clauses.
@@ -288,6 +290,21 @@ void SatSolver::bumpVarActivity(Var V) {
   Order.increased(V);
 }
 
+void SatSolver::seedActivity(std::span<const Var> Vars) {
+  if (Vars.empty())
+    return;
+  // A plain bump is not enough: the activity increment inflates over the
+  // life of the solver, so variables that conflicted late in a *previous*
+  // query can hold activity many increments high. Lift the seeds to the
+  // current ceiling first, then bump (which also handles rescaling), so
+  // they outrank every stale variable and ties break by first conflicts.
+  double Top = *std::max_element(Activity.begin(), Activity.end());
+  for (Var V : Vars) {
+    Activity[V] = Top;
+    bumpVarActivity(V);
+  }
+}
+
 void SatSolver::bumpClauseActivity(Clause &C) {
   C.Activity += ClauseActivityInc;
   if (C.Activity > 1e20) {
@@ -339,6 +356,56 @@ void SatSolver::reduceLearntDB() {
   rebuildWatches();
 }
 
+bool SatSolver::simplify() {
+  assert(decisionLevel() == 0 && "simplify only at the root level");
+  if (ProvenUnsat)
+    return false;
+  if (propagate() != InvalidClause) {
+    ProvenUnsat = true;
+    return false;
+  }
+
+  // Reason clauses of root assignments stay untouched (same locking rule
+  // as reduceLearntDB); they are few and already satisfied.
+  std::vector<uint8_t> Locked(Clauses.size(), 0);
+  for (Lit L : Trail)
+    if (Reason[L.var()] != InvalidClause)
+      Locked[Reason[L.var()]] = 1;
+
+  for (ClauseRef R = 0; R != Clauses.size(); ++R) {
+    Clause &C = Clauses[R];
+    if (C.Deleted || Locked[R])
+      continue;
+    bool Satisfied = false;
+    for (Lit L : C.Lits)
+      if (value(L) == LBool::True) {
+        Satisfied = true;
+        break;
+      }
+    if (Satisfied) {
+      if (C.Learnt)
+        --LearntCount;
+      C.Deleted = true;
+      C.Lits.clear();
+      C.Lits.shrink_to_fit();
+      ++Stats.SimplifiedClauses;
+      continue;
+    }
+    // Root-false literals can never help again; stripping them keeps the
+    // watch lists dense. At the propagation fixpoint an unsatisfied clause
+    // has >= 2 unassigned literals, so the clause stays watchable.
+    std::erase_if(C.Lits, [&](Lit L) { return value(L) == LBool::False; });
+    assert(C.size() >= 2 && "unsatisfied clause shrank below two literals");
+  }
+
+  // Learnt-DB reductions relax MaxLearnt by 25% each time so a single hard
+  // query can keep what it learns; between queries, fall back toward the
+  // configured limit so the database cannot ratchet up forever.
+  MaxLearnt = std::max(BaseMaxLearnt, LearntCount + BaseMaxLearnt / 4);
+  rebuildWatches();
+  return true;
+}
+
 void SatSolver::rebuildWatches() {
   for (auto &WList : Watches)
     WList.clear();
@@ -362,9 +429,74 @@ uint64_t SatSolver::luby(uint64_t I) {
   return 1ULL << Seq;
 }
 
+void SatSolver::analyzeFinal(Lit FailedAssumption) {
+  // FailedAssumption is an assumption literal whose negation the solver
+  // derived from clauses plus earlier assumption decisions. Walk the
+  // implication graph backwards from its variable; every assumption
+  // *decision* reached (reason == InvalidClause at level > 0 — inside the
+  // assumption prefix only assumptions are decisions) belongs to the
+  // refuted subset.
+  FailedAssumptions.clear();
+  FailedAssumptions.push_back(FailedAssumption);
+  if (decisionLevel() == 0)
+    return;
+  Seen[FailedAssumption.var()] = 1;
+  for (size_t I = Trail.size(); I-- > TrailLim[0];) {
+    Var V = Trail[I].var();
+    if (!Seen[V])
+      continue;
+    if (Reason[V] == InvalidClause) {
+      assert(Level[V] > 0 && "decision at the root level");
+      // Trail[I] can share FailedAssumption's variable but never equals it
+      // (FailedAssumption is false): contradictory assumptions {x, ~x}
+      // report both polarities.
+      FailedAssumptions.push_back(Trail[I]);
+    } else {
+      const Clause &C = Clauses[Reason[V]];
+      for (size_t K = 1; K < C.size(); ++K)
+        if (Level[C[K].var()] > 0)
+          Seen[C[K].var()] = 1;
+    }
+    Seen[V] = 0;
+  }
+  Seen[FailedAssumption.var()] = 0;
+}
+
+CnfFormula SatSolver::exportCnf(bool IncludeLearnt) const {
+  assert(decisionLevel() == 0 && "export only at the root level");
+  CnfFormula F;
+  F.NumVars = numVars();
+  // Root-implied units first (addClause enqueues units instead of storing
+  // them, and level-0 propagation adds more).
+  for (Lit L : Trail)
+    F.Clauses.push_back({L});
+  for (const Clause &C : Clauses) {
+    if (C.Deleted)
+      continue;
+    if (C.Learnt) {
+      if (IncludeLearnt)
+        F.LearntClauses.push_back(C.Lits);
+      continue;
+    }
+    F.Clauses.push_back(C.Lits);
+  }
+  return F;
+}
+
 SatResult SatSolver::solve(const Budget &Limits) {
+  return solve(std::span<const Lit>(), Limits);
+}
+
+SatResult SatSolver::solve(std::span<const Lit> Assumptions,
+                           const Budget &Limits) {
+  ++Stats.Solves;
+  if (!Assumptions.empty())
+    ++Stats.AssumptionSolves;
+  Stats.ReusedLearnts += LearntCount;
+  FailedAssumptions.clear();
   if (ProvenUnsat)
     return SatResult::Unsat;
+  assert(decisionLevel() == 0 && "solve starts at the root level");
   Stopwatch Timer;
 
   if (propagate() != InvalidClause) {
@@ -435,16 +567,37 @@ SatResult SatSolver::solve(const Budget &Limits) {
           backtrack(0);
           return SatResult::Unknown;
         }
-        Lit Next = pickBranchLit();
-        if (!Next.valid()) {
-          // Model found.
-          Model.resize(Assigns.size());
-          for (Var V = 0; V != Assigns.size(); ++V)
-            Model[V] = Assigns[V] == LBool::True;
-          backtrack(0);
-          return SatResult::Sat;
+        // Re-establish the assumption prefix: assumption i is the decision
+        // of level i+1 (restarts retract it; this loop puts it back).
+        Lit Next = Lit();
+        while (decisionLevel() < Assumptions.size()) {
+          Lit A = Assumptions[decisionLevel()];
+          if (value(A) == LBool::True) {
+            // Already implied: dummy level keeps the level<->index map.
+            TrailLim.push_back((uint32_t)Trail.size());
+          } else if (value(A) == LBool::False) {
+            // Refuted under the earlier assumptions: report the subset used
+            // and leave the instance usable (NOT proven unsat).
+            analyzeFinal(A);
+            backtrack(0);
+            return SatResult::Unsat;
+          } else {
+            Next = A;
+            break;
+          }
         }
-        ++Stats.Decisions;
+        if (!Next.valid()) {
+          Next = pickBranchLit();
+          if (!Next.valid()) {
+            // Model found.
+            Model.resize(Assigns.size());
+            for (Var V = 0; V != Assigns.size(); ++V)
+              Model[V] = Assigns[V] == LBool::True;
+            backtrack(0);
+            return SatResult::Sat;
+          }
+          ++Stats.Decisions;
+        }
         TrailLim.push_back((uint32_t)Trail.size());
         enqueue(Next, InvalidClause);
       }

@@ -48,12 +48,22 @@ struct SolverStats {
   uint64_t Restarts = 0;
   uint64_t LearntClauses = 0;
   uint64_t DeletedClauses = 0;
+  uint64_t ClausesAdded = 0;     ///< problem clauses presented via addClause
+  uint64_t Solves = 0;           ///< solve() calls
+  uint64_t AssumptionSolves = 0; ///< solve() calls with a nonempty assumption set
+  uint64_t ReusedLearnts = 0;    ///< learnt clauses alive at solve() entry,
+                                 ///< summed over calls (cross-query reuse)
+  uint64_t SimplifiedClauses = 0; ///< clauses removed by simplify()
 };
 
+struct CnfFormula;
+
 /// CDCL solver. Usage: newVar()/addClause() to build the instance, then
-/// solve(); on Sat, modelValue() reads the model. Incremental solving
-/// across addClause calls is supported as long as solve() has not returned
-/// Unsat.
+/// solve(); on Sat, modelValue() reads the model. Incremental solving is
+/// supported two ways: addClause() between solve() calls (as long as no
+/// solve has returned Unsat at the root), and solve-under-assumptions —
+/// learnt clauses, VSIDS activities, and saved phases all persist across
+/// calls, so a sequence of related queries gets cheaper as it runs.
 class SatSolver {
 public:
   SatSolver();
@@ -73,6 +83,50 @@ public:
   /// Runs the CDCL loop under \p Limits.
   SatResult solve(const Budget &Limits = Budget());
 
+  /// Runs the CDCL loop with \p Assumptions forced true for the duration of
+  /// this call (MiniSat-style: they occupy the first decision levels and
+  /// are retracted on return). An Unsat answer means "unsatisfiable under
+  /// these assumptions" and does NOT mark the instance proven-unsat; the
+  /// subset of assumptions actually used in the refutation is available
+  /// from failedAssumptions(). Learnt clauses derived while assumptions
+  /// were active mention their negations, so they remain sound for later
+  /// calls with different assumptions.
+  SatResult solve(std::span<const Lit> Assumptions,
+                  const Budget &Limits = Budget());
+
+  /// After solve(Assumptions) returned Unsat without the instance becoming
+  /// proven-unsat: the subset of the passed assumptions whose conjunction
+  /// was refuted (the final-conflict "unsat core" over assumptions).
+  const std::vector<Lit> &failedAssumptions() const {
+    return FailedAssumptions;
+  }
+
+  /// Number of live (non-deleted) learnt clauses.
+  size_t numLearnts() const { return LearntCount; }
+
+  /// Snapshot of the current clause database as a CNF formula: the root
+  /// trail becomes unit clauses, stored problem clauses follow, and with
+  /// \p IncludeLearnt the live learnt-clause DB is exported separately so
+  /// incremental-solver state is inspectable (see writeDimacs). Must be
+  /// called at the root level (i.e. outside solve(), which always returns
+  /// backtracked to level 0).
+  CnfFormula exportCnf(bool IncludeLearnt = false) const;
+
+  /// Root-level garbage collection for incremental use: removes clauses
+  /// satisfied by the root trail (retired guarded queries, dead learnt
+  /// clauses), strips root-false literals from the rest, and re-arms the
+  /// learnt-DB limit that reduceLearntDB relaxes during long searches.
+  /// Call between queries, at decision level 0. Returns false if the
+  /// instance is (or becomes) proven unsatisfiable.
+  bool simplify();
+
+  /// Bumps the VSIDS activity of \p Vars as if they had just appeared in a
+  /// conflict, pulling them to the front of the branching order. Incremental
+  /// front ends seed each query's encoded cone this way so that search
+  /// focuses on the live query instead of high-activity variables left over
+  /// from retired ones.
+  void seedActivity(std::span<const Var> Vars);
+
   /// Model value of \p V after a Sat result.
   bool modelValue(Var V) const {
     assert(V < Model.size() && "no model for variable");
@@ -87,7 +141,7 @@ public:
   /// Lowers the learnt-clause limit that triggers database reduction
   /// (default 4096). Primarily a test hook to exercise the reduction path
   /// on small instances.
-  void setLearntLimit(size_t Limit) { MaxLearnt = Limit; }
+  void setLearntLimit(size_t Limit) { MaxLearnt = BaseMaxLearnt = Limit; }
 
 private:
   struct Watcher {
@@ -108,6 +162,7 @@ private:
   ClauseRef propagate();
   void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
                unsigned &BacktrackLevel);
+  void analyzeFinal(Lit FailedAssumption);
   bool litRedundant(Lit L, uint32_t AbstractLevels);
   void backtrack(unsigned Level);
   Lit pickBranchLit();
@@ -142,11 +197,13 @@ private:
   std::vector<Lit> AnalyzeStack;
 
   std::vector<uint8_t> Model;
+  std::vector<Lit> FailedAssumptions;
 
   SolverStats Stats;
   bool ProvenUnsat = false;
   size_t LearntCount = 0;
   size_t MaxLearnt = 4096;
+  size_t BaseMaxLearnt = 4096;
 };
 
 } // namespace mba::sat

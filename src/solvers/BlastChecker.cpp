@@ -41,6 +41,10 @@ public:
                     double TimeoutSeconds) override {
     MBA_TRACE_SPAN(Rewriting ? "solve.backend.BlastBV+RW"
                              : "solve.backend.BlastBV");
+    static telemetry::Counter &CtrEncodeVars =
+        telemetry::counter("sat.encode.vars");
+    static telemetry::Counter &CtrEncodeClauses =
+        telemetry::counter("sat.encode.clauses");
     Stopwatch Timer;
     sat::SatSolver Solver;
     BitBlaster Blaster(Solver, Ctx.width(), Rewriting);
@@ -48,6 +52,8 @@ public:
     auto WA = EB.blast(A);
     auto WB = EB.blast(B);
     Blaster.assertLit(Blaster.disequal(WA, WB));
+    CtrEncodeVars.add(Solver.numVars());
+    CtrEncodeClauses.add(Solver.stats().ClausesAdded);
 
     sat::Budget Limits;
     // Leave whatever time encoding took to the search.
@@ -80,11 +86,13 @@ std::unique_ptr<EquivalenceChecker> mba::makeBlastChecker(bool EnableRewriting) 
   return std::make_unique<BlastChecker>(EnableRewriting);
 }
 
-std::vector<std::unique_ptr<EquivalenceChecker>> mba::makeAllCheckers() {
+std::vector<std::unique_ptr<EquivalenceChecker>>
+mba::makeAllCheckers(bool IncrementalAig) {
   std::vector<std::unique_ptr<EquivalenceChecker>> Checkers;
   if (auto Z3 = makeZ3Checker())
     Checkers.push_back(std::move(Z3));
   Checkers.push_back(makeBlastChecker(false));
   Checkers.push_back(makeBlastChecker(true));
+  Checkers.push_back(makeAigChecker(IncrementalAig));
   return Checkers;
 }

@@ -1,0 +1,342 @@
+//===- tests/aig_test.cpp - AIG layer and incremental-backend tests -------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aig/Aig.h"
+#include "aig/AigBlaster.h"
+#include "aig/ExprAig.h"
+
+#include "ast/BitslicedEval.h"
+#include "ast/Evaluator.h"
+#include "ast/Parser.h"
+#include "bitblast/BitBlaster.h"
+#include "gen/Corpus.h"
+#include "solvers/EquivalenceChecker.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+using namespace mba;
+using namespace mba::aig;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Core graph: strashing, constant propagation, two-level rewriting
+//===----------------------------------------------------------------------===//
+
+TEST(AigCore, ConstantAndTrivialRules) {
+  Aig G;
+  AigLit A = G.mkInput(), B = G.mkInput();
+  EXPECT_EQ(G.mkAnd(A, Aig::falseLit()), Aig::falseLit());
+  EXPECT_EQ(G.mkAnd(Aig::trueLit(), B), B);
+  EXPECT_EQ(G.mkAnd(A, Aig::trueLit()), A);
+  EXPECT_EQ(G.mkAnd(A, A), A);
+  EXPECT_EQ(G.mkAnd(A, ~A), Aig::falseLit());
+  EXPECT_EQ(G.stats().AndNodes, 0u); // nothing above built a node
+  EXPECT_GE(G.stats().ConstFolds, 2u);
+}
+
+TEST(AigCore, StructuralHashingDedupsAcrossOperandOrder) {
+  Aig G;
+  AigLit A = G.mkInput(), B = G.mkInput();
+  AigLit N1 = G.mkAnd(A, B);
+  AigLit N2 = G.mkAnd(B, A);
+  AigLit N3 = G.mkAnd(A, B);
+  EXPECT_EQ(N1, N2);
+  EXPECT_EQ(N1, N3);
+  EXPECT_EQ(G.stats().AndNodes, 1u);
+  EXPECT_EQ(G.stats().StrashHits, 2u);
+}
+
+TEST(AigCore, TwoLevelRewriteRules) {
+  Aig G;
+  AigLit X = G.mkInput(), Y = G.mkInput();
+  AigLit XY = G.mkAnd(X, Y);
+
+  // Idempotence/absorption: (x&y) & x == x&y.
+  EXPECT_EQ(G.mkAnd(XY, X), XY);
+  EXPECT_EQ(G.mkAnd(Y, XY), XY);
+  // Contradiction: (x&y) & ~x == false.
+  EXPECT_EQ(G.mkAnd(XY, ~X), Aig::falseLit());
+  // Subsumption: ~(x&y) & ~x == ~x.
+  EXPECT_EQ(G.mkAnd(~XY, ~X), ~X);
+  // Substitution: ~(x&y) & x == x & ~y.
+  AigLit XNotY = G.mkAnd(X, ~Y);
+  EXPECT_EQ(G.mkAnd(~XY, X), XNotY);
+  // Resolution: ~(x&y) & ~(x&~y) == ~x.
+  EXPECT_EQ(G.mkAnd(~XY, ~XNotY), ~X);
+  // Contradiction across grandchildren: (x&y) & (x&~y) == false.
+  EXPECT_EQ(G.mkAnd(XY, XNotY), Aig::falseLit());
+  EXPECT_GE(G.stats().Rewrites, 7u);
+}
+
+TEST(AigCore, MiterOfIdenticalStructureIsConstantFalse) {
+  // The whole point of strashing for equivalence checking: both sides of
+  // x&y vs y&x produce the same node, so the miter folds to false.
+  Aig G;
+  AigBlaster B(G, 8);
+  auto X = B.freshWord(), Y = B.freshWord();
+  auto L = B.bvAdd(X, Y);
+  auto R = B.bvAdd(Y, X);
+  EXPECT_EQ(B.disequalLit(L, R), Aig::falseLit());
+}
+
+TEST(AigCore, XorMuxDetection) {
+  Aig G;
+  AigLit A = G.mkInput(), B = G.mkInput(), S = G.mkInput();
+  AigLit X = G.mkXor(A, B);
+  ASSERT_TRUE(X.complemented()); // xor is built as ~(~(a&~b) & ~(~a&b))
+  XorMux MX = G.matchXorMux(X.node());
+  EXPECT_EQ(MX.K, XorMux::Xor);
+
+  AigLit M = G.mkMux(S, A, B);
+  XorMux MM = G.matchXorMux(M.node());
+  EXPECT_EQ(MM.K, XorMux::Mux);
+
+  AigLit Plain = G.mkAnd(A, B);
+  EXPECT_EQ(G.matchXorMux(Plain.node()).K, XorMux::None);
+}
+
+TEST(AigCore, SimulateTruthTables) {
+  Aig G;
+  AigLit A = G.mkInput(), B = G.mkInput();
+  AigLit And = G.mkAnd(A, B), Or = G.mkOr(A, B), Xor = G.mkXor(A, B);
+  uint64_t PA = 0b0101, PB = 0b0011;
+  std::vector<uint64_t> V;
+  G.simulate(std::vector<uint64_t>{PA, PB}, V);
+  uint64_t M = 0xF; // 4 lanes of interest
+  EXPECT_EQ(Aig::simValue(V, And) & M, PA & PB);
+  EXPECT_EQ(Aig::simValue(V, Or) & M, (PA | PB) & M);
+  EXPECT_EQ(Aig::simValue(V, Xor) & M, (PA ^ PB) & M);
+  EXPECT_EQ(Aig::simValue(V, ~And) & M, ~(PA & PB) & M);
+  EXPECT_EQ(Aig::simValue(V, Aig::trueLit()) & M, M);
+  EXPECT_EQ(Aig::simValue(V, Aig::falseLit()) & M, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// CNF emission
+//===----------------------------------------------------------------------===//
+
+/// Pins AIG input \p In to SAT value \p Value through the emitter's input
+/// variable.
+void pinInput(sat::SatSolver &S, CnfEmitter &Em, AigLit In, bool Value) {
+  sat::Lit L = Em.emit(In);
+  S.addClause({Value ? L : ~L});
+}
+
+TEST(AigCnf, EmitterAgreesWithSimulation) {
+  // Every (a, b, sel) corner of a mixed xor/mux/and cone: pin the inputs,
+  // solve, and compare the forced root value against simulation.
+  for (unsigned Corner = 0; Corner != 8; ++Corner) {
+    bool AV = Corner & 1, BV = Corner & 2, SV = Corner & 4;
+    Aig G;
+    AigLit A = G.mkInput(), B = G.mkInput(), S = G.mkInput();
+    AigLit Root = G.mkAnd(G.mkXor(A, B), ~G.mkMux(S, A, ~B));
+
+    std::vector<uint64_t> Values;
+    G.simulate(std::vector<uint64_t>{AV ? ~0ULL : 0, BV ? ~0ULL : 0,
+                                     SV ? ~0ULL : 0},
+               Values);
+    bool Expected = Aig::simValue(Values, Root) & 1;
+
+    sat::SatSolver Solver;
+    CnfEmitter Em(G, Solver);
+    sat::Lit RootLit = Em.emit(Root);
+    pinInput(Solver, Em, A, AV);
+    pinInput(Solver, Em, B, BV);
+    pinInput(Solver, Em, S, SV);
+    ASSERT_EQ(Solver.solve(), sat::SatResult::Sat);
+    EXPECT_EQ(Solver.modelValue(RootLit.var()) != RootLit.negated(), Expected)
+        << "corner " << Corner;
+  }
+}
+
+TEST(AigCnf, IncrementalEmissionReusesEncodedCone) {
+  Aig G;
+  AigLit A = G.mkInput(), B = G.mkInput(), C = G.mkInput();
+  AigLit N1 = G.mkAnd(A, B);
+
+  sat::SatSolver S;
+  CnfEmitter Em(G, S);
+  sat::Lit L1 = Em.emit(N1);
+  unsigned VarsAfterFirst = S.numVars();
+
+  // Same root again: answered from the map, no new variables.
+  sat::Lit L1Again = Em.emit(N1);
+  EXPECT_EQ(L1, L1Again);
+  EXPECT_EQ(S.numVars(), VarsAfterFirst);
+  EXPECT_GE(Em.cacheHits(), 1u);
+
+  // A root sharing the cone: only the new node and input get variables.
+  AigLit N2 = G.mkAnd(N1, C);
+  Em.emit(N2);
+  EXPECT_EQ(S.numVars(), VarsAfterFirst + 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive width-<=6 agreement: AIG vs interpreter vs BitslicedEval
+//===----------------------------------------------------------------------===//
+
+/// All ops the MBA language can produce, as parseable expressions.
+const char *const OpExprs[] = {"x+y", "x-y", "x*y", "x&y",
+                               "x|y", "x^y", "~x",  "-x"};
+
+TEST(AigWord, ExhaustiveAgreementUpToWidth6) {
+  for (unsigned W = 1; W <= 6; ++W) {
+    uint64_t Mask = (1ULL << W) - 1;
+    unsigned NumVals = 1u << W; // <= 64, one simulation lane per y value
+    for (const char *Text : OpExprs) {
+      Context Ctx(W);
+      const Expr *E = parseOrDie(Ctx, Text);
+      const Expr *XV = Ctx.getVar("x");
+      const Expr *YV = Ctx.getVar("y");
+
+      Aig G;
+      AigBlaster AB(G, W);
+      ExprAig EA(AB);
+      AigBlaster::Word R = EA.blast(E);
+      BitslicedExpr Sliced(Ctx, E);
+
+      for (uint64_t A = 0; A != NumVals; ++A) {
+        // Lane k simulates y = k; x is the broadcast constant A.
+        std::vector<uint64_t> Patterns(G.numInputs(), 0);
+        const AigBlaster::Word &XW = EA.inputWord(XV);
+        for (unsigned I = 0; I != W; ++I)
+          Patterns[G.inputOrdinal(XW[I].node())] =
+              (A >> I) & 1 ? ~0ULL : 0;
+        if (std::string_view(Text).find('y') != std::string_view::npos) {
+          const AigBlaster::Word &YW = EA.inputWord(YV);
+          for (unsigned I = 0; I != W; ++I) {
+            uint64_t Pattern = 0;
+            for (uint64_t BVal = 0; BVal != NumVals; ++BVal)
+              Pattern |= ((BVal >> I) & 1) << BVal;
+            Patterns[G.inputOrdinal(YW[I].node())] = Pattern;
+          }
+        }
+        std::vector<uint64_t> Values;
+        G.simulate(Patterns, Values);
+
+        // Reference lanes from the bitsliced evaluator.
+        std::vector<uint64_t> XLanes(NumVals, A), YLanes(NumVals);
+        for (uint64_t BVal = 0; BVal != NumVals; ++BVal)
+          YLanes[BVal] = BVal;
+        const uint64_t *Lanes[2] = {XLanes.data(), YLanes.data()};
+        std::vector<uint64_t> Ref = Sliced.evaluatePoints(Lanes, NumVals);
+
+        for (uint64_t BVal = 0; BVal != NumVals; ++BVal) {
+          uint64_t AigVal = 0;
+          for (unsigned I = 0; I != W; ++I)
+            AigVal |= ((Aig::simValue(Values, R[I]) >> BVal) & 1) << I;
+          uint64_t Inputs[2] = {A, BVal};
+          uint64_t Interp = evaluate(Ctx, E, Inputs);
+          EXPECT_EQ(AigVal, Interp & Mask)
+              << Text << " W=" << W << " x=" << A << " y=" << BVal;
+          EXPECT_EQ(Ref[BVal] & Mask, Interp & Mask)
+              << Text << " W=" << W << " x=" << A << " y=" << BVal;
+        }
+      }
+    }
+  }
+}
+
+/// SAT-proves the AIG encoding equals the existing ripple-carry encoding
+/// over ALL inputs: both circuits share input variables in one solver and
+/// the miter must come back UNSAT.
+TEST(AigWord, CrossEncodingEquivalenceWithRippleCarry) {
+  enum OpKind { Add, Sub, Mul, Cmp };
+  for (unsigned W = 1; W <= 6; ++W) {
+    for (OpKind Op : {Add, Sub, Mul, Cmp}) {
+      sat::SatSolver S;
+      BitBlaster BB(S, W, /*EnableRewriting=*/false); // the ripple baseline
+      BitBlaster::Word X = BB.freshWord(), Y = BB.freshWord();
+
+      Aig G;
+      AigBlaster AB(G, W);
+      AigBlaster::Word XA = AB.freshWord(), YA = AB.freshWord();
+      CnfEmitter Em(G, S);
+
+      // Bridge the AIG inputs onto the ripple circuit's input variables.
+      for (unsigned I = 0; I != W; ++I) {
+        sat::Lit EX = Em.emit(XA[I]), EY = Em.emit(YA[I]);
+        S.addClause({EX, ~X[I]});
+        S.addClause({~EX, X[I]});
+        S.addClause({EY, ~Y[I]});
+        S.addClause({~EY, Y[I]});
+      }
+
+      std::vector<sat::Lit> Diffs;
+      if (Op == Cmp) {
+        sat::Lit DR = BB.disequal(X, Y);
+        sat::Lit DA = Em.emit(AB.disequalLit(XA, YA));
+        Diffs.push_back(BB.mkXor(DR, DA));
+      } else {
+        BitBlaster::Word WR = Op == Add   ? BB.bvAdd(X, Y)
+                              : Op == Sub ? BB.bvSub(X, Y)
+                                          : BB.bvMul(X, Y);
+        AigBlaster::Word WA = Op == Add   ? AB.bvAdd(XA, YA)
+                              : Op == Sub ? AB.bvSub(XA, YA)
+                                          : AB.bvMul(XA, YA);
+        for (unsigned I = 0; I != W; ++I)
+          Diffs.push_back(BB.mkXor(WR[I], Em.emit(WA[I])));
+      }
+      S.addClause(Diffs); // some bit differs somewhere?
+      EXPECT_EQ(S.solve(), sat::SatResult::Unsat)
+          << "op " << (int)Op << " width " << W;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental vs fresh-solver determinism
+//===----------------------------------------------------------------------===//
+
+TEST(AigChecker, IncrementalMatchesFreshOver200QueryCorpus) {
+  // Width 4: every query decides well under the budget for all three
+  // backends (width 8 already pushes some poly miters past 10s on the
+  // in-tree CDCL solver).
+  Context Ctx(4);
+  CorpusOptions Opt;
+  Opt.LinearCount = 40;
+  Opt.PolyCount = 30;
+  Opt.NonPolyCount = 30;
+  Opt.MaxVars = 3;
+  Opt.IncludeSeedIdentities = false;
+  auto Corpus = generateCorpus(Ctx, Opt);
+  ASSERT_EQ(Corpus.size(), 100u);
+
+  // 100 equivalent pairs plus 100 shifted (mostly inequivalent) pairs.
+  std::vector<std::pair<const Expr *, const Expr *>> Queries;
+  for (const CorpusEntry &E : Corpus)
+    Queries.push_back({E.Obfuscated, E.Ground});
+  for (size_t I = 0; I != Corpus.size(); ++I)
+    Queries.push_back(
+        {Corpus[I].Obfuscated, Corpus[(I + 1) % Corpus.size()].Ground});
+  ASSERT_EQ(Queries.size(), 200u);
+
+  auto Incremental = makeAigChecker(/*Incremental=*/true);
+  auto Fresh = makeAigChecker(/*Incremental=*/false);
+  auto Reference = makeBlastChecker(/*EnableRewriting=*/true);
+
+  int Decided = 0;
+  for (auto &[A, B] : Queries) {
+    CheckResult RI = Incremental->check(Ctx, A, B, /*TimeoutSeconds=*/10);
+    CheckResult RF = Fresh->check(Ctx, A, B, /*TimeoutSeconds=*/10);
+    EXPECT_EQ(RI.Outcome, RF.Outcome)
+        << "incremental and fresh verdicts differ";
+    if (RI.Outcome != Verdict::Timeout) {
+      ++Decided;
+      CheckResult RR = Reference->check(Ctx, A, B, /*TimeoutSeconds=*/10);
+      if (RR.Outcome != Verdict::Timeout) {
+        EXPECT_EQ(RI.Outcome, RR.Outcome)
+            << "AIG backend disagrees with BlastBV+RW";
+      }
+    }
+  }
+  // At width 4 with a 10s budget, everything should be decided.
+  EXPECT_EQ(Decided, 200);
+}
+
+} // namespace

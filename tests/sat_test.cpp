@@ -332,4 +332,216 @@ TEST(Dimacs, SolvesParsedFormula) {
   EXPECT_TRUE(S.modelValue(1));
 }
 
+TEST(Dimacs, LearntClausesRoundTrip) {
+  CnfFormula F;
+  F.NumVars = 3;
+  F.Clauses = {{Lit(0, false), Lit(1, false)}, {Lit(2, true)}};
+  F.LearntClauses = {{Lit(0, false), Lit(2, false)}, {Lit(1, true)}};
+
+  // Without the flag, learnt clauses are not serialized.
+  auto Plain = parseDimacs(writeDimacs(F));
+  ASSERT_TRUE(Plain.has_value());
+  EXPECT_EQ(Plain->Clauses, F.Clauses);
+  EXPECT_TRUE(Plain->LearntClauses.empty());
+
+  // With it, both sections survive the round trip.
+  auto Full = parseDimacs(writeDimacs(F, /*IncludeLearnt=*/true));
+  ASSERT_TRUE(Full.has_value());
+  EXPECT_EQ(Full->Clauses, F.Clauses);
+  EXPECT_EQ(Full->LearntClauses, F.LearntClauses);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental solving: assumptions, final-conflict analysis, CNF export
+//===----------------------------------------------------------------------===//
+
+TEST(Incremental, AssumptionsRestrictWithoutPoisoning) {
+  // (a | b) is satisfiable; unsatisfiable under {~a, ~b}; satisfiable
+  // again afterwards — assumptions must not mark the instance unsat.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause({Lit(A, false), Lit(B, false)});
+
+  Lit Assumps[] = {Lit(A, true), Lit(B, true)};
+  EXPECT_EQ(S.solve(Assumps), SatResult::Unsat);
+  EXPECT_FALSE(S.isProvenUnsat());
+  EXPECT_EQ(S.failedAssumptions().size(), 2u);
+
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  Lit Only[] = {Lit(A, true)};
+  EXPECT_EQ(S.solve(Only), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(Incremental, ContradictoryAssumptionsFail) {
+  SatSolver S;
+  Var A = S.newVar();
+  S.newVar();
+  Lit Assumps[] = {Lit(A, false), Lit(A, true)};
+  EXPECT_EQ(S.solve(Assumps), SatResult::Unsat);
+  EXPECT_FALSE(S.isProvenUnsat());
+  // Both polarities participate in the failure.
+  EXPECT_EQ(S.failedAssumptions().size(), 2u);
+}
+
+TEST(Incremental, FailedAssumptionsAreTheUsedSubset) {
+  // (~a | ~b) refutes {a, b}; c plays no role and must not be reported.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause({Lit(A, true), Lit(B, true)});
+
+  Lit Assumps[] = {Lit(C, false), Lit(A, false), Lit(B, false)};
+  EXPECT_EQ(S.solve(Assumps), SatResult::Unsat);
+  const auto &Failed = S.failedAssumptions();
+  EXPECT_EQ(Failed.size(), 2u);
+  for (Lit L : Failed)
+    EXPECT_NE(L.var(), C) << "unused assumption reported in the core";
+}
+
+TEST(Incremental, GuardedQueriesReuseLearntClauses) {
+  // The checker protocol: embed PHP(6,5) behind guard G1 (unsat under
+  // {G1}), retire it, then run a satisfiable query behind G2 — on one
+  // persistent solver, with learnt clauses carried across.
+  const int Pigeons = 6, Holes = 5;
+  SatSolver S;
+  for (int I = 0; I < Pigeons * Holes; ++I)
+    S.newVar();
+  Lit G1(S.newVar(), false);
+  auto P = [&](int Pigeon, int Hole) {
+    return Lit(Pigeon * Holes + Hole, false);
+  };
+  for (int Pigeon = 0; Pigeon < Pigeons; ++Pigeon) {
+    std::vector<Lit> Clause{~G1};
+    for (int Hole = 0; Hole < Holes; ++Hole)
+      Clause.push_back(P(Pigeon, Hole));
+    S.addClause(Clause);
+  }
+  for (int Hole = 0; Hole < Holes; ++Hole)
+    for (int A = 0; A < Pigeons; ++A)
+      for (int B = A + 1; B < Pigeons; ++B)
+        S.addClause({~G1, ~P(A, Hole), ~P(B, Hole)});
+
+  Lit Q1[] = {G1};
+  EXPECT_EQ(S.solve(Q1), SatResult::Unsat);
+  EXPECT_FALSE(S.isProvenUnsat());
+  ASSERT_EQ(S.failedAssumptions().size(), 1u);
+  EXPECT_EQ(S.failedAssumptions()[0], G1);
+  uint64_t LearntAfterQ1 = S.stats().LearntClauses;
+  EXPECT_GT(LearntAfterQ1, 0u);
+
+  // Retire query 1; its clauses are permanently satisfied.
+  EXPECT_TRUE(S.addClause({~G1}));
+
+  // Query 2 on the same solver sees the learnt DB from query 1.
+  Lit G2(S.newVar(), false);
+  S.addClause({~G2, P(0, 0)});
+  Lit Q2[] = {G2};
+  EXPECT_EQ(S.solve(Q2), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(P(0, 0).var()));
+  EXPECT_EQ(S.stats().AssumptionSolves, 2u);
+  EXPECT_GT(S.stats().ReusedLearnts, 0u);
+
+  // The whole instance (guards free) is still satisfiable.
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(Incremental, RandomAssumptionSolvesAgreeWithBruteForce) {
+  // solve(assumptions) must equal solving F + assumption units from
+  // scratch — across repeated queries on one persistent solver.
+  RNG Rng(424242);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    unsigned NumVars = 4 + (unsigned)Rng.below(7); // 4..10
+    unsigned NumClauses = (unsigned)(NumVars * 4);
+    CnfFormula F;
+    F.NumVars = NumVars;
+    for (unsigned C = 0; C != NumClauses; ++C) {
+      std::vector<Lit> Clause;
+      for (int K = 0; K < 3; ++K)
+        Clause.push_back(Lit((Var)Rng.below(NumVars), Rng.chance(1, 2)));
+      F.Clauses.push_back(std::move(Clause));
+    }
+    SatSolver S;
+    loadCnf(S, F);
+    if (S.isProvenUnsat())
+      continue;
+    for (int Query = 0; Query < 8; ++Query) {
+      unsigned NumAssumps = 1 + (unsigned)Rng.below(NumVars / 2);
+      std::vector<Lit> Assumps;
+      for (unsigned I = 0; I != NumAssumps; ++I)
+        Assumps.push_back(Lit((Var)Rng.below(NumVars), Rng.chance(1, 2)));
+
+      CnfFormula WithUnits = F;
+      for (Lit L : Assumps)
+        WithUnits.Clauses.push_back({L});
+      bool Expected = bruteForceSat(WithUnits);
+
+      SatResult R = S.solve(Assumps);
+      ASSERT_EQ(R, Expected ? SatResult::Sat : SatResult::Unsat)
+          << "trial " << Trial << " query " << Query;
+      if (R == SatResult::Sat) {
+        expectModelSatisfies(S, F);
+        for (Lit L : Assumps)
+          EXPECT_NE(S.modelValue(L.var()), L.negated())
+              << "model violates an assumption";
+      } else if (S.isProvenUnsat()) {
+        // CDCL may prove the base formula root-unsat mid-query; that is
+        // only sound if F really is unsatisfiable on its own.
+        EXPECT_FALSE(bruteForceSat(F));
+      } else {
+        // The failed subset must itself be a refutation core.
+        CnfFormula Core = F;
+        for (Lit L : S.failedAssumptions())
+          Core.Clauses.push_back({L});
+        EXPECT_FALSE(bruteForceSat(Core))
+            << "failed-assumption set is not a core";
+      }
+    }
+  }
+}
+
+TEST(Incremental, ExportCnfRoundTripsThroughDimacs) {
+  // Solve guarded PHP(6,5) to grow a learnt DB, export with the learnt
+  // clauses, round-trip through DIMACS text, and check the exported
+  // problem clauses alone reproduce the verdicts.
+  const int Pigeons = 6, Holes = 5;
+  SatSolver S;
+  for (int I = 0; I < Pigeons * Holes; ++I)
+    S.newVar();
+  Lit G1(S.newVar(), false);
+  auto P = [&](int Pigeon, int Hole) {
+    return Lit(Pigeon * Holes + Hole, false);
+  };
+  for (int Pigeon = 0; Pigeon < Pigeons; ++Pigeon) {
+    std::vector<Lit> Clause{~G1};
+    for (int Hole = 0; Hole < Holes; ++Hole)
+      Clause.push_back(P(Pigeon, Hole));
+    S.addClause(Clause);
+  }
+  for (int Hole = 0; Hole < Holes; ++Hole)
+    for (int A = 0; A < Pigeons; ++A)
+      for (int B = A + 1; B < Pigeons; ++B)
+        S.addClause({~G1, ~P(A, Hole), ~P(B, Hole)});
+  Lit Q1[] = {G1};
+  ASSERT_EQ(S.solve(Q1), SatResult::Unsat);
+
+  CnfFormula Exported = S.exportCnf(/*IncludeLearnt=*/true);
+  EXPECT_EQ(Exported.NumVars, S.numVars());
+  EXPECT_EQ(Exported.LearntClauses.size(), S.numLearnts());
+  EXPECT_GT(Exported.LearntClauses.size(), 0u);
+
+  auto Reparsed = parseDimacs(writeDimacs(Exported, /*IncludeLearnt=*/true));
+  ASSERT_TRUE(Reparsed.has_value());
+  EXPECT_EQ(Reparsed->Clauses, Exported.Clauses);
+  EXPECT_EQ(Reparsed->LearntClauses, Exported.LearntClauses);
+
+  // The exported problem clauses are the same instance: unsat under {G1}
+  // even with the learnt DB loaded as ordinary (implied) clauses.
+  SatSolver S2;
+  loadCnf(S2, *Reparsed);
+  for (const auto &Clause : Reparsed->LearntClauses)
+    S2.addClause(Clause);
+  EXPECT_EQ(S2.solve(Q1), SatResult::Unsat);
+  EXPECT_EQ(S2.solve(), SatResult::Sat);
+}
+
 } // namespace

@@ -1,0 +1,44 @@
+// mba-tidy corpus: fresh SAT solvers built inside per-query loops. The
+// incremental backend owns one persistent SatSolver and retires queries
+// with guard literals; rebuilding the solver every iteration throws away
+// the learnt clauses, VSIDS order and saved phases the previous query
+// paid for.
+#include "sat/Solver.h"
+
+#include <memory>
+#include <vector>
+
+void freshSolverPerQuery(const std::vector<int> &Queries) {
+  for (int Q : Queries) {
+    mba::sat::SatSolver S; // EXPECT: mba-sat-solver-in-loop
+    (void)Q;
+    (void)S;
+  }
+}
+
+void freshHeapSolverPerQuery(const std::vector<int> &Queries) {
+  std::unique_ptr<mba::sat::SatSolver> S;
+  while (!Queries.empty()) {
+    S = std::make_unique<mba::sat::SatSolver>(); // EXPECT: mba-sat-solver-in-loop
+    break;
+  }
+}
+
+void rawNewPerQuery(int N) {
+  for (int I = 0; I != N; ++I) {
+    auto *S = new mba::sat::SatSolver; // EXPECT: mba-sat-solver-in-loop
+    delete S;
+  }
+}
+
+// The sanctioned shape: one hoisted instance outside the loop, each query
+// guarded by an assumption literal. A reference to the persistent solver
+// inside the loop body is fine.
+void hoistedIncrementalSolver(const std::vector<int> &Queries) {
+  mba::sat::SatSolver Solver;
+  for (int Q : Queries) {
+    mba::sat::SatSolver &S = Solver;
+    (void)S;
+    (void)Q;
+  }
+}

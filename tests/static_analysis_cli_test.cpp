@@ -73,12 +73,13 @@ TEST(MbaTidyCli, ChecksFlagRestrictsToNamedCheck) {
   EXPECT_EQ(R.ExitCode, 1);
 }
 
-TEST(MbaTidyCli, ListChecksNamesAllFour) {
+TEST(MbaTidyCli, ListChecksNamesEveryCheck) {
   RunResult R = runTidy("--list-checks");
   EXPECT_EQ(R.ExitCode, 0);
   for (const char *Name :
        {"mba-cross-context-expr", "mba-context-captured-by-pool",
-        "mba-unnamed-raii", "mba-raw-pointer-in-cache-key"})
+        "mba-unnamed-raii", "mba-raw-pointer-in-cache-key",
+        "mba-sat-solver-in-loop"})
     EXPECT_NE(R.Output.find(Name), std::string::npos) << Name;
 }
 

@@ -485,6 +485,77 @@ private:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// mba-sat-solver-in-loop
+//===----------------------------------------------------------------------===//
+
+class SatSolverInLoopCheck : public Check {
+public:
+  std::string_view name() const override { return "mba-sat-solver-in-loop"; }
+  std::string_view description() const override {
+    return "Fresh SatSolver constructed inside a per-query loop in "
+           "src/solvers; hoist one incremental instance and solve under "
+           "assumptions";
+  }
+
+  void run(const SourceFile &SF, std::vector<Diagnostic> &Out) const override {
+    // The incremental-solver rule binds the backend implementations only:
+    // tests and micro-benchmarks build throwaway solvers in loops by
+    // design, so the check is scoped to src/solvers (plus its own lint
+    // corpus).
+    if (SF.Path.find("src/solvers") == std::string::npos &&
+        SF.Path.find("static_analysis") == std::string::npos)
+      return;
+    const Tokens &T = SF.Tokens;
+    std::set<size_t> Sites;
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      size_t BodyOpen = T.size();
+      if ((T[I].is("for") || T[I].is("while")) && T[I + 1].is("(")) {
+        size_t CondClose = findBalanced(T, I + 1);
+        if (CondClose + 1 < T.size() && T[CondClose + 1].is("{"))
+          BodyOpen = CondClose + 1;
+      } else if (T[I].is("do") && T[I + 1].is("{")) {
+        BodyOpen = I + 1;
+      }
+      if (BodyOpen >= T.size())
+        continue;
+      size_t BodyClose = findBalanced(T, BodyOpen);
+      for (size_t J = BodyOpen + 1; J < BodyClose; ++J)
+        if (T[J].is("SatSolver") && isConstruction(T, J))
+          Sites.insert(J); // set: nested loops see the same site twice
+    }
+    for (size_t J : Sites)
+      emit(Out, SF, T[J], name(),
+           "fresh SatSolver constructed inside a per-query loop; every "
+           "iteration discards the learnt clauses, VSIDS order and saved "
+           "phases the previous query paid for — hoist one persistent "
+           "instance and solve under per-query assumption guards");
+  }
+
+private:
+  /// True when the SatSolver token at \p J is a construction site: a local
+  /// declaration (`SatSolver S;` / `SatSolver S(...);`), a make_unique
+  /// template argument, or a new-expression. References and pointers to a
+  /// hoisted instance are the sanctioned shape and stay silent.
+  static bool isConstruction(const Tokens &T, size_t J) {
+    // Declaration of a value (not `SatSolver &Ref = ...` / `SatSolver *P`).
+    if (J + 2 < T.size() && T[J + 1].isIdent() &&
+        (T[J + 2].is(";") || T[J + 2].is("(") || T[J + 2].is("{")))
+      return true;
+    // Walk back over the `ns ::` qualification chain, then look for the
+    // constructing context: `new [ns::]SatSolver` or
+    // `make_unique<[ns::]SatSolver>`.
+    size_t K = J;
+    while (K >= 2 && T[K - 1].is("::") && T[K - 2].isIdent())
+      K -= 2;
+    if (K >= 1 && T[K - 1].is("new"))
+      return true;
+    if (K >= 2 && T[K - 1].is("<") && T[K - 2].is("make_unique"))
+      return true;
+    return false;
+  }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Check>> mba::tidy::createAllChecks() {
@@ -492,6 +563,7 @@ std::vector<std::unique_ptr<Check>> mba::tidy::createAllChecks() {
   Checks.push_back(std::make_unique<ContextCapturedByPoolCheck>());
   Checks.push_back(std::make_unique<CrossContextExprCheck>());
   Checks.push_back(std::make_unique<RawPointerInCacheKeyCheck>());
+  Checks.push_back(std::make_unique<SatSolverInLoopCheck>());
   Checks.push_back(std::make_unique<UnnamedRaiiCheck>());
   return Checks;
 }

@@ -21,6 +21,10 @@
 ///   mba-raw-pointer-in-cache-key  Pointer values folded into 64-bit
 ///                               semantic cache keys, which breaks
 ///                               cross-process snapshot persistence.
+///   mba-sat-solver-in-loop      Fresh SatSolver constructed inside a
+///                               per-query loop in src/solvers instead of
+///                               one hoisted incremental instance solved
+///                               under assumptions.
 ///
 //===----------------------------------------------------------------------===//
 
