@@ -11,7 +11,18 @@
 ///    ">= 10x at 3 variables / width 64" number in docs/PERF.md;
 ///  * batch point evaluation (BitslicedExpr vs CompiledExpr vs evaluate) —
 ///    the sampling-refutation and fuzz-agreement workload;
-///  * the raw 64x64 bit-matrix transpose primitive.
+///  * the raw 64x64 bit-matrix transpose primitive;
+///  * the wide-engine kernels (and/or/xor/add/mul/transpose) once per
+///    supported ISA back end, reporting lanes/cycle and bytes/cycle so the
+///    AVX2/AVX-512 win is machine-readable in the bench-smoke artifact
+///    (`--benchmark_format=json`, counters `lanes_per_cycle` and
+///    `bytes_per_cycle`).
+///
+/// `micro_bitslice --signature-dump` bypasses google-benchmark and prints a
+/// deterministic signature/batch fingerprint for a fixed expression set on
+/// the currently dispatched ISA (MBA_FORCE_ISA honoured, never echoed);
+/// CI runs it under MBA_FORCE_ISA=scalar and the best ISA and asserts the
+/// outputs are byte-identical.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +37,13 @@
 #include "support/RNG.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h> // NOLINT(mba-isa-outside-seam): __rdtsc cycle counter, not SIMD dispatch
+#endif
 
 using namespace mba;
 
@@ -211,4 +229,179 @@ void BM_Transpose64(benchmark::State &State) {
 }
 BENCHMARK(BM_Transpose64);
 
+//===----------------------------------------------------------------------===//
+// Per-ISA wide-kernel throughput: lanes/cycle and bytes/cycle
+//===----------------------------------------------------------------------===//
+
+#if defined(__x86_64__) || defined(_M_X64)
+inline uint64_t cycleCounter() { return __rdtsc(); }
+constexpr bool HaveCycleCounter = true;
+#else
+inline uint64_t cycleCounter() { return 0; }
+constexpr bool HaveCycleCounter = false;
+#endif
+
+// One kernel invocation's footprint, for the derived counters. Lanes is
+// the number of 64-bit lanes advanced per call; Bytes is the memory
+// traffic (reads + writes) the call performs.
+struct KernelShape {
+  uint64_t Lanes;
+  uint64_t Bytes;
+};
+
+constexpr unsigned KernelLanes = 4096;
+
+// Times Fn (one kernel call) under the benchmark loop, reads the TSC
+// around each call, and reports lanes/cycle and bytes/cycle counters.
+// TSC on current x86 is constant-rate rather than core-clock, which is
+// exactly what a cross-run artifact wants: the ratio AVX-512/AVX2/scalar
+// is what the bench-smoke job tracks, not an absolute IPC claim.
+template <typename Fn>
+void runKernelBench(benchmark::State &State, KernelShape Shape, Fn &&Call) {
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    uint64_t T0 = cycleCounter();
+    Call();
+    Cycles += cycleCounter() - T0;
+  }
+  uint64_t Iters = (uint64_t)State.iterations();
+  State.SetItemsProcessed((int64_t)(Iters * Shape.Lanes));
+  State.SetBytesProcessed((int64_t)(Iters * Shape.Bytes));
+  if (HaveCycleCounter && Cycles) {
+    State.counters["lanes_per_cycle"] =
+        benchmark::Counter((double)(Iters * Shape.Lanes) / (double)Cycles);
+    State.counters["bytes_per_cycle"] =
+        benchmark::Counter((double)(Iters * Shape.Bytes) / (double)Cycles);
+  }
+}
+
+struct KernelInputs {
+  std::vector<uint64_t> A, B, Out;
+  KernelInputs() : A(KernelLanes), B(KernelLanes), Out(KernelLanes) {
+    RNG Rng(13);
+    for (unsigned I = 0; I != KernelLanes; ++I) {
+      A[I] = Rng.next();
+      B[I] = Rng.next();
+    }
+  }
+};
+
+// Registered once per supported ISA from main(): wide_<kernel>/<isa>.
+void registerWideKernelBenches() {
+  using bitslice::Isa;
+  using bitslice::WideKernels;
+  constexpr uint64_t LaneBytes = 3 * 8ull * KernelLanes; // A + B + Out
+  for (Isa I : {Isa::Scalar, Isa::Avx2, Isa::Avx512}) {
+    if (!bitslice::isaSupported(I))
+      continue;
+    const WideKernels &K = bitslice::kernelsFor(I);
+    const std::string Suffix = std::string("/") + bitslice::isaName(I);
+    auto Reg = [&](const char *Name, auto Fn, KernelShape Shape) {
+      benchmark::RegisterBenchmark(("wide_" + std::string(Name) + Suffix).c_str(),
+                                   [Fn, Shape](benchmark::State &State) {
+                                     static KernelInputs In;
+                                     runKernelBench(State, Shape, [&] {
+                                       Fn(In.A.data(), In.B.data(),
+                                          In.Out.data());
+                                     });
+                                   });
+    };
+    KernelShape Lane{KernelLanes, LaneBytes};
+    Reg("and", [&K](const uint64_t *A, const uint64_t *B,
+                    uint64_t *Out) { K.LaneAnd(A, B, Out, KernelLanes); },
+        Lane);
+    Reg("or", [&K](const uint64_t *A, const uint64_t *B,
+                   uint64_t *Out) { K.LaneOr(A, B, Out, KernelLanes); },
+        Lane);
+    Reg("xor", [&K](const uint64_t *A, const uint64_t *B,
+                    uint64_t *Out) { K.LaneXor(A, B, Out, KernelLanes); },
+        Lane);
+    Reg("add",
+        [&K](const uint64_t *A, const uint64_t *B, uint64_t *Out) {
+          K.LaneAddM(A, B, Out, KernelLanes, ~0ull);
+        },
+        Lane);
+    Reg("mul",
+        [&K](const uint64_t *A, const uint64_t *B, uint64_t *Out) {
+          K.LaneMulM(A, B, Out, KernelLanes, ~0ull);
+        },
+        Lane);
+    // Transpose works in-place over KernelLanes/64 blocks of 64 words:
+    // every word is read and written once.
+    constexpr unsigned Blocks = KernelLanes / 64;
+    benchmark::RegisterBenchmark(
+        ("wide_transpose" + Suffix).c_str(), [&K](benchmark::State &State) {
+          static KernelInputs In;
+          runKernelBench(State,
+                         KernelShape{KernelLanes, 2 * 8ull * KernelLanes},
+                         [&] { K.TransposeBlocks(In.A.data(), Blocks); });
+        });
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// --signature-dump: deterministic fingerprint for scalar-vs-SIMD CI diff
+//===----------------------------------------------------------------------===//
+
+// Prints signatures and a batch-evaluation digest for a fixed expression
+// set on whatever ISA the wide engine currently dispatches to. The output
+// deliberately never names the ISA: CI diffs two runs byte-for-byte.
+int signatureDump() {
+  for (unsigned Width : {8u, 16u, 32u, 64u}) {
+    Context Ctx(Width);
+    struct Case {
+      const char *Text;
+      std::vector<const char *> Vars;
+    } Cases[] = {
+        {SampleLinear3, {"x", "y", "z"}},
+        {SampleLinear8, {"a", "b", "c", "d", "e", "f", "g", "h"}},
+        {"(x ^ (y + 1)) * 3 - (x | ~y)", {"x", "y"}},
+        {"~x + 2*(x & 0x5555) - (x | 0x1234)", {"x"}},
+    };
+    for (const Case &C : Cases) {
+      const Expr *E = parseOrDie(Ctx, C.Text);
+      std::vector<const Expr *> Vars;
+      for (const char *Name : C.Vars)
+        Vars.push_back(Ctx.getVar(Name));
+      std::printf("sig w%u v%zu", Width, Vars.size());
+      for (uint64_t S : computeSignature(Ctx, E, Vars))
+        std::printf(" %016llx", (unsigned long long)S);
+      std::printf("\n");
+
+      // Batch evaluation over an awkward point count (padding tail paths
+      // differ per backend and must still agree).
+      constexpr size_t N = 173;
+      RNG Rng(99 + Width);
+      std::vector<std::vector<uint64_t>> Inputs(Vars.size());
+      std::vector<const uint64_t *> Ptrs;
+      for (auto &Col : Inputs) {
+        Col.resize(N);
+        for (uint64_t &V : Col)
+          V = Rng.next() & Ctx.mask();
+        Ptrs.push_back(Col.data());
+      }
+      BitslicedExpr Compiled(Ctx, E);
+      uint64_t Digest = 0x9e3779b97f4a7c15ull;
+      for (uint64_t V : Compiled.evaluatePoints({Ptrs.data(), Ptrs.size()}, N))
+        Digest = (Digest ^ V) * 0x2545f4914f6cdd1dull;
+      std::printf("batch w%u v%zu n%zu %016llx\n", Width, Vars.size(), N,
+                  (unsigned long long)Digest);
+    }
+  }
+  return 0;
+}
+
 } // namespace
+
+int main(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I)
+    if (std::string_view(argv[I]) == "--signature-dump")
+      return signatureDump();
+  registerWideKernelBenches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,6 +31,17 @@
 /// kernel (e.g. coefficient * bitwise-term — the backbone of linear MBA —
 /// is one select per live lane, no ripple or multiply).
 ///
+/// Blocks wider than 64 lanes run on the SIMD wide engine
+/// (support/Bitslice.h): the active ISA back end (scalar/AVX2/AVX-512,
+/// runtime-dispatched) processes 64 x Words lanes per block through the
+/// same representation lattice, with every per-lane loop lowered to a
+/// WideKernels call. evaluatePoints sizes its blocks to the active back
+/// end automatically, so signature computation over many corners,
+/// SignatureChecker sampling and the fuzz agreement sweeps widen for
+/// free; blocks of <= 64 lanes keep the original in-line path (identical
+/// code and cost to the pre-SIMD evaluator, and the guaranteed-available
+/// fallback). All paths are bit-identical per lane.
+///
 /// Instances are not thread-safe (evaluation borrows the owning Context's
 /// shared scratch) and follow the one-context-per-thread rule. Prefer
 /// Context::getBitsliced(E) over constructing directly: interning makes the
@@ -45,6 +56,7 @@
 
 #include "ast/Context.h"
 #include "ast/Expr.h"
+#include "support/Bitslice.h"
 
 #include <cstdint>
 #include <memory>
@@ -59,6 +71,13 @@ public:
   /// Compiles \p E. Valid as long as the context lives.
   BitslicedExpr(const Context &Ctx, const Expr *E);
 
+  /// Lanes one wide block advances under the currently active SIMD back
+  /// end: 64 (scalar), 256 (AVX2) or 512 (AVX-512). Callers driving
+  /// evaluateCornersWide lay their masks out against this.
+  static unsigned wideLanes() {
+    return bitslice::activeKernels().Words * 64;
+  }
+
   /// Evaluates one block of truth-table corners: lane j of the variable
   /// with dense index i reads all-ones when bit j of VarMasks[i] is set,
   /// else 0 (indices beyond VarMasks read 0). Writes \p NumLanes values,
@@ -66,15 +85,23 @@ public:
   void evaluateCorners(std::span<const uint64_t> VarMasks, unsigned NumLanes,
                        uint64_t *Out) const;
 
+  /// Wide-block variant of evaluateCorners on the active SIMD back end:
+  /// \p VarMaskWords is var-major with wideLanes()/64 words per variable
+  /// (lane 64*w + j of dense variable i reads bit j of
+  /// VarMaskWords[i * Words + w]). NumLanes <= wideLanes().
+  void evaluateCornersWide(std::span<const uint64_t> VarMaskWords,
+                           unsigned NumLanes, uint64_t *Out) const;
+
   /// Evaluates one block of arbitrary points: VarLanes[i] points to
   /// \p NumLanes input words for the variable with dense index i (null or
-  /// out-of-range entries read 0). NumLanes <= 64.
+  /// out-of-range entries read 0). NumLanes <= wideLanes(); blocks above
+  /// 64 lanes run on the SIMD wide engine.
   void evaluateBlock(std::span<const uint64_t *const> VarLanes,
                      unsigned NumLanes, uint64_t *Out) const;
 
   /// Convenience batch driver over any number of points: VarLanes[i] holds
   /// \p NumPoints values for dense variable index i; processes
-  /// ceil(NumPoints/64) blocks and returns the NumPoints outputs.
+  /// ceil(NumPoints/wideLanes()) blocks and returns the NumPoints outputs.
   std::vector<uint64_t>
   evaluatePoints(std::span<const uint64_t *const> VarLanes,
                  size_t NumPoints) const;
@@ -114,10 +141,37 @@ private:
                           unsigned NumLanes) const;
   uint64_t *slot(uint32_t Reg) const;
 
+  // Wide-block path (> 64 lanes, or wide corner masks): same
+  // representation lattice, every per-lane loop a WideKernels call.
+  // RootOut, when non-null, is where a Lanes-representation root is
+  // written directly (skipping the slot + epilogue copy).
+  void runWide(const bitslice::WideKernels &WK, unsigned NumLanes,
+               uint64_t *Out) const;
+  void runWideLanes(const bitslice::WideKernels &WK, unsigned NumLanes,
+                    uint64_t *RootOut) const;
+  void runWideSliced(const bitslice::WideKernels &WK,
+                     unsigned NumLanes) const;
+  const uint64_t *wideLanesOf(const bitslice::WideKernels &WK, uint32_t Reg,
+                              uint64_t *Tmp, unsigned NumLanes) const;
+  const uint64_t *wideSlicesOf(const bitslice::WideKernels &WK, uint32_t Reg,
+                               uint64_t *Tmp) const;
+  uint64_t *wideSlot(uint32_t Reg) const;
+
   const Context *Ctx; // owning context; outlives this (nodes are interned)
   unsigned Width;
   uint64_t Mask;
   std::vector<Inst> Program; // instruction i writes register i
+  // Liveness-based slot assignment for the wide path: register i's block
+  // value lives in slot SlotOf[i], and slots are reused once their last
+  // reader has run, so the per-block working set tracks the DAG's live
+  // width (a handful of slots) instead of its node count — the difference
+  // between spilling to L2 and staying L1-resident at 256/512 lanes. A
+  // destination slot never aliases one of its source slots (sources are
+  // freed only after the destination is assigned), so kernels need not be
+  // in-place safe. The legacy 64-lane path keeps its one-slot-per-register
+  // layout.
+  std::vector<uint32_t> SlotOf;
+  unsigned NumSlots = 0;
 
   // Evaluation scratch, carved per run() out of the owning Context's shared
   // buffer (Context::evalScratch) so cached programs stay small (register i
@@ -131,6 +185,18 @@ private:
   mutable std::span<const uint64_t> CornerMasks;
   mutable std::span<const uint64_t *const> LaneInputs;
   mutable bool CornerMode = false;
+  // Wide-run state: words per slice of the running back end (slots are
+  // 64 * BlockWords words; a Uniform register's mask occupies the first
+  // BlockWords words of its slot, Word[] is Splat-only) and the per-var
+  // word count of CornerMasks in evaluateCornersWide.
+  mutable unsigned BlockWords = 1;
+  mutable unsigned CornerMaskWords = 1;
+  // Where a Lanes-representation register's data actually lives: its slot,
+  // the caller's output buffer (root direct-write), or — for a full-width
+  // variable load in point mode — the caller's input array itself
+  // (zero-copy; the inputs are already width-masked when Mask is all
+  // ones). Valid only while RepOf[i] == Rep::Lanes during a wide run.
+  mutable const uint64_t **LanePtr = nullptr;
 };
 
 } // namespace mba

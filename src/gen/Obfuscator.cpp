@@ -259,6 +259,34 @@ Obfuscator::applyNonPolyRewrite(const Expr *E,
   return substitute(Ctx, E, {{A, Form}});
 }
 
+const Expr *Obfuscator::obfuscateOpaque(const Expr *Seed,
+                                        std::span<const Expr *const> Vars,
+                                        unsigned Count) {
+  assert(!Vars.empty() && "need variables to build opaque products over");
+  const Expr *E = Seed;
+  for (unsigned I = 0; I != Count; ++I) {
+    const Expr *V = Vars[Rng.below(Vars.size())];
+    unsigned K = 2 + (unsigned)Rng.below(5); // 2..6 consecutive factors
+    unsigned Pow2 = 0;                       // v2(K!) by Legendre's formula
+    for (unsigned N = K; N > 1; N /= 2)
+      Pow2 += N / 2;
+    unsigned MaskBits = 1 + (unsigned)Rng.below(Pow2);
+    uint64_t Offset = Rng.below(16);
+    const Expr *P = nullptr;
+    for (unsigned F = 0; F != K; ++F) {
+      uint64_t Shift = (Offset + F) & Ctx.mask();
+      const Expr *Factor = Shift ? Ctx.getAdd(V, Ctx.getConst(Shift)) : V;
+      P = P ? Ctx.getMul(P, Factor) : Factor;
+    }
+    const Expr *Zero =
+        Ctx.getAnd(P, Ctx.getConst(((uint64_t)1 << MaskBits) - 1));
+    // Adding and xoring an identical zero both preserve the value; vary
+    // the mixing operator so the residue shapes differ.
+    E = Rng.chance(1, 3) ? Ctx.getXor(E, Zero) : Ctx.getAdd(E, Zero);
+  }
+  return E;
+}
+
 const Expr *Obfuscator::obfuscateNonPoly(const Expr *Seed,
                                          std::span<const Expr *const> Vars,
                                          unsigned Rewrites) {

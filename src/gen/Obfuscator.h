@@ -100,6 +100,21 @@ public:
                                std::span<const Expr *const> Vars,
                                unsigned Rewrites);
 
+  /// Mixes \p Count opaque-zero addends into \p Seed. Each opaque zero is
+  /// a carry fact: a product of K consecutive values (v+r)*(v+r+1)*...*
+  /// (v+r+K-1) is divisible by K!, so masking it to at most v2(K!) low
+  /// bits (v2 = 2-adic valuation) yields an identical zero. Unlike the
+  /// null-space zeros of obfuscateLinear, the fact is invisible to both
+  /// the linear-signature solve and the polynomial ring: the syntactic
+  /// pipeline can only abstract the product as an opaque temporary, so
+  /// the masked term survives simplification as non-polynomial residue.
+  /// This models the opaque-predicate constructions real obfuscators
+  /// layer over MBA rewriting; removing them takes semantic
+  /// reconstruction (synth/Synthesizer) or an SMT query.
+  const Expr *obfuscateOpaque(const Expr *Seed,
+                              std::span<const Expr *const> Vars,
+                              unsigned Count);
+
   RNG &rng() { return Rng; }
 
 private:

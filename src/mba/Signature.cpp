@@ -40,15 +40,33 @@ mba::computeSignature(const Context &Ctx, const Expr *E,
   unsigned MaxIndex = 0;
   for (const Expr *V : Vars)
     MaxIndex = std::max(MaxIndex, V->varIndex());
-  std::vector<uint64_t> VarMasks(MaxIndex + 1);
   // Lane j of block Base holds corner Base+j, whose variable-I truth bit is
   // bit T-1-I of Base+j (truthBit's ordering) — O(T) mask setup per block.
-  for (size_t Base = 0; Base < Rows; Base += bitslice::LanesPerBlock) {
-    unsigned NumLanes =
-        (unsigned)std::min<size_t>(bitslice::LanesPerBlock, Rows - Base);
+  if (Rows <= bitslice::LanesPerBlock) {
+    // Small tables run the original 64-lane path: the wide back ends only
+    // add masked-off lanes below one block, so this also keeps tiny
+    // signatures (the common 2-4 variable case) at their scalar cost.
+    std::vector<uint64_t> VarMasks(MaxIndex + 1);
     for (unsigned I = 0; I != T; ++I)
-      VarMasks[Vars[I]->varIndex()] = bitslice::cornerMask(T - 1 - I, Base);
-    Compiled.evaluateCorners(VarMasks, NumLanes, Sig.data() + Base);
+      VarMasks[Vars[I]->varIndex()] = bitslice::cornerMask(T - 1 - I, 0);
+    Compiled.evaluateCorners(VarMasks, (unsigned)Rows, Sig.data());
+    for (size_t J = 0; J != Rows; ++J)
+      Sig[J] = (0 - Sig[J]) & Ctx.mask();
+    return Sig;
+  }
+  // Tables past one block drive the SIMD wide engine: each wide block
+  // covers Words x 64 corners, with per-64-lane-word masks.
+  const unsigned Words = BitslicedExpr::wideLanes() / 64;
+  const size_t BlockLanes = (size_t)Words * 64;
+  std::vector<uint64_t> VarMasks(((size_t)MaxIndex + 1) * Words);
+  for (size_t Base = 0; Base < Rows; Base += BlockLanes) {
+    unsigned NumLanes = (unsigned)std::min<size_t>(BlockLanes, Rows - Base);
+    for (unsigned I = 0; I != T; ++I) {
+      uint64_t *M = VarMasks.data() + (size_t)Vars[I]->varIndex() * Words;
+      for (unsigned W = 0; W != Words; ++W)
+        M[W] = bitslice::cornerMask(T - 1 - I, Base + 64 * W);
+    }
+    Compiled.evaluateCornersWide(VarMasks, NumLanes, Sig.data() + Base);
     for (unsigned J = 0; J != NumLanes; ++J)
       Sig[Base + J] = (0 - Sig[Base + J]) & Ctx.mask();
   }

@@ -45,6 +45,7 @@ uint64_t optionsFingerprint(const SimplifyOptions &O) {
   Add(O.SaturationBudget.MaxMatchesPerRule);
   Add(O.MaxFinalOptVars);
   Add(O.MaxDepth);
+  Add((bool)O.SynthFallback);
   return H;
 }
 
@@ -83,7 +84,7 @@ const Expr *MBASolver::simplify(const Expr *E) {
   // bit-identity). Suspended while a trail or experimental rule is
   // attached: a hit would skip the steps they are meant to observe.
   SimplifyCache *SC = Opts.EnableCache && Opts.SharedCache && !Opts.Trail &&
-                              !Opts.ExperimentalRule
+                              !Opts.ExperimentalRule && !Opts.SynthFallback
                           ? Opts.SharedCache
                           : nullptr;
   uint64_t ResultKey = 0;
@@ -175,6 +176,28 @@ const Expr *MBASolver::simplifyRec(const Expr *E, unsigned Depth) {
   case MBAKind::NonPolynomial:
     R = simplifyNonPoly(E, Depth);
     Rule = "nonpoly-abstraction";
+    // Residue the abstraction path could not flatten is where the
+    // enumerative synthesizer gets its shot. Its results arrive
+    // checker-proved (see SimplifyOptions::SynthFallback), and pickBetter
+    // keeps the replacement only when it actually improves the form.
+    // The bank form is re-canonicalized before installation: the residue
+    // was canonicalized over a basis that included its opaque temporaries,
+    // so its linear part is *not* the canonical form over the real
+    // variables — without this pass, a synthesized side and an untouched
+    // side of the same function would meet the equivalence checker as two
+    // structurally different (and SAT-hard to relate) canonical forms
+    // instead of strash-collapsing.
+    if (Opts.SynthFallback && mbaAlternation(R) > 0) {
+      if (const Expr *S = Opts.SynthFallback(Ctx, R)) {
+        if (Depth < Opts.MaxDepth)
+          S = simplifyRec(S, Depth + 1);
+        const Expr *P = pickBetter(S, R);
+        if (P != R) {
+          R = P;
+          Rule = "synth-fallback";
+        }
+      }
+    }
     break;
   }
 

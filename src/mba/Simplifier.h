@@ -105,6 +105,16 @@ struct SimplifyOptions {
   /// expression in the same context (possibly its argument).
   std::function<const Expr *(Context &, const Expr *)> ExperimentalRule;
 
+  /// Fallback for non-polynomial residue the abstraction path cannot
+  /// reduce: called with each simplified non-poly sub-result that still
+  /// has MBA alternation, it may return a proved-equivalent replacement
+  /// (or null to decline). Installed only when pickBetter judges it an
+  /// improvement; recorded in the audit trail as rule "synth-fallback".
+  /// Wire synth::Synthesizer::fallbackHook() here — its results are gated
+  /// by the staged equivalence checker, so the hook cannot change
+  /// semantics, unlike ExperimentalRule.
+  std::function<const Expr *(Context &, const Expr *)> SynthFallback;
+
   /// Memoize signature -> normalized combination (the look-up table of
   /// Section 4.5).
   bool EnableCache = true;
@@ -113,8 +123,9 @@ struct SimplifyOptions {
   /// a semantic layer at the linear rebuild plus a structural whole-result
   /// layer. Shared between solver instances; null keeps the solver
   /// self-contained. Cached and uncached runs produce bit-identical
-  /// output. The result layer is suspended while Trail or ExperimentalRule
-  /// is set (a cache hit would skip the recorded/extended pipeline).
+  /// output. The result layer is suspended while Trail, ExperimentalRule
+  /// or SynthFallback is set (a cache hit would skip the recorded/extended
+  /// pipeline, and two distinct hooks would alias one fingerprint).
   SimplifyCache *SharedCache = nullptr;
 
   /// Cross-call, cross-thread basis-solve cache (mba/Basis.h). When null,

@@ -64,10 +64,22 @@ public:
   CheckResult check(const Context &Ctx, const Expr *A, const Expr *B,
                     double TimeoutSeconds) override {
     MBA_TRACE_SPAN("solve.backend.BlastBV+AIG");
+    // Query accounting: every query is either decided structurally by the
+    // AIG rewriting layer (`sat.aig.short_circuit` — SAT never runs) or
+    // reaches exactly one solve call, counted under the mode that actually
+    // ran it (`sat.incremental.assumption_solves` for the guarded
+    // persistent solver, `sat.fresh.solves` for per-query solvers). So
+    //   sat.aig.queries == short_circuit + assumption_solves + fresh
+    // holds by construction; a report showing assumption_solves == 0 next
+    // to a large short_circuit count means the rewriter decided everything
+    // before SAT, not that the incremental path is broken.
+    static telemetry::Counter &CtrQueries = telemetry::counter("sat.aig.queries");
     static telemetry::Counter &CtrShortCircuit =
-        telemetry::counter("sat.incremental.short_circuit");
+        telemetry::counter("sat.aig.short_circuit");
     static telemetry::Counter &CtrAssumptionSolves =
         telemetry::counter("sat.incremental.assumption_solves");
+    static telemetry::Counter &CtrFreshSolves =
+        telemetry::counter("sat.fresh.solves");
     static telemetry::Counter &CtrClausesReused =
         telemetry::counter("sat.incremental.clauses_reused");
     static telemetry::Counter &CtrRetired =
@@ -76,6 +88,7 @@ public:
         telemetry::counter("sat.encode.vars");
     static telemetry::Counter &CtrEncodeClauses =
         telemetry::counter("sat.encode.clauses");
+    CtrQueries.add();
 
     Stopwatch Timer;
     if (!State || State->Width != Ctx.width())
@@ -134,15 +147,26 @@ public:
     uint64_t ReusedBefore = Solver.stats().ReusedLearnts;
     sat::Lit Assumptions[1] = {Guard};
     sat::SatResult R = Solver.solve(Assumptions, Limits);
-    CtrAssumptionSolves.add();
-    CtrClausesReused.add(Solver.stats().ReusedLearnts - ReusedBefore);
+    if (Incremental) {
+      CtrAssumptionSolves.add();
+      CtrClausesReused.add(Solver.stats().ReusedLearnts - ReusedBefore);
+    } else {
+      // Fresh mode resets the solver before every query, so the guarded
+      // solve carries nothing across queries; counting it as an
+      // "incremental" assumption solve would overstate the shared-solver
+      // path in reports.
+      CtrFreshSolves.add();
+    }
 
     // Retire the query: ~Guard satisfies its clauses for good, and
     // simplify() sweeps them (plus any learnt clauses that mention the
     // guard) out of the watch lists so dead queries cost nothing later.
+    // (In fresh mode the whole solver is discarded before the next query,
+    // so there is no retirement to report.)
     Solver.addClause({~Guard});
     Solver.simplify();
-    CtrRetired.add();
+    if (Incremental)
+      CtrRetired.add();
 
     Result.Seconds = Timer.seconds();
     switch (R) {

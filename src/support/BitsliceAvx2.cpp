@@ -1,0 +1,37 @@
+//===- support/BitsliceAvx2.cpp - 256-lane (AVX2) wide back end -----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AVX2 instantiation of the wide kernel set: 4 words per slice, 256
+/// lanes per block. This translation unit is compiled with -mavx2 (see
+/// src/support/CMakeLists.txt), so the lane-templated bodies in
+/// BitsliceKernels.h vectorize to 256-bit ymm operations; the kernels
+/// themselves stay ISA-agnostic source. Whether this back end actually
+/// runs is a *runtime* decision (bestSupportedIsa checks CPUID), so the
+/// binary stays runnable on pre-AVX2 hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Bitslice.h"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__AVX2__)
+
+#include "support/BitsliceKernels.h"
+
+const mba::bitslice::WideKernels *mba::bitslice::detail::avx2WideKernels() {
+  static const WideKernels Table = wide::makeKernels<4>(Isa::Avx2);
+  return &Table;
+}
+
+#else
+
+// Built without AVX2 code-gen (non-x86 target or the compiler rejected
+// -mavx2): the back end is absent and dispatch falls through to scalar.
+const mba::bitslice::WideKernels *mba::bitslice::detail::avx2WideKernels() {
+  return nullptr;
+}
+
+#endif

@@ -1,0 +1,37 @@
+//===- support/BitsliceAvx512.cpp - 512-lane (AVX-512) wide back end ------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AVX-512 instantiation of the wide kernel set: 8 words per slice,
+/// 512 lanes per block. Compiled with -mavx512f/bw/dq/vl (see
+/// src/support/CMakeLists.txt) so the shared kernel bodies vectorize to
+/// 512-bit zmm operations — notably the 64-bit lane multiply (vpmullq,
+/// AVX-512DQ) that AVX2 has to emulate. Runtime dispatch (CPUID in
+/// bestSupportedIsa) decides whether this back end ever executes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Bitslice.h"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__AVX512F__) &&        \
+    defined(__AVX512BW__) && defined(__AVX512DQ__) && defined(__AVX512VL__)
+
+#include "support/BitsliceKernels.h"
+
+const mba::bitslice::WideKernels *mba::bitslice::detail::avx512WideKernels() {
+  static const WideKernels Table = wide::makeKernels<8>(Isa::Avx512);
+  return &Table;
+}
+
+#else
+
+// Built without AVX-512 code-gen: the back end is absent and dispatch
+// falls through to AVX2 or scalar.
+const mba::bitslice::WideKernels *mba::bitslice::detail::avx512WideKernels() {
+  return nullptr;
+}
+
+#endif

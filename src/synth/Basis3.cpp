@@ -1,0 +1,270 @@
+//===- synth/Basis3.cpp - Shipped 3-variable bitwise basis table ----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Basis3.h"
+
+#include "linalg/TruthTable.h"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+using namespace mba;
+using namespace mba::synth;
+
+namespace {
+
+/// One closure entry: the cheapest known RPN program for a truth function.
+struct Entry {
+  std::string Rpn;
+  unsigned Cost = ~0u;
+};
+
+/// Exhaustive closure over ~, &, |, ^ from the variables and constants,
+/// minimizing operator count; ties break on shorter then lexicographically
+/// smaller RPN so the table content is a pure function of NumVars (the
+/// shipped file must regenerate byte-identically).
+std::vector<Entry> buildClosure(unsigned NumVars) {
+  const unsigned Rows = 1u << NumVars;
+  const uint32_t Full = (1u << Rows) - 1;
+  std::vector<Entry> Table((size_t)1 << Rows);
+
+  auto Relax = [&](uint32_t F, unsigned Cost, std::string Rpn) {
+    Entry &E = Table[F];
+    if (Cost < E.Cost ||
+        (Cost == E.Cost && (Rpn.size() < E.Rpn.size() ||
+                            (Rpn.size() == E.Rpn.size() && Rpn < E.Rpn)))) {
+      E.Cost = Cost;
+      E.Rpn = std::move(Rpn);
+    }
+  };
+
+  Relax(0, 0, "0");
+  Relax(Full, 0, "1");
+  for (unsigned V = 0; V != NumVars; ++V) {
+    uint32_t Column = 0;
+    for (unsigned Row = 0; Row != Rows; ++Row)
+      if (truthBit(Row, V, NumVars))
+        Column |= 1u << Row;
+    Relax(Column, 0, std::string(1, (char)('a' + V)));
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<Entry> Snapshot = Table;
+    for (uint32_t F = 0; F <= Full + 0u && F < Snapshot.size(); ++F) {
+      const Entry &EF = Snapshot[F];
+      if (EF.Cost == ~0u)
+        continue;
+      Relax(Full & ~F, EF.Cost + 1, EF.Rpn + "~");
+      for (uint32_t G = 0; G < Snapshot.size(); ++G) {
+        const Entry &EG = Snapshot[G];
+        if (EG.Cost == ~0u)
+          continue;
+        unsigned C = EF.Cost + EG.Cost + 1;
+        Relax(F & G, C, EF.Rpn + EG.Rpn + "&");
+        Relax(F | G, C, EF.Rpn + EG.Rpn + "|");
+        Relax(F ^ G, C, EF.Rpn + EG.Rpn + "^");
+      }
+    }
+    for (size_t F = 0; F != Table.size(); ++F)
+      if (Table[F].Cost != Snapshot[F].Cost || Table[F].Rpn != Snapshot[F].Rpn)
+        Changed = true;
+  }
+  return Table;
+}
+
+/// Evaluates an RPN program over truth-table bit masks; returns false on a
+/// malformed program (unknown token or stack imbalance).
+bool evalRpnTruth(std::string_view Rpn, unsigned NumVars, uint32_t &Out) {
+  const unsigned Rows = 1u << NumVars;
+  const uint32_t Full = (1u << Rows) - 1;
+  uint32_t Stack[16];
+  unsigned Top = 0;
+  for (char C : Rpn) {
+    if (C >= 'a' && C < (char)('a' + NumVars)) {
+      if (Top == 16)
+        return false;
+      unsigned V = (unsigned)(C - 'a');
+      uint32_t Column = 0;
+      for (unsigned Row = 0; Row != Rows; ++Row)
+        if (truthBit(Row, V, NumVars))
+          Column |= 1u << Row;
+      Stack[Top++] = Column;
+    } else if (C == '0' || C == '1') {
+      if (Top == 16)
+        return false;
+      Stack[Top++] = C == '0' ? 0 : Full;
+    } else if (C == '~') {
+      if (!Top)
+        return false;
+      Stack[Top - 1] = Full & ~Stack[Top - 1];
+    } else if (C == '&' || C == '|' || C == '^') {
+      if (Top < 2)
+        return false;
+      uint32_t B = Stack[--Top];
+      uint32_t &A = Stack[Top - 1];
+      A = C == '&' ? (A & B) : C == '|' ? (A | B) : (A ^ B);
+    } else {
+      return false;
+    }
+  }
+  if (Top != 1)
+    return false;
+  Out = Stack[0];
+  return true;
+}
+
+constexpr char kMagic[] = "MBA-BASIS3 v1 vars=3 terms=256";
+
+struct Basis3State {
+  std::vector<Entry> Tables[MaxBasisVars + 1]; // index = NumVars
+  Basis3LoadInfo Info;
+};
+
+/// Attempts to replace the builtin 3-var closure by the shipped file;
+/// returns true and fills Table on success, else records the reason.
+bool loadBasis3File(const std::string &Path, std::vector<Entry> &Table,
+                    std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open file";
+    return false;
+  }
+  std::string Line;
+  if (!std::getline(In, Line) || Line != kMagic) {
+    Error = "bad magic/version line";
+    return false;
+  }
+  std::vector<Entry> Loaded(256);
+  unsigned Count = 0;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    unsigned Truth;
+    std::string Rpn;
+    if (!(LS >> std::hex >> Truth >> Rpn) || Truth > 255) {
+      Error = "malformed entry line: " + Line;
+      return false;
+    }
+    // Integrity: the entry's program must realize exactly the truth
+    // function it is filed under.
+    uint32_t Got;
+    if (!evalRpnTruth(Rpn, 3, Got) || Got != Truth) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "entry %02x fails truth check", Truth);
+      Error = Buf;
+      return false;
+    }
+    if (Loaded[Truth].Cost != ~0u) {
+      Error = "duplicate entry";
+      return false;
+    }
+    unsigned Cost = 0;
+    for (char C : Rpn)
+      Cost += C == '~' || C == '&' || C == '|' || C == '^';
+    Loaded[Truth] = {std::move(Rpn), Cost};
+    ++Count;
+  }
+  if (Count != 256) {
+    Error = "term count mismatch (" + std::to_string(Count) + " of 256)";
+    return false;
+  }
+  Table = std::move(Loaded);
+  return true;
+}
+
+const Basis3State &state() {
+  static Basis3State S = [] {
+    Basis3State St;
+    for (unsigned T = 1; T <= MaxBasisVars; ++T)
+      St.Tables[T] = buildClosure(T);
+    // The 3-var tier prefers the shipped data file (startup integrity
+    // check; builtin fallback keeps behaviour identical when it is
+    // missing or rejected).
+    const char *Env = std::getenv("MBA_BASIS3_TABLE");
+    St.Info.Path = Env ? Env :
+#ifdef MBA_BASIS3_DEFAULT_PATH
+                       MBA_BASIS3_DEFAULT_PATH;
+#else
+                       "data/basis3.tbl";
+#endif
+    std::vector<Entry> FromFile;
+    if (loadBasis3File(St.Info.Path, FromFile, St.Info.Error)) {
+      St.Tables[3] = std::move(FromFile);
+      St.Info.FromFile = true;
+    }
+    return St;
+  }();
+  return S;
+}
+
+const Entry &entryFor(unsigned NumVars, uint32_t Truth) {
+  assert(NumVars >= 1 && NumVars <= MaxBasisVars && "unsupported arity");
+  const std::vector<Entry> &T = state().Tables[NumVars];
+  assert(Truth < T.size() && "truth index out of range");
+  return T[Truth];
+}
+
+} // namespace
+
+const Basis3LoadInfo &mba::synth::basis3LoadInfo() { return state().Info; }
+
+unsigned mba::synth::bitwiseCost(unsigned NumVars, uint32_t Truth) {
+  return entryFor(NumVars, Truth).Cost;
+}
+
+std::string_view mba::synth::bitwiseRpn(unsigned NumVars, uint32_t Truth) {
+  return entryFor(NumVars, Truth).Rpn;
+}
+
+const Expr *mba::synth::bitwiseFromTruth(Context &Ctx,
+                                         std::span<const Expr *const> Vars,
+                                         uint32_t Truth) {
+  std::string_view Rpn = bitwiseRpn((unsigned)Vars.size(), Truth);
+  const Expr *Stack[16];
+  unsigned Top = 0;
+  for (char C : Rpn) {
+    if (C >= 'a' && C < (char)('a' + Vars.size()))
+      Stack[Top++] = Vars[(size_t)(C - 'a')];
+    else if (C == '0')
+      Stack[Top++] = Ctx.getZero();
+    else if (C == '1')
+      Stack[Top++] = Ctx.getAllOnes();
+    else if (C == '~')
+      Stack[Top - 1] = Ctx.getNot(Stack[Top - 1]);
+    else {
+      const Expr *B = Stack[--Top];
+      const Expr *A = Stack[Top - 1];
+      Stack[Top - 1] = C == '&'   ? Ctx.getAnd(A, B)
+                       : C == '|' ? Ctx.getOr(A, B)
+                                  : Ctx.getXor(A, B);
+    }
+  }
+  assert(Top == 1 && "validated RPN cannot be malformed");
+  return Stack[0];
+}
+
+std::string mba::synth::generateBasis3Table() {
+  std::vector<Entry> Table = buildClosure(3);
+  std::string Out = kMagic;
+  Out += "\n# truth(hex) rpn — minimal ops; tokens: a b c 0 1 ~ & | ^\n";
+  for (unsigned F = 0; F != 256; ++F) {
+    char Buf[8];
+    std::snprintf(Buf, sizeof(Buf), "%02x ", F);
+    Out += Buf;
+    Out += Table[F].Rpn;
+    Out += '\n';
+  }
+  return Out;
+}

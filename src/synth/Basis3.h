@@ -1,0 +1,80 @@
+//===- synth/Basis3.h - Shipped 3-variable bitwise basis table -*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 3-variable analogue of the paper's shipped 2-variable basis table
+/// (Table 5): for each of the 256 truth functions of three variables, the
+/// minimal bitwise realization, stored as a versioned data file
+/// (data/basis3.tbl) generated offline by the synthesizer's closure and
+/// loaded once at startup.
+///
+/// Entries are postfix (RPN) programs over single-character tokens —
+/// `a b c` for variable positions 0..2, `0`/`1` for the constants zero and
+/// all-ones, and the operators `~ & | ^` — so loading needs no expression
+/// parser and validation is a 30-line stack machine. The startup integrity
+/// check (same spirit as the MBACACHE snapshot guards) verifies the magic
+/// line, the declared variable/term counts, and that every entry's truth
+/// table equals its index; any mismatch falls back to the builtin closure,
+/// which computes identical content in-process, so a missing or corrupt
+/// file can never change results — only cold-start cost.
+///
+/// The term bank and synthesizer consume this table two ways: cost ranking
+/// (operator count per truth function, context-free) and expression
+/// construction (RPN replay against a Context). Tables for 1 and 2
+/// variables are always served by the builtin closure; only the 3-variable
+/// table ships as data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SYNTH_BASIS3_H
+#define MBA_SYNTH_BASIS3_H
+
+#include "ast/Context.h"
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace mba::synth {
+
+/// Maximum variable count the basis tables cover (truth functions are
+/// indexed by 2^2^T, so 3 is the last practical tier).
+constexpr unsigned MaxBasisVars = 3;
+
+/// Where the 3-variable table was sourced from, for diagnostics and tests.
+struct Basis3LoadInfo {
+  bool FromFile = false; ///< loaded and validated from the data file
+  std::string Path;      ///< path probed (even on fallback)
+  std::string Error;     ///< why the file was rejected (empty when loaded)
+};
+
+/// Load state of the shipped table (the load happens once, lazily).
+const Basis3LoadInfo &basis3LoadInfo();
+
+/// Minimal operator count realizing truth function \p Truth over
+/// \p NumVars variables (1..MaxBasisVars). Context-free; the term bank
+/// ranks candidates with this.
+unsigned bitwiseCost(unsigned NumVars, uint32_t Truth);
+
+/// The RPN program of the minimal realization (see file comment for the
+/// token alphabet). Valid for the process lifetime.
+std::string_view bitwiseRpn(unsigned NumVars, uint32_t Truth);
+
+/// Builds the minimal bitwise expression over \p Vars whose truth column
+/// is \p Truth (bit k = value on truth-table row k, rows ordered by
+/// linalg/TruthTable.h's truthBit). |Vars| must be 1..MaxBasisVars.
+const Expr *bitwiseFromTruth(Context &Ctx, std::span<const Expr *const> Vars,
+                             uint32_t Truth);
+
+/// Serializes the full 3-variable table in the shipped file format
+/// (deterministic: regenerating always produces identical bytes). Used by
+/// tools/gen-basis3 to (re)create data/basis3.tbl.
+std::string generateBasis3Table();
+
+} // namespace mba::synth
+
+#endif // MBA_SYNTH_BASIS3_H

@@ -1,0 +1,67 @@
+//===- synth/TermBank.cpp - Complexity-ranked bitwise term bank -----------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/TermBank.h"
+
+#include "synth/Basis3.h"
+#include "linalg/TruthTable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace mba;
+using namespace mba::synth;
+
+std::span<const BankTerm> mba::synth::termBank(unsigned NumVars) {
+  assert(NumVars >= 1 && NumVars <= MaxBasisVars && "unsupported arity");
+  struct AllBanks {
+    std::vector<BankTerm> B[MaxBasisVars + 1]; // index = NumVars
+  };
+  static const AllBanks Banks = [] {
+    AllBanks A;
+    for (unsigned T = 1; T <= MaxBasisVars; ++T) {
+      const uint32_t Full = (1u << (1u << T)) - 1;
+      std::vector<BankTerm> &Bank = A.B[T];
+      Bank.reserve(Full - 1);
+      for (uint32_t F = 1; F != Full; ++F)
+        Bank.push_back({F, (uint8_t)bitwiseCost(T, F)});
+      std::stable_sort(Bank.begin(), Bank.end(),
+                       [](const BankTerm &X, const BankTerm &Y) {
+                         return X.Cost != Y.Cost ? X.Cost < Y.Cost
+                                                 : X.Truth < Y.Truth;
+                       });
+    }
+    return A;
+  }();
+  return Banks.B[NumVars];
+}
+
+void mba::synth::mintermValues(std::span<const uint64_t *const> VarValues,
+                               unsigned NumVars, size_t NumPoints,
+                               uint64_t Mask, uint64_t *Minterms) {
+  assert(VarValues.size() >= NumVars && "missing variable value arrays");
+  const unsigned Rows = 1u << NumVars;
+  for (unsigned R = 0; R != Rows; ++R) {
+    uint64_t *Out = Minterms + (size_t)R * NumPoints;
+    const uint64_t *V0 = VarValues[0];
+    if (truthBit(R, 0, NumVars))
+      for (size_t J = 0; J != NumPoints; ++J)
+        Out[J] = V0[J] & Mask;
+    else
+      for (size_t J = 0; J != NumPoints; ++J)
+        Out[J] = ~V0[J] & Mask;
+    for (unsigned I = 1; I != NumVars; ++I) {
+      const uint64_t *VI = VarValues[I];
+      if (truthBit(R, I, NumVars))
+        for (size_t J = 0; J != NumPoints; ++J)
+          Out[J] &= VI[J];
+      else
+        for (size_t J = 0; J != NumPoints; ++J)
+          Out[J] &= ~VI[J];
+    }
+  }
+}

@@ -1,0 +1,66 @@
+//===- synth/TermBank.h - Complexity-ranked bitwise term bank --*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The enumerative synthesizer's candidate space: every non-constant truth
+/// function of up to MaxBasisVars variables, ranked by the operator count
+/// of its minimal bitwise realization (synth/Basis3.h). Cheap candidates
+/// are tried first, so the first match is also the simplest one the bank
+/// can express — the enumeration order *is* the cost model.
+///
+/// Candidate evaluation is factored through minterms: for truth row r,
+/// Minterm_r(x) is all-ones exactly on the bit positions whose variable
+/// bits match row r, so any bank term's bitwise value at a point is the OR
+/// of its truth rows' minterm values. The bank precomputes the 2^t minterm
+/// value arrays once per target (t * 2^t word ops per point), after which
+/// every one of the ~2^2^t candidates costs popcount(truth) ORs per point —
+/// no per-candidate expression construction or DAG evaluation. This is
+/// what makes wide-batch matching against the sampled signature affordable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SYNTH_TERMBANK_H
+#define MBA_SYNTH_TERMBANK_H
+
+#include <cstdint>
+#include <span>
+
+namespace mba::synth {
+
+/// One candidate bitwise function.
+struct BankTerm {
+  uint32_t Truth; ///< truth column (bit r = value on row r)
+  uint8_t Cost;   ///< operator count of the minimal realization
+};
+
+/// The ranked bank for \p NumVars variables (1..MaxBasisVars): all
+/// 2^2^NumVars - 2 non-constant truth functions, sorted by Cost then Truth
+/// (deterministic enumeration order). Built once per arity, process-wide.
+std::span<const BankTerm> termBank(unsigned NumVars);
+
+/// Fills \p Minterms (2^NumVars rows of \p NumPoints words, row-major) with
+/// the minterm indicator values: Minterms[r * NumPoints + j] has exactly
+/// the bits where, for every variable position i, bit i of point j's value
+/// VarValues[i][j] equals truth row r's bit for variable i. Values are
+/// masked to \p Mask.
+void mintermValues(std::span<const uint64_t *const> VarValues,
+                   unsigned NumVars, size_t NumPoints, uint64_t Mask,
+                   uint64_t *Minterms);
+
+/// Bitwise value of the term with truth column \p Truth at point \p J: the
+/// OR of its rows' minterm values. O(popcount(Truth)) words.
+inline uint64_t termValue(const uint64_t *Minterms, size_t NumPoints,
+                          uint32_t Truth, size_t J) {
+  uint64_t V = 0;
+  for (unsigned R = 0; Truth; ++R, Truth >>= 1)
+    if (Truth & 1)
+      V |= Minterms[(size_t)R * NumPoints + J];
+  return V;
+}
+
+} // namespace mba::synth
+
+#endif // MBA_SYNTH_TERMBANK_H

@@ -1,0 +1,267 @@
+//===- tests/bitslice_isa_test.cpp - Wide-engine ISA agreement tests ------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Pins every compiled wide-engine back end (scalar / AVX2 / AVX-512) to the
+/// same results: exhaustive kernel agreement at widths <= 8 (every (a, b)
+/// input pair exists, so agreement is a proof, not a sample), and a
+/// 4-worker-pool determinism test asserting that signature computation under
+/// a forced SIMD back end is bit-identical to the scalar path. Back ends the
+/// CPU cannot run are skipped, so the suite passes (with reduced coverage)
+/// on non-AVX hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+#include "gen/Obfuscator.h"
+#include "mba/Signature.h"
+#include "support/Bitslice.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace mba;
+namespace bs = mba::bitslice;
+
+namespace {
+
+uint64_t maskOf(unsigned Width) {
+  return Width == 64 ? ~0ULL : ((1ULL << Width) - 1);
+}
+
+/// The back ends this build AND this CPU can actually run (Scalar always).
+std::vector<bs::Isa> supportedIsas() {
+  std::vector<bs::Isa> Out;
+  for (bs::Isa I : {bs::Isa::Scalar, bs::Isa::Avx2, bs::Isa::Avx512})
+    if (bs::isaSupported(I))
+      Out.push_back(I);
+  return Out;
+}
+
+/// RAII dispatch override so a failing assertion cannot leak a forced ISA
+/// into later tests.
+struct ForcedIsa {
+  explicit ForcedIsa(bs::Isa I) { bs::forceIsa(I); }
+  ~ForcedIsa() { bs::clearForcedIsa(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Exhaustive kernel agreement, widths 1..8
+//===----------------------------------------------------------------------===//
+
+// Lane-space kernels: for each width <= 8 the input vectors enumerate every
+// (a, b) pair, so every adder carry chain and multiplier partial product a
+// back end can produce is exercised.
+TEST(WideIsaAgreement, ExhaustiveLaneKernelsWidthsUpTo8) {
+  for (bs::Isa I : supportedIsas()) {
+    const bs::WideKernels &K = bs::kernelsFor(I);
+    ASSERT_EQ(K.IsaTag, I);
+    for (unsigned Width = 1; Width <= 8; ++Width) {
+      const uint64_t Mask = maskOf(Width);
+      const unsigned Side = 1u << Width;
+      const unsigned N = Side * Side;
+      std::vector<uint64_t> A(N), B(N), Out(N);
+      for (unsigned P = 0; P != N; ++P) {
+        A[P] = P & (Side - 1);
+        B[P] = P >> Width;
+      }
+      auto Check = [&](const char *Op, auto Expected) {
+        for (unsigned P = 0; P != N; ++P)
+          ASSERT_EQ(Out[P], Expected(A[P], B[P]) & Mask)
+              << bs::isaName(I) << " " << Op << " w" << Width << " a=" << A[P]
+              << " b=" << B[P];
+      };
+      K.LaneAnd(A.data(), B.data(), Out.data(), N);
+      Check("and", [](uint64_t X, uint64_t Y) { return X & Y; });
+      K.LaneOr(A.data(), B.data(), Out.data(), N);
+      Check("or", [](uint64_t X, uint64_t Y) { return X | Y; });
+      K.LaneXor(A.data(), B.data(), Out.data(), N);
+      Check("xor", [](uint64_t X, uint64_t Y) { return X ^ Y; });
+      K.LaneAddM(A.data(), B.data(), Out.data(), N, Mask);
+      Check("add", [](uint64_t X, uint64_t Y) { return X + Y; });
+      K.LaneSubM(A.data(), B.data(), Out.data(), N, Mask);
+      Check("sub", [](uint64_t X, uint64_t Y) { return X - Y; });
+      K.LaneMulM(A.data(), B.data(), Out.data(), N, Mask);
+      Check("mul", [](uint64_t X, uint64_t Y) { return X * Y; });
+      K.LaneNotM(A.data(), Out.data(), N, Mask);
+      Check("not", [](uint64_t X, uint64_t) { return ~X; });
+      K.LaneNegM(A.data(), Out.data(), N, Mask);
+      Check("neg", [](uint64_t X, uint64_t) { return ~X + 1; });
+      K.LaneCopyM(A.data(), Out.data(), N, Mask);
+      Check("copy", [](uint64_t X, uint64_t) { return X; });
+      // Fused scalar-operand forms, exhaustive over a for a few constants.
+      for (uint64_t C : {uint64_t(0), uint64_t(1), Mask, Mask >> 1}) {
+        K.LaneAndS(A.data(), C, Out.data(), N);
+        Check("andS", [C](uint64_t X, uint64_t) { return X & C; });
+        K.LaneOrS(A.data(), C, Out.data(), N);
+        Check("orS", [C](uint64_t X, uint64_t) { return X | C; });
+        K.LaneXorS(A.data(), C, Out.data(), N);
+        Check("xorS", [C](uint64_t X, uint64_t) { return X ^ C; });
+        K.LaneAddSM(A.data(), C, Out.data(), N, Mask);
+        Check("addS", [C](uint64_t X, uint64_t) { return X + C; });
+        K.LaneSubSM(A.data(), C, Out.data(), N, Mask);
+        Check("subS", [C](uint64_t X, uint64_t) { return X - C; });
+        K.LaneRSubSM(A.data(), C, Out.data(), N, Mask);
+        Check("rsubS", [C](uint64_t X, uint64_t) { return C - X; });
+        K.LaneMulSM(A.data(), C, Out.data(), N, Mask);
+        Check("mulS", [C](uint64_t X, uint64_t) { return X * C; });
+      }
+    }
+  }
+}
+
+// Slice-space kernels: the same exhaustive pairs pushed through the back
+// end's own transpose (LanesToSlices), the sliced op, and the inverse
+// transpose. Runs in the back end's native block size, including the final
+// partial block.
+TEST(WideIsaAgreement, ExhaustiveSliceKernelsWidthsUpTo8) {
+  for (bs::Isa I : supportedIsas()) {
+    const bs::WideKernels &K = bs::kernelsFor(I);
+    const unsigned Lanes = K.Words * 64;
+    for (unsigned Width = 1; Width <= 8; ++Width) {
+      const uint64_t Mask = maskOf(Width);
+      const unsigned Side = 1u << Width;
+      const unsigned N = Side * Side;
+      std::vector<uint64_t> A(N), B(N), Out(N);
+      for (unsigned P = 0; P != N; ++P) {
+        A[P] = P & (Side - 1);
+        B[P] = P >> Width;
+      }
+      std::vector<uint64_t> SA(Width * K.Words), SB(Width * K.Words),
+          SO(Width * K.Words);
+      auto RunSliced = [&](auto SliceOp) {
+        for (unsigned Base = 0; Base < N; Base += Lanes) {
+          unsigned Block = std::min(Lanes, N - Base);
+          K.LanesToSlices(A.data() + Base, Block, Width, SA.data());
+          K.LanesToSlices(B.data() + Base, Block, Width, SB.data());
+          SliceOp(SA.data(), SB.data(), SO.data());
+          K.SlicesToLanes(SO.data(), Width, Block, Out.data() + Base);
+        }
+      };
+      auto Check = [&](const char *Op, auto Expected) {
+        for (unsigned P = 0; P != N; ++P)
+          ASSERT_EQ(Out[P], Expected(A[P], B[P]) & Mask)
+              << bs::isaName(I) << " slice-" << Op << " w" << Width
+              << " a=" << A[P] << " b=" << B[P];
+      };
+      RunSliced([&](const uint64_t *X, const uint64_t *Y, uint64_t *O) {
+        K.SliceAnd(Width, X, Y, O);
+      });
+      Check("and", [](uint64_t X, uint64_t Y) { return X & Y; });
+      RunSliced([&](const uint64_t *X, const uint64_t *Y, uint64_t *O) {
+        K.SliceOr(Width, X, Y, O);
+      });
+      Check("or", [](uint64_t X, uint64_t Y) { return X | Y; });
+      RunSliced([&](const uint64_t *X, const uint64_t *Y, uint64_t *O) {
+        K.SliceXor(Width, X, Y, O);
+      });
+      Check("xor", [](uint64_t X, uint64_t Y) { return X ^ Y; });
+      RunSliced([&](const uint64_t *X, const uint64_t *Y, uint64_t *O) {
+        K.SliceAdd(Width, X, Y, O);
+      });
+      Check("add", [](uint64_t X, uint64_t Y) { return X + Y; });
+      RunSliced([&](const uint64_t *X, const uint64_t *Y, uint64_t *O) {
+        K.SliceSub(Width, X, Y, O);
+      });
+      Check("sub", [](uint64_t X, uint64_t Y) { return X - Y; });
+      RunSliced([&](const uint64_t *X, const uint64_t *Y, uint64_t *O) {
+        K.SliceMul(Width, X, Y, O);
+      });
+      Check("mul", [](uint64_t X, uint64_t Y) { return X * Y; });
+      RunSliced([&](const uint64_t *X, const uint64_t *, uint64_t *O) {
+        K.SliceNot(Width, X, O);
+      });
+      Check("not", [](uint64_t X, uint64_t) { return ~X; });
+      RunSliced([&](const uint64_t *X, const uint64_t *, uint64_t *O) {
+        K.SliceNeg(Width, X, O);
+      });
+      Check("neg", [](uint64_t X, uint64_t) { return ~X + 1; });
+      RunSliced([&](const uint64_t *, const uint64_t *, uint64_t *O) {
+        K.SliceBroadcast(Width, Mask >> 1, O);
+      });
+      Check("broadcast", [&](uint64_t, uint64_t) { return Mask >> 1; });
+    }
+  }
+}
+
+// The wide transpose must match transpose64 applied block by block.
+TEST(WideIsaAgreement, TransposeBlocksMatchesScalar64) {
+  RNG Rng(6);
+  for (bs::Isa I : supportedIsas()) {
+    const bs::WideKernels &K = bs::kernelsFor(I);
+    for (unsigned Blocks : {1u, 2u, K.Words, 2 * K.Words + 1}) {
+      std::vector<uint64_t> M(64 * Blocks), Ref;
+      for (uint64_t &W : M)
+        W = Rng.next();
+      Ref = M;
+      for (unsigned B = 0; B != Blocks; ++B)
+        bs::transpose64(Ref.data() + 64 * B);
+      K.TransposeBlocks(M.data(), Blocks);
+      ASSERT_EQ(M, Ref) << bs::isaName(I) << " blocks=" << Blocks;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 4-worker-pool determinism across back ends
+//===----------------------------------------------------------------------===//
+
+// Signatures computed on a jobs=4 pool must be bit-identical under every
+// forced back end: the SIMD paths may not perturb results regardless of
+// which worker, block size, or partial tail a lane lands in. One Context
+// per worker ordinal (BitslicedExpr borrows per-context scratch).
+TEST(WideIsaAgreement, PooledSignaturesDeterministicAcrossIsas) {
+  constexpr unsigned Jobs = 4;
+  constexpr unsigned NumExprs = 24;
+
+  // Fixed corpus of linear-MBA texts, generated once.
+  std::vector<std::string> Texts;
+  {
+    Context GenCtx(64);
+    Obfuscator Obf(GenCtx, 20210620);
+    const Expr *Vars[] = {GenCtx.getVar("x"), GenCtx.getVar("y"),
+                          GenCtx.getVar("z")};
+    ObfuscationOptions OOpts;
+    for (unsigned I = 0; I != NumExprs; ++I) {
+      const Expr *T = Obf.randomBitwise(Vars, 2);
+      Texts.push_back(printExpr(GenCtx, Obf.obfuscateLinear(T, OOpts)));
+    }
+  }
+
+  auto RunAll = [&](unsigned Width) {
+    std::vector<std::vector<uint64_t>> PerIsa;
+    for (bs::Isa I : supportedIsas()) {
+      ForcedIsa Forced(I);
+      std::vector<std::unique_ptr<Context>> Ctxs;
+      for (unsigned W = 0; W != Jobs; ++W)
+        Ctxs.push_back(std::make_unique<Context>(Width));
+      std::vector<std::vector<uint64_t>> Sigs(NumExprs);
+      ThreadPool Pool(Jobs);
+      Pool.parallelFor(NumExprs, [&](size_t Index, unsigned Worker) {
+        Context &Ctx = *Ctxs[Worker];
+        auto R = parseExpr(Ctx, Texts[Index]);
+        ASSERT_TRUE(R.ok()) << R.Error;
+        Sigs[Index] = computeSignature(Ctx, R.E);
+      });
+      std::vector<uint64_t> Flat;
+      for (const auto &S : Sigs)
+        Flat.insert(Flat.end(), S.begin(), S.end());
+      PerIsa.push_back(std::move(Flat));
+    }
+    for (size_t K = 1; K < PerIsa.size(); ++K)
+      EXPECT_EQ(PerIsa[K], PerIsa[0])
+          << "width " << Width << ": " << bs::isaName(supportedIsas()[K])
+          << " diverges from " << bs::isaName(supportedIsas()[0]);
+  };
+  RunAll(8);
+  RunAll(64);
+}
+
+} // namespace

@@ -1,0 +1,46 @@
+// mba-tidy corpus: raw SIMD surface outside the src/support/Bitslice*
+// seam. This repository keeps every intrinsic, vector type, and
+// CPU-feature macro behind the one wide-engine dispatch boundary; a file
+// like this one (path not under the seam) reaching for them directly is
+// growing a second, untested ISA seam. (One flagged token per line: the
+// corpus harness pairs each diagnostic with one EXPECT marker.)
+#include <immintrin.h> // EXPECT: mba-isa-outside-seam
+
+#include <cstdint>
+
+#ifdef __AVX2__ // EXPECT: mba-isa-outside-seam
+void copyAvx2(const uint64_t *A, uint64_t *Out) {
+  __m256i V =              // EXPECT: mba-isa-outside-seam
+      _mm256_loadu_si256(  // EXPECT: mba-isa-outside-seam
+          reinterpret_cast<const __m256i_u *>(A)); // EXPECT: mba-isa-outside-seam
+  _mm256_storeu_si256(     // EXPECT: mba-isa-outside-seam
+      reinterpret_cast<__m256i_u *>(Out), V);      // EXPECT: mba-isa-outside-seam
+}
+#endif
+
+#if defined(__AVX512F__) // EXPECT: mba-isa-outside-seam
+void copyAvx512(const uint64_t *A, uint64_t *Out) {
+  __m512i V =              // EXPECT: mba-isa-outside-seam
+      _mm512_loadu_si512(A); // EXPECT: mba-isa-outside-seam
+  _mm512_storeu_si512(     // EXPECT: mba-isa-outside-seam
+      Out, V);
+}
+#endif
+
+// The sanctioned shape: ISA-agnostic code through the dispatch API. Names
+// from the seam's public surface (kernelsFor, activeKernels, forceIsa,
+// MBA_FORCE_ISA, Isa::Avx2) are not raw ISA surface and stay silent, as
+// do intrinsic names inside string literals.
+namespace fake_bitslice {
+struct WideKernels {
+  void (*LaneAnd)(const uint64_t *, const uint64_t *, uint64_t *, unsigned);
+};
+const WideKernels &activeKernels();
+} // namespace fake_bitslice
+
+void andDispatch(const uint64_t *A, const uint64_t *B, uint64_t *Out,
+                 unsigned N) {
+  fake_bitslice::activeKernels().LaneAnd(A, B, Out, N);
+  const char *Doc = "prefer kernelsFor over _mm256_and_si256";
+  (void)Doc;
+}

@@ -125,7 +125,7 @@ TEST(StaticAnalysisCorpus, EveryCheckHasANegativeSnippet) {
 
 TEST(StaticAnalysisChecks, RegistryIsStableAndNamed) {
   auto Checks = createAllChecks();
-  ASSERT_EQ(Checks.size(), 5u);
+  ASSERT_EQ(Checks.size(), 6u);
   std::vector<std::string> Names;
   for (const auto &C : Checks) {
     Names.emplace_back(C->name());

@@ -1,0 +1,33 @@
+//===- tools/gen-basis3.cpp - Regenerate data/basis3.tbl ------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Emits the 3-variable basis table (synth/Basis3.h) on stdout, or into the
+// file given as argv[1]. The output is deterministic, so regenerating over
+// a checked-in data/basis3.tbl must be a no-op; CI can diff to prove the
+// shipped file matches the code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Basis3.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+int main(int argc, char **argv) {
+  std::string Table = mba::synth::generateBasis3Table();
+  if (argc > 1) {
+    std::ofstream Out(argv[1], std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "gen-basis3: cannot write %s\n", argv[1]);
+      return 1;
+    }
+    Out << Table;
+    return 0;
+  }
+  std::cout << Table;
+  return 0;
+}

@@ -423,6 +423,57 @@ private:
 };
 
 //===----------------------------------------------------------------------===//
+// mba-isa-outside-seam
+//===----------------------------------------------------------------------===//
+
+/// Raw SIMD usage outside the wide-engine seam. src/support/Bitslice* is
+/// the repository's single ISA boundary: the AVX2/AVX-512 back ends live
+/// there behind runtime dispatch (bitslice::kernelsFor / activeKernels),
+/// so every other file stays portable and the scalar/SIMD agreement tests
+/// cover all vector code there is. Intrinsic calls, vector types,
+/// CPU-feature macros, or the intrinsics headers anywhere else mean a
+/// second dispatch seam is growing.
+class IsaOutsideSeamCheck : public Check {
+public:
+  std::string_view name() const override { return "mba-isa-outside-seam"; }
+  std::string_view description() const override {
+    return "Raw AVX intrinsics or __AVX*__ feature tests outside "
+           "src/support/Bitslice*; all ISA dispatch stays behind the "
+           "wide-engine seam (bitslice::kernelsFor / activeKernels)";
+  }
+
+  void run(const SourceFile &SF, std::vector<Diagnostic> &Out) const override {
+    // The seam itself is the sanctioned home of intrinsics and feature
+    // macros (its own lint corpus file stands in for "everywhere else").
+    if (SF.Path.find("src/support/Bitslice") != std::string::npos)
+      return;
+    for (const Token &T : SF.Tokens) {
+      if (!T.isIdent() || !isRawIsaToken(T.Text))
+        continue;
+      emit(Out, SF, T, name(),
+           "raw ISA surface '" + T.Text +
+               "' outside src/support/Bitslice*; SIMD intrinsics and "
+               "CPU-feature tests stay behind the one wide-engine seam — "
+               "dispatch via bitslice::kernelsFor()/activeKernels() "
+               "(tests override with forceIsa()/MBA_FORCE_ISA)");
+    }
+  }
+
+private:
+  /// Intrinsic calls (_mm*_*), vector types (__m128/__m256/__m512...),
+  /// feature-test macros (__AVX*/__SSE*), and the intrinsics headers.
+  /// String literals never reach here (the lexer strips them into String
+  /// tokens), so messages about intrinsics stay silent.
+  static bool isRawIsaToken(std::string_view S) {
+    return S.starts_with("_mm_") || S.starts_with("_mm256_") ||
+           S.starts_with("_mm512_") || S.starts_with("__m128") ||
+           S.starts_with("__m256") || S.starts_with("__m512") ||
+           S.starts_with("__AVX") || S.starts_with("__SSE") ||
+           S == "immintrin" || S == "x86intrin";
+  }
+};
+
+//===----------------------------------------------------------------------===//
 // mba-raw-pointer-in-cache-key
 //===----------------------------------------------------------------------===//
 
@@ -562,6 +613,7 @@ std::vector<std::unique_ptr<Check>> mba::tidy::createAllChecks() {
   std::vector<std::unique_ptr<Check>> Checks;
   Checks.push_back(std::make_unique<ContextCapturedByPoolCheck>());
   Checks.push_back(std::make_unique<CrossContextExprCheck>());
+  Checks.push_back(std::make_unique<IsaOutsideSeamCheck>());
   Checks.push_back(std::make_unique<RawPointerInCacheKeyCheck>());
   Checks.push_back(std::make_unique<SatSolverInLoopCheck>());
   Checks.push_back(std::make_unique<UnnamedRaiiCheck>());

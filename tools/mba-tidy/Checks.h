@@ -18,6 +18,9 @@
 ///   mba-unnamed-raii            Discarded RAII temporaries (MutexLock,
 ///                               SpanGuard, std::lock_guard, ...) that
 ///                               release their resource immediately.
+///   mba-isa-outside-seam        Raw SIMD intrinsics, vector types, or
+///                               CPU-feature macros outside the
+///                               src/support/Bitslice* dispatch seam.
 ///   mba-raw-pointer-in-cache-key  Pointer values folded into 64-bit
 ///                               semantic cache keys, which breaks
 ///                               cross-process snapshot persistence.
