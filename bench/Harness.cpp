@@ -8,6 +8,8 @@
 
 #include "ast/ExprUtils.h"
 #include "ast/Printer.h"
+#include "support/BuildInfo.h"
+#include "support/QueryLog.h"
 #include "support/Stopwatch.h"
 
 #include <algorithm>
@@ -55,12 +57,15 @@ HarnessOptions mba::bench::parseHarnessArgs(int Argc, char **Argv) {
       Opts.TracePath = V;
     else if (const char *V = Value("--metrics="))
       Opts.MetricsPath = V;
+    else if (const char *V = Value("--query-log="))
+      Opts.QueryLogPath = V;
     else
       std::fprintf(stderr,
                    "warning: unknown argument '%s' "
                    "(supported: --per-category= --timeout= --width= --seed= "
                    "--static-prove= --jobs= --incremental= --simplify= "
-                   "--json= --cache= --cache-file= --trace= --metrics=)\n",
+                   "--json= --cache= --cache-file= --trace= --metrics= "
+                   "--query-log=)\n",
                    Arg);
   }
   return Opts;
@@ -93,6 +98,10 @@ void mba::bench::enableTelemetry(const HarnessOptions &Opts) {
     telemetry::setThreadLabel("main");
     telemetry::setTracingEnabled(true);
   }
+  if (!Opts.QueryLogPath.empty() &&
+      !querylog::openFile(Opts.QueryLogPath))
+    std::fprintf(stderr, "warning: cannot open query log '%s'\n",
+                 Opts.QueryLogPath.c_str());
 }
 
 void mba::bench::exportTelemetry(const HarnessOptions &Opts) {
@@ -106,6 +115,8 @@ void mba::bench::exportTelemetry(const HarnessOptions &Opts) {
       !telemetry::writeMetricsText(Opts.MetricsPath))
     std::fprintf(stderr, "warning: cannot write metrics to '%s'\n",
                  Opts.MetricsPath.c_str());
+  if (!Opts.QueryLogPath.empty())
+    querylog::close();
 }
 
 bool PipelineCaches::loadFrom(const std::string &Path, std::string &Err) {
@@ -428,6 +439,11 @@ void mba::bench::writeStudyJson(const std::string &Path,
   }
   std::fprintf(F, "{\n  \"table\": \"%s\",\n", Table.c_str());
   std::fprintf(F,
+               "  \"build_info\": {\"version\": \"%s\", \"git_sha\": \"%s\", "
+               "\"build_type\": \"%s\", \"isa\": \"%s\"},\n",
+               buildinfo::version(), buildinfo::gitSha(),
+               buildinfo::buildType(), buildinfo::activeIsaName());
+  std::fprintf(F,
                "  \"config\": {\"per_category\": %u, \"timeout_seconds\": "
                "%.6f, \"width\": %u, \"seed\": %llu, \"jobs\": %u, "
                "\"stage_zero\": %s, \"simplify\": %s, \"incremental\": %s},\n",
@@ -475,8 +491,9 @@ void mba::bench::writeStudyJson(const std::string &Path,
                Result.StaticStats.SolverSeconds);
 
   // The unified telemetry registry, flattened. Counters and gauges are
-  // plain numbers; histograms report count/sum (buckets live in the
-  // --metrics text dump). Empty when telemetry never ran this process.
+  // plain numbers; histograms report count/sum, estimated percentiles and
+  // the non-empty log2 buckets. Empty when telemetry never ran this
+  // process.
   std::vector<telemetry::MetricValue> Metrics = telemetry::snapshotMetrics();
 
   // CNF footprint of the run: variables/clauses the SAT backends actually
@@ -502,11 +519,29 @@ void mba::bench::writeStudyJson(const std::string &Path,
     case telemetry::MetricValue::KGauge:
       std::fprintf(F, "%lld", (long long)M.GaugeValue);
       break;
-    case telemetry::MetricValue::KHistogram:
-      std::fprintf(F, "{\"count\": %llu, \"sum\": %llu}",
+    case telemetry::MetricValue::KHistogram: {
+      std::fprintf(F, "{\"count\": %llu, \"sum\": %llu",
                    (unsigned long long)M.Hist.Count,
                    (unsigned long long)M.Hist.Sum);
+      if (M.Hist.Count)
+        std::fprintf(F, ", \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f",
+                     M.Hist.percentile(50), M.Hist.percentile(95),
+                     M.Hist.percentile(99));
+      // Sparse bucket map, keyed on each bucket's inclusive upper bound
+      // (bucket B covers [2^(B-1), 2^B)); empty buckets are omitted.
+      std::fprintf(F, ", \"buckets\": {");
+      bool FirstBucket = true;
+      for (unsigned B = 0; B != telemetry::HistogramBuckets; ++B) {
+        if (!M.Hist.Buckets[B])
+          continue;
+        std::fprintf(F, "%s\"%llu\": %llu", FirstBucket ? "" : ", ",
+                     (unsigned long long)telemetry::histogramBucketMax(B),
+                     (unsigned long long)M.Hist.Buckets[B]);
+        FirstBucket = false;
+      }
+      std::fprintf(F, "}}");
       break;
+    }
     }
   }
   std::fprintf(F, "%s},\n", Metrics.empty() ? "" : "\n  ");

@@ -80,11 +80,16 @@ struct HarnessOptions {
   /// of the unified telemetry registry is written here after the study.
   /// Metrics are also enabled (and embedded in the report) with --json.
   std::string MetricsPath;
+  /// When non-empty, the per-query flight recorder (support/QueryLog.h) is
+  /// enabled for the study and every simplify/equivalence query appends one
+  /// JSONL record here. Purely observational: verdicts and simplified
+  /// expressions are bit-identical with or without a log.
+  std::string QueryLogPath;
 };
 
 /// Parses --per-category / --timeout / --width / --seed / --static-prove /
 /// --jobs / --incremental / --simplify / --json / --cache / --cache-file /
-/// --trace / --metrics overrides.
+/// --trace / --metrics / --query-log overrides.
 HarnessOptions parseHarnessArgs(int Argc, char **Argv);
 
 /// Turns telemetry on as Opts asks (tracing for --trace, metrics for

@@ -9,6 +9,9 @@
 ///   mba_cli simplify '<expr>'            simplify one expression
 ///   mba_cli classify '<expr>'            category + metrics
 ///   mba_cli check '<a>' '<b>'            equivalence via all backends
+///   mba_cli explain '<expr>'             simplify + verify with the flight
+///                                        recorder on; render every stage,
+///                                        rule fire and backend statistic
 ///   mba_cli sig '<expr>'                 signature vector (linear MBA)
 ///   mba_cli certify                      certify the shipped rewrite rules
 ///   mba_cli deobfuscate-ir <file>        run the IR deobfuscation pipeline
@@ -20,7 +23,9 @@
 /// deobfuscate-ir verification; default 5), --no-verify (skip equivalence
 /// verification of IR rewrites), --quiet (report only, no program dump),
 /// --stats (print the telemetry registry summary — span timings and
-/// pipeline counters — to stdout after the command).
+/// pipeline counters — to stdout after the command), --query-log=FILE
+/// (record every simplify/equivalence query of the command as JSONL; see
+/// docs/OBSERVABILITY.md for the schema).
 ///
 /// `certify` re-proves every shipped equality-saturation rule sound for all
 /// bit widths and exits non-zero if any rule fails — CI runs it so an
@@ -42,6 +47,8 @@
 #include "mba/Signature.h"
 #include "mba/Simplifier.h"
 #include "solvers/EquivalenceChecker.h"
+#include "support/Json.h"
+#include "support/QueryLog.h"
 #include "support/Telemetry.h"
 
 #include <cstdio>
@@ -59,8 +66,9 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--width=N] [--timeout=S] [--stats] "
-               "simplify|classify|check|sig|certify|deobfuscate-ir|dot "
-               "[<expr>|<file>] [<expr2>]\n"
+               "[--query-log=FILE] "
+               "simplify|classify|check|explain|sig|certify|deobfuscate-ir|"
+               "dot [<expr>|<file>] [<expr2>]\n"
                "       %s deobfuscate-ir [--no-verify] [--quiet] <file>\n"
                "       %s dot '<expr>' | dot --ir <file> [--def-use]\n",
                Prog, Prog, Prog);
@@ -93,21 +101,96 @@ const Expr *parseArg(Context &Ctx, const char *Text) {
   return R.E;
 }
 
+/// Renders one scalar flight-recorder field for `explain`. Integral
+/// numbers print without a decimal point; ns-suffixed keys get a friendly
+/// milliseconds rendering next to the raw value.
+void printExplainField(const std::string &Key, const json::Value &V) {
+  std::printf("  %-20s ", Key.c_str());
+  switch (V.kind()) {
+  case json::Value::KBool:
+    std::printf("%s", V.asBool() ? "true" : "false");
+    break;
+  case json::Value::KNumber: {
+    double N = V.asNumber();
+    if (N == (double)(long long)N)
+      std::printf("%lld", (long long)N);
+    else
+      std::printf("%g", N);
+    if (Key.size() > 3 && Key.compare(Key.size() - 3, 3, "_ns") == 0)
+      std::printf(" (%.3f ms)", N / 1e6);
+    break;
+  }
+  case json::Value::KString:
+    std::printf("%s", V.asString().c_str());
+    break;
+  default:
+    std::printf("?");
+    break;
+  }
+  std::printf("\n");
+}
+
+/// Renders one captured flight-recorder record (a parsed JSONL line) as a
+/// human-readable stage report: header, scalar fields, per-stage timings,
+/// per-rule attribution.
+void printExplainRecord(const json::Value &Rec) {
+  std::printf("--- %s query (%.3f ms) ---\n",
+              std::string(Rec.stringAt("kind", "?")).c_str(),
+              Rec.numberAt("ns") / 1e6);
+  for (const auto &M : Rec.members()) {
+    if (M.first == "kind" || M.first == "seq" || M.first == "tid" ||
+        M.first == "ns" || M.first == "stages" || M.first == "rules")
+      continue;
+    printExplainField(M.first, M.second);
+  }
+  if (const json::Value *Stages = Rec.get("stages")) {
+    std::printf("  stages:\n");
+    for (const json::Value &S : Stages->elements())
+      std::printf("    %-24s %10.3f ms\n",
+                  std::string(S.stringAt("name")).c_str(),
+                  S.numberAt("ns") / 1e6);
+  }
+  if (const json::Value *Rules = Rec.get("rules")) {
+    std::printf("  rules:%*sfires         ms   nodes\n", 24, "");
+    for (const json::Value &R : Rules->elements()) {
+      std::printf("    %-24s %7llu %10.3f",
+                  std::string(R.stringAt("rule")).c_str(),
+                  (unsigned long long)R.numberAt("fires"),
+                  R.numberAt("ns") / 1e6);
+      unsigned long long Before = (unsigned long long)R.numberAt("nodes_before");
+      unsigned long long After = (unsigned long long)R.numberAt("nodes_after");
+      if (Before || After)
+        std::printf("   %llu -> %llu", Before, After);
+      std::printf("\n");
+    }
+  }
+}
+
 } // namespace
 
 int run(int Argc, char **Argv);
 
 int main(int Argc, char **Argv) {
   bool Stats = false;
-  for (int I = 1; I < Argc; ++I)
+  const char *QueryLogPath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--stats") == 0)
       Stats = true;
+    else if (std::strncmp(Argv[I], "--query-log=", 12) == 0)
+      QueryLogPath = Argv[I] + 12;
+  }
   if (Stats) {
     telemetry::setMetricsEnabled(true);
     telemetry::setTracingEnabled(true);
     telemetry::setThreadLabel("main");
   }
+  if (QueryLogPath && !querylog::openFile(QueryLogPath)) {
+    std::fprintf(stderr, "error: cannot open query log '%s'\n", QueryLogPath);
+    return 1;
+  }
   int Exit = run(Argc, Argv);
+  if (QueryLogPath)
+    querylog::close();
   if (Stats) {
     telemetry::setTracingEnabled(false);
     telemetry::printSummary(stdout);
@@ -124,7 +207,8 @@ int run(int Argc, char **Argv) {
   bool Quiet = false;
   std::vector<const char *> Positional;
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--stats") == 0)
+    if (std::strcmp(Argv[I], "--stats") == 0 ||
+        std::strncmp(Argv[I], "--query-log=", 12) == 0)
       continue;
     if (std::strcmp(Argv[I], "--no-verify") == 0) {
       NoVerify = true;
@@ -214,6 +298,38 @@ int run(int Argc, char **Argv) {
         Exit = 1;
     }
     return Exit;
+  }
+
+  if (Command == "explain") {
+    const Expr *E = parseArg(Ctx, Positional[1]);
+    // Capture the full decision trail in memory: simplify, then verify the
+    // result against the input through the staged pipeline (stage-0 prover
+    // in front of the incremental AIG backend) — the same path a study
+    // query takes.
+    querylog::beginCapture();
+    MBASolver Solver(Ctx);
+    const Expr *R = Solver.simplify(E);
+    StageZeroStats Stats;
+    auto Checker = makeStagedChecker(Ctx, makeAigChecker(true), &Stats,
+                                     ProveBudget(), nullptr);
+    CheckResult CR = Checker->check(Ctx, E, R, Timeout);
+    std::vector<std::string> Lines = querylog::endCapture();
+
+    std::printf("input:      %s\n", printExpr(Ctx, E).c_str());
+    std::printf("simplified: %s\n", printExpr(Ctx, R).c_str());
+    std::printf("verified:   %s (%s, %.3f s)\n\n",
+                verdictName(CR.Outcome), Checker->name().c_str(), CR.Seconds);
+    for (const std::string &Line : Lines) {
+      json::Value Rec;
+      std::string Err;
+      if (!json::parse(Line, Rec, &Err)) {
+        std::fprintf(stderr, "error: bad flight-recorder line: %s\n",
+                     Err.c_str());
+        return 1;
+      }
+      printExplainRecord(Rec);
+    }
+    return CR.Outcome == Verdict::Equivalent ? 0 : 1;
   }
 
   if (Command == "deobfuscate-ir") {

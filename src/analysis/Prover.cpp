@@ -8,6 +8,7 @@
 
 #include "analysis/AbstractInterp.h"
 #include "analysis/EGraph.h"
+#include "support/QueryLog.h"
 #include "support/Telemetry.h"
 
 #include <vector>
@@ -104,7 +105,10 @@ struct PendingMerge {
 /// all merges and rebuilds. Returns true when the e-graph changed.
 bool saturateRound(EGraph &G, const RuleSet &Rules, const ProveBudget &Budget,
                    ProveStats &Stats) {
-  unsigned NumPatVars = Rules.patternContext().numVars();
+  // Cached count, not patternContext().numVars(): the rule set is shared
+  // across worker threads, and the pattern context's accessors are pinned
+  // to the thread that first built certifiedRules().
+  unsigned NumPatVars = Rules.numPatternVars();
   std::vector<PendingMerge> Pending;
   std::vector<EClassId> Classes = G.canonicalClasses();
   Env Fresh(NumPatVars, Unbound);
@@ -125,12 +129,26 @@ bool saturateRound(EGraph &G, const RuleSet &Rules, const ProveBudget &Budget,
         break;
     }
   };
+  // Per-rule attribution (flight recorder + rule-attribution registry):
+  // e-matching dominates saturation cost, so time each rule's match pass
+  // and count the environments it produced. Only rules that matched are
+  // recorded — unmatched rules' time stays in the egraph-saturate stage
+  // aggregate. Gated so the undisturbed pipeline pays one relaxed load.
+  bool Attribute = telemetry::metricsEnabled() || querylog::active() != nullptr;
   for (const EqualityRule &R : Rules.rules()) {
     if (R.Certified == CertMethod::Uncertified)
       continue; // only certified rules may touch the e-graph
+    size_t PendingBefore = Pending.size();
+    uint64_t MatchStart = Attribute ? telemetry::nowNs() : 0;
     MatchRule(R.Lhs, R.Rhs);
     if (R.Bidirectional)
       MatchRule(R.Rhs, R.Lhs);
+    if (Attribute) {
+      size_t Fires = Pending.size() - PendingBefore;
+      if (Fires)
+        querylog::noteRule("egraph." + R.Name, Fires,
+                           telemetry::nowNs() - MatchStart, 0, 0);
+    }
   }
   bool Changed = false;
   for (const PendingMerge &P : Pending) {

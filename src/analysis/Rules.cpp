@@ -82,6 +82,7 @@ void RuleSet::add(std::string Name, std::string_view Lhs, std::string_view Rhs,
         std::abort();
       }
   Rules.push_back(std::move(R));
+  NumPatVars = PatCtx->numVars();
 }
 
 size_t RuleSet::pruneUncertified() {

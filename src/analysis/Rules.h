@@ -97,12 +97,20 @@ public:
   Context &patternContext() { return *PatCtx; }
   const Context &patternContext() const { return *PatCtx; }
 
+  /// Number of distinct pattern variables across all rules. Cached at
+  /// add() time so concurrent matchers (e.g. per-worker provers sharing
+  /// certifiedRules()) never touch the pattern context, whose accessors
+  /// are guarded by the owner-thread capability of the thread that first
+  /// built the set.
+  unsigned numPatternVars() const { return NumPatVars; }
+
   /// Drops every rule not marked certified. Returns the number removed.
   size_t pruneUncertified();
 
 private:
   std::unique_ptr<Context> PatCtx;
   std::vector<EqualityRule> Rules;
+  unsigned NumPatVars = 0;
 };
 
 /// Appends the shipped rule table: ring axioms of Z/2^w, the bitwise

@@ -17,9 +17,11 @@
 #include "mba/Signature.h"
 #include "mba/SimplifyCache.h"
 #include "poly/PolyExpr.h"
+#include "support/QueryLog.h"
 #include "support/Stopwatch.h"
 #include "support/Telemetry.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <functional>
 
@@ -54,6 +56,34 @@ uint64_t optionsFingerprint(const SimplifyOptions &O) {
 MBASolver::MBASolver(Context &Ctx, SimplifyOptions Opts)
     : Ctx(Ctx), Opts(Opts), OptionsFp(optionsFingerprint(this->Opts)) {}
 
+bool MBASolver::noting() const {
+  return Opts.Trail || telemetry::metricsEnabled() || querylog::active();
+}
+
+void MBASolver::note(const char *Rule, const Expr *Before, const Expr *After,
+                     uint64_t Ns) {
+  if (Opts.Trail)
+    Opts.Trail->record(Rule, Before, After);
+  // Rule attribution counts actual fires — a pass that ran but returned
+  // its input is stage time, not a rule application.
+  if (Before == After || !*Rule)
+    return;
+  if (telemetry::metricsEnabled() || querylog::active())
+    querylog::noteRule(Rule, 1, Ns, countDagNodes(Before),
+                       countDagNodes(After));
+}
+
+namespace {
+
+/// 16-hex-digit spelling of a fingerprint (JSON numbers cannot hold it).
+std::string fingerprintHex(uint64_t Fp) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, Fp);
+  return Buf;
+}
+
+} // namespace
+
 const Expr *MBASolver::simplify(const Expr *E) {
   MBA_TRACE_SPAN("simplify");
   static telemetry::Counter &Calls = telemetry::counter("simplify.calls");
@@ -62,6 +92,36 @@ const Expr *MBASolver::simplify(const Expr *E) {
   Calls.add();
   Stopwatch Timer;
   size_t BytesBefore = Ctx.bytesUsed();
+
+  // Flight recorder: one record per top-level simplify query. Purely
+  // observational — nothing below branches on whether recording is on, so
+  // logged and unlogged runs stay bit-identical (pinned by harness_test).
+  querylog::QueryScope LogScope("simplify");
+  size_t CacheHitsBefore = Stats.CacheHits;
+  size_t CacheMissesBefore = Stats.CacheMisses;
+  if (querylog::Record *QR = querylog::active()) {
+    QR->num("width", Ctx.width());
+    QR->num("nodes_in", countDagNodes(E));
+    QR->num("alt_in", mbaAlternation(E));
+    QR->str("fp_in", fingerprintHex(exprFingerprint(E)));
+    uint64_t ClassifyStart = telemetry::nowNs();
+    QR->str("class", mbaKindName(classifyMBA(Ctx, E)));
+    QR->stage("classify", telemetry::nowNs() - ClassifyStart);
+  }
+  auto FinishRecord = [&](const Expr *Result, const char *ResultCache) {
+    querylog::Record *QR = querylog::active();
+    if (!QR)
+      return;
+    QR->str("result_cache", ResultCache);
+    QR->num("nodes_out", countDagNodes(Result));
+    QR->num("alt_out", mbaAlternation(Result));
+    QR->str("fp_out", fingerprintHex(exprFingerprint(Result)));
+    // Simplifier-side cache events during this query (result + linear +
+    // basis layers share the counters; the early-return hit path makes
+    // "hit" vs these numbers unambiguous).
+    QR->num("cache_hits", Stats.CacheHits - CacheHitsBefore);
+    QR->num("cache_misses", Stats.CacheMisses - CacheMissesBefore);
+  };
 
   // Per-call state: temp numbering restarts at zero and may only avoid the
   // *input's* variable names, and the rewrite memo is scoped to this call.
@@ -97,36 +157,46 @@ const Expr *MBASolver::simplify(const Expr *E) {
       Stats.Seconds += Elapsed;
       Stats.ArenaBytesDelta += Ctx.bytesUsed() - BytesBefore;
       DurationNs.record((uint64_t)(Elapsed * 1e9));
+      FinishRecord(Hit, "hit");
       return Hit;
     }
   }
 
+  bool Noting = noting();
   const Expr *R = E;
   if (Opts.EnableKnownBits) {
     // Multi-domain constant folding (known bits + parity + intervals);
     // strictly stronger than the original known-bits-only pre-pass.
+    querylog::StageTimer Stage("abstract-fold");
+    uint64_t T0 = Noting ? telemetry::nowNs() : 0;
     R = foldAbstract(Ctx, R);
-    note("abstract-fold", E, R);
+    note("abstract-fold", E, R, Noting ? telemetry::nowNs() - T0 : 0);
   }
   if (Opts.EnableSaturation) {
     // Equality saturation with the certified rule table; extraction picks
     // the smallest discovered form. pickBetter guards against extraction
     // trading alternation for size.
+    querylog::StageTimer Stage("egraph-saturate");
     const Expr *Before = R;
+    uint64_t T0 = Noting ? telemetry::nowNs() : 0;
     R = pickBetter(Prover(Ctx).saturateAndExtract(R, Opts.SaturationBudget),
                    R);
-    note("egraph-saturate", Before, R);
+    note("egraph-saturate", Before, R, Noting ? telemetry::nowNs() - T0 : 0);
   }
   if (Opts.ExperimentalRule) {
+    querylog::StageTimer Stage("experimental-rule");
     const Expr *Before = R;
+    uint64_t T0 = Noting ? telemetry::nowNs() : 0;
     R = Opts.ExperimentalRule(Ctx, R);
-    note("experimental-rule", Before, R);
+    note("experimental-rule", Before, R, Noting ? telemetry::nowNs() - T0 : 0);
   }
   R = simplifyRec(R, 0);
   if (Opts.EnableFinalOpt) {
+    querylog::StageTimer Stage("final-opt");
     const Expr *Before = R;
+    uint64_t T0 = Noting ? telemetry::nowNs() : 0;
     R = finalOptimize(R);
-    note("final-opt", Before, R);
+    note("final-opt", Before, R, Noting ? telemetry::nowNs() - T0 : 0);
   }
   // Never return a form with more bitwise/arithmetic mixing than the
   // input. (Length may grow: the normalized expansion of a factored
@@ -140,6 +210,7 @@ const Expr *MBASolver::simplify(const Expr *E) {
   Stats.Seconds += Elapsed;
   Stats.ArenaBytesDelta += Ctx.bytesUsed() - BytesBefore;
   DurationNs.record((uint64_t)(Elapsed * 1e9));
+  FinishRecord(R, SC ? "miss" : "off");
   return R;
 }
 
@@ -154,6 +225,7 @@ const Expr *MBASolver::simplifyRec(const Expr *E, unsigned Depth) {
 
   const Expr *R = E;
   const char *Rule = "";
+  uint64_t NoteStart = noting() ? telemetry::nowNs() : 0;
   switch (classifyMBA(Ctx, E)) {
   case MBAKind::Linear: {
     std::vector<const Expr *> Vars = collectVariables(E);
@@ -192,10 +264,15 @@ const Expr *MBASolver::simplifyRec(const Expr *E, unsigned Depth) {
         if (Depth < Opts.MaxDepth)
           S = simplifyRec(S, Depth + 1);
         const Expr *P = pickBetter(S, R);
-        if (P != R) {
+        bool Installed = P != R;
+        if (Installed) {
           R = P;
           Rule = "synth-fallback";
         }
+        // Attribution: the candidate arrived checker-proved; record
+        // whether pickBetter installed it or judged it no improvement.
+        if (noting())
+          querylog::noteRuleOutcome("synth-fallback", Installed);
       }
     }
     break;
@@ -203,7 +280,7 @@ const Expr *MBASolver::simplifyRec(const Expr *E, unsigned Depth) {
 
   if (mbaAlternation(R) > mbaAlternation(E))
     R = E;
-  note(Rule, E, R);
+  note(Rule, E, R, NoteStart ? telemetry::nowNs() - NoteStart : 0);
   ResultMemo.emplace(E, R);
   return R;
 }
@@ -215,6 +292,7 @@ const Expr *MBASolver::simplifyLinear(const Expr *E,
     return Ctx.getConst(evaluate(Ctx, E, std::span<const uint64_t>()));
   ++Stats.LinearRuns;
   MBA_TRACE_SPAN("simplify.linear");
+  querylog::StageTimer Stage("linear-signature");
   static telemetry::Counter &Runs = telemetry::counter("simplify.linear_runs");
   Runs.add();
   std::vector<uint64_t> Sig = computeSignature(Ctx, E, Vars);
@@ -318,6 +396,7 @@ MBASolver::normalizedCombo(const std::vector<uint64_t> &Sig,
 const Expr *MBASolver::simplifyPoly(const Expr *E, unsigned Depth) {
   ++Stats.PolyRuns;
   MBA_TRACE_SPAN("simplify.poly");
+  querylog::StageTimer Stage("poly-normalize");
   static telemetry::Counter &Runs = telemetry::counter("simplify.poly_runs");
   Runs.add();
   AtomMap Atoms;
@@ -361,6 +440,7 @@ const Expr *MBASolver::simplifyPoly(const Expr *E, unsigned Depth) {
 const Expr *MBASolver::simplifyNonPoly(const Expr *E, unsigned Depth) {
   ++Stats.NonPolyRuns;
   MBA_TRACE_SPAN("simplify.nonpoly");
+  querylog::StageTimer Stage("nonpoly-abstraction");
   static telemetry::Counter &Runs =
       telemetry::counter("simplify.nonpoly_runs");
   Runs.add();

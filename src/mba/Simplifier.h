@@ -202,12 +202,17 @@ private:
   /// A fresh variable not used anywhere in the context yet.
   const Expr *freshTempVar();
 
-  /// Records a rewrite step into the opt-in audit trail (no-op when
-  /// auditing is off or the step is an identity).
-  void note(const char *Rule, const Expr *Before, const Expr *After) {
-    if (Opts.Trail)
-      Opts.Trail->record(Rule, Before, After);
-  }
+  /// True when any observer wants per-rule records — the audit trail, the
+  /// metrics registry (rule attribution), or an active query-log record.
+  /// Callers use it to gate the timing/node-counting work around a step.
+  bool noting() const;
+
+  /// Records a rewrite step into the opt-in audit trail and, when metrics
+  /// or the query log are on, into the rule-attribution registry and the
+  /// active flight-recorder record (fires / ns / node delta). \p Ns is the
+  /// step's wall time when the caller measured one (gated on noting()).
+  void note(const char *Rule, const Expr *Before, const Expr *After,
+            uint64_t Ns = 0);
 
   /// Semantic key of a basis solve: hash(width, basis mode, signature) —
   /// plus the variable names in AutoBasis mode, whose print-length

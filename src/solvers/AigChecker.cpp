@@ -48,6 +48,7 @@
 #include "aig/Aig.h"
 #include "aig/AigBlaster.h"
 #include "aig/ExprAig.h"
+#include "support/QueryLog.h"
 #include "support/Stopwatch.h"
 #include "support/Telemetry.h"
 
@@ -90,6 +91,15 @@ public:
         telemetry::counter("sat.encode.clauses");
     CtrQueries.add();
 
+    // Same-kind scope: pass-through under a staged checker (fields land in
+    // its record), a record of its own when the backend runs unstaged.
+    querylog::QueryScope LogScope("check");
+    if (querylog::Record *QR = querylog::active()) {
+      QR->str("backend", name());
+      QR->num("width", Ctx.width());
+      QR->str("solve_mode", Incremental ? "incremental" : "fresh");
+    }
+
     Stopwatch Timer;
     if (!State || State->Width != Ctx.width())
       State = std::make_unique<SolverState>(Ctx.width());
@@ -121,12 +131,20 @@ public:
       Result.Outcome = Root == aig::Aig::falseLit() ? Verdict::Equivalent
                                                     : Verdict::NotEquivalent;
       Result.Seconds = Timer.seconds();
+      if (querylog::Record *QR = querylog::active()) {
+        QR->flag("aig_short_circuit", true);
+        QR->num("aig_nodes", State->Graph.numNodes());
+        QR->str("verdict", verdictName(Result.Outcome));
+      }
       return Result;
     }
 
     sat::SatSolver &Solver = *State->Solver;
     uint64_t VarsBefore = Solver.numVars();
     uint64_t ClausesBefore = Solver.stats().ClausesAdded;
+    uint64_t ConflictsBefore = Solver.stats().Conflicts;
+    uint64_t DecisionsBefore = Solver.stats().Decisions;
+    uint64_t PropagationsBefore = Solver.stats().Propagations;
     sat::Lit RootLit = State->Emitter->emit(Root);
 
     // Guard the root behind a per-query assumption literal.
@@ -179,6 +197,19 @@ public:
     case sat::SatResult::Unknown:
       Result.Outcome = Verdict::Timeout;
       break;
+    }
+    if (querylog::Record *QR = querylog::active()) {
+      QR->flag("aig_short_circuit", false);
+      QR->num("aig_nodes", State->Graph.numNodes());
+      QR->num("cnf_vars", Solver.numVars() - VarsBefore);
+      QR->num("cnf_clauses", Solver.stats().ClausesAdded - ClausesBefore);
+      QR->num("sat_conflicts", Solver.stats().Conflicts - ConflictsBefore);
+      QR->num("sat_decisions", Solver.stats().Decisions - DecisionsBefore);
+      QR->num("sat_propagations",
+              Solver.stats().Propagations - PropagationsBefore);
+      QR->num("sat_clauses_reused",
+              Solver.stats().ReusedLearnts - ReusedBefore);
+      QR->str("verdict", verdictName(Result.Outcome));
     }
     return Result;
   }

@@ -8,6 +8,7 @@
 
 #include "bitblast/BitBlaster.h"
 #include "bitblast/ExprBlaster.h"
+#include "support/QueryLog.h"
 #include "support/Stopwatch.h"
 #include "support/Telemetry.h"
 
@@ -45,6 +46,13 @@ public:
         telemetry::counter("sat.encode.vars");
     static telemetry::Counter &CtrEncodeClauses =
         telemetry::counter("sat.encode.clauses");
+    // Same-kind scope: pass-through under a staged checker (fields land in
+    // its record), a record of its own when the backend runs unstaged.
+    querylog::QueryScope LogScope("check");
+    if (querylog::Record *QR = querylog::active()) {
+      QR->str("backend", name());
+      QR->num("width", Ctx.width());
+    }
     Stopwatch Timer;
     sat::SatSolver Solver;
     BitBlaster Blaster(Solver, Ctx.width(), Rewriting);
@@ -72,6 +80,14 @@ public:
     case sat::SatResult::Unknown:
       Result.Outcome = Verdict::Timeout;
       break;
+    }
+    if (querylog::Record *QR = querylog::active()) {
+      QR->num("cnf_vars", Solver.numVars());
+      QR->num("cnf_clauses", Solver.stats().ClausesAdded);
+      QR->num("sat_conflicts", Solver.stats().Conflicts);
+      QR->num("sat_decisions", Solver.stats().Decisions);
+      QR->num("sat_propagations", Solver.stats().Propagations);
+      QR->str("verdict", verdictName(Result.Outcome));
     }
     return Result;
   }

@@ -22,10 +22,13 @@
 #include "analysis/Prover.h"
 #include "ast/ExprUtils.h"
 #include "solvers/EquivalenceChecker.h"
+#include "support/QueryLog.h"
 #include "support/Stopwatch.h"
 #include "support/Telemetry.h"
 
 #include <cassert>
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
 using namespace mba;
@@ -67,6 +70,23 @@ size_t VerdictCache::loadSection(SnapshotReader &R, uint64_t Count) {
 
 namespace {
 
+/// Flight-recorder field spelling of a fingerprint (too wide for a JSON
+/// number).
+std::string fingerprintHex(uint64_t Fp) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, Fp);
+  return Buf;
+}
+
+/// Stamps the verdict and verdict-cache disposition onto the active
+/// flight-recorder record, if any.
+void recordCheckOutcome(Verdict V, const char *CacheState) {
+  if (querylog::Record *QR = querylog::active()) {
+    QR->str("verdict", verdictName(V));
+    QR->str("verdict_cache", CacheState);
+  }
+}
+
 class StagedChecker final : public EquivalenceChecker {
 public:
   StagedChecker(Context &Ctx, std::unique_ptr<EquivalenceChecker> Inner,
@@ -89,6 +109,17 @@ public:
     Queries.add();
     Stopwatch Timer;
 
+    // Flight recorder: one record per equivalence query. Observational
+    // only — verdicts are pinned bit-identical with and without a log.
+    querylog::QueryScope LogScope("check");
+    if (querylog::Record *QR = querylog::active()) {
+      QR->num("width", Ctx.width());
+      QR->str("backend", Inner->name());
+      QR->str("fp_a", fingerprintHex(exprFingerprint(A)));
+      QR->str("fp_b", fingerprintHex(exprFingerprint(B)));
+      QR->fnum("timeout_s", TimeoutSeconds);
+    }
+
     uint64_t Key = 0;
     if (Verdicts) {
       Key = VerdictCache::queryKey(Ctx, A, B, Inner->name());
@@ -99,9 +130,11 @@ public:
         switch (Hit.Outcome) {
         case VerdictEntry::Equivalent:
           VerdictHits.add();
+          recordCheckOutcome(Verdict::Equivalent, "hit");
           return {Verdict::Equivalent, Timer.seconds()};
         case VerdictEntry::NotEquivalent:
           VerdictHits.add();
+          recordCheckOutcome(Verdict::NotEquivalent, "hit");
           return {Verdict::NotEquivalent, Timer.seconds()};
         case VerdictEntry::Unknown:
           // Usable only when the failed budget covers this query's budget;
@@ -109,6 +142,7 @@ public:
           // actually run. The epsilon absorbs snapshot rounding.
           if (TimeoutSeconds <= Hit.BudgetSeconds + 1e-9) {
             VerdictHits.add();
+            recordCheckOutcome(Verdict::Timeout, "hit");
             return {Verdict::Timeout, Timer.seconds()};
           }
           break;
@@ -117,6 +151,7 @@ public:
     }
 
     CheckResult R = checkUncached(A, B, TimeoutSeconds);
+    recordCheckOutcome(R.Outcome, Verdicts ? "miss" : "off");
     if (Verdicts) {
       VerdictEntry E;
       switch (R.Outcome) {
@@ -142,9 +177,18 @@ private:
     Stopwatch Timer;
     ProveResult Static = [&] {
       MBA_TRACE_SPAN("solve.stage0");
+      querylog::StageTimer Stage("stage0");
       return Prover(Ctx).prove(A, B, Budget);
     }();
     double StaticSeconds = Timer.seconds();
+    if (querylog::Record *QR = querylog::active()) {
+      QR->str("stage0", proveOutcomeName(Static.Outcome));
+      QR->str("stage0_detail", Static.Detail);
+      QR->num("stage0_iterations", Static.Stats.Iterations);
+      QR->num("stage0_enodes", Static.Stats.ENodes);
+      QR->num("stage0_eclasses", Static.Stats.EClasses);
+      QR->num("stage0_matches", Static.Stats.Matches);
+    }
     if (Stats) {
       Stats->StaticSeconds += StaticSeconds;
       Stats->Saturation.Iterations += Static.Stats.Iterations;
@@ -177,7 +221,10 @@ private:
     double Remaining = TimeoutSeconds - StaticSeconds;
     if (Remaining <= 0)
       return {Verdict::Timeout, StaticSeconds};
-    CheckResult R = Inner->check(Ctx, A, B, Remaining);
+    CheckResult R = [&] {
+      querylog::StageTimer Stage("backend");
+      return Inner->check(Ctx, A, B, Remaining);
+    }();
     if (Stats)
       Stats->SolverSeconds += R.Seconds;
     R.Seconds += StaticSeconds;

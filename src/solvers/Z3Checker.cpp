@@ -10,6 +10,7 @@
 #ifdef MBA_HAVE_Z3
 
 #include "ast/ExprUtils.h"
+#include "support/QueryLog.h"
 #include "support/Stopwatch.h"
 #include "support/Telemetry.h"
 
@@ -30,6 +31,13 @@ public:
   CheckResult check(const Context &Ctx, const Expr *A, const Expr *B,
                     double TimeoutSeconds) override {
     MBA_TRACE_SPAN("solve.backend.Z3");
+    // Same-kind scope: pass-through under a staged checker (fields land in
+    // its record), a record of its own when the backend runs unstaged.
+    querylog::QueryScope LogScope("check");
+    if (querylog::Record *QR = querylog::active()) {
+      QR->str("backend", name());
+      QR->num("width", Ctx.width());
+    }
     Stopwatch Timer;
     CheckResult Result;
     try {
@@ -62,6 +70,8 @@ public:
       Result.Outcome = Verdict::Timeout; // resource-out or internal error
     }
     Result.Seconds = Timer.seconds();
+    if (querylog::Record *QR = querylog::active())
+      QR->str("verdict", verdictName(Result.Outcome));
     return Result;
   }
 

@@ -1,0 +1,33 @@
+//===- support/BuildInfo.cpp - Artifact provenance ------------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+#include "support/Bitslice.h"
+
+// The configure step defines MBA_GIT_SHA / MBA_BUILD_TYPE on this TU only
+// (src/support/CMakeLists.txt), so a new commit recompiles one file.
+#ifndef MBA_GIT_SHA
+#define MBA_GIT_SHA "unknown"
+#endif
+#ifndef MBA_BUILD_TYPE
+#define MBA_BUILD_TYPE "unspecified"
+#endif
+#ifndef MBA_VERSION
+#define MBA_VERSION "0.10.0"
+#endif
+
+namespace mba::buildinfo {
+
+const char *version() { return MBA_VERSION; }
+
+const char *gitSha() { return MBA_GIT_SHA; }
+
+const char *buildType() { return MBA_BUILD_TYPE; }
+
+const char *activeIsaName() { return bitslice::isaName(bitslice::activeIsa()); }
+
+} // namespace mba::buildinfo

@@ -1,0 +1,40 @@
+//===- support/BuildInfo.h - Artifact provenance ----------------*- C++ -*-===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Build provenance for every exported artifact: version, git revision,
+/// build type (baked in at configure time via compile definitions on this
+/// one TU) and the active SIMD ISA (resolved at runtime from the Bitslice
+/// dispatch). Surfaces as the labeled `mba_build_info` gauge in the
+/// Prometheus dump and as the `build_info` object in `--json` study
+/// reports, so a checked-in BENCH_*.json or a scraped metrics endpoint
+/// always says which binary produced it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MBA_SUPPORT_BUILDINFO_H
+#define MBA_SUPPORT_BUILDINFO_H
+
+namespace mba::buildinfo {
+
+/// Release version string ("0.10.0" — tracks the PR sequence).
+const char *version();
+
+/// Abbreviated git revision the binary was configured from, or "unknown"
+/// outside a git checkout.
+const char *gitSha();
+
+/// CMake build type ("RelWithDebInfo", "Debug", ...), or "unspecified".
+const char *buildType();
+
+/// The SIMD ISA the bitslice engine dispatches to on this machine right
+/// now ("scalar", "avx2", "avx512") — runtime, not compile-time, so it
+/// reflects MBA_FORCE_ISA overrides.
+const char *activeIsaName();
+
+} // namespace mba::buildinfo
+
+#endif // MBA_SUPPORT_BUILDINFO_H

@@ -6,6 +6,7 @@
 
 #include "support/Telemetry.h"
 
+#include "support/BuildInfo.h"
 #include "support/ThreadSafety.h"
 
 #include <algorithm>
@@ -101,6 +102,40 @@ MetricSlot &findOrCreate(std::string_view Name, MetricValue::Kind Which) {
 }
 
 } // namespace
+
+double mba::telemetry::Histogram::Snapshot::percentile(double P) const {
+  if (Count == 0)
+    return 0.0;
+  if (P < 0)
+    P = 0;
+  if (P > 100)
+    P = 100;
+  // 1-based rank of the sample at percentile P (nearest-rank, then
+  // interpolated inside the bucket that holds it).
+  uint64_t Rank = (uint64_t)((P / 100.0) * (double)Count + 0.5);
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B != HistogramBuckets; ++B) {
+    if (!Buckets[B])
+      continue;
+    if (Cum + Buckets[B] < Rank) {
+      Cum += Buckets[B];
+      continue;
+    }
+    // Rank falls in bucket B, spanning [Lo, Hi]. Spread the bucket's
+    // samples evenly across the span (bucket 0 holds only the value 0).
+    if (B == 0)
+      return 0.0;
+    double Lo = (double)(B == 1 ? 1 : histogramBucketMax(B - 1) + 1);
+    double Hi = (double)histogramBucketMax(B);
+    double Fraction = (double)(Rank - Cum) / (double)Buckets[B];
+    return Lo + Fraction * (Hi - Lo);
+  }
+  return (double)histogramBucketMax(HistogramBuckets - 1);
+}
 
 Counter &mba::telemetry::counter(std::string_view Name) {
   return *findOrCreate(Name, MetricValue::KCounter).C;
@@ -223,6 +258,14 @@ std::string promName(const std::string &Name) {
 } // namespace
 
 void mba::telemetry::printMetricsText(std::FILE *Out) {
+  // Provenance first: a constant labeled gauge, the Prometheus idiom for
+  // "which binary is this" (join on the labels, ignore the value).
+  std::fprintf(Out,
+               "# TYPE mba_build_info gauge\n"
+               "mba_build_info{version=\"%s\",git_sha=\"%s\",isa=\"%s\","
+               "build=\"%s\"} 1\n",
+               buildinfo::version(), buildinfo::gitSha(),
+               buildinfo::activeIsaName(), buildinfo::buildType());
   for (const MetricValue &V : snapshotMetrics()) {
     std::string P = promName(V.Name);
     switch (V.Which) {
@@ -516,10 +559,14 @@ void mba::telemetry::printSummary(std::FILE *Out) {
                      (long long)V.GaugeValue);
         break;
       case MetricValue::KHistogram:
-        std::fprintf(Out, "  %-40s count %llu, mean %.1f\n", V.Name.c_str(),
-                     (unsigned long long)V.Hist.Count,
+        std::fprintf(Out,
+                     "  %-40s count %llu, mean %.1f, p50 %.0f, p95 %.0f, "
+                     "p99 %.0f\n",
+                     V.Name.c_str(), (unsigned long long)V.Hist.Count,
                      V.Hist.Count ? (double)V.Hist.Sum / (double)V.Hist.Count
-                                  : 0.0);
+                                  : 0.0,
+                     V.Hist.percentile(50), V.Hist.percentile(95),
+                     V.Hist.percentile(99));
         break;
       }
     }

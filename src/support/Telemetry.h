@@ -177,6 +177,14 @@ public:
     uint64_t Buckets[HistogramBuckets] = {};
     uint64_t Count = 0;
     uint64_t Sum = 0;
+
+    /// Estimated value at percentile \p P (0..100), linearly interpolated
+    /// inside the log2 bucket holding that rank — the usual
+    /// Prometheus-style histogram_quantile estimate, so p50/p95/p99 no
+    /// longer require offline bucket math. Exact when a bucket holds one
+    /// distinct value (e.g. bucket 0 = 0); otherwise accurate to the
+    /// bucket's span. Returns 0 on an empty snapshot.
+    double percentile(double P) const;
   };
   Snapshot snapshot() const {
     Snapshot Out;

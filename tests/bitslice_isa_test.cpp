@@ -246,6 +246,10 @@ TEST(WideIsaAgreement, PooledSignaturesDeterministicAcrossIsas) {
       ThreadPool Pool(Jobs);
       Pool.parallelFor(NumExprs, [&](size_t Index, unsigned Worker) {
         Context &Ctx = *Ctxs[Worker];
+        // The contexts were built on the main thread; re-home each onto
+        // the pool thread that owns its ordinal (idempotent — a worker
+        // ordinal is pinned to one pool thread for the pool's lifetime).
+        Ctx.adoptByCurrentThread();
         auto R = parseExpr(Ctx, Texts[Index]);
         ASSERT_TRUE(R.ok()) << R.Error;
         Sigs[Index] = computeSignature(Ctx, R.E);

@@ -7,6 +7,8 @@
 #include "Harness.h"
 
 #include "ast/Parser.h"
+#include "support/Json.h"
+#include "support/QueryLog.h"
 
 #include <gtest/gtest.h>
 
@@ -377,6 +379,139 @@ TEST(HarnessStudy, TracedParallelMatchesUntraced) {
     WorkerLabels += Label.rfind("worker-", 0) == 0;
   EXPECT_GE(WorkerLabels, 1u);
   telemetry::clearTrace();
+}
+
+TEST(HarnessArgs, QueryLogOverride) {
+  {
+    char Prog[] = "bench";
+    char *Argv[] = {Prog};
+    HarnessOptions Opts = parseHarnessArgs(1, Argv);
+    EXPECT_TRUE(Opts.QueryLogPath.empty());
+  }
+  {
+    char Prog[] = "bench";
+    char A1[] = "--query-log=/tmp/q.jsonl";
+    char *Argv[] = {Prog, A1};
+    HarnessOptions Opts = parseHarnessArgs(2, Argv);
+    EXPECT_EQ(Opts.QueryLogPath, "/tmp/q.jsonl");
+  }
+}
+
+TEST(HarnessStudy, QueryLoggedMatchesUnlogged) {
+  // The flight recorder is observational: a fully logged 4-worker study
+  // must produce bit-identical verdicts and simplified text to an unlogged
+  // one, and every JSONL record it leaves behind must parse with the
+  // complete decision chain (classify -> stages for simplify records,
+  // verdict + stage0 disposition for check records).
+  Context Ctx(8);
+  CorpusOptions CorpusOpts;
+  CorpusOpts.LinearCount = 10;
+  CorpusOpts.PolyCount = 5;
+  CorpusOpts.NonPolyCount = 5;
+  CorpusOpts.IncludeSeedIdentities = false;
+  auto Corpus = generateCorpus(Ctx, CorpusOpts);
+
+  auto Factory = [](Context &) { return makeAllCheckers(); };
+  StudyConfig Config;
+  Config.TimeoutSeconds = 0.2;
+  Config.Jobs = 4;
+  Config.Simplify = true;
+  Config.StageZero = true;
+  Config.RecordSimplified = true;
+
+  StudyResult Plain = runSolvingStudyParallel(Ctx, Corpus, Factory, Config);
+
+  std::string Path = ::testing::TempDir() + "harness_query.jsonl";
+  ASSERT_TRUE(querylog::openFile(Path));
+  StudyResult Logged = runSolvingStudyParallel(Ctx, Corpus, Factory, Config);
+  uint64_t Written = querylog::recordsWritten();
+  querylog::close();
+
+  ASSERT_EQ(Plain.Records.size(), Logged.Records.size());
+  for (size_t I = 0; I != Plain.Records.size(); ++I) {
+    EXPECT_EQ(Plain.Records[I].Solver, Logged.Records[I].Solver);
+    EXPECT_EQ(Plain.Records[I].Outcome, Logged.Records[I].Outcome)
+        << "query logging changed the verdict at record " << I;
+  }
+  for (size_t I = 0; I != Corpus.size(); ++I) {
+    EXPECT_EQ(Plain.SimplifiedLhs[I], Logged.SimplifiedLhs[I]);
+    EXPECT_EQ(Plain.SimplifiedRhs[I], Logged.SimplifiedRhs[I]);
+  }
+
+  // Parse every line back and require the complete chain. Simplify runs
+  // twice per corpus entry (both sides); every (checker, entry) pair adds
+  // one check record.
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  size_t SimplifyRecords = 0, CheckRecords = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    json::Value Rec;
+    std::string Err;
+    ASSERT_TRUE(json::parse(Line, Rec, &Err)) << Err << "\n" << Line;
+    std::string Kind(Rec.stringAt("kind"));
+    EXPECT_GT(Rec.numberAt("ns"), 0);
+    if (Kind == "simplify") {
+      ++SimplifyRecords;
+      EXPECT_FALSE(Rec.stringAt("class").empty()) << Line;
+      EXPECT_EQ(Rec.stringAt("fp_in").size(), 16u);
+      EXPECT_EQ(Rec.stringAt("fp_out").size(), 16u);
+      const json::Value *Stages = Rec.get("stages");
+      ASSERT_NE(Stages, nullptr) << Line;
+      EXPECT_EQ(Stages->at(0).stringAt("name"), "classify") << Line;
+    } else {
+      ASSERT_EQ(Kind, "check") << Line;
+      ++CheckRecords;
+      EXPECT_FALSE(Rec.stringAt("verdict").empty()) << Line;
+      EXPECT_FALSE(Rec.stringAt("backend").empty()) << Line;
+      EXPECT_FALSE(Rec.stringAt("stage0").empty()) << Line;
+    }
+  }
+  EXPECT_EQ(SimplifyRecords + CheckRecords, Written);
+  EXPECT_EQ(SimplifyRecords, Corpus.size() * 2);
+  EXPECT_EQ(CheckRecords, Plain.Records.size());
+}
+
+TEST(HarnessStudy, JsonHistogramsCarryBucketsAndPercentiles) {
+  // Satellite contract: --json histogram entries embed bucket data and
+  // estimated percentiles, not just count/sum.
+  Context Ctx(8);
+  CorpusOptions CorpusOpts;
+  CorpusOpts.LinearCount = 2;
+  CorpusOpts.PolyCount = 1;
+  CorpusOpts.NonPolyCount = 1;
+  CorpusOpts.IncludeSeedIdentities = false;
+  auto Corpus = generateCorpus(Ctx, CorpusOpts);
+
+  StudyConfig Config;
+  Config.TimeoutSeconds = 0.2;
+  Config.Jobs = 1;
+  Config.Simplify = true;
+  telemetry::setMetricsEnabled(true);
+  StudyResult Result = runSolvingStudyParallel(
+      Ctx, Corpus, [](Context &) { return makeAllCheckers(); }, Config);
+  telemetry::setMetricsEnabled(false);
+
+  HarnessOptions Opts;
+  std::string Path = ::testing::TempDir() + "harness_hist.json";
+  writeStudyJson(Path, "unit", Opts, Result);
+
+  json::Value Root;
+  std::string Err;
+  ASSERT_TRUE(json::parseFile(Path, Root, &Err)) << Err;
+  ASSERT_NE(Root.get("build_info"), nullptr);
+  EXPECT_FALSE(Root.get("build_info")->stringAt("version").empty());
+  const json::Value *Metrics = Root.get("metrics");
+  ASSERT_NE(Metrics, nullptr);
+  const json::Value *Duration = Metrics->get("simplify.duration_ns");
+  ASSERT_NE(Duration, nullptr)
+      << "simplify histogram missing from the metrics object";
+  EXPECT_GT(Duration->numberAt("count"), 0);
+  EXPECT_GT(Duration->numberAt("p50"), 0);
+  EXPECT_GE(Duration->numberAt("p99"), Duration->numberAt("p50"));
+  const json::Value *Buckets = Duration->get("buckets");
+  ASSERT_NE(Buckets, nullptr);
+  EXPECT_GT(Buckets->members().size(), 0u) << "bucket data must be embedded";
 }
 
 TEST(HarnessFormat, SecondsFormatting) {

@@ -1,0 +1,96 @@
+//===- tests/json_test.cpp - JSON reader tests ----------------------------===//
+//
+// Part of the MBA-Solver reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+using namespace mba;
+
+namespace {
+
+json::Value parseOk(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Text, V, &Err)) << Err;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse(Text, V, &Err)) << "accepted: " << Text;
+  return Err;
+}
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool(true));
+  EXPECT_EQ(parseOk("42").asNumber(), 42);
+  EXPECT_EQ(parseOk("-17").asNumber(), -17);
+  EXPECT_EQ(parseOk("2.5e3").asNumber(), 2500);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+  EXPECT_EQ(parseOk("9007199254740992").asU64(), 9007199254740992ull);
+}
+
+TEST(Json, ArraysAndObjectsPreserveOrder) {
+  json::Value V = parseOk("{\"b\": [1, 2, 3], \"a\": {\"x\": true}}");
+  ASSERT_TRUE(V.isObject());
+  ASSERT_EQ(V.members().size(), 2u);
+  EXPECT_EQ(V.members()[0].first, "b") << "member order must be preserved";
+  EXPECT_EQ(V.members()[1].first, "a");
+  const json::Value *B = V.get("b");
+  ASSERT_NE(B, nullptr);
+  ASSERT_EQ(B->size(), 3u);
+  EXPECT_EQ(B->at(2).asNumber(), 3);
+  ASSERT_NE(V.get("a"), nullptr);
+  EXPECT_TRUE(V.get("a")->get("x")->asBool());
+  EXPECT_EQ(V.get("missing"), nullptr);
+  EXPECT_EQ(V.numberAt("nope", 7), 7);
+  EXPECT_EQ(V.stringAt("nope", "dflt"), "dflt");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\\"b\\\\c\\nd\\te\\u0041\"").asString(),
+            "a\"b\\c\nd\teA");
+  // \u escapes outside ASCII encode as UTF-8.
+  EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9");
+}
+
+TEST(Json, ErrorsCarryByteOffsets) {
+  EXPECT_NE(parseErr("{\"a\": }").find("offset"), std::string::npos);
+  parseErr("");
+  parseErr("{");
+  parseErr("[1, 2,]");
+  parseErr("{\"a\" 1}");
+  parseErr("\"unterminated");
+  parseErr("tru");
+  parseErr("1 2") ; // trailing content
+  // Depth bomb: beyond the parser's recursion cap, rejected not crashed.
+  std::string Deep(200, '[');
+  Deep += std::string(200, ']');
+  parseErr(Deep);
+}
+
+TEST(Json, ParseFile) {
+  std::string Path = ::testing::TempDir() + "json_test.json";
+  {
+    std::ofstream Out(Path);
+    Out << "{\"n\": 3}\n";
+  }
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parseFile(Path, V, &Err)) << Err;
+  EXPECT_EQ(V.numberAt("n"), 3);
+  EXPECT_FALSE(json::parseFile(Path + ".missing", V, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

@@ -580,4 +580,40 @@ TEST(TelemetryOverhead, DisabledOpsAreCheap) {
   EXPECT_LT(PerIter, 1000u) << "disabled telemetry cost exploded";
 }
 
+TEST(TelemetryMetrics, HistogramPercentilesInterpolate) {
+  setMetricsEnabled(true);
+  Histogram &H = histogram("test.percentile_hist");
+  // A three-mode distribution: 50 fast samples, 30 medium, 20 slow.
+  for (int I = 0; I != 50; ++I)
+    H.record(1);
+  for (int I = 0; I != 30; ++I)
+    H.record(10);
+  for (int I = 0; I != 20; ++I)
+    H.record(1000);
+  setMetricsEnabled(false);
+  Histogram::Snapshot S = H.snapshot();
+  ASSERT_EQ(S.Count, 100u);
+
+  // Ranks 1..50 sit in the value-1 bucket, which spans only {1}.
+  EXPECT_DOUBLE_EQ(S.percentile(25), 1.0);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 1.0);
+  // p75 lands among the 10s: interpolated inside bucket [8, 15].
+  EXPECT_GE(S.percentile(75), 8.0);
+  EXPECT_LE(S.percentile(75), 15.0);
+  // p95/p99 land among the 1000s: bucket [512, 1023].
+  EXPECT_GE(S.percentile(95), 512.0);
+  EXPECT_LE(S.percentile(95), 1023.0);
+  EXPECT_GE(S.percentile(99), S.percentile(95));
+  // Out-of-range P clamps instead of reading past the distribution.
+  EXPECT_DOUBLE_EQ(S.percentile(-5), 1.0);
+  EXPECT_LE(S.percentile(200), 1023.0);
+  // An empty histogram reports zero for every percentile.
+  EXPECT_DOUBLE_EQ(Histogram::Snapshot().percentile(50), 0.0);
+  // A zero-valued sample lands in bucket 0, which spans only {0}.
+  Histogram::Snapshot Zeros;
+  Zeros.Buckets[0] = 4;
+  Zeros.Count = 4;
+  EXPECT_DOUBLE_EQ(Zeros.percentile(99), 0.0);
+}
+
 } // namespace
